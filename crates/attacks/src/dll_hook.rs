@@ -1,0 +1,173 @@
+//! EXP-B4 — PE header modification via DLL hooking (§V.B.4).
+//!
+//! The paper used CFF Explorer to attach `inject.dll` (exporting
+//! `callMessageBox()`) to `dummy.sys`: the import table gains a descriptor,
+//! call-stub code referencing the new import is added to `.text` (growing
+//! `VirtualSize`), subsequent section locations shift, and the headers that
+//! reference them are all adjusted. Rustock.B hooks `ntfs.sys` the same
+//! way.
+//!
+//! Expected detection (verbatim from the paper): "Hash mismatches were
+//! detected in IMAGE_NT_HEADER, IMAGE_OPTIONAL_HEADER, all
+//! SECTION_HEADER's and .text field." Notably *not* the DOS or FILE
+//! headers — the section count does not change because `dummy.sys` already
+//! has an import section; the attack extends it.
+
+use mc_pe::builder::ImportSpec;
+use mc_pe::codegen::{self, CodeGenConfig};
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::PeFile;
+use modchecker::PartId;
+
+use crate::{AttackError, Expectation, Infection};
+
+/// Attach `inject.dll` and its call stubs to the target module.
+pub struct DllHook;
+
+/// Bytes of call-stub code appended to `.text`. Crossing a page boundary is
+/// what shifts every subsequent section's `VirtualAddress`, as the paper
+/// describes.
+const STUB_CODE_SIZE: usize = 4608;
+
+impl Infection for DllHook {
+    fn name(&self) -> &'static str {
+        "DLL hooking via PE header modification (inject.dll)"
+    }
+
+    fn target_module(&self) -> &str {
+        "dummy.sys"
+    }
+
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError> {
+        let mut artifacts = pristine.clone();
+        let width = artifacts.width;
+
+        // Generate the call stubs that invoke the injected export.
+        let stubs = codegen::generate(&CodeGenConfig {
+            addr_spacing: 24,
+            cave_len: 8,
+            ..CodeGenConfig::sized(width, STUB_CODE_SIZE, 0x0D11_400C)
+        });
+
+        let text = artifacts.builder.section_data_mut(pristine.text_section);
+        let original_len = text.len() as u32;
+        text.extend_from_slice(&stubs.bytes);
+
+        // The stubs' address slots are relocation sites too.
+        let new_sites: Vec<u32> = stubs
+            .reloc_offsets
+            .iter()
+            .map(|off| original_len + off)
+            .collect();
+        artifacts
+            .builder
+            .add_reloc_sites(pristine.text_section, new_sites);
+
+        // Extend the import table with the malicious DLL.
+        artifacts.builder.add_import(ImportSpec {
+            dll: "inject.dll".into(),
+            functions: vec!["callMessageBox".into()],
+        });
+
+        Ok(artifacts.build()?)
+    }
+
+    fn expected_mismatches(&self) -> Vec<Expectation> {
+        vec![
+            Expectation::Part(PartId::NtHeaders),
+            Expectation::Part(PartId::OptionalHeader),
+            Expectation::AllSectionHeaders,
+            Expectation::Part(PartId::SectionData(".text".into())),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_pe::consts::{E_LFANEW_OFFSET, OH_SIZE_OF_IMAGE, PE_SIGNATURE_SIZE};
+    use mc_pe::corpus::standard_corpus;
+    use mc_pe::parser::ParsedModule;
+    use mc_pe::{read_u32, AddressWidth};
+
+    fn pristine() -> ModuleArtifacts {
+        standard_corpus(AddressWidth::W32)
+            .into_iter()
+            .find(|bp| bp.name == "dummy.sys")
+            .unwrap()
+            .generate()
+    }
+
+    #[test]
+    fn section_count_is_preserved() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = DllHook.infect(&art).unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        assert_eq!(pc.sections.len(), pi.sections.len());
+        // FILE header byte-identical (the paper does not flag it).
+        assert_eq!(
+            pc.file_header_bytes(clean.bytes()),
+            pi.file_header_bytes(infected.bytes())
+        );
+        // DOS region identical.
+        assert_eq!(pc.dos_bytes(clean.bytes()), pi.dos_bytes(infected.bytes()));
+    }
+
+    #[test]
+    fn headers_and_text_change_as_paper_reports() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = DllHook.infect(&art).unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+
+        // Optional header changes (SizeOfImage grew).
+        assert_ne!(
+            pc.optional_bytes(clean.bytes()),
+            pi.optional_bytes(infected.bytes())
+        );
+        let lfanew = read_u32(clean.bytes(), E_LFANEW_OFFSET).unwrap() as usize;
+        let oh = lfanew + PE_SIGNATURE_SIZE + 20;
+        assert!(
+            read_u32(infected.bytes(), oh + OH_SIZE_OF_IMAGE).unwrap()
+                > read_u32(clean.bytes(), oh + OH_SIZE_OF_IMAGE).unwrap()
+        );
+
+        // Every section header changes (VirtualSize for .text, shifted
+        // VirtualAddress/PointerToRawData for the rest).
+        for (a, b) in pc.sections.iter().zip(&pi.sections) {
+            assert_ne!(
+                &clean.bytes()[a.header_range.clone()],
+                &infected.bytes()[b.header_range.clone()],
+                "section header {} must change",
+                a.name
+            );
+        }
+
+        // .text grew and changed.
+        assert!(pi.sections[0].virtual_size > pc.sections[0].virtual_size);
+        // The injected DLL name is now in the import data.
+        assert!(infected
+            .bytes()
+            .windows(b"inject.dll".len())
+            .any(|w| w == b"inject.dll"));
+        assert!(infected
+            .bytes()
+            .windows(b"callMessageBox".len())
+            .any(|w| w == b"callMessageBox"));
+    }
+
+    #[test]
+    fn growth_crosses_a_page_so_sections_shift() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = DllHook.infect(&art).unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        let rdata_c = &pc.sections[pc.find_section(".rdata").unwrap()];
+        let rdata_i = &pi.sections[pi.find_section(".rdata").unwrap()];
+        assert!(rdata_i.virtual_address > rdata_c.virtual_address);
+    }
+}

@@ -1,0 +1,101 @@
+//! IAT hooking — a scope-boundary probe, not one of the paper's four
+//! experiments.
+//!
+//! Import Address Table hooking swaps a resolved function pointer inside
+//! `.idata` so calls through the IAT land in malicious code. The IAT lives
+//! in *initialized data*, which ModChecker deliberately does not
+//! content-hash: after import resolution the table holds absolute addresses
+//! into other modules, which differ across VMs in ways Algorithm 2 cannot
+//! reconcile (the referenced modules' bases, not this module's). The
+//! technique is therefore **invisible to ModChecker by design** — the same
+//! boundary the paper draws by checking "headers and read-only executable
+//! contents". Detecting IAT hooks needs semantic pointer validation (à la
+//! LKIM's function-pointer checks, discussed in the paper's related work).
+//!
+//! The test below pins this: the hook does *not* flag, and the DESIGN.md /
+//! README limitation notes cite it.
+
+use mc_guest::GuestOs;
+use mc_hypervisor::Hypervisor;
+
+use crate::AttackError;
+
+/// Overwrites the first IAT slot of a loaded module with a bogus function
+/// pointer, in memory. Returns the image offset that was patched.
+pub fn hook_first_iat_slot(
+    hv: &mut Hypervisor,
+    guest: &GuestOs,
+    module: &str,
+    evil_target: u64,
+) -> Result<u64, AttackError> {
+    let m = guest
+        .find_module(module)
+        .unwrap_or_else(|| panic!("module {module} not loaded"));
+    // Read the module image to locate .idata.
+    let vm = hv.vm(guest.vm).expect("vm exists");
+    let mut image = vec![0u8; m.size as usize];
+    vm.read_virt(m.base, &mut image).expect("image readable");
+    let parsed = mc_pe::parser::ParsedModule::parse_memory(&image)
+        .map_err(AttackError::Build)?;
+    let idata = parsed
+        .find_section(".idata")
+        .ok_or(AttackError::NoSuitableSite("module has no import section"))?;
+    let sec = &parsed.sections[idata];
+
+    // IMAGE_IMPORT_DESCRIPTOR.FirstThunk is at descriptor offset 16; the
+    // thunk array's first slot is the first imported function's pointer.
+    let desc = sec.data_range.start;
+    let first_thunk_rva = mc_pe::read_u32(&image, desc + 16)
+        .ok_or(AttackError::NoSuitableSite("truncated import descriptor"))?;
+    let slot_off = first_thunk_rva as u64;
+
+    let width = parsed.width.bytes();
+    let bytes = match width {
+        4 => (evil_target as u32).to_le_bytes().to_vec(),
+        _ => evil_target.to_le_bytes().to_vec(),
+    };
+    guest
+        .patch_module(hv, module, slot_off, &bytes)
+        .expect("slot within image");
+    Ok(slot_off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_guest::build_cloud_with_modules;
+    use mc_hypervisor::AddressWidth;
+    use mc_pe::corpus::ModuleBlueprint;
+    use modchecker::ModChecker;
+
+    #[test]
+    fn iat_hook_is_out_of_scope_by_design() {
+        let mut hv = Hypervisor::new();
+        let bp = ModuleBlueprint::new("dummy.sys", AddressWidth::W32, 12 * 1024)
+            .with_imports(&[("ntoskrnl.exe", &["IoCreateDevice", "IoDeleteDevice"])]);
+        let guests = build_cloud_with_modules(&mut hv, 4, AddressWidth::W32, &[bp]).unwrap();
+        let ids: Vec<_> = guests.iter().map(|g| g.vm).collect();
+
+        let slot = hook_first_iat_slot(&mut hv, &guests[0], "dummy.sys", 0xDEAD_F000).unwrap();
+        assert!(slot > 0);
+
+        // ModChecker does NOT flag it: the IAT is data, excluded from
+        // content hashing — the documented scope boundary.
+        let report = ModChecker::new().check_pool(&hv, &ids, "dummy.sys").unwrap();
+        assert!(
+            report.all_clean(),
+            "IAT hook unexpectedly detected — the scope boundary moved"
+        );
+    }
+
+    #[test]
+    fn module_without_imports_is_unsuitable() {
+        let mut hv = Hypervisor::new();
+        let bp = ModuleBlueprint::new("plain.sys", AddressWidth::W32, 8 * 1024);
+        let guests = build_cloud_with_modules(&mut hv, 1, AddressWidth::W32, &[bp]).unwrap();
+        assert!(matches!(
+            hook_first_iat_slot(&mut hv, &guests[0], "plain.sys", 0xDEAD_F000),
+            Err(AttackError::NoSuitableSite(_))
+        ));
+    }
+}

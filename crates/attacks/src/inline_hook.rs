@@ -1,0 +1,168 @@
+//! EXP-B2 — inline hooking (§V.B.2, Figure 5).
+//!
+//! The TCPIRPHOOK/Win32.Chatter pattern: overwrite a function's first
+//! instructions with `JMP` to an *opcode cave* (a run of `00` bytes between
+//! functions), place the malicious payload there, execute the displaced
+//! original bytes, and `JMP` back to the original body. Everything happens
+//! inside `.text`, so ModChecker must flag `.text` data and nothing else.
+
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::PeFile;
+use modchecker::PartId;
+
+use crate::{AttackError, Expectation, Infection};
+
+/// Bytes of the hook's `JMP rel32`.
+const JMP_LEN: usize = 5;
+
+/// A stand-in malicious payload: reads a "result buffer" pointer and nops —
+/// what matters is that it is non-zero executable content in the cave.
+const PAYLOAD: [u8; 7] = [0x60, 0x90, 0x90, 0x90, 0x90, 0x61, 0x90]; // pusha; nops; popa; nop
+
+/// Jmp-hook a function through an opcode cave.
+pub struct InlineHook;
+
+impl InlineHook {
+    /// Applies the hook to raw `.text` bytes given function/cave geometry.
+    /// Exposed so the worm scenarios can reuse it.
+    pub fn apply_to_text(
+        text: &mut [u8],
+        entry: u32,
+        cave_offset: u32,
+        cave_len: u32,
+    ) -> Result<(), AttackError> {
+        let needed = (PAYLOAD.len() + JMP_LEN + JMP_LEN) as u32;
+        if cave_len < needed {
+            return Err(AttackError::NoSuitableSite("opcode cave too small"));
+        }
+        let entry = entry as usize;
+        let cave = cave_offset as usize;
+
+        // Save the bytes the jmp displaces.
+        let mut displaced = [0u8; JMP_LEN];
+        displaced.copy_from_slice(&text[entry..entry + JMP_LEN]);
+
+        // entry: JMP cave.
+        let rel = (cave as i64) - (entry as i64 + JMP_LEN as i64);
+        text[entry] = 0xE9;
+        text[entry + 1..entry + 5].copy_from_slice(&(rel as i32).to_le_bytes());
+
+        // cave: payload, displaced original bytes ("sanitation of
+        // overwritten bytes" in the paper), jmp back to entry+5.
+        let mut at = cave;
+        text[at..at + PAYLOAD.len()].copy_from_slice(&PAYLOAD);
+        at += PAYLOAD.len();
+        text[at..at + JMP_LEN].copy_from_slice(&displaced);
+        at += JMP_LEN;
+        let back = (entry as i64 + JMP_LEN as i64) - (at as i64 + JMP_LEN as i64);
+        text[at] = 0xE9;
+        text[at + 1..at + 5].copy_from_slice(&(back as i32).to_le_bytes());
+        Ok(())
+    }
+}
+
+impl Infection for InlineHook {
+    fn name(&self) -> &'static str {
+        "inline hooking via opcode cave"
+    }
+
+    fn target_module(&self) -> &str {
+        "hal.dll"
+    }
+
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError> {
+        let mut artifacts = pristine.clone();
+        // Hook the first generated function (the paper hooks
+        // hal.HalInitSystem, the module's entry function).
+        let function = *artifacts
+            .code
+            .functions
+            .first()
+            .ok_or(AttackError::NoSuitableSite("module has no functions"))?;
+        let cave = *artifacts
+            .code
+            .caves
+            .iter()
+            .find(|c| c.len as usize >= PAYLOAD.len() + 2 * JMP_LEN)
+            .ok_or(AttackError::NoSuitableSite("no cave large enough"))?;
+
+        let text = artifacts.builder.section_data_mut(pristine.text_section);
+        Self::apply_to_text(text, function.entry, cave.offset, cave.len)?;
+        Ok(artifacts.build()?)
+    }
+
+    fn expected_mismatches(&self) -> Vec<Expectation> {
+        vec![Expectation::Part(PartId::SectionData(".text".into()))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_pe::corpus::ModuleBlueprint;
+    use mc_pe::parser::ParsedModule;
+    use mc_pe::AddressWidth;
+
+    fn pristine() -> ModuleArtifacts {
+        ModuleBlueprint::new("hal.dll", AddressWidth::W32, 16 * 1024).generate()
+    }
+
+    #[test]
+    fn hook_writes_jmp_and_payload() {
+        let art = pristine();
+        let f = art.code.functions[0];
+        let cave = art.code.caves[0];
+        let infected = InlineHook.infect(&art).unwrap();
+        let p = ParsedModule::parse_file(infected.bytes()).unwrap();
+        let text = p.section_data(infected.bytes(), 0).unwrap();
+
+        // Entry starts with JMP rel32 into the cave.
+        assert_eq!(text[f.entry as usize], 0xE9);
+        let rel = i32::from_le_bytes(
+            text[f.entry as usize + 1..f.entry as usize + 5].try_into().unwrap(),
+        );
+        let dest = (f.entry as i64 + 5 + rel as i64) as u32;
+        assert_eq!(dest, cave.offset);
+
+        // Cave holds the payload, the displaced bytes, and the back-jump.
+        let c = cave.offset as usize;
+        assert_eq!(&text[c..c + PAYLOAD.len()], &PAYLOAD);
+        let clean = art.build().unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let clean_text = pc.section_data(clean.bytes(), 0).unwrap();
+        assert_eq!(
+            &text[c + PAYLOAD.len()..c + PAYLOAD.len() + JMP_LEN],
+            &clean_text[f.entry as usize..f.entry as usize + JMP_LEN],
+            "displaced original bytes preserved in the cave"
+        );
+    }
+
+    #[test]
+    fn only_text_section_changes() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = InlineHook.infect(&art).unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        assert_ne!(pc.section_data(clean.bytes(), 0), pi.section_data(infected.bytes(), 0));
+        for name in [".rdata", ".data", ".reloc"] {
+            let i = pc.find_section(name).unwrap();
+            assert_eq!(
+                pc.section_data(clean.bytes(), i),
+                pi.section_data(infected.bytes(), i),
+                "{name} unchanged"
+            );
+        }
+        assert_eq!(pc.dos_bytes(clean.bytes()), pi.dos_bytes(infected.bytes()));
+        assert_eq!(pc.nt_bytes(clean.bytes()), pi.nt_bytes(infected.bytes()));
+    }
+
+    #[test]
+    fn cave_too_small_is_error() {
+        let mut text = vec![0x90u8; 64];
+        assert!(matches!(
+            InlineHook::apply_to_text(&mut text, 0, 32, 4),
+            Err(AttackError::NoSuitableSite(_))
+        ));
+    }
+}

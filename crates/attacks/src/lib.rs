@@ -1,0 +1,197 @@
+//! Infection techniques from the ModChecker evaluation (§V.B).
+//!
+//! The paper manually infected Windows XP kernel modules with the
+//! techniques common rootkits use, then verified ModChecker flags exactly
+//! the right parts. This crate performs the same byte-level edits
+//! programmatically, against the synthetic module corpus:
+//!
+//! | Experiment | Technique | Module | Paper-reported mismatches |
+//! |---|---|---|---|
+//! | EXP-B1 | [`opcode`] single-opcode replacement (`DEC ECX` → `SUB ECX,1`) | hal.dll | `.text` data only |
+//! | EXP-B2 | [`inline_hook`] jmp-hook + opcode-cave payload (Figure 5) | hal.dll | `.text` data only |
+//! | EXP-B3 | [`stub`] DOS-stub text edit ("DOS" → "CHK", Figure 6) | helloworld.sys | DOS header only |
+//! | EXP-B4 | [`dll_hook`] attach `inject.dll` via PE-header modification | dummy.sys | NT, OPTIONAL, all section headers, `.text` |
+//!
+//! Each technique implements [`Infection`]: it transforms the pristine
+//! module *file* (the paper's on-disk infection, loaded at next boot) and
+//! declares which parts ModChecker is expected to flag, so the experiment
+//! harness can assert exact agreement with the paper.
+//!
+//! Additional vectors beyond the paper's table: DKOM module hiding (via
+//! `mc_guest::GuestOs::dkom_hide`) and in-memory patching
+//! (`GuestOs::patch_module`), plus [`worm`] scenarios that infect a
+//! majority of the pool (§III discussion).
+
+#![warn(missing_docs)]
+
+pub mod dll_hook;
+pub mod iat_hook;
+pub mod inline_hook;
+pub mod opcode;
+pub mod stub;
+pub mod worm;
+
+use std::fmt;
+
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::{PeError, PeFile};
+use modchecker::PartId;
+
+/// Errors from applying an infection.
+#[derive(Clone, Debug)]
+pub enum AttackError {
+    /// The technique found no suitable site (e.g. no opcode cave large
+    /// enough for the payload).
+    NoSuitableSite(&'static str),
+    /// Rebuilding the infected image failed.
+    Build(PeError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NoSuitableSite(what) => write!(f, "no suitable site: {what}"),
+            AttackError::Build(e) => write!(f, "rebuilding infected image failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<PeError> for AttackError {
+    fn from(e: PeError) -> Self {
+        AttackError::Build(e)
+    }
+}
+
+/// How an expected mismatch set refers to section-header parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// Exactly this part.
+    Part(PartId),
+    /// Every section header in the module.
+    AllSectionHeaders,
+}
+
+/// A file-level infection technique.
+pub trait Infection {
+    /// Short technique name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Module the technique targets in the standard corpus.
+    fn target_module(&self) -> &str;
+
+    /// Transforms the pristine module into its infected variant.
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError>;
+
+    /// The mismatch set the paper reports for this technique.
+    fn expected_mismatches(&self) -> Vec<Expectation>;
+}
+
+/// The paper's four techniques, in evaluation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Technique {
+    /// §V.B.1 single opcode replacement.
+    OpcodeReplacement,
+    /// §V.B.2 inline hooking.
+    InlineHook,
+    /// §V.B.3 trivial stub modification.
+    StubModification,
+    /// §V.B.4 PE-header modification via DLL hooking.
+    DllHook,
+}
+
+impl Technique {
+    /// All four, in paper order.
+    pub const ALL: [Technique; 4] = [
+        Technique::OpcodeReplacement,
+        Technique::InlineHook,
+        Technique::StubModification,
+        Technique::DllHook,
+    ];
+
+    /// Instantiates the technique's [`Infection`].
+    pub fn infection(self) -> Box<dyn Infection> {
+        match self {
+            Technique::OpcodeReplacement => Box::new(opcode::OpcodeReplacement),
+            Technique::InlineHook => Box::new(inline_hook::InlineHook),
+            Technique::StubModification => Box::new(stub::StubModification),
+            Technique::DllHook => Box::new(dll_hook::DllHook),
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::OpcodeReplacement => "single opcode replacement",
+            Technique::InlineHook => "inline hooking",
+            Technique::StubModification => "stub modification",
+            Technique::DllHook => "PE header modification via DLL hooking",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resolves an [`Expectation`] list against a concrete part list (as
+/// extracted from a clean module) into the exact expected `PartId` set.
+pub fn resolve_expectations(
+    expectations: &[Expectation],
+    all_parts: &[PartId],
+) -> Vec<PartId> {
+    let mut out = Vec::new();
+    for e in expectations {
+        match e {
+            Expectation::Part(p) => out.push(p.clone()),
+            Expectation::AllSectionHeaders => out.extend(
+                all_parts
+                    .iter()
+                    .filter(|p| matches!(p, PartId::SectionHeader(_)))
+                    .cloned(),
+            ),
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_techniques_instantiate() {
+        for t in Technique::ALL {
+            let inf = t.infection();
+            assert!(!inf.name().is_empty());
+            assert!(!inf.target_module().is_empty());
+            assert!(!inf.expected_mismatches().is_empty());
+        }
+    }
+
+    #[test]
+    fn expectations_resolve_section_headers() {
+        let parts = vec![
+            PartId::DosHeader,
+            PartId::SectionHeader(".text".into()),
+            PartId::SectionHeader(".data".into()),
+            PartId::SectionData(".text".into()),
+        ];
+        let resolved = resolve_expectations(
+            &[
+                Expectation::AllSectionHeaders,
+                Expectation::Part(PartId::SectionData(".text".into())),
+            ],
+            &parts,
+        );
+        assert_eq!(
+            resolved,
+            vec![
+                PartId::SectionHeader(".data".into()),
+                PartId::SectionHeader(".text".into()),
+                PartId::SectionData(".text".into()),
+            ]
+        );
+    }
+}

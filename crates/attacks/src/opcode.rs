@@ -1,0 +1,147 @@
+//! EXP-B1 — single opcode replacement (§V.B.1).
+//!
+//! The paper opened `hal.dll` in OllyDbg and replaced one `DEC ECX`
+//! (opcode `49`) with the equivalent `SUB ECX, 1` (`83 E9 01`). The 1→3
+//! byte substitution shifts all subsequent code, yet Windows happily loads
+//! the modified file; ModChecker must flag the `.text` section data — and
+//! nothing else.
+//!
+//! To keep `VirtualSize` unchanged (so the `.text` *header* stays clean, as
+//! in the paper), the 2-byte growth is absorbed by truncating the zero cave
+//! at the section's end. Relocation-slot offsets past the edit shift by 2,
+//! which the rebuilt `.reloc` table reflects — exactly what a relinked
+//! on-disk module would carry.
+
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::PeFile;
+use modchecker::PartId;
+
+use crate::{AttackError, Expectation, Infection};
+
+/// `DEC ECX` → `SUB ECX, 1`.
+pub struct OpcodeReplacement;
+
+/// The replacement encoding.
+const SUB_ECX_1: [u8; 3] = [0x83, 0xE9, 0x01];
+
+impl Infection for OpcodeReplacement {
+    fn name(&self) -> &'static str {
+        "single opcode replacement (DEC ECX -> SUB ECX,1)"
+    }
+
+    fn target_module(&self) -> &str {
+        "hal.dll"
+    }
+
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError> {
+        let mut artifacts = pristine.clone();
+        let &dec_at = artifacts
+            .code
+            .dec_ecx_offsets
+            .first()
+            .ok_or(AttackError::NoSuitableSite("no DEC ECX opcode in .text"))?;
+        let dec_at = dec_at as usize;
+
+        let text = artifacts.builder.section_data_mut(pristine.text_section);
+        debug_assert_eq!(text[dec_at], 0x49, "geometry points at DEC ECX");
+        let len = text.len();
+        if text[len - 2..] != [0, 0] {
+            return Err(AttackError::NoSuitableSite(
+                "no trailing cave to absorb the 2-byte shift",
+            ));
+        }
+        // Splice: prefix + SUB ECX,1 + shifted suffix, dropping 2 trailing
+        // cave bytes so the section size (and thus every header) is
+        // unchanged.
+        let mut infected = Vec::with_capacity(len);
+        infected.extend_from_slice(&text[..dec_at]);
+        infected.extend_from_slice(&SUB_ECX_1);
+        infected.extend_from_slice(&text[dec_at + 1..len - 2]);
+        debug_assert_eq!(infected.len(), len);
+        *text = infected;
+
+        // Address slots after the edit moved by +2.
+        for site in artifacts.builder.reloc_sites_mut() {
+            if site.section == pristine.text_section && site.offset as usize > dec_at {
+                site.offset += 2;
+            }
+        }
+        Ok(artifacts.build()?)
+    }
+
+    fn expected_mismatches(&self) -> Vec<Expectation> {
+        vec![Expectation::Part(PartId::SectionData(".text".into()))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_pe::corpus::ModuleBlueprint;
+    use mc_pe::parser::ParsedModule;
+    use mc_pe::AddressWidth;
+
+    fn pristine() -> ModuleArtifacts {
+        ModuleBlueprint::new("hal.dll", AddressWidth::W32, 16 * 1024).generate()
+    }
+
+    #[test]
+    fn infected_file_differs_only_in_text_bytes() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = OpcodeReplacement.infect(&art).unwrap();
+        assert_eq!(clean.bytes().len(), infected.bytes().len(), "sizes equal");
+
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        // Headers byte-identical.
+        assert_eq!(pc.dos_bytes(clean.bytes()), pi.dos_bytes(infected.bytes()));
+        assert_eq!(pc.nt_bytes(clean.bytes()), pi.nt_bytes(infected.bytes()));
+        for (a, b) in pc.sections.iter().zip(&pi.sections) {
+            assert_eq!(
+                &clean.bytes()[a.header_range.clone()],
+                &infected.bytes()[b.header_range.clone()],
+                "section header {} unchanged",
+                a.name
+            );
+        }
+        // .text differs; other section data does not.
+        assert_ne!(pc.section_data(clean.bytes(), 0), pi.section_data(infected.bytes(), 0));
+        let rdata = pc.find_section(".rdata").unwrap();
+        assert_eq!(
+            pc.section_data(clean.bytes(), rdata),
+            pi.section_data(infected.bytes(), rdata)
+        );
+    }
+
+    #[test]
+    fn substitution_present_at_site() {
+        let art = pristine();
+        let dec_at = art.code.dec_ecx_offsets[0] as usize;
+        let infected = OpcodeReplacement.infect(&art).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        let text = pi.section_data(infected.bytes(), 0).unwrap();
+        assert_eq!(&text[dec_at..dec_at + 3], &SUB_ECX_1);
+    }
+
+    #[test]
+    fn reloc_sites_after_edit_shift() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = OpcodeReplacement.infect(&art).unwrap();
+        let dec_at = art.code.dec_ecx_offsets[0];
+        let shifted_pairs = clean
+            .reloc_rvas()
+            .iter()
+            .zip(infected.reloc_rvas())
+            .filter(|(c, i)| *i != *c)
+            .count();
+        let expected = clean
+            .reloc_rvas()
+            .iter()
+            .zip(art.code.reloc_offsets.iter())
+            .filter(|(_, off)| **off > dec_at)
+            .count();
+        assert_eq!(shifted_pairs, expected);
+    }
+}

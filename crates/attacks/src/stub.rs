@@ -1,0 +1,91 @@
+//! EXP-B3 — trivial modification in the stub program (§V.B.3, Figure 6).
+//!
+//! Replace three characters of the DOS stub message in the "Hello World"
+//! dummy driver: "This program cannot be run in DOS mode" becomes
+//! "... in CHK mode". Code alignment is untouched, nothing else in the
+//! image moves; ModChecker must flag *only* the DOS header hash (the DOS
+//! part covers `[0, e_lfanew)`, stub included).
+
+use mc_pe::consts::DOS_STUB_MESSAGE;
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::PeFile;
+use modchecker::PartId;
+
+use crate::{AttackError, Expectation, Infection};
+
+/// "DOS" → "CHK" in the stub message.
+pub struct StubModification;
+
+impl Infection for StubModification {
+    fn name(&self) -> &'static str {
+        "stub program modification (DOS -> CHK)"
+    }
+
+    fn target_module(&self) -> &str {
+        "helloworld.sys"
+    }
+
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError> {
+        let message: Vec<u8> = {
+            let original = DOS_STUB_MESSAGE;
+            let needle = b"DOS";
+            let at = original
+                .windows(needle.len())
+                .position(|w| w == needle)
+                .ok_or(AttackError::NoSuitableSite("no \"DOS\" in stub message"))?;
+            let mut m = original.to_vec();
+            m[at..at + 3].copy_from_slice(b"CHK");
+            m
+        };
+        let artifacts = pristine.clone();
+        let builder = artifacts.builder.dos_stub_message(&message);
+        Ok(builder.build()?)
+    }
+
+    fn expected_mismatches(&self) -> Vec<Expectation> {
+        vec![Expectation::Part(PartId::DosHeader)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_pe::corpus::ModuleBlueprint;
+    use mc_pe::parser::ParsedModule;
+    use mc_pe::AddressWidth;
+
+    fn pristine() -> ModuleArtifacts {
+        ModuleBlueprint::new("helloworld.sys", AddressWidth::W32, 8 * 1024).generate()
+    }
+
+    #[test]
+    fn stub_message_edited_in_place() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = StubModification.infect(&art).unwrap();
+        assert_eq!(clean.bytes().len(), infected.bytes().len());
+        assert!(infected
+            .bytes()
+            .windows(b"CHK mode".len())
+            .any(|w| w == b"CHK mode"));
+        assert!(!infected
+            .bytes()
+            .windows(b"DOS mode".len())
+            .any(|w| w == b"DOS mode"));
+    }
+
+    #[test]
+    fn only_dos_region_differs() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = StubModification.infect(&art).unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        assert_ne!(pc.dos_bytes(clean.bytes()), pi.dos_bytes(infected.bytes()));
+        // Everything from the NT headers on is byte-identical.
+        assert_eq!(
+            &clean.bytes()[pc.nt_range.start..],
+            &infected.bytes()[pi.nt_range.start..]
+        );
+    }
+}

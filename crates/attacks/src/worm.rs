@@ -1,0 +1,155 @@
+//! Majority-infection (worm) scenarios — the paper's §III discussion.
+//!
+//! "Malware such as SQL Slammer can rapidly infect most of the machines in
+//! a network and this would possibly make the above approach raise false
+//! alarms. However, in either of the above cases, ModChecker is capable of
+//! detecting discrepancies among VMs." This module infects an arbitrary
+//! subset of a cloud with one technique so tests and benches can exercise
+//! exactly that regime.
+//!
+//! (The paper also notes SQL Slammer itself is a buffer-overflow exploit
+//! that never touches kernel code and is thus invisible to ModChecker —
+//! a scoping test below pins that behaviour.)
+
+use mc_guest::GuestOs;
+use mc_hypervisor::Hypervisor;
+
+use crate::{AttackError, Infection};
+
+/// Applies `infection` to `fraction` of the guests (rounded down, at least
+/// one if `fraction > 0`) by patching the already-loaded module image in
+/// memory with the infected file's `.text` bytes. Returns the names of
+/// infected VMs.
+///
+/// In-memory application keeps the scenario orthogonal to cloud
+/// construction: the same pool can be checked before and after the
+/// outbreak.
+pub fn infect_fraction(
+    hv: &mut Hypervisor,
+    guests: &[GuestOs],
+    infection: &dyn Infection,
+    pristine: &mc_pe::corpus::ModuleArtifacts,
+    fraction: f64,
+) -> Result<Vec<String>, AttackError> {
+    let count = ((guests.len() as f64 * fraction) as usize)
+        .max(usize::from(fraction > 0.0))
+        .min(guests.len());
+    let infected_file = infection.infect(pristine)?;
+    let clean_file = pristine.build()?;
+
+    // Diff the two *file* images section-wise and apply the .text delta to
+    // the loaded image of each victim (relocation slots are untouched by
+    // construction of the techniques' text edits only when sizes match;
+    // for size-changing attacks we overwrite the whole section range that
+    // both files share).
+    let clean_parsed = mc_pe::parser::ParsedModule::parse_file(clean_file.bytes()).expect("clean parses");
+    let infected_parsed =
+        mc_pe::parser::ParsedModule::parse_file(infected_file.bytes()).expect("infected parses");
+    let text_c = clean_parsed.section_data(clean_file.bytes(), 0).expect("text");
+    let text_i = infected_parsed
+        .section_data(infected_file.bytes(), 0)
+        .expect("text");
+    let common = text_c.len().min(text_i.len());
+    let text_va = clean_parsed.sections[0].virtual_address as u64;
+
+    let mut infected_vms = Vec::with_capacity(count);
+    for guest in guests.iter().take(count) {
+        // Write only the bytes that differ, mimicking an in-memory worm
+        // payload (and keeping relocated slots intact).
+        let mut i = 0usize;
+        while i < common {
+            if text_c[i] != text_i[i] {
+                let start = i;
+                while i < common && text_c[i] != text_i[i] {
+                    i += 1;
+                }
+                guest
+                    .patch_module(hv, &pristine.name, text_va + start as u64, &text_i[start..i])
+                    .expect("victim has the module loaded");
+            } else {
+                i += 1;
+            }
+        }
+        let name = hv.vm(guest.vm).expect("vm exists").name.clone();
+        infected_vms.push(name);
+    }
+    Ok(infected_vms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technique;
+    use mc_guest::build_cloud_with_modules;
+    use mc_hypervisor::AddressWidth;
+    use mc_pe::corpus::ModuleBlueprint;
+    use modchecker::ModChecker;
+
+    fn cloud(n: usize) -> (Hypervisor, Vec<GuestOs>, ModuleBlueprint) {
+        let mut hv = Hypervisor::new();
+        let bp = ModuleBlueprint::new("hal.dll", AddressWidth::W32, 16 * 1024);
+        let guests =
+            build_cloud_with_modules(&mut hv, n, AddressWidth::W32, std::slice::from_ref(&bp))
+                .unwrap();
+        (hv, guests, bp)
+    }
+
+    #[test]
+    fn majority_infection_detected_as_discrepancy() {
+        let (mut hv, guests, bp) = cloud(5);
+        let infection = Technique::InlineHook.infection();
+        let infected = infect_fraction(&mut hv, &guests, &*infection, &bp.generate(), 0.6).unwrap();
+        assert_eq!(infected.len(), 3);
+
+        let ids: Vec<_> = guests.iter().map(|g| g.vm).collect();
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        assert!(
+            report.any_discrepancy(),
+            "worm outbreak must still produce a pool-wide discrepancy"
+        );
+    }
+
+    #[test]
+    fn infected_vms_match_each_other() {
+        // All victims carry the identical payload: their pairwise
+        // comparisons match; only clean-vs-infected pairs mismatch.
+        let (mut hv, guests, bp) = cloud(4);
+        let infection = Technique::OpcodeReplacement.infection();
+        infect_fraction(&mut hv, &guests, &*infection, &bp.generate(), 0.5).unwrap();
+
+        let ids: Vec<_> = guests.iter().map(|g| g.vm).collect();
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        let mismatching_pairs = report.matrix.iter().filter(|o| !o.matches()).count();
+        // 2 infected, 2 clean → 2×2 cross pairs mismatch, 2 same-side pairs
+        // match.
+        assert_eq!(mismatching_pairs, 4);
+        assert_eq!(report.matrix.len(), 6);
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let (mut hv, guests, bp) = cloud(3);
+        let infection = Technique::InlineHook.infection();
+        let infected = infect_fraction(&mut hv, &guests, &*infection, &bp.generate(), 0.0).unwrap();
+        assert!(infected.is_empty());
+        let ids: Vec<_> = guests.iter().map(|g| g.vm).collect();
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        assert!(report.all_clean());
+    }
+
+    #[test]
+    fn user_space_only_malware_is_out_of_scope() {
+        // The SQL-Slammer caveat: an exploit that never modifies kernel
+        // module code produces no discrepancy — by design.
+        let (mut hv, guests, _bp) = cloud(3);
+        // Simulate a user-space compromise: write into a guest page that is
+        // NOT part of any kernel module.
+        let vm = hv.vm_mut(guests[0].vm).unwrap();
+        vm.map_range(0x0040_0000, 4096).unwrap();
+        vm.write_virt(0x0040_0000, b"slammer payload").unwrap();
+
+        let ids: Vec<_> = guests.iter().map(|g| g.vm).collect();
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        assert!(report.all_clean(), "kernel modules untouched → no flag");
+    }
+}

@@ -1,0 +1,48 @@
+//! ABL-6 — digest agility cost: MD5 (the paper's choice) vs SHA-256 on
+//! module-sized inputs, plus the end-to-end impact on a pool check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use modchecker::{CheckConfig, DigestAlgo, ModChecker};
+use modchecker_repro::testbed::Testbed;
+
+fn bench_raw_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    for size in [4usize << 10, 256 << 10] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 13 % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("md5", size), &data, |b, d| {
+            b.iter(|| mc_md5::md5(black_box(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| mc_sha2::sha256(black_box(d)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_e2e_algo(c: &mut Criterion) {
+    let bed = Testbed::cloud(8);
+    let mut group = c.benchmark_group("digest/e2e_pool_http_sys_8vms");
+    group.sample_size(10);
+    for algo in [DigestAlgo::Md5, DigestAlgo::Sha256] {
+        let checker = ModChecker::with_config(CheckConfig {
+            digest: algo,
+            ..CheckConfig::default()
+        });
+        group.bench_function(algo.to_string(), |b| {
+            b.iter(|| {
+                black_box(
+                    checker
+                        .check_pool(&bed.hv, &bed.vm_ids, "http.sys")
+                        .expect("check"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_throughput, bench_e2e_algo);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Wall-clock cost of Algorithm 1: PE parsing and part extraction on
+//! realistic module images.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mc_hypervisor::{AddressWidth, Vm, VmId};
+use mc_pe::corpus::ModuleBlueprint;
+use mc_pe::parser::ParsedModule;
+
+/// Builds a loaded-memory-layout image of the given text size.
+fn memory_image(text_size: usize) -> Vec<u8> {
+    let mut vm = Vm::new(VmId(0), "bench", AddressWidth::W32);
+    let pe = ModuleBlueprint::new("bench.sys", AddressWidth::W32, text_size)
+        .build()
+        .expect("builds");
+    let m = mc_guest::load_module(&mut vm, &pe, "bench.sys", 0xF700_0000).expect("loads");
+    let mut img = vec![0u8; m.size as usize];
+    vm.read_virt(m.base, &mut img).expect("reads");
+    img
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pe_parse");
+    for text_kb in [16usize, 128, 512] {
+        let img = memory_image(text_kb << 10);
+        group.throughput(Throughput::Bytes(img.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("parse_memory", text_kb),
+            &img,
+            |b, img| {
+                b.iter(|| ParsedModule::parse_memory(black_box(img)).expect("parses"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("pe_build/hal_128k", |b| {
+        let bp = ModuleBlueprint::new("hal.dll", AddressWidth::W32, 128 << 10);
+        let artifacts = bp.generate();
+        b.iter(|| artifacts.build().expect("builds"));
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Module-Searcher wall-clock: list walk and page-wise image capture
+//! through the introspection stack (symbol → list traversal → page copies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mc_vmi::VmiSession;
+use modchecker::ModuleSearcher;
+use modchecker_repro::testbed::Testbed;
+
+fn bench_list_walk(c: &mut Criterion) {
+    let bed = Testbed::cloud(2);
+    c.bench_function("searcher/list_modules", |b| {
+        b.iter(|| {
+            let mut s = VmiSession::attach(&bed.hv, bed.vm_ids[0]).expect("attach");
+            black_box(ModuleSearcher::list_modules(&mut s).expect("walks"))
+        });
+    });
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let bed = Testbed::cloud(2);
+    let mut group = c.benchmark_group("searcher/capture");
+    for module in ["ksecdd.sys", "http.sys", "ntfs.sys"] {
+        let size = bed.guests[0].find_module(module).expect("in corpus").size as u64;
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(BenchmarkId::from_parameter(module), &module, |b, module| {
+            b.iter(|| {
+                let mut s = VmiSession::attach(&bed.hv, bed.vm_ids[0]).expect("attach");
+                black_box(ModuleSearcher::find(&mut s, module).expect("found"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_walk, bench_capture);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! FIG-8 — "Runtime performance of ModChecker (and its components) on
+//! different number of VMs when they are exhaustively using their
+//! resources."
+//!
+//! Same sweep as FIG-7 but every guest in the pool runs the
+//! HeavyLoad-equivalent stressor. The paper's observation: runtime grows
+//! roughly linearly until the number of heavily loaded VMs exceeds the
+//! host's virtual cores (8 on the paper's hyper-threaded quad-core i7),
+//! then grows *nonlinearly*.
+//!
+//! Shape claims verified: the loaded curve has a knee; the knee falls at
+//! N within [cores−1, cores+3]; below the knee the loaded/idle ratio is
+//! modest, above it it blows up.
+
+use mc_bench::{knee_position, print_csv};
+use mc_loadgen::{HeavyLoad, LoadProfile};
+use modchecker::ModChecker;
+use modchecker_repro::testbed::Testbed;
+
+struct Row {
+    n: usize,
+    searcher_ms: f64,
+    parser_ms: f64,
+    checker_ms: f64,
+    total_ms: f64,
+    idle_total_ms: f64,
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            self.n, self.searcher_ms, self.parser_ms, self.checker_ms, self.total_ms, self.idle_total_ms
+        )
+    }
+}
+
+fn main() {
+    let module = "http.sys";
+    let mut bed = Testbed::cloud(15);
+    let cores = bed.hv.host.virtual_cores as f64;
+    let checker = ModChecker::new();
+
+    let mut rows = Vec::new();
+    for n in 2..=15usize {
+        let ids: Vec<_> = bed.vm_ids[..n].to_vec();
+
+        let idle = checker
+            .check_one(&bed.hv, ids[0], &ids[1..], module)
+            .expect("idle check");
+
+        let mut load = HeavyLoad::new();
+        load.start(&mut bed.hv, &ids, LoadProfile::heavy()).expect("start load");
+        let loaded = checker
+            .check_one(&bed.hv, ids[0], &ids[1..], module)
+            .expect("loaded check");
+        load.stop(&mut bed.hv).expect("stop load");
+
+        rows.push(Row {
+            n,
+            searcher_ms: loaded.times.searcher.as_millis_f64(),
+            parser_ms: loaded.times.parser.as_millis_f64(),
+            checker_ms: loaded.times.checker.as_millis_f64(),
+            total_ms: loaded.times.total().as_millis_f64(),
+            idle_total_ms: idle.times.total().as_millis_f64(),
+        });
+    }
+
+    print_csv(
+        "fig8_runtime_loaded",
+        "vms,searcher_ms,parser_ms,checker_ms,total_ms,idle_total_ms",
+        &rows,
+    );
+
+    // Shape verification.
+    let pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.n as f64, r.total_ms)).collect();
+    let knee = knee_position(&pts, 3.0).expect("loaded curve must have a knee");
+    println!("\nFIG-8 shape checks (paper: nonlinear growth past the core count):");
+    println!("  host virtual cores: {cores}");
+    println!("  detected knee at N = {knee}");
+    assert!(
+        (cores - 1.0..=cores + 3.0).contains(&knee),
+        "knee {knee} not near the core count {cores}"
+    );
+
+    let below = &rows[3]; // N=5, well under the cores
+    let above = rows.last().expect("rows nonempty"); // N=15
+    let ratio_below = below.total_ms / below.idle_total_ms;
+    let ratio_above = above.total_ms / above.idle_total_ms;
+    println!("  loaded/idle ratio at N=5:  {ratio_below:.2}x");
+    println!("  loaded/idle ratio at N=15: {ratio_above:.2}x");
+    assert!(ratio_below < 2.0, "pre-knee slowdown should be modest");
+    assert!(ratio_above > 4.0, "post-knee slowdown should be severe");
+
+    println!("\nFIG-8 reproduced: nonlinear growth once loaded VMs exceed the virtual cores.");
+}

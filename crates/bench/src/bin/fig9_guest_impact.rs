@@ -1,0 +1,115 @@
+//! FIG-9 — "Inside virtual machine — CPU and memory impact of ModChecker."
+//!
+//! The paper keeps a guest idle, records its resource state continuously
+//! with an in-VM tool, runs ModChecker several times, and overlays the
+//! introspection windows on the timelines: "the graphs depict no
+//! significant perturbation during the time span when memory was accessed
+//! by ModChecker."
+//!
+//! This binary reproduces the protocol: a 5-minute idle-guest timeline at
+//! 1 Hz, with real ModChecker runs supplying the introspection windows
+//! (window length = the run's simulated duration). It prints the CPU and
+//! memory series the paper plots and verifies the no-perturbation claim
+//! statistically (inside-window means within noise of outside-window
+//! means).
+
+use mc_bench::print_csv;
+use mc_loadgen::{LoadProfile, ResourceMonitor, Window};
+use modchecker::ModChecker;
+use modchecker_repro::testbed::Testbed;
+
+struct Row {
+    t_s: u64,
+    cpu_idle: f64,
+    cpu_user: f64,
+    cpu_priv: f64,
+    mem_free: f64,
+    page_faults: f64,
+    introspecting: u8,
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{}",
+            self.t_s, self.cpu_idle, self.cpu_user, self.cpu_priv, self.mem_free, self.page_faults, self.introspecting
+        )
+    }
+}
+
+fn main() {
+    let bed = Testbed::cloud(5);
+    let checker = ModChecker::new();
+    let observed = bed.vm_ids[0];
+
+    // Run ModChecker at t = 60s, 150s, 240s; each run's simulated duration
+    // defines its introspection window on the observed VM.
+    let duration_ms = 300_000u64;
+    let mut windows = Vec::new();
+    for start_s in [60u64, 150, 240] {
+        let report = checker
+            .check_one(&bed.hv, observed, &bed.vm_ids[1..], "http.sys")
+            .expect("check");
+        let span_ms = (report.times.total().as_nanos() / 1_000_000).max(1_000);
+        windows.push(Window {
+            start_ms: start_s * 1000,
+            end_ms: start_s * 1000 + span_ms,
+        });
+    }
+
+    let timeline = ResourceMonitor::default().record(
+        &bed.hv,
+        observed,
+        LoadProfile::idle(),
+        duration_ms,
+        &windows,
+    );
+
+    let rows: Vec<Row> = timeline
+        .samples
+        .iter()
+        .map(|s| Row {
+            t_s: s.t_ms / 1000,
+            cpu_idle: s.cpu_idle_pct,
+            cpu_user: s.cpu_user_pct,
+            cpu_priv: s.cpu_privileged_pct,
+            mem_free: s.mem_free_physical_pct,
+            page_faults: s.page_faults_per_sec,
+            introspecting: s.introspection_active as u8,
+        })
+        .collect();
+    print_csv(
+        "fig9_guest_impact",
+        "t_s,cpu_idle_pct,cpu_user_pct,cpu_priv_pct,mem_free_pct,page_faults_per_s,introspection_active",
+        &rows,
+    );
+
+    println!("\nFIG-9 introspection windows (simulated):");
+    for w in &timeline.windows {
+        println!("  [{:.1}s, {:.1}s)", w.start_ms as f64 / 1e3, w.end_ms as f64 / 1e3);
+    }
+
+    println!("\nFIG-9 perturbation analysis (inside vs outside windows):");
+    type Metric = fn(&mc_loadgen::ResourceSample) -> f64;
+    let metrics: [(&str, Metric, f64); 5] = [
+        ("cpu_idle_pct", |s| s.cpu_idle_pct, 1.5),
+        ("cpu_privileged_pct", |s| s.cpu_privileged_pct, 1.0),
+        ("mem_free_physical_pct", |s| s.mem_free_physical_pct, 1.0),
+        ("page_faults_per_sec", |s| s.page_faults_per_sec, 10.0),
+        ("net_packets_sent_per_sec", |s| s.net_packets_sent_per_sec, 1.0),
+    ];
+    for (name, metric, tolerance) in metrics {
+        let (inside, _) = timeline.stats(metric, true);
+        let (outside, sd) = timeline.stats(metric, false);
+        let ok = timeline.unperturbed(metric, tolerance);
+        println!(
+            "  {name:<26} inside {inside:>8.2}  outside {outside:>8.2} (σ {sd:.2})  Δ {:+.2}  {}",
+            inside - outside,
+            if ok { "no perturbation ✓" } else { "PERTURBED ✗" }
+        );
+        assert!(ok, "{name} perturbed during introspection");
+    }
+
+    println!("\nFIG-9 reproduced: no significant in-guest perturbation while ModChecker reads memory.");
+}

@@ -1,0 +1,98 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table/figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index) and prints:
+//!
+//! 1. a CSV block (machine-readable series, one row per data point), and
+//! 2. a human-readable summary asserting the *shape* claims the paper
+//!    makes (linearity, knee position, no-perturbation), since absolute
+//!    numbers from a 2012 Xen testbed are not reproducible.
+
+use std::fmt::Display;
+
+/// Prints a CSV header + rows to stdout between `BEGIN CSV`/`END CSV`
+/// markers so downstream tooling can extract the series.
+pub fn print_csv<R: Display>(title: &str, header: &str, rows: &[R]) {
+    println!("BEGIN CSV {title}");
+    println!("{header}");
+    for r in rows {
+        println!("{r}");
+    }
+    println!("END CSV {title}");
+}
+
+/// Least-squares linear fit; returns `(slope, intercept, r2)`.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    assert!(n >= 2.0, "need at least two points");
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (slope, intercept, r2)
+}
+
+/// Detects the knee of a curve: the first x at which the local slope
+/// exceeds `factor` × the median slope of the preceding points. Returns
+/// `None` for (near-)linear curves.
+pub fn knee_position(points: &[(f64, f64)], factor: f64) -> Option<f64> {
+    if points.len() < 4 {
+        return None;
+    }
+    let slopes: Vec<(f64, f64)> = points
+        .windows(2)
+        .map(|w| (w[1].0, (w[1].1 - w[0].1) / (w[1].0 - w[0].0)))
+        .collect();
+    for i in 2..slopes.len() {
+        let mut prior: Vec<f64> = slopes[..i].iter().map(|s| s.1).collect();
+        prior.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+        let median = prior[prior.len() / 2];
+        if median > 0.0 && slopes[i].1 > factor * median {
+            return Some(slopes[i].0);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let (m, b, r2) = linear_fit(&pts);
+        assert!((m - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn knee_found_in_piecewise_curve() {
+        // Linear until x=8, then quadratic growth.
+        let pts: Vec<(f64, f64)> = (2..=15)
+            .map(|i| {
+                let x = i as f64;
+                let y = if x <= 8.0 { x } else { x + (x - 8.0).powi(2) * 4.0 };
+                (x, y)
+            })
+            .collect();
+        let knee = knee_position(&pts, 3.0).expect("knee exists");
+        assert!((8.0..=11.0).contains(&knee), "knee at {knee}");
+    }
+
+    #[test]
+    fn no_knee_in_linear_curve() {
+        let pts: Vec<(f64, f64)> = (2..=15).map(|i| (i as f64, 2.5 * i as f64)).collect();
+        assert_eq!(knee_position(&pts, 3.0), None);
+    }
+}

@@ -1,0 +1,313 @@
+//! `modchecker` — command-line driver for the ModChecker reproduction.
+//!
+//! ```text
+//! modchecker check --vms 15 --module http.sys
+//! modchecker check --vms 15 --module hal.dll --infect inline-hook@3 --json
+//! modchecker list-modules --vms 2
+//! modchecker sweep [--loaded]
+//! modchecker monitor --vms 6 --rounds 3
+//! modchecker techniques
+//! ```
+//!
+//! Every invocation builds a fresh simulated cloud (there is no persistent
+//! Xen host to attach to); determinism makes runs reproducible.
+
+use std::process::ExitCode;
+
+use mc_attacks::Technique;
+use mc_hypervisor::AddressWidth;
+use mc_loadgen::{HeavyLoad, LoadProfile};
+use mc_vmi::VmiSession;
+use modchecker::{ContinuousMonitor, ModChecker, ModuleSearcher, MonitorConfig, ScanMode};
+use modchecker_repro::testbed::Testbed;
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let mut args = Args::parse(std::env::args().skip(1));
+    let command = match args.positional.first().map(String::as_str) {
+        Some(c) => c.to_string(),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "check" => cmd_check(&mut args),
+        "list-modules" => cmd_list_modules(&mut args),
+        "listdiff" => cmd_listdiff(&mut args),
+        "sweep" => cmd_sweep(&mut args),
+        "sweep-all" => cmd_sweep_all(&mut args),
+        "monitor" => cmd_monitor(&mut args),
+        "techniques" => cmd_techniques(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+modchecker — cross-VM kernel module integrity checking (ICPP 2012 reproduction)
+
+USAGE:
+  modchecker check --vms <N> --module <NAME> [--parallel] [--width64]
+                   [--infect <technique>@<vm-index>] [--sha256] [--cache] [--json]
+  modchecker list-modules [--vms <N>] [--width64]
+  modchecker listdiff --vms <N> [--hide <module>@<vm-index>]
+  modchecker sweep [--loaded]            runtime vs pool size (Fig. 7/8 preview)
+  modchecker sweep-all [--vms <N>]       list-diff + content-check every module
+  modchecker monitor [--vms <N>] [--rounds <R>]
+  modchecker techniques                  list infection techniques
+
+Techniques: opcode-replacement, inline-hook, stub-modification, dll-hook";
+
+fn parse_technique(s: &str) -> Result<Technique, String> {
+    match s {
+        "opcode-replacement" => Ok(Technique::OpcodeReplacement),
+        "inline-hook" => Ok(Technique::InlineHook),
+        "stub-modification" => Ok(Technique::StubModification),
+        "dll-hook" => Ok(Technique::DllHook),
+        other => Err(format!("unknown technique {other:?} (see `modchecker techniques`)")),
+    }
+}
+
+fn width_of(args: &Args) -> AddressWidth {
+    if args.flag("width64") {
+        AddressWidth::W64
+    } else {
+        AddressWidth::W32
+    }
+}
+
+fn build_bed(args: &mut Args) -> Result<(Testbed, Option<String>), String> {
+    let n = args.value("vms")?.unwrap_or(5);
+    if n < 2 {
+        return Err("--vms must be at least 2".into());
+    }
+    let width = width_of(args);
+    let corpus = mc_pe::corpus::standard_corpus(width);
+    match args.raw_value("infect") {
+        None => Ok((Testbed::cloud_with(n, width, &corpus), None)),
+        Some(spec) => {
+            let (tech, idx) = spec
+                .split_once('@')
+                .ok_or_else(|| format!("--infect expects <technique>@<vm-index>, got {spec:?}"))?;
+            let technique = parse_technique(tech)?;
+            let victim: usize = idx
+                .parse()
+                .map_err(|_| format!("bad vm index {idx:?} in --infect"))?;
+            if victim >= n {
+                return Err(format!("vm index {victim} out of range (0..{n})"));
+            }
+            let (bed, _) = Testbed::infected_cloud_with(n, width, &corpus, technique, &[victim])
+                .map_err(|e| e.to_string())?;
+            Ok((bed, Some(technique.infection().target_module().to_string())))
+        }
+    }
+}
+
+fn cmd_check(args: &mut Args) -> Result<(), String> {
+    let (bed, infected_target) = build_bed(args)?;
+    let module = args
+        .raw_value("module")
+        .map(str::to_string)
+        .or(infected_target)
+        .ok_or("--module is required (or implied by --infect)")?;
+    let config = modchecker::CheckConfig {
+        mode: if args.flag("parallel") {
+            ScanMode::Parallel
+        } else {
+            ScanMode::Sequential
+        },
+        page_cache: args.flag("cache"),
+        digest: if args.flag("sha256") {
+            modchecker::DigestAlgo::Sha256
+        } else {
+            modchecker::DigestAlgo::Md5
+        },
+    };
+    let report = ModChecker::with_config(config)
+        .check_pool(&bed.hv, &bed.vm_ids, &module)
+        .map_err(|e| e.to_string())?;
+
+    if args.flag("json") {
+        let json = serde_json::json!({
+            "module": report.module,
+            "vms": report.vm_names,
+            "all_clean": report.all_clean(),
+            "any_discrepancy": report.any_discrepancy(),
+            "verdicts": report.verdicts.iter().map(|v| serde_json::json!({
+                "vm": v.vm_name,
+                "clean": v.clean,
+                "successes": v.successes,
+                "comparisons": v.comparisons,
+                "suspect_parts": v.suspect_parts.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                "error": v.error,
+            })).collect::<Vec<_>>(),
+            "times": {
+                "searcher_ms": report.times.searcher.as_millis_f64(),
+                "parser_ms": report.times.parser.as_millis_f64(),
+                "checker_ms": report.times.checker.as_millis_f64(),
+                "total_ms": report.times.total().as_millis_f64(),
+            },
+        });
+        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+    } else {
+        print!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_list_modules(args: &mut Args) -> Result<(), String> {
+    let n = args.value("vms")?.unwrap_or(2);
+    let bed = Testbed::cloud_with(n.max(2), width_of(args), &mc_pe::corpus::standard_corpus(width_of(args)));
+    let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[0]).map_err(|e| e.to_string())?;
+    let modules = ModuleSearcher::list_modules(&mut session).map_err(|e| e.to_string())?;
+    println!("{:<18} {:>18} {:>10}", "module", "base", "size");
+    for m in modules {
+        println!("{:<18} {:>#18x} {:>10}", m.name, m.base, m.size);
+    }
+    Ok(())
+}
+
+fn cmd_listdiff(args: &mut Args) -> Result<(), String> {
+    let n = args.value("vms")?.unwrap_or(5);
+    let mut bed = Testbed::cloud_with(
+        n.max(2),
+        width_of(args),
+        &mc_pe::corpus::standard_corpus(width_of(args)),
+    );
+    if let Some(spec) = args.raw_value("hide") {
+        let (module, idx) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("--hide expects <module>@<vm-index>, got {spec:?}"))?;
+        let victim: usize = idx.parse().map_err(|_| format!("bad index {idx:?}"))?;
+        if victim >= bed.guests.len() {
+            return Err(format!("vm index {victim} out of range"));
+        }
+        let module = module.to_string();
+        bed.guests[victim]
+            .dkom_hide(&mut bed.hv, &module)
+            .map_err(|e| e.to_string())?;
+    }
+    let report = modchecker::ListDiff::scan(&bed.hv, &bed.vm_ids).map_err(|e| e.to_string())?;
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_sweep_all(args: &mut Args) -> Result<(), String> {
+    let n = args.value("vms")?.unwrap_or(5);
+    let bed = Testbed::cloud_with(
+        n.max(2),
+        width_of(args),
+        &mc_pe::corpus::standard_corpus(width_of(args)),
+    );
+    let (lists, reports) = ModChecker::with_mode(ScanMode::Parallel)
+        .check_all_modules(&bed.hv, &bed.vm_ids)
+        .map_err(|e| e.to_string())?;
+    print!("{lists}");
+    println!("content checks over {} consensus module(s):", reports.len());
+    for (module, report) in &reports {
+        let verdict = if report.all_clean() {
+            "clean".to_string()
+        } else {
+            let suspects: Vec<String> = report.suspects().map(|v| v.vm_name.clone()).collect();
+            format!("DISCREPANCY {suspects:?}")
+        };
+        println!("  {module:<16} {verdict}  ({})", report.times);
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &mut Args) -> Result<(), String> {
+    let loaded = args.flag("loaded");
+    let mut bed = Testbed::cloud(15);
+    let checker = ModChecker::new();
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>14}",
+        "N", "searcher", "parser", "checker", "total"
+    );
+    for n in 2..=15usize {
+        let ids: Vec<_> = bed.vm_ids[..n].to_vec();
+        let mut load = HeavyLoad::new();
+        if loaded {
+            load.start(&mut bed.hv, &ids, LoadProfile::heavy())
+                .map_err(|e| e.to_string())?;
+        }
+        let report = checker
+            .check_one(&bed.hv, ids[0], &ids[1..], "http.sys")
+            .map_err(|e| e.to_string())?;
+        if loaded {
+            load.stop(&mut bed.hv).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "{:>4} {:>14} {:>14} {:>14} {:>14}",
+            n,
+            format!("{}", report.times.searcher),
+            format!("{}", report.times.parser),
+            format!("{}", report.times.checker),
+            format!("{}", report.times.total()),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_monitor(args: &mut Args) -> Result<(), String> {
+    let n = args.value("vms")?.unwrap_or(6);
+    let rounds = args.value("rounds")?.unwrap_or(3);
+    let bed = Testbed::cloud(n.max(2));
+    let monitor = ContinuousMonitor::new(MonitorConfig {
+        modules: vec!["hal.dll".into(), "http.sys".into(), "tcpip.sys".into()],
+        mode: ScanMode::Parallel,
+    });
+    for round in 0..rounds {
+        for (module, result) in monitor.run_round(&bed.hv, &bed.vm_ids) {
+            match result {
+                Ok(report) if report.all_clean() => {
+                    println!("round {round}: {module:<12} clean");
+                }
+                Ok(report) => {
+                    let suspects: Vec<String> =
+                        report.suspects().map(|v| v.vm_name.clone()).collect();
+                    println!("round {round}: {module:<12} DISCREPANCY {suspects:?}");
+                }
+                Err(e) => println!("round {round}: {module:<12} error: {e}"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_techniques() -> Result<(), String> {
+    println!("{:<22} {:<16} paper-reported mismatches", "technique", "target");
+    for t in Technique::ALL {
+        let inf = t.infection();
+        let flag = match t {
+            Technique::OpcodeReplacement => "opcode-replacement",
+            Technique::InlineHook => "inline-hook",
+            Technique::StubModification => "stub-modification",
+            Technique::DllHook => "dll-hook",
+        };
+        let expect: Vec<String> = inf
+            .expected_mismatches()
+            .iter()
+            .map(|e| match e {
+                mc_attacks::Expectation::Part(p) => p.to_string(),
+                mc_attacks::Expectation::AllSectionHeaders => "all SECTION_HEADERs".to_string(),
+            })
+            .collect();
+        println!("{:<22} {:<16} {}", flag, inf.target_module(), expect.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,286 @@
+//! Cross-VM module-*list* comparison (extension EXT-2).
+//!
+//! The paper checks one named module at a time. The same cross-view
+//! principle applies one level up: on identical clones, the *set* of
+//! loaded modules should also agree. A module present on most VMs but
+//! missing from one (DKOM unlinking — rootkits hide themselves from
+//! `PsLoadedModuleList`) or present on one VM only (an implanted driver)
+//! is a discrepancy no per-module check would surface, because
+//! [`crate::pool::ModChecker`] has to be told a name to look for.
+//!
+//! [`ListDiff::scan`] walks every VM's list, majority-votes per module
+//! name, and reports per-VM anomalies. Combined with
+//! [`crate::pool::ModChecker::check_pool`] over the union of names, this
+//! turns ModChecker into a whole-pool sweeper (see
+//! [`crate::pool::ModChecker::check_all_modules`]).
+
+use std::collections::BTreeMap;
+
+use mc_hypervisor::{Hypervisor, VmId};
+use mc_vmi::VmiSession;
+
+use crate::error::CheckError;
+use crate::searcher::ModuleSearcher;
+
+/// One VM's view of the module list (or why it could not be read).
+#[derive(Clone, Debug)]
+pub struct VmListing {
+    /// VM name.
+    pub vm_name: String,
+    /// Module names in load order, lowercased for comparison.
+    pub modules: Vec<String>,
+    /// Error reading the list, if any.
+    pub error: Option<String>,
+}
+
+/// A per-module anomaly across the pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListAnomaly {
+    /// The module is loaded on a majority of VMs but missing on these —
+    /// the DKOM-hiding signature.
+    MissingOn {
+        /// Module name.
+        module: String,
+        /// VMs lacking it.
+        vms: Vec<String>,
+        /// VMs having it.
+        present_on: usize,
+    },
+    /// The module is loaded only on a minority of VMs — an implant or
+    /// unexpected driver.
+    ExtraOn {
+        /// Module name.
+        module: String,
+        /// VMs carrying it.
+        vms: Vec<String>,
+        /// Total VMs with a readable list.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for ListAnomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListAnomaly::MissingOn {
+                module,
+                vms,
+                present_on,
+            } => write!(
+                f,
+                "{module}: loaded on {present_on} VM(s) but MISSING on {vms:?} (possible DKOM hiding)"
+            ),
+            ListAnomaly::ExtraOn { module, vms, total } => write!(
+                f,
+                "{module}: loaded ONLY on {vms:?} of {total} VM(s) (possible implant)"
+            ),
+        }
+    }
+}
+
+/// Result of a cross-VM list scan.
+#[derive(Clone, Debug)]
+pub struct ListDiffReport {
+    /// Per-VM listings, scan order.
+    pub listings: Vec<VmListing>,
+    /// Anomalies, sorted by module name.
+    pub anomalies: Vec<ListAnomaly>,
+    /// Module names loaded on a majority of VMs (the pool's consensus
+    /// module set) — the natural input for a full-pool content sweep.
+    pub consensus_modules: Vec<String>,
+}
+
+impl ListDiffReport {
+    /// True when every readable VM reports the identical module set.
+    pub fn consistent(&self) -> bool {
+        self.anomalies.is_empty() && self.listings.iter().all(|l| l.error.is_none())
+    }
+}
+
+impl std::fmt::Display for ListDiffReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "module-list cross-view over {} VM(s): {}",
+            self.listings.len(),
+            if self.consistent() { "consistent" } else { "ANOMALOUS" }
+        )?;
+        for l in &self.listings {
+            if let Some(e) = &l.error {
+                writeln!(f, "  {}: unreadable list: {e}", l.vm_name)?;
+            }
+        }
+        for a in &self.anomalies {
+            writeln!(f, "  {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The list-diff scanner.
+pub struct ListDiff;
+
+impl ListDiff {
+    /// Walks every VM's loaded-module list and cross-compares the sets.
+    pub fn scan(hv: &Hypervisor, vms: &[VmId]) -> Result<ListDiffReport, CheckError> {
+        if vms.len() < 2 {
+            return Err(CheckError::PoolTooSmall(vms.len()));
+        }
+        let mut listings = Vec::with_capacity(vms.len());
+        for &vm in vms {
+            let vm_name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
+            match VmiSession::attach(hv, vm)
+                .map_err(CheckError::from)
+                .and_then(|mut s| ModuleSearcher::list_modules(&mut s))
+            {
+                Ok(modules) => listings.push(VmListing {
+                    vm_name,
+                    modules: modules.iter().map(|m| m.name.to_lowercase()).collect(),
+                    error: None,
+                }),
+                Err(e) => listings.push(VmListing {
+                    vm_name,
+                    modules: Vec::new(),
+                    error: Some(e.to_string()),
+                }),
+            }
+        }
+
+        // Presence map over readable listings.
+        let readable: Vec<&VmListing> = listings.iter().filter(|l| l.error.is_none()).collect();
+        let total = readable.len();
+        let mut presence: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for l in &readable {
+            for m in &l.modules {
+                presence.entry(m).or_default().push(&l.vm_name);
+            }
+        }
+
+        let mut anomalies = Vec::new();
+        let mut consensus_modules = Vec::new();
+        for (module, on) in &presence {
+            let count = on.len();
+            if count * 2 > total {
+                consensus_modules.push(module.to_string());
+                if count < total {
+                    let missing: Vec<String> = readable
+                        .iter()
+                        .filter(|l| !l.modules.iter().any(|m| m == module))
+                        .map(|l| l.vm_name.clone())
+                        .collect();
+                    anomalies.push(ListAnomaly::MissingOn {
+                        module: module.to_string(),
+                        vms: missing,
+                        present_on: count,
+                    });
+                }
+            } else {
+                anomalies.push(ListAnomaly::ExtraOn {
+                    module: module.to_string(),
+                    vms: on.iter().map(|s| s.to_string()).collect(),
+                    total,
+                });
+            }
+        }
+
+        Ok(ListDiffReport {
+            listings,
+            anomalies,
+            consensus_modules,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_guest::build_cloud_with_modules;
+    use mc_hypervisor::AddressWidth;
+    use mc_pe::corpus::ModuleBlueprint;
+
+    fn cloud(n: usize) -> (Hypervisor, Vec<mc_guest::GuestOs>, Vec<VmId>) {
+        let mut hv = Hypervisor::new();
+        let bps = vec![
+            ModuleBlueprint::new("hal.dll", AddressWidth::W32, 8 * 1024),
+            ModuleBlueprint::new("ndis.sys", AddressWidth::W32, 8 * 1024),
+            ModuleBlueprint::new("tcpip.sys", AddressWidth::W32, 8 * 1024),
+        ];
+        let guests = build_cloud_with_modules(&mut hv, n, AddressWidth::W32, &bps).unwrap();
+        let ids = guests.iter().map(|g| g.vm).collect();
+        (hv, guests, ids)
+    }
+
+    #[test]
+    fn clean_cloud_is_consistent() {
+        let (hv, _guests, ids) = cloud(5);
+        let report = ListDiff::scan(&hv, &ids).unwrap();
+        assert!(report.consistent(), "{report}");
+        assert_eq!(
+            report.consensus_modules,
+            vec!["hal.dll", "ndis.sys", "tcpip.sys"]
+        );
+    }
+
+    #[test]
+    fn dkom_hidden_module_reported_missing() {
+        let (mut hv, guests, ids) = cloud(5);
+        guests[2].dkom_hide(&mut hv, "ndis.sys").unwrap();
+        let report = ListDiff::scan(&hv, &ids).unwrap();
+        assert!(!report.consistent());
+        assert_eq!(report.anomalies.len(), 1);
+        match &report.anomalies[0] {
+            ListAnomaly::MissingOn { module, vms, present_on } => {
+                assert_eq!(module, "ndis.sys");
+                assert_eq!(vms, &vec!["dom3".to_string()]);
+                assert_eq!(*present_on, 4);
+            }
+            other => panic!("wrong anomaly {other:?}"),
+        }
+        // The hidden module stays in the consensus set (majority has it).
+        assert!(report.consensus_modules.contains(&"ndis.sys".to_string()));
+    }
+
+    #[test]
+    fn implanted_driver_reported_extra() {
+        let (mut hv, mut guests, ids) = cloud(4);
+        // Load an extra driver on one VM only.
+        let implant = ModuleBlueprint::new("rootkit.sys", AddressWidth::W32, 8 * 1024)
+            .build()
+            .unwrap();
+        let base = 0xF7F0_0000;
+        guests[1].load(&mut hv, "rootkit.sys", &implant, base).unwrap();
+
+        let report = ListDiff::scan(&hv, &ids).unwrap();
+        assert!(!report.consistent());
+        match &report.anomalies[0] {
+            ListAnomaly::ExtraOn { module, vms, total } => {
+                assert_eq!(module, "rootkit.sys");
+                assert_eq!(vms, &vec!["dom2".to_string()]);
+                assert_eq!(*total, 4);
+            }
+            other => panic!("wrong anomaly {other:?}"),
+        }
+        assert!(!report.consensus_modules.contains(&"rootkit.sys".to_string()));
+    }
+
+    #[test]
+    fn unreadable_list_is_reported_not_fatal() {
+        let (mut hv, guests, ids) = cloud(3);
+        // Self-loop the first entry on dom2 → corrupt list.
+        let e0 = guests[1].modules[0].ldr_entry_va;
+        hv.vm_mut(ids[1]).unwrap().write_ptr(e0, e0).unwrap();
+        let report = ListDiff::scan(&hv, &ids).unwrap();
+        assert!(!report.consistent());
+        assert!(report.listings[1].error.is_some());
+        // Consensus computed over the two readable VMs.
+        assert_eq!(report.consensus_modules.len(), 3);
+    }
+
+    #[test]
+    fn pool_too_small_rejected() {
+        let (hv, _guests, ids) = cloud(1);
+        assert!(matches!(
+            ListDiff::scan(&hv, &ids),
+            Err(CheckError::PoolTooSmall(1))
+        ));
+    }
+}

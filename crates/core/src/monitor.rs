@@ -1,0 +1,242 @@
+//! Continuous monitoring and remediation (the paper's §III discussion).
+//!
+//! ModChecker is positioned as a *light-weight first-pass* check: scan the
+//! pool continuously; on a discrepancy, escalate — trigger deeper analysis
+//! or revert the flagged VM to a clean snapshot. [`ContinuousMonitor`]
+//! implements the scan loop (optionally on a background thread streaming
+//! [`MonitorEvent`]s over a crossbeam channel) and [`remediate`] implements
+//! snapshot-revert remediation.
+
+use crossbeam::channel::Sender;
+
+use mc_hypervisor::{Hypervisor, VmId};
+
+use crate::error::CheckError;
+use crate::pool::{ModChecker, ScanMode};
+use crate::report::PoolCheckReport;
+
+/// Monitor configuration.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Modules to check each round (e.g. every module in the list, or the
+    /// high-value set: hal.dll, ntfs.sys, tcpip.sys ...).
+    pub modules: Vec<String>,
+    /// Scan mode per round.
+    pub mode: ScanMode,
+}
+
+/// One event from a monitoring round.
+#[derive(Clone, Debug)]
+pub enum MonitorEvent {
+    /// A module scanned clean across the pool.
+    Clean {
+        /// Round number (0-based).
+        round: usize,
+        /// Module name.
+        module: String,
+    },
+    /// A discrepancy was found — the escalation trigger.
+    Discrepancy {
+        /// Round number.
+        round: usize,
+        /// Module name.
+        module: String,
+        /// Full report (who mismatched, which parts).
+        report: Box<PoolCheckReport>,
+    },
+    /// The check itself failed (e.g. pool too small).
+    Failed {
+        /// Round number.
+        round: usize,
+        /// Module name.
+        module: String,
+        /// Error description.
+        error: String,
+    },
+}
+
+/// The continuous scan loop.
+#[derive(Clone, Debug)]
+pub struct ContinuousMonitor {
+    checker: ModChecker,
+    config: MonitorConfig,
+}
+
+impl ContinuousMonitor {
+    /// Creates a monitor for the given module set.
+    pub fn new(config: MonitorConfig) -> Self {
+        ContinuousMonitor {
+            checker: ModChecker::with_mode(config.mode),
+            config,
+        }
+    }
+
+    /// Runs one round over all configured modules, returning reports in
+    /// configuration order.
+    pub fn run_round(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+    ) -> Vec<(String, Result<PoolCheckReport, CheckError>)> {
+        self.config
+            .modules
+            .iter()
+            .map(|m| (m.clone(), self.checker.check_pool(hv, vms, m)))
+            .collect()
+    }
+
+    /// Runs `rounds` rounds, emitting an event per module per round into
+    /// `events`. Blocks until done; call from a scoped thread for
+    /// concurrent consumption (see the `continuous_monitoring` example).
+    pub fn run(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        rounds: usize,
+        events: &Sender<MonitorEvent>,
+    ) {
+        for round in 0..rounds {
+            for (module, result) in self.run_round(hv, vms) {
+                let event = match result {
+                    Ok(report) if report.any_discrepancy() => MonitorEvent::Discrepancy {
+                        round,
+                        module,
+                        report: Box::new(report),
+                    },
+                    Ok(_) => MonitorEvent::Clean { round, module },
+                    Err(e) => MonitorEvent::Failed {
+                        round,
+                        module,
+                        error: e.to_string(),
+                    },
+                };
+                if events.send(event).is_err() {
+                    return; // receiver hung up; stop scanning
+                }
+            }
+        }
+    }
+}
+
+/// Reverts every VM the report flags as suspect to the named snapshot —
+/// the paper's "machines can be reverted back to their clean state to flush
+/// infections". Returns the names of reverted VMs.
+pub fn remediate(
+    hv: &mut Hypervisor,
+    report: &PoolCheckReport,
+    snapshot: &str,
+) -> Result<Vec<String>, mc_hypervisor::HvError> {
+    let suspects: Vec<String> = report.suspects().map(|v| v.vm_name.clone()).collect();
+    let ids: Vec<VmId> = suspects
+        .iter()
+        .filter_map(|name| hv.vm_by_name(name).map(|vm| vm.id))
+        .collect();
+    for id in ids {
+        hv.vm_mut(id)?.revert(snapshot)?;
+    }
+    Ok(suspects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use mc_guest::build_cloud_with_modules;
+    use mc_hypervisor::AddressWidth;
+    use mc_pe::corpus::ModuleBlueprint;
+
+    fn cloud(n: usize) -> (Hypervisor, Vec<mc_guest::GuestOs>, Vec<VmId>) {
+        let mut hv = Hypervisor::new();
+        let bps = vec![
+            ModuleBlueprint::new("hal.dll", AddressWidth::W32, 8 * 1024),
+            ModuleBlueprint::new("ndis.sys", AddressWidth::W32, 8 * 1024),
+        ];
+        let guests = build_cloud_with_modules(&mut hv, n, AddressWidth::W32, &bps).unwrap();
+        let ids = guests.iter().map(|g| g.vm).collect();
+        (hv, guests, ids)
+    }
+
+    fn monitor() -> ContinuousMonitor {
+        ContinuousMonitor::new(MonitorConfig {
+            modules: vec!["hal.dll".into(), "ndis.sys".into()],
+            mode: ScanMode::Sequential,
+        })
+    }
+
+    #[test]
+    fn clean_rounds_emit_clean_events() {
+        let (hv, _guests, ids) = cloud(3);
+        let (tx, rx) = unbounded();
+        monitor().run(&hv, &ids, 2, &tx);
+        drop(tx);
+        let events: Vec<MonitorEvent> = rx.iter().collect();
+        assert_eq!(events.len(), 4, "2 rounds × 2 modules");
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, MonitorEvent::Clean { .. })));
+    }
+
+    #[test]
+    fn infection_emits_discrepancy_with_report() {
+        // 4 VMs: clean peers match 2 of 3 (> 3/2) and stay clean, so the
+        // verdict pinpoints the infected VM. (At 3 VMs the strict-majority
+        // rule flags everyone — see the worm test in pool.rs.)
+        let (mut hv, guests, ids) = cloud(4);
+        guests[1]
+            .patch_module(&mut hv, "ndis.sys", 0x1002, &[0xCC])
+            .unwrap();
+        let (tx, rx) = unbounded();
+        monitor().run(&hv, &ids, 1, &tx);
+        drop(tx);
+        let events: Vec<MonitorEvent> = rx.iter().collect();
+        let discrepancies: Vec<&MonitorEvent> = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::Discrepancy { .. }))
+            .collect();
+        assert_eq!(discrepancies.len(), 1);
+        match discrepancies[0] {
+            MonitorEvent::Discrepancy { module, report, .. } => {
+                assert_eq!(module, "ndis.sys");
+                let suspects: Vec<&str> =
+                    report.suspects().map(|v| v.vm_name.as_str()).collect();
+                assert_eq!(suspects, vec!["dom2"]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn remediation_reverts_and_next_round_is_clean() {
+        let (mut hv, guests, ids) = cloud(4);
+        // Take clean snapshots first (operators do this at provision time).
+        for id in &ids {
+            hv.vm_mut(*id).unwrap().snapshot("clean");
+        }
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+
+        let m = monitor();
+        let round = m.run_round(&hv, &ids);
+        let (_, result) = &round[0];
+        let report = result.as_ref().unwrap();
+        assert!(report.any_discrepancy());
+
+        let reverted = remediate(&mut hv, report, "clean").unwrap();
+        assert_eq!(reverted, vec!["dom1"]);
+
+        let round2 = m.run_round(&hv, &ids);
+        assert!(round2
+            .iter()
+            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+    }
+
+    #[test]
+    fn run_stops_when_receiver_drops() {
+        let (hv, _guests, ids) = cloud(2);
+        let (tx, rx) = unbounded();
+        drop(rx);
+        // Must return promptly instead of looping forever.
+        monitor().run(&hv, &ids, 1000, &tx);
+    }
+}

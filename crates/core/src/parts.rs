@@ -1,0 +1,256 @@
+//! Module-Parser — the paper's Algorithm 1.
+//!
+//! Splits a captured in-memory module image into its hashable parts:
+//! the DOS header (including the stub program), the composite NT headers,
+//! the FILE and OPTIONAL headers individually, every section header, and
+//! every *executable* section's data. These are exactly the units the
+//! paper's Integrity-Checker MD5s and cross-compares; hashing them
+//! separately (rather than the whole image) is what localizes an infection
+//! to "the `.text` section of hal.dll" in the experiments of §V.B.
+//!
+//! Writable data sections are excluded from content hashing — they change
+//! legitimately at runtime and their cross-VM hashes would never match; the
+//! paper checks "headers and read-only executable contents".
+
+use std::fmt;
+use std::ops::Range;
+
+use mc_pe::parser::ParsedModule;
+
+use crate::error::CheckError;
+use crate::searcher::ModuleImage;
+
+/// Identity of one hashable part of a module.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub enum PartId {
+    /// `IMAGE_DOS_HEADER` plus the DOS stub program (`[0, e_lfanew)`).
+    DosHeader,
+    /// Composite `IMAGE_NT_HEADERS` (signature + file + optional).
+    NtHeaders,
+    /// `IMAGE_FILE_HEADER`.
+    FileHeader,
+    /// `IMAGE_OPTIONAL_HEADER`.
+    OptionalHeader,
+    /// One `IMAGE_SECTION_HEADER`, by section name.
+    SectionHeader(String),
+    /// One executable section's data, by section name.
+    SectionData(String),
+}
+
+impl fmt::Display for PartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartId::DosHeader => write!(f, "IMAGE_DOS_HEADER"),
+            PartId::NtHeaders => write!(f, "IMAGE_NT_HEADER"),
+            PartId::FileHeader => write!(f, "IMAGE_FILE_HEADER"),
+            PartId::OptionalHeader => write!(f, "IMAGE_OPTIONAL_HEADER"),
+            PartId::SectionHeader(n) => write!(f, "SECTION_HEADER({n})"),
+            PartId::SectionData(n) => write!(f, "{n} section data"),
+        }
+    }
+}
+
+/// One extracted part: its identity, byte range in the image, and whether
+/// its content participates in RVA adjustment.
+#[derive(Clone, Debug)]
+pub struct Part {
+    /// Which part this is.
+    pub id: PartId,
+    /// Byte range within the captured image.
+    pub range: Range<usize>,
+    /// True for executable section data (subject to Algorithm 2 before
+    /// hashing).
+    pub is_exec_data: bool,
+}
+
+/// An executable section's geometry (needed by Algorithm 2).
+#[derive(Clone, Debug)]
+pub struct ExecSection {
+    /// Section name.
+    pub name: String,
+    /// Data range within the image.
+    pub range: Range<usize>,
+    /// `VirtualAddress` (RVA) of the section.
+    pub virtual_address: u32,
+}
+
+/// The parsed decomposition of one module image.
+#[derive(Clone, Debug)]
+pub struct ModuleParts {
+    /// All hashable parts, in canonical order (headers first, then section
+    /// headers in table order, then executable section data).
+    pub parts: Vec<Part>,
+    /// Executable sections, in table order.
+    pub exec_sections: Vec<ExecSection>,
+    /// Total bytes parsed (for cost accounting).
+    pub image_len: usize,
+    /// Pointer width from the optional-header magic.
+    pub width: mc_pe::AddressWidth,
+}
+
+impl ModuleParts {
+    /// Runs Algorithm 1 on a captured image.
+    pub fn extract(image: &ModuleImage) -> Result<Self, CheckError> {
+        let parsed =
+            ParsedModule::parse_memory(&image.bytes).map_err(|source| CheckError::BadImage {
+                vm: image.vm_name.clone(),
+                module: image.name.clone(),
+                source,
+            })?;
+        Ok(Self::from_parsed(&parsed, image.bytes.len()))
+    }
+
+    /// Decomposition from an already-parsed module (shared with tests).
+    pub fn from_parsed(parsed: &ParsedModule, image_len: usize) -> Self {
+        let mut parts = vec![
+            Part {
+                id: PartId::DosHeader,
+                range: parsed.dos_range.clone(),
+                is_exec_data: false,
+            },
+            Part {
+                id: PartId::NtHeaders,
+                range: parsed.nt_range.clone(),
+                is_exec_data: false,
+            },
+            Part {
+                id: PartId::FileHeader,
+                range: parsed.file_header_range.clone(),
+                is_exec_data: false,
+            },
+            Part {
+                id: PartId::OptionalHeader,
+                range: parsed.optional_range.clone(),
+                is_exec_data: false,
+            },
+        ];
+        let mut exec_sections = Vec::new();
+        for s in &parsed.sections {
+            parts.push(Part {
+                id: PartId::SectionHeader(s.name.clone()),
+                range: s.header_range.clone(),
+                is_exec_data: false,
+            });
+        }
+        for s in &parsed.sections {
+            if s.is_executable() && !s.is_writable() {
+                parts.push(Part {
+                    id: PartId::SectionData(s.name.clone()),
+                    range: s.data_range.clone(),
+                    is_exec_data: true,
+                });
+                exec_sections.push(ExecSection {
+                    name: s.name.clone(),
+                    range: s.data_range.clone(),
+                    virtual_address: s.virtual_address,
+                });
+            }
+        }
+        ModuleParts {
+            parts,
+            exec_sections,
+            image_len,
+            width: parsed.width,
+        }
+    }
+
+    /// Looks up a part by id.
+    pub fn part(&self, id: &PartId) -> Option<&Part> {
+        self.parts.iter().find(|p| &p.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_hypervisor::VmId;
+    use mc_pe::corpus::ModuleBlueprint;
+    use mc_pe::AddressWidth;
+
+    fn image_of(name: &str, text_size: usize) -> ModuleImage {
+        // Build a file image and fake a "capture" by converting to memory
+        // layout through the loader in a scratch VM.
+        let mut vm = mc_hypervisor::Vm::new(VmId(0), "t", AddressWidth::W32);
+        let pe = ModuleBlueprint::new(name, AddressWidth::W32, text_size)
+            .build()
+            .unwrap();
+        let m = mc_guest::load_module(&mut vm, &pe, name, 0xF700_0000).unwrap();
+        let mut bytes = vec![0u8; m.size as usize];
+        vm.read_virt(m.base, &mut bytes).unwrap();
+        ModuleImage {
+            vm: VmId(0),
+            vm_name: "t".into(),
+            name: name.into(),
+            base: m.base,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn extraction_produces_expected_parts() {
+        let img = image_of("hal.dll", 8 * 1024);
+        let parts = ModuleParts::extract(&img).unwrap();
+        let ids: Vec<String> = parts.parts.iter().map(|p| p.id.to_string()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "IMAGE_DOS_HEADER",
+                "IMAGE_NT_HEADER",
+                "IMAGE_FILE_HEADER",
+                "IMAGE_OPTIONAL_HEADER",
+                "SECTION_HEADER(.text)",
+                "SECTION_HEADER(.rdata)",
+                "SECTION_HEADER(.data)",
+                "SECTION_HEADER(.reloc)",
+                ".text section data",
+            ]
+        );
+        assert_eq!(parts.exec_sections.len(), 1);
+        assert_eq!(parts.exec_sections[0].name, ".text");
+    }
+
+    #[test]
+    fn writable_data_sections_are_not_content_hashed() {
+        let img = image_of("x.sys", 4 * 1024);
+        let parts = ModuleParts::extract(&img).unwrap();
+        assert!(parts
+            .parts
+            .iter()
+            .all(|p| p.id != PartId::SectionData(".data".into())));
+        // ...but their headers are.
+        assert!(parts.part(&PartId::SectionHeader(".data".into())).is_some());
+    }
+
+    #[test]
+    fn dos_part_covers_the_stub() {
+        let img = image_of("stub.sys", 4 * 1024);
+        let parts = ModuleParts::extract(&img).unwrap();
+        let dos = parts.part(&PartId::DosHeader).unwrap();
+        let dos_bytes = &img.bytes[dos.range.clone()];
+        assert!(
+            dos_bytes.windows(3).any(|w| w == b"DOS"),
+            "stub message must hash under the DOS header part (experiment §V.B.3)"
+        );
+    }
+
+    #[test]
+    fn corrupt_image_is_bad_image_error() {
+        let mut img = image_of("x.sys", 4 * 1024);
+        img.bytes[0] = 0;
+        assert!(matches!(
+            ModuleParts::extract(&img),
+            Err(CheckError::BadImage { .. })
+        ));
+    }
+
+    #[test]
+    fn part_ranges_are_within_image() {
+        let img = image_of("bounds.sys", 16 * 1024);
+        let parts = ModuleParts::extract(&img).unwrap();
+        for p in &parts.parts {
+            assert!(p.range.end <= img.bytes.len(), "{} out of bounds", p.id);
+            assert!(p.range.start < p.range.end, "{} empty", p.id);
+        }
+    }
+}

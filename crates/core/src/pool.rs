@@ -1,0 +1,545 @@
+//! Pool scanning: drive the three components across a cloud of VMs.
+//!
+//! [`ModChecker::check_one`] is the paper's primary operation: take the
+//! module from one (reference) VM and compare it against the same module on
+//! the other `t − 1` VMs, majority-voting the verdict. The paper's
+//! prototype "accesses the virtual machines' memory in a sequence"
+//! ([`ScanMode::Sequential`]); its authors note the modular design "can
+//! support parallel access of virtual machines' memory which would
+//! considerably enhance the runtime performance" — [`ScanMode::Parallel`]
+//! implements exactly that with a rayon fan-out over VMs and pairs.
+//!
+//! [`ModChecker::check_pool`] extends the vote to every VM (full pairwise
+//! matrix) so each VM gets a verdict in one pass — what a monitoring daemon
+//! wants.
+
+use rayon::prelude::*;
+
+use mc_hypervisor::{Hypervisor, VmId};
+use mc_vmi::VmiSession;
+
+use crate::checker::{compare_pair, ExtractedModule, PairOutcome};
+use crate::error::CheckError;
+use crate::report::{ComponentTimes, ModuleCheckReport, PoolCheckReport, VmVerdict};
+use crate::searcher::ModuleSearcher;
+
+/// How the pool is traversed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanMode {
+    /// One VM at a time, as the paper's prototype (Figures 7/8 measure
+    /// this).
+    #[default]
+    Sequential,
+    /// Concurrent capture and pairwise checking (the paper's proposed
+    /// improvement; ablation ABL-1).
+    Parallel,
+}
+
+/// Scanner configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckConfig {
+    /// Traversal mode.
+    pub mode: ScanMode,
+    /// Enable the VMI page-map cache (libVMI-style; the paper's prototype
+    /// runs uncached — ablation ABL-5).
+    pub page_cache: bool,
+    /// Part fingerprint algorithm (paper: MD5; ablation ABL-6).
+    pub digest: crate::digest::DigestAlgo,
+}
+
+/// The ModChecker driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModChecker {
+    /// Configuration.
+    pub config: CheckConfig,
+}
+
+/// One VM's extraction product with its component times.
+type Extraction = (Result<ExtractedModule, CheckError>, ComponentTimes, String);
+
+impl ModChecker {
+    /// Scanner with default (sequential) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scanner with an explicit mode.
+    pub fn with_mode(mode: ScanMode) -> Self {
+        ModChecker {
+            config: CheckConfig {
+                mode,
+                ..CheckConfig::default()
+            },
+        }
+    }
+
+    /// Scanner with full configuration.
+    pub fn with_config(config: CheckConfig) -> Self {
+        ModChecker { config }
+    }
+
+    /// Captures and decomposes `module` from one VM, splitting simulated
+    /// time per component.
+    fn extract_one(&self, hv: &Hypervisor, vm: VmId, module: &str) -> Extraction {
+        let mut times = ComponentTimes::default();
+        let name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
+        let mut session = match VmiSession::attach(hv, vm) {
+            Ok(s) => s,
+            Err(e) => return (Err(e.into()), times, name),
+        };
+        if self.config.page_cache {
+            session = session.with_page_cache();
+        }
+
+        // Module-Searcher.
+        let image = match ModuleSearcher::find(&mut session, module) {
+            Ok(img) => img,
+            Err(e) => {
+                times.searcher = session.take_elapsed();
+                return (Err(e), times, name);
+            }
+        };
+        times.searcher = session.take_elapsed();
+
+        // Module-Parser.
+        let cost = *session.cost_model();
+        session.charge_process(cost.parse_byte_ns, image.bytes.len() as u64);
+        times.parser = session.take_elapsed();
+
+        // Integrity-Checker part 1: header hashes (content hashing happens
+        // pairwise). ExtractedModule parses + hashes headers.
+        let header_bytes: u64 = 4096; // headers are a page at most
+        session.charge_process(
+            cost.hash_byte_ns * self.config.digest.cost_factor(),
+            header_bytes,
+        );
+        let extracted = ExtractedModule::with_algo(image, self.config.digest);
+        times.checker = session.take_elapsed();
+        (extracted, times, name)
+    }
+
+    /// Extracts the module from every VM (mode-dependent concurrency).
+    fn extract_all(&self, hv: &Hypervisor, vms: &[VmId], module: &str) -> Vec<Extraction> {
+        match self.config.mode {
+            ScanMode::Sequential => vms
+                .iter()
+                .map(|&vm| self.extract_one(hv, vm, module))
+                .collect(),
+            ScanMode::Parallel => vms
+                .par_iter()
+                .map(|&vm| self.extract_one(hv, vm, module))
+                .collect(),
+        }
+    }
+
+    /// The paper's check: compare `module` on `reference` against the same
+    /// module on `others`; clean iff it matches a majority.
+    ///
+    /// Failures on peer VMs (module missing, unreadable, corrupt) count as
+    /// failed comparisons and are reported; a failure on the reference VM
+    /// itself is an error (there is nothing to vote about).
+    pub fn check_one(
+        &self,
+        hv: &Hypervisor,
+        reference: VmId,
+        others: &[VmId],
+        module: &str,
+    ) -> Result<ModuleCheckReport, CheckError> {
+        if others.is_empty() {
+            return Err(CheckError::PoolTooSmall(1));
+        }
+        let mut all = vec![reference];
+        all.extend_from_slice(others);
+        let mut extractions = self.extract_all(hv, &all, module);
+
+        let (ref_result, ref_times, ref_name) = extractions.remove(0);
+        let reference_mod = ref_result?;
+
+        let mut per_vm_times = vec![(ref_name.clone(), ref_times)];
+        let mut outcomes = Vec::new();
+        let mut errors = Vec::new();
+
+        // Pairwise comparison cost is charged via a ledger attached to the
+        // reference VM (Dom0 does this work; contention applies).
+        let mut ledger = VmiSession::attach(hv, reference)?;
+        ledger.take_elapsed(); // drop the attach charge; counted already
+
+        let compare_inputs: Vec<(Result<ExtractedModule, CheckError>, ComponentTimes, String)> =
+            extractions;
+        for (result, times, vm_name) in compare_inputs {
+            per_vm_times.push((vm_name.clone(), times));
+            match result {
+                Ok(other) => outcomes.push(compare_pair(&reference_mod, &other, Some(&mut ledger))),
+                Err(e) => errors.push((vm_name, e.to_string())),
+            }
+        }
+        // Attribute pairwise checker time to the reference VM's slot.
+        per_vm_times[0].1.checker += ledger.take_elapsed();
+
+        let mut times = ComponentTimes::default();
+        for (_, t) in &per_vm_times {
+            times.accumulate(t);
+        }
+
+        let successes = outcomes.iter().filter(|o| o.matches()).count();
+        let comparisons = outcomes.len() + errors.len();
+        Ok(ModuleCheckReport {
+            module: module.to_string(),
+            reference: ref_name,
+            outcomes,
+            errors,
+            successes,
+            comparisons,
+            clean: successes * 2 > comparisons,
+            times,
+            per_vm_times,
+        })
+    }
+
+    /// Full-matrix pool check: every VM gets a majority verdict.
+    pub fn check_pool(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        module: &str,
+    ) -> Result<PoolCheckReport, CheckError> {
+        if vms.len() < 2 {
+            return Err(CheckError::PoolTooSmall(vms.len()));
+        }
+        let extractions = self.extract_all(hv, vms, module);
+
+        let mut times = ComponentTimes::default();
+        for (_, t, _) in &extractions {
+            times.accumulate(t);
+        }
+        let vm_names: Vec<String> = extractions.iter().map(|(_, _, n)| n.clone()).collect();
+
+        // Split successes and failures, remembering positions.
+        let mut extracted: Vec<(usize, ExtractedModule)> = Vec::new();
+        let mut errors: Vec<Option<String>> = vec![None; extractions.len()];
+        for (i, (result, _, _)) in extractions.into_iter().enumerate() {
+            match result {
+                Ok(m) => extracted.push((i, m)),
+                Err(e) => errors[i] = Some(e.to_string()),
+            }
+        }
+
+        // All pairs over successful extractions.
+        let pairs: Vec<(usize, usize)> = (0..extracted.len())
+            .flat_map(|i| ((i + 1)..extracted.len()).map(move |j| (i, j)))
+            .collect();
+        let matrix: Vec<(usize, usize, PairOutcome)> = match self.config.mode {
+            ScanMode::Sequential => {
+                let mut ledger = VmiSession::attach(hv, vms[0])?;
+                ledger.take_elapsed();
+                let out = pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        (
+                            extracted[i].0,
+                            extracted[j].0,
+                            compare_pair(&extracted[i].1, &extracted[j].1, Some(&mut ledger)),
+                        )
+                    })
+                    .collect();
+                times.checker += ledger.take_elapsed();
+                out
+            }
+            ScanMode::Parallel => {
+                // Cost accounting in parallel mode: charge each pair on a
+                // thread-local ledger and sum (total work is what matters;
+                // wall-clock division is modeled in the report).
+                let results: Vec<(usize, usize, PairOutcome, mc_hypervisor::SimDuration)> = pairs
+                    .par_iter()
+                    .map(|&(i, j)| {
+                        let mut ledger = VmiSession::attach(hv, vms[0]).expect("vm exists");
+                        ledger.take_elapsed();
+                        let o = compare_pair(&extracted[i].1, &extracted[j].1, Some(&mut ledger));
+                        (extracted[i].0, extracted[j].0, o, ledger.take_elapsed())
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(results.len());
+                for (i, j, o, t) in results {
+                    times.checker += t;
+                    out.push((i, j, o));
+                }
+                out
+            }
+        };
+
+        // Per-VM verdicts.
+        let t = vms.len();
+        let mut verdicts = Vec::with_capacity(t);
+        for (idx, vm_name) in vm_names.iter().enumerate() {
+            let mut successes = 0usize;
+            let mut suspect_parts = Vec::new();
+            for (i, j, o) in &matrix {
+                if *i == idx || *j == idx {
+                    if o.matches() {
+                        successes += 1;
+                    } else {
+                        suspect_parts.extend(o.mismatched.iter().cloned());
+                    }
+                }
+            }
+            suspect_parts.sort();
+            suspect_parts.dedup();
+            let comparisons = t - 1; // peers that failed to extract count as failures
+            verdicts.push(VmVerdict {
+                vm_name: vm_name.clone(),
+                successes,
+                comparisons,
+                clean: errors[idx].is_none() && successes * 2 > comparisons,
+                suspect_parts,
+                error: errors[idx].clone(),
+            });
+        }
+
+        Ok(PoolCheckReport {
+            module: module.to_string(),
+            vm_names,
+            verdicts,
+            matrix: matrix.into_iter().map(|(_, _, o)| o).collect(),
+            times,
+        })
+    }
+}
+
+impl ModChecker {
+    /// Whole-pool sweep (extension EXT-2): cross-compare the module *lists*
+    /// first ([`crate::listdiff::ListDiff`]), then content-check every
+    /// consensus module across the pool. Returns the list report plus one
+    /// content report per consensus module, in name order.
+    pub fn check_all_modules(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+    ) -> Result<
+        (
+            crate::listdiff::ListDiffReport,
+            Vec<(String, crate::report::PoolCheckReport)>,
+        ),
+        CheckError,
+    > {
+        let lists = crate::listdiff::ListDiff::scan(hv, vms)?;
+        let mut reports = Vec::with_capacity(lists.consensus_modules.len());
+        for module in &lists.consensus_modules {
+            reports.push((module.clone(), self.check_pool(hv, vms, module)?));
+        }
+        Ok((lists, reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_guest::{build_cloud_with_modules, GuestOs};
+    use mc_hypervisor::AddressWidth;
+    use mc_pe::corpus::ModuleBlueprint;
+
+    fn cloud(n: usize) -> (Hypervisor, Vec<GuestOs>, Vec<VmId>) {
+        let mut hv = Hypervisor::new();
+        let width = AddressWidth::W32;
+        let bps = vec![
+            ModuleBlueprint::new("hal.dll", width, 12 * 1024),
+            ModuleBlueprint::new("http.sys", width, 20 * 1024),
+        ];
+        let guests = build_cloud_with_modules(&mut hv, n, width, &bps).unwrap();
+        let ids = guests.iter().map(|g| g.vm).collect();
+        (hv, guests, ids)
+    }
+
+    #[test]
+    fn clean_pool_votes_clean() {
+        let (hv, _guests, ids) = cloud(5);
+        let report = ModChecker::new()
+            .check_one(&hv, ids[0], &ids[1..], "hal.dll")
+            .unwrap();
+        assert!(report.clean);
+        assert_eq!(report.successes, 4);
+        assert_eq!(report.comparisons, 4);
+        assert!(report.suspect_parts().is_empty());
+        assert!(report.times.total() > mc_hypervisor::SimDuration::ZERO);
+        // Searcher dominates, as the paper observes.
+        assert!(report.times.searcher > report.times.parser);
+    }
+
+    #[test]
+    fn infected_reference_votes_suspect() {
+        let (mut hv, guests, ids) = cloud(5);
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1003, &[0xCC])
+            .unwrap();
+        let report = ModChecker::new()
+            .check_one(&hv, ids[0], &ids[1..], "hal.dll")
+            .unwrap();
+        assert!(!report.clean);
+        assert_eq!(report.successes, 0);
+    }
+
+    #[test]
+    fn infected_peer_does_not_flip_reference_verdict() {
+        let (mut hv, guests, ids) = cloud(5);
+        guests[2]
+            .patch_module(&mut hv, "hal.dll", 0x1003, &[0xCC])
+            .unwrap();
+        let report = ModChecker::new()
+            .check_one(&hv, ids[0], &ids[1..], "hal.dll")
+            .unwrap();
+        assert!(report.clean, "3 of 4 matches is a majority");
+        assert_eq!(report.successes, 3);
+    }
+
+    #[test]
+    fn pool_check_pinpoints_the_infected_vm() {
+        let (mut hv, guests, ids) = cloud(5);
+        guests[3]
+            .patch_module(&mut hv, "http.sys", 0x1005, &[0x90, 0x90])
+            .unwrap();
+        let report = ModChecker::new().check_pool(&hv, &ids, "http.sys").unwrap();
+        assert!(!report.all_clean());
+        let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
+        assert_eq!(suspects, vec!["dom4"]);
+        assert!(report.any_discrepancy());
+    }
+
+    #[test]
+    fn missing_module_on_peer_is_failed_comparison() {
+        let (mut hv, guests, ids) = cloud(4);
+        guests[2].dkom_hide(&mut hv, "hal.dll").unwrap();
+        let report = ModChecker::new()
+            .check_one(&hv, ids[0], &ids[1..], "hal.dll")
+            .unwrap();
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.comparisons, 3);
+        assert_eq!(report.successes, 2);
+        assert!(report.clean, "2 of 3 still a majority");
+        assert!(report.errors[0].1.contains("not loaded"));
+    }
+
+    #[test]
+    fn parallel_mode_agrees_with_sequential() {
+        let (mut hv, guests, ids) = cloud(6);
+        guests[1]
+            .patch_module(&mut hv, "hal.dll", 0x100F, &[0xE9])
+            .unwrap();
+        let seq = ModChecker::with_mode(ScanMode::Sequential)
+            .check_pool(&hv, &ids, "hal.dll")
+            .unwrap();
+        let par = ModChecker::with_mode(ScanMode::Parallel)
+            .check_pool(&hv, &ids, "hal.dll")
+            .unwrap();
+        let seq_verdicts: Vec<bool> = seq.verdicts.iter().map(|v| v.clean).collect();
+        let par_verdicts: Vec<bool> = par.verdicts.iter().map(|v| v.clean).collect();
+        assert_eq!(seq_verdicts, par_verdicts);
+        let seq_suspects: Vec<_> = seq.suspects().map(|v| v.vm_name.clone()).collect();
+        assert_eq!(seq_suspects, vec!["dom2"]);
+    }
+
+    #[test]
+    fn single_vm_pool_rejected() {
+        let (hv, _guests, ids) = cloud(1);
+        assert!(matches!(
+            ModChecker::new().check_one(&hv, ids[0], &[], "hal.dll"),
+            Err(CheckError::PoolTooSmall(_))
+        ));
+        assert!(matches!(
+            ModChecker::new().check_pool(&hv, &ids, "hal.dll"),
+            Err(CheckError::PoolTooSmall(_))
+        ));
+    }
+
+    #[test]
+    fn sha256_scanner_agrees_with_md5_scanner() {
+        let (mut hv, guests, ids) = cloud(5);
+        guests[3]
+            .patch_module(&mut hv, "http.sys", 0x1002, &[0x66])
+            .unwrap();
+        let md5 = ModChecker::new().check_pool(&hv, &ids, "http.sys").unwrap();
+        let sha = ModChecker::with_config(CheckConfig {
+            digest: crate::digest::DigestAlgo::Sha256,
+            ..CheckConfig::default()
+        })
+        .check_pool(&hv, &ids, "http.sys")
+        .unwrap();
+        for (a, b) in md5.verdicts.iter().zip(&sha.verdicts) {
+            assert_eq!(a.clean, b.clean, "{}", a.vm_name);
+            assert_eq!(a.suspect_parts, b.suspect_parts);
+        }
+        // SHA-256's higher per-byte cost shows in the checker component.
+        assert!(sha.times.checker > md5.times.checker);
+    }
+
+    #[test]
+    fn page_cache_reduces_searcher_time_without_changing_verdicts() {
+        let (mut hv, guests, ids) = cloud(6);
+        guests[1]
+            .patch_module(&mut hv, "hal.dll", 0x1006, &[0x90])
+            .unwrap();
+        let uncached = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        let cached = ModChecker::with_config(CheckConfig {
+            mode: ScanMode::Sequential,
+            page_cache: true,
+            ..CheckConfig::default()
+        })
+        .check_pool(&hv, &ids, "hal.dll")
+        .unwrap();
+        // Same verdicts...
+        for (a, b) in uncached.verdicts.iter().zip(&cached.verdicts) {
+            assert_eq!(a.clean, b.clean);
+            assert_eq!(a.suspect_parts, b.suspect_parts);
+        }
+        // ...cheaper searcher (the list walk re-touches pages).
+        assert!(cached.times.searcher < uncached.times.searcher);
+    }
+
+    #[test]
+    fn check_all_modules_sweeps_the_consensus_set() {
+        let (mut hv, guests, ids) = cloud(5);
+        guests[4]
+            .patch_module(&mut hv, "http.sys", 0x1004, &[0x0F, 0x0B])
+            .unwrap();
+        guests[1].dkom_hide(&mut hv, "hal.dll").unwrap();
+
+        let (lists, reports) = ModChecker::new().check_all_modules(&hv, &ids).unwrap();
+        // hal.dll hidden on dom2 shows up in the list diff...
+        assert!(!lists.consistent());
+        assert!(matches!(
+            &lists.anomalies[0],
+            crate::listdiff::ListAnomaly::MissingOn { module, .. } if module == "hal.dll"
+        ));
+        // ...and both consensus modules get content reports: http.sys
+        // flags dom5, hal.dll flags dom2 (capture error counts against it).
+        assert_eq!(reports.len(), 2);
+        let by_name: std::collections::HashMap<&str, &crate::report::PoolCheckReport> =
+            reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
+        let http_suspects: Vec<&str> = by_name["http.sys"]
+            .suspects()
+            .map(|v| v.vm_name.as_str())
+            .collect();
+        assert_eq!(http_suspects, vec!["dom5"]);
+        let hal_suspects: Vec<&str> = by_name["hal.dll"]
+            .suspects()
+            .map(|v| v.vm_name.as_str())
+            .collect();
+        assert_eq!(hal_suspects, vec!["dom2"]);
+    }
+
+    #[test]
+    fn worm_majority_infection_still_yields_discrepancy() {
+        // §III discussion: when most VMs are infected, majority voting
+        // mislabels, but discrepancies are still visible pool-wide.
+        let (mut hv, guests, ids) = cloud(5);
+        for g in guests.iter().take(3) {
+            g.patch_module(&mut hv, "hal.dll", 0x1009, &[0xFE, 0xED]).unwrap();
+        }
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        assert!(report.any_discrepancy());
+        // With 3 of 5 VMs identically infected, *nobody* reaches a strict
+        // majority (infected: 2/4 matches; clean: 1/4) — the false-alarm
+        // mode the paper discusses. The pool-wide discrepancy signal is
+        // what triggers deeper analysis.
+        let flagged: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
+        assert_eq!(flagged, vec!["dom1", "dom2", "dom3", "dom4", "dom5"]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Check reports: per-pair outcomes, majority verdicts, component timing.
+
+use std::fmt;
+
+use mc_hypervisor::SimDuration;
+
+use crate::checker::PairOutcome;
+use crate::parts::PartId;
+
+/// Simulated time attributed to each ModChecker component (the split the
+/// paper plots in Figures 7 and 8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComponentTimes {
+    /// Module-Searcher: symbol resolution, list walk, page-wise copy.
+    pub searcher: SimDuration,
+    /// Module-Parser: header/section extraction.
+    pub parser: SimDuration,
+    /// Integrity-Checker: RVA adjustment and hashing.
+    pub checker: SimDuration,
+}
+
+impl ComponentTimes {
+    /// Sum of all components.
+    pub fn total(&self) -> SimDuration {
+        self.searcher + self.parser + self.checker
+    }
+
+    /// Component-wise addition.
+    pub fn accumulate(&mut self, other: &ComponentTimes) {
+        self.searcher += other.searcher;
+        self.parser += other.parser;
+        self.checker += other.checker;
+    }
+}
+
+impl fmt::Display for ComponentTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "searcher {} | parser {} | checker {} | total {}",
+            self.searcher,
+            self.parser,
+            self.checker,
+            self.total()
+        )
+    }
+}
+
+/// Verdict for one VM from a full pool check.
+#[derive(Clone, Debug)]
+pub struct VmVerdict {
+    /// VM name.
+    pub vm_name: String,
+    /// Comparisons in which every part hash matched.
+    pub successes: usize,
+    /// Total comparisons attempted (`t − 1`; extraction errors on peers
+    /// count as failed comparisons).
+    pub comparisons: usize,
+    /// Majority rule: `successes > comparisons / 2` (the paper's
+    /// `n > (t−1)/2`).
+    pub clean: bool,
+    /// Union of mismatched parts across this VM's failed comparisons.
+    pub suspect_parts: Vec<PartId>,
+    /// Extraction error on this VM itself, if any (also a discrepancy:
+    /// a module that is unreadable or missing here but present elsewhere).
+    pub error: Option<String>,
+}
+
+impl fmt::Display for VmVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let status = if self.clean { "CLEAN" } else { "SUSPECT" };
+        write!(
+            f,
+            "{:<8} {} ({}/{} matches)",
+            self.vm_name, status, self.successes, self.comparisons
+        )?;
+        if let Some(e) = &self.error {
+            write!(f, " [error: {e}]")?;
+        }
+        if !self.suspect_parts.is_empty() {
+            write!(f, " mismatched: ")?;
+            for (i, p) in self.suspect_parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Report from checking one VM's module against the rest of the pool —
+/// the paper's primary operation.
+#[derive(Clone, Debug)]
+pub struct ModuleCheckReport {
+    /// Module under check.
+    pub module: String,
+    /// The VM whose module was checked.
+    pub reference: String,
+    /// Pairwise outcomes against each peer that yielded a comparable
+    /// capture.
+    pub outcomes: Vec<PairOutcome>,
+    /// Peers whose capture failed (`(vm, error)`); each counts as a failed
+    /// comparison.
+    pub errors: Vec<(String, String)>,
+    /// Matching comparisons (`n` in the paper).
+    pub successes: usize,
+    /// Total comparisons (`t − 1`).
+    pub comparisons: usize,
+    /// `n > (t−1)/2`.
+    pub clean: bool,
+    /// Aggregate component times over the whole run.
+    pub times: ComponentTimes,
+    /// Per-VM component times, in scan order (reference first).
+    pub per_vm_times: Vec<(String, ComponentTimes)>,
+}
+
+impl ModuleCheckReport {
+    /// Parts that mismatched in any comparison (what an operator would
+    /// escalate on).
+    pub fn suspect_parts(&self) -> Vec<PartId> {
+        let mut out: Vec<PartId> = self
+            .outcomes
+            .iter()
+            .flat_map(|o| o.mismatched.iter().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Simulated wall-clock for the sequential scanner (sum of all work;
+    /// the configuration the paper benchmarks).
+    pub fn simulated_wall_sequential(&self) -> SimDuration {
+        self.times.total()
+    }
+
+    /// Simulated wall-clock for the parallel scanner with `workers` Dom0
+    /// threads: per-VM capture+parse runs concurrently (bounded by
+    /// workers), pairwise checking divides across workers. An idealized
+    /// model for ablation ABL-1 — the real parallel speedup is measured by
+    /// the wall-clock benches.
+    pub fn simulated_wall_parallel(&self, workers: usize) -> SimDuration {
+        let workers = workers.max(1);
+        // List-scheduling bound for the capture phase: max single VM vs
+        // total/workers, whichever dominates.
+        let per_vm: Vec<SimDuration> = self
+            .per_vm_times
+            .iter()
+            .map(|(_, t)| t.searcher + t.parser)
+            .collect();
+        let longest = per_vm.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let total: SimDuration = per_vm.iter().copied().sum();
+        let balanced = SimDuration::from_nanos(total.as_nanos() / workers as u64);
+        let capture = longest.max(balanced);
+        let checking = SimDuration::from_nanos(self.times.checker.as_nanos() / workers as u64);
+        capture + checking
+    }
+}
+
+impl fmt::Display for ModuleCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ModChecker: {} on {} vs {} peer(s): {} ({} of {} matches)",
+            self.module,
+            self.reference,
+            self.comparisons,
+            if self.clean { "CLEAN" } else { "SUSPECT" },
+            self.successes,
+            self.comparisons,
+        )?;
+        for o in &self.outcomes {
+            if o.matches() {
+                writeln!(f, "  vs {:<8} match", o.vms.1)?;
+            } else {
+                write!(f, "  vs {:<8} MISMATCH:", o.vms.1)?;
+                for p in &o.mismatched {
+                    write!(f, " {p};")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        for (vm, e) in &self.errors {
+            writeln!(f, "  vs {vm:<8} ERROR: {e}")?;
+        }
+        writeln!(f, "  times: {}", self.times)
+    }
+}
+
+/// Report from a full-matrix pool check: a verdict for every VM.
+#[derive(Clone, Debug)]
+pub struct PoolCheckReport {
+    /// Module under check.
+    pub module: String,
+    /// All VM names, scan order.
+    pub vm_names: Vec<String>,
+    /// Per-VM verdicts.
+    pub verdicts: Vec<VmVerdict>,
+    /// All pairwise outcomes (`i < j` order over successfully extracted
+    /// VMs).
+    pub matrix: Vec<PairOutcome>,
+    /// Aggregate component times.
+    pub times: ComponentTimes,
+}
+
+impl PoolCheckReport {
+    /// VMs flagged as suspect.
+    pub fn suspects(&self) -> impl Iterator<Item = &VmVerdict> {
+        self.verdicts.iter().filter(|v| !v.clean)
+    }
+
+    /// True when every VM is clean (no discrepancy anywhere).
+    pub fn all_clean(&self) -> bool {
+        self.verdicts.iter().all(|v| v.clean)
+    }
+
+    /// True when *any* discrepancy exists — even if majority voting cannot
+    /// name the culprit (the worm scenario of §III: ModChecker still
+    /// "detects discrepancies among VMs that can trigger deeper analysis").
+    pub fn any_discrepancy(&self) -> bool {
+        self.matrix.iter().any(|o| !o.matches())
+            || self.verdicts.iter().any(|v| v.error.is_some())
+    }
+}
+
+impl fmt::Display for PoolCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ModChecker pool check: {} across {} VMs",
+            self.module,
+            self.vm_names.len()
+        )?;
+        for v in &self.verdicts {
+            writeln!(f, "  {v}")?;
+        }
+        writeln!(f, "  times: {}", self.times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(a: &str, b: &str, mismatched: Vec<PartId>) -> PairOutcome {
+        PairOutcome {
+            vms: (a.into(), b.into()),
+            mismatched,
+            slots_adjusted: 0,
+            residual_diffs: 0,
+        }
+    }
+
+    #[test]
+    fn component_times_accumulate() {
+        let mut t = ComponentTimes::default();
+        t.accumulate(&ComponentTimes {
+            searcher: SimDuration::from_millis(2),
+            parser: SimDuration::from_millis(1),
+            checker: SimDuration::from_millis(3),
+        });
+        t.accumulate(&ComponentTimes {
+            searcher: SimDuration::from_millis(1),
+            parser: SimDuration::ZERO,
+            checker: SimDuration::ZERO,
+        });
+        assert_eq!(t.searcher, SimDuration::from_millis(3));
+        assert_eq!(t.total(), SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn suspect_parts_deduplicate() {
+        let report = ModuleCheckReport {
+            module: "hal.dll".into(),
+            reference: "dom1".into(),
+            outcomes: vec![
+                outcome("dom1", "dom2", vec![PartId::SectionData(".text".into())]),
+                outcome("dom1", "dom3", vec![PartId::SectionData(".text".into())]),
+            ],
+            errors: vec![],
+            successes: 0,
+            comparisons: 2,
+            clean: false,
+            times: ComponentTimes::default(),
+            per_vm_times: vec![],
+        };
+        assert_eq!(report.suspect_parts().len(), 1);
+    }
+
+    #[test]
+    fn parallel_wall_is_bounded_by_sequential() {
+        let per_vm = |ms: u64| ComponentTimes {
+            searcher: SimDuration::from_millis(ms),
+            parser: SimDuration::from_millis(1),
+            checker: SimDuration::ZERO,
+        };
+        let mut times = ComponentTimes::default();
+        let names = ["dom1", "dom2", "dom3", "dom4"];
+        let per: Vec<(String, ComponentTimes)> = names
+            .iter()
+            .map(|n| (n.to_string(), per_vm(4)))
+            .collect();
+        for (_, t) in &per {
+            times.accumulate(t);
+        }
+        times.checker = SimDuration::from_millis(8);
+        let report = ModuleCheckReport {
+            module: "m".into(),
+            reference: "dom1".into(),
+            outcomes: vec![],
+            errors: vec![],
+            successes: 0,
+            comparisons: 0,
+            clean: true,
+            times,
+            per_vm_times: per,
+        };
+        let seq = report.simulated_wall_sequential();
+        let par4 = report.simulated_wall_parallel(4);
+        let par1 = report.simulated_wall_parallel(1);
+        assert!(par4 < seq, "parallel {par4} vs sequential {seq}");
+        // One worker degenerates to (at least) the sequential capture cost.
+        assert!(par1 >= par4);
+        assert!(par1 <= seq + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn display_renders_verdicts() {
+        let v = VmVerdict {
+            vm_name: "dom3".into(),
+            successes: 1,
+            comparisons: 4,
+            clean: false,
+            suspect_parts: vec![PartId::DosHeader],
+            error: None,
+        };
+        let s = v.to_string();
+        assert!(s.contains("SUSPECT"));
+        assert!(s.contains("IMAGE_DOS_HEADER"));
+    }
+}

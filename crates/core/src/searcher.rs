@@ -1,0 +1,297 @@
+//! Module-Searcher — the only ModChecker component that reads guest memory.
+//!
+//! From the paper (§IV.A): the list of active modules is a doubly linked
+//! list headed by the global `PsLoadedModuleList`; each node is an
+//! `LDR_DATA_TABLE_ENTRY` carrying `BaseDllName` and `DllBase`.
+//! Module-Searcher resolves the head symbol, traverses forward via `FLINK`
+//! comparing names, and on a hit copies the whole module from guest memory
+//! into a local buffer, page by page.
+//!
+//! Hostile-input hardening (the walk consumes attacker-controlled memory):
+//! bounded list length, cycle detection, size caps on both names and module
+//! images, and typed errors instead of panics on unreadable pointers.
+
+use std::collections::HashSet;
+
+use mc_guest::ldr::LdrOffsets;
+use mc_guest::PS_LOADED_MODULE_LIST;
+use mc_hypervisor::{VmId, PAGE_SIZE};
+use mc_vmi::VmiSession;
+
+use crate::error::{CheckError, MAX_LIST_WALK, MAX_MODULE_SIZE};
+
+/// Upper bound on a `BaseDllName` length in bytes (Windows caps paths well
+/// below this; a forged 64 KB length must not trigger a huge read).
+const MAX_NAME_BYTES: u16 = 512;
+
+/// A module list entry as discovered by traversal (no image bytes yet).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleRef {
+    /// `BaseDllName` as decoded from the guest.
+    pub name: String,
+    /// `DllBase`.
+    pub base: u64,
+    /// `SizeOfImage`.
+    pub size: u64,
+    /// VA of the `LDR_DATA_TABLE_ENTRY` this came from.
+    pub entry_va: u64,
+}
+
+/// A module image captured from one VM.
+#[derive(Clone, Debug)]
+pub struct ModuleImage {
+    /// VM the image was captured from.
+    pub vm: VmId,
+    /// Domain name of that VM.
+    pub vm_name: String,
+    /// Module name as found in the list.
+    pub name: String,
+    /// Load base (`DllBase`) — the `Base address` of Equation (1).
+    pub base: u64,
+    /// The captured bytes (`SizeOfImage` long, memory layout).
+    pub bytes: Vec<u8>,
+}
+
+/// Module-Searcher: list traversal and page-wise image capture.
+pub struct ModuleSearcher;
+
+impl ModuleSearcher {
+    /// Walks the loaded-module list and returns every entry.
+    pub fn list_modules(session: &mut VmiSession<'_>) -> Result<Vec<ModuleRef>, CheckError> {
+        let offs = LdrOffsets::for_width(session.width());
+        let head = session.symbol(PS_LOADED_MODULE_LIST)?;
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut at = session.read_ptr(head + offs.flink)?;
+        while at != head {
+            if out.len() >= MAX_LIST_WALK || !seen.insert(at) {
+                return Err(CheckError::ListCorrupt {
+                    vm: session.vm_name().to_string(),
+                    walked: out.len(),
+                });
+            }
+            out.push(Self::read_entry(session, &offs, at)?);
+            at = session.read_ptr(at + offs.flink)?;
+        }
+        Ok(out)
+    }
+
+    /// Finds a module by name (case-insensitive, as Windows treats
+    /// `BaseDllName`) without copying its image.
+    pub fn find_ref(
+        session: &mut VmiSession<'_>,
+        module: &str,
+    ) -> Result<ModuleRef, CheckError> {
+        let offs = LdrOffsets::for_width(session.width());
+        let head = session.symbol(PS_LOADED_MODULE_LIST)?;
+        let mut seen = HashSet::new();
+        let mut walked = 0usize;
+        let mut at = session.read_ptr(head + offs.flink)?;
+        while at != head {
+            if walked >= MAX_LIST_WALK || !seen.insert(at) {
+                return Err(CheckError::ListCorrupt {
+                    vm: session.vm_name().to_string(),
+                    walked,
+                });
+            }
+            walked += 1;
+            let entry = Self::read_entry(session, &offs, at)?;
+            if entry.name.eq_ignore_ascii_case(module) {
+                return Ok(entry);
+            }
+            at = session.read_ptr(at + offs.flink)?;
+        }
+        Err(CheckError::ModuleNotFound {
+            vm: session.vm_name().to_string(),
+            module: module.to_string(),
+        })
+    }
+
+    /// Finds a module and copies its whole image out of the guest,
+    /// page by page (the paper notes this iterative page access is why
+    /// Module-Searcher dominates ModChecker's runtime).
+    pub fn find(session: &mut VmiSession<'_>, module: &str) -> Result<ModuleImage, CheckError> {
+        let entry = Self::find_ref(session, module)?;
+        Self::capture(session, &entry)
+    }
+
+    /// Copies the image referenced by `entry` out of the guest.
+    pub fn capture(
+        session: &mut VmiSession<'_>,
+        entry: &ModuleRef,
+    ) -> Result<ModuleImage, CheckError> {
+        if entry.size == 0 || entry.size > MAX_MODULE_SIZE {
+            return Err(CheckError::ImplausibleSize {
+                vm: session.vm_name().to_string(),
+                module: entry.name.clone(),
+                size: entry.size,
+            });
+        }
+        let mut bytes = vec![0u8; entry.size as usize];
+        // Page-by-page copy, as the paper describes: "an action that
+        // requires an iterative access of the memory until the whole module
+        // is copied to a local buffer."
+        for (page_idx, chunk) in bytes.chunks_mut(PAGE_SIZE).enumerate() {
+            let va = entry.base + (page_idx * PAGE_SIZE) as u64;
+            session.read_va(va, chunk)?;
+        }
+        Ok(ModuleImage {
+            vm: session.vm_id(),
+            vm_name: session.vm_name().to_string(),
+            name: entry.name.clone(),
+            base: entry.base,
+            bytes,
+        })
+    }
+
+    /// Reads one `LDR_DATA_TABLE_ENTRY`.
+    fn read_entry(
+        session: &mut VmiSession<'_>,
+        offs: &LdrOffsets,
+        entry_va: u64,
+    ) -> Result<ModuleRef, CheckError> {
+        let base = session.read_ptr(entry_va + offs.dll_base)?;
+        let size = match offs.ptr {
+            4 => session.read_u32(entry_va + offs.size_of_image)? as u64,
+            _ => {
+                let lo = session.read_u32(entry_va + offs.size_of_image)? as u64;
+                let hi = session.read_u32(entry_va + offs.size_of_image + 4)? as u64;
+                (hi << 32) | lo
+            }
+        };
+        // UNICODE_STRING BaseDllName.
+        let ustr = entry_va + offs.base_dll_name;
+        let len = session.read_u16(ustr)?.min(MAX_NAME_BYTES) & !1;
+        let buffer = session.read_ptr(ustr + offs.ustr_buffer)?;
+        let mut raw = vec![0u8; len as usize];
+        session.read_va(buffer, &mut raw)?;
+        Ok(ModuleRef {
+            name: mc_guest::ldr::decode_utf16(&raw),
+            base,
+            size,
+            entry_va,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_guest::{build_cloud_with_modules, GuestOs};
+    use mc_hypervisor::{AddressWidth, Hypervisor};
+    use mc_pe::corpus::ModuleBlueprint;
+    use mc_vmi::VmiSession;
+
+    fn cloud(width: AddressWidth, n: usize) -> (Hypervisor, Vec<GuestOs>) {
+        let mut hv = Hypervisor::new();
+        let bps = vec![
+            ModuleBlueprint::new("alpha.sys", width, 8 * 1024),
+            ModuleBlueprint::new("hal.dll", width, 16 * 1024),
+            ModuleBlueprint::new("http.sys", width, 24 * 1024),
+        ];
+        let guests = build_cloud_with_modules(&mut hv, n, width, &bps).unwrap();
+        (hv, guests)
+    }
+
+    #[test]
+    fn list_modules_matches_ground_truth() {
+        let (hv, guests) = cloud(AddressWidth::W32, 1);
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        let listed = ModuleSearcher::list_modules(&mut s).unwrap();
+        let names: Vec<&str> = listed.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha.sys", "hal.dll", "http.sys"]);
+        for (found, truth) in listed.iter().zip(&guests[0].modules) {
+            assert_eq!(found.base, truth.base);
+            assert_eq!(found.size, truth.size as u64);
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        let (hv, guests) = cloud(AddressWidth::W32, 1);
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        let m = ModuleSearcher::find(&mut s, "HAL.DLL").unwrap();
+        assert_eq!(m.name, "hal.dll");
+        assert_eq!(m.base, guests[0].find_module("hal.dll").unwrap().base);
+    }
+
+    #[test]
+    fn capture_returns_full_image() {
+        let (hv, guests) = cloud(AddressWidth::W32, 1);
+        let truth = guests[0].find_module("http.sys").unwrap();
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        let img = ModuleSearcher::find(&mut s, "http.sys").unwrap();
+        assert_eq!(img.bytes.len(), truth.size as usize);
+        assert_eq!(img.base, truth.base);
+        // Header magic is right at the start.
+        assert_eq!(&img.bytes[..2], b"MZ");
+        // The page-wise copy really walked pages.
+        assert!(s.stats().pages_mapped as usize >= img.bytes.len() / PAGE_SIZE);
+    }
+
+    #[test]
+    fn missing_module_is_typed_error() {
+        let (hv, guests) = cloud(AddressWidth::W32, 1);
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        assert!(matches!(
+            ModuleSearcher::find(&mut s, "rootkit.sys"),
+            Err(CheckError::ModuleNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn works_on_64_bit_guests() {
+        let (hv, guests) = cloud(AddressWidth::W64, 1);
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        let m = ModuleSearcher::find(&mut s, "hal.dll").unwrap();
+        assert_eq!(m.base, guests[0].find_module("hal.dll").unwrap().base);
+    }
+
+    #[test]
+    fn corrupt_list_detected_not_hung() {
+        let (mut hv, guests) = cloud(AddressWidth::W32, 1);
+        // Make the second entry's FLINK point back at the first entry,
+        // forming a cycle that never returns to the head.
+        let e0 = guests[0].modules[0].ldr_entry_va;
+        let e1 = guests[0].modules[1].ldr_entry_va;
+        hv.vm_mut(guests[0].vm).unwrap().write_ptr(e1, e0).unwrap();
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        assert!(matches!(
+            ModuleSearcher::list_modules(&mut s),
+            Err(CheckError::ListCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_huge_size_rejected() {
+        let (mut hv, guests) = cloud(AddressWidth::W32, 1);
+        let offs = LdrOffsets::for_width(AddressWidth::W32);
+        let entry = guests[0].modules[0].ldr_entry_va;
+        hv.vm_mut(guests[0].vm)
+            .unwrap()
+            .write_virt(entry + offs.size_of_image, &u32::MAX.to_le_bytes())
+            .unwrap();
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        assert!(matches!(
+            ModuleSearcher::find(&mut s, "alpha.sys"),
+            Err(CheckError::ImplausibleSize { .. })
+        ));
+    }
+
+    #[test]
+    fn unmapped_image_page_is_typed_error() {
+        let (mut hv, guests) = cloud(AddressWidth::W32, 1);
+        let truth = guests[0].find_module("hal.dll").unwrap().clone();
+        // Rip a page out of the middle of the module.
+        {
+            let vm = hv.vm_mut(guests[0].vm).unwrap();
+            let aspace = vm.aspace;
+            aspace.unmap(&mut vm.mem, truth.base + PAGE_SIZE as u64).unwrap();
+        }
+        let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        assert!(matches!(
+            ModuleSearcher::find(&mut s, "hal.dll"),
+            Err(CheckError::Vmi(_))
+        ));
+    }
+}

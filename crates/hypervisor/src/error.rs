@@ -1,0 +1,46 @@
+//! Hypervisor error types.
+
+use crate::vm::VmId;
+use std::fmt;
+
+/// Errors from guest memory access, address translation and VM management.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HvError {
+    /// The VM id does not exist on this host.
+    UnknownVm(VmId),
+    /// A VM with this name already exists.
+    DuplicateVmName(String),
+    /// A guest-physical access fell outside allocated frames.
+    PhysOutOfRange {
+        /// Offending guest-physical address.
+        pa: u64,
+        /// Number of frames currently allocated.
+        frames: usize,
+    },
+    /// Address translation failed: no present mapping for this VA.
+    UnmappedVa(u64),
+    /// The VA is already mapped (double-map indicates a loader bug).
+    AlreadyMapped(u64),
+    /// A named snapshot does not exist.
+    SnapshotMissing(String),
+    /// Virtual address is not canonical / representable for the guest width.
+    BadVa(u64),
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::UnknownVm(id) => write!(f, "unknown VM id {}", id.0),
+            HvError::DuplicateVmName(n) => write!(f, "duplicate VM name {n:?}"),
+            HvError::PhysOutOfRange { pa, frames } => {
+                write!(f, "guest-physical address {pa:#x} beyond {frames} frames")
+            }
+            HvError::UnmappedVa(va) => write!(f, "unmapped guest virtual address {va:#x}"),
+            HvError::AlreadyMapped(va) => write!(f, "virtual address {va:#x} already mapped"),
+            HvError::SnapshotMissing(n) => write!(f, "no snapshot named {n:?}"),
+            HvError::BadVa(va) => write!(f, "non-canonical virtual address {va:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {}

@@ -1,0 +1,180 @@
+//! Guest-physical memory: discontiguous 4 KiB frames.
+//!
+//! Guest "physical" memory is a pool of frames indexed by frame number;
+//! guest-physical address = `frame_number << 12 | offset`. Frames are
+//! allocated on demand by the paging layer and the guest loader. Keeping
+//! frames individually allocated (rather than one flat `Vec<u8>`) mirrors
+//! how a real hypervisor hands out machine frames, and it makes the
+//! page-granular cost of introspection honest: a virtually-contiguous module
+//! is physically scattered, so copying it out requires one map per page.
+
+use crate::error::HvError;
+
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+/// Guest page/frame size in bytes.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A pool of guest-physical frames.
+#[derive(Clone, Debug, Default)]
+pub struct GuestPhysMemory {
+    frames: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl GuestPhysMemory {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates one zeroed frame; returns its guest-physical base address.
+    pub fn alloc_frame(&mut self) -> u64 {
+        let pa = (self.frames.len() as u64) << PAGE_SHIFT;
+        self.frames.push(Box::new([0u8; PAGE_SIZE]));
+        pa
+    }
+
+    /// Number of allocated frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total allocated bytes.
+    pub fn allocated_bytes(&self) -> usize {
+        self.frames.len() * PAGE_SIZE
+    }
+
+    /// Reads `buf.len()` bytes starting at guest-physical `pa`. The range
+    /// may span frames (frame numbers are contiguous in PA space even though
+    /// the backing allocations are not).
+    pub fn read_phys(&self, pa: u64, buf: &mut [u8]) -> Result<(), HvError> {
+        let mut at = pa;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let frame = (at >> PAGE_SHIFT) as usize;
+            let off = (at & (PAGE_SIZE as u64 - 1)) as usize;
+            let frame_buf = self.frames.get(frame).ok_or(HvError::PhysOutOfRange {
+                pa: at,
+                frames: self.frames.len(),
+            })?;
+            let take = (PAGE_SIZE - off).min(buf.len() - done);
+            buf[done..done + take].copy_from_slice(&frame_buf[off..off + take]);
+            done += take;
+            at += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at guest-physical `pa` (may span frames).
+    pub fn write_phys(&mut self, pa: u64, data: &[u8]) -> Result<(), HvError> {
+        let frames = self.frames.len();
+        let mut at = pa;
+        let mut done = 0usize;
+        while done < data.len() {
+            let frame = (at >> PAGE_SHIFT) as usize;
+            let off = (at & (PAGE_SIZE as u64 - 1)) as usize;
+            let frame_buf = self
+                .frames
+                .get_mut(frame)
+                .ok_or(HvError::PhysOutOfRange { pa: at, frames })?;
+            let take = (PAGE_SIZE - off).min(data.len() - done);
+            frame_buf[off..off + take].copy_from_slice(&data[done..done + take]);
+            done += take;
+            at += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32` at `pa`.
+    pub fn read_u32(&self, pa: u64) -> Result<u32, HvError> {
+        let mut b = [0u8; 4];
+        self.read_phys(pa, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64` at `pa`.
+    pub fn read_u64(&self, pa: u64) -> Result<u64, HvError> {
+        let mut b = [0u8; 8];
+        self.read_phys(pa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` at `pa`.
+    pub fn write_u32(&mut self, pa: u64, v: u32) -> Result<(), HvError> {
+        self.write_phys(pa, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64` at `pa`.
+    pub fn write_u64(&mut self, pa: u64, v: u64) -> Result<(), HvError> {
+        self.write_phys(pa, &v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_sequential_frame_addresses() {
+        let mut m = GuestPhysMemory::new();
+        assert_eq!(m.alloc_frame(), 0);
+        assert_eq!(m.alloc_frame(), PAGE_SIZE as u64);
+        assert_eq!(m.frame_count(), 2);
+        assert_eq!(m.allocated_bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn rw_within_one_frame() {
+        let mut m = GuestPhysMemory::new();
+        let pa = m.alloc_frame();
+        m.write_phys(pa + 100, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        m.read_phys(pa + 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn rw_across_frame_boundary() {
+        let mut m = GuestPhysMemory::new();
+        let a = m.alloc_frame();
+        let _b = m.alloc_frame();
+        let start = a + PAGE_SIZE as u64 - 3;
+        m.write_phys(start, b"abcdef").unwrap();
+        let mut buf = [0u8; 6];
+        m.read_phys(start, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn out_of_range_access_is_error() {
+        let mut m = GuestPhysMemory::new();
+        let pa = m.alloc_frame();
+        let mut buf = [0u8; 8];
+        // Read starting in-bounds but running past the last frame.
+        let late = pa + PAGE_SIZE as u64 - 4;
+        assert!(matches!(
+            m.read_phys(late, &mut buf),
+            Err(HvError::PhysOutOfRange { .. })
+        ));
+        assert!(m.write_phys(PAGE_SIZE as u64 * 10, b"x").is_err());
+    }
+
+    #[test]
+    fn scalar_helpers_round_trip() {
+        let mut m = GuestPhysMemory::new();
+        let pa = m.alloc_frame();
+        m.write_u32(pa + 8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_u32(pa + 8).unwrap(), 0xDEAD_BEEF);
+        m.write_u64(pa + 16, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.read_u64(pa + 16).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn frames_start_zeroed() {
+        let mut m = GuestPhysMemory::new();
+        let pa = m.alloc_frame();
+        let mut buf = vec![1u8; PAGE_SIZE];
+        m.read_phys(pa, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

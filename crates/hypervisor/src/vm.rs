@@ -1,0 +1,262 @@
+//! A guest virtual machine.
+//!
+//! A [`Vm`] owns its guest-physical memory and one kernel address space,
+//! carries the symbol table an introspector needs (the equivalent of a
+//! libVMI profile: `PsLoadedModuleList`'s virtual address, the guest width),
+//! and supports named snapshots — the paper's remediation story is "revert
+//! the flagged VM to a clean snapshot".
+
+use std::collections::HashMap;
+
+use crate::error::HvError;
+use crate::mem::{GuestPhysMemory, PAGE_SHIFT, PAGE_SIZE};
+use crate::paging::AddressSpace;
+use mc_pe::AddressWidth;
+
+/// Identifier of a VM on its host (dense, creation-ordered).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub u32);
+
+/// A point-in-time copy of a VM's state.
+#[derive(Clone, Debug)]
+struct Snapshot {
+    mem: GuestPhysMemory,
+    aspace: AddressSpace,
+    symbols: HashMap<String, u64>,
+}
+
+/// One guest VM.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    /// This VM's id on its host.
+    pub id: VmId,
+    /// Human-readable domain name (e.g. `dom1`).
+    pub name: String,
+    /// Guest-physical memory.
+    pub mem: GuestPhysMemory,
+    /// The kernel address space (CR3 + width).
+    pub aspace: AddressSpace,
+    /// Exported kernel symbols: name → guest VA. Populated by the guest
+    /// builder; read by VMI (as libVMI reads its profile/System.map).
+    pub symbols: HashMap<String, u64>,
+    /// Current CPU demand in cores (0 = fully idle; ≥1 = a HeavyLoad-style
+    /// stressor). Feeds the host contention model.
+    pub cpu_demand: f64,
+    /// True while the VM is paused (introspectors may pause to get a
+    /// consistent view; reads work either way).
+    pub paused: bool,
+    snapshots: HashMap<String, Snapshot>,
+}
+
+impl Vm {
+    /// Creates an empty VM with a fresh address space.
+    pub fn new(id: VmId, name: &str, width: AddressWidth) -> Self {
+        let mut mem = GuestPhysMemory::new();
+        let aspace = AddressSpace::new(&mut mem, width);
+        Vm {
+            id,
+            name: name.to_string(),
+            mem,
+            aspace,
+            symbols: HashMap::new(),
+            cpu_demand: 0.0,
+            paused: false,
+            snapshots: HashMap::new(),
+        }
+    }
+
+    /// Guest pointer width.
+    pub fn width(&self) -> AddressWidth {
+        self.aspace.width()
+    }
+
+    /// Maps `len` bytes of fresh memory at page-aligned `va`.
+    pub fn map_range(&mut self, va: u64, len: u64) -> Result<(), HvError> {
+        self.aspace.map_range_alloc(&mut self.mem, va, len)
+    }
+
+    /// Reads guest-virtual memory into `buf`, walking the page tables for
+    /// every page crossed. Fails on any unmapped page.
+    pub fn read_virt(&self, va: u64, buf: &mut [u8]) -> Result<(), HvError> {
+        let mut at = va;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pa = self.aspace.translate(&self.mem, at)?;
+            let in_page = PAGE_SIZE - (at as usize & (PAGE_SIZE - 1));
+            let take = in_page.min(buf.len() - done);
+            self.mem.read_phys(pa, &mut buf[done..done + take])?;
+            done += take;
+            at += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes guest-virtual memory (guest-internal operations and in-memory
+    /// attacks).
+    pub fn write_virt(&mut self, va: u64, data: &[u8]) -> Result<(), HvError> {
+        let mut at = va;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pa = self.aspace.translate(&self.mem, at)?;
+            let in_page = PAGE_SIZE - (at as usize & (PAGE_SIZE - 1));
+            let take = in_page.min(data.len() - done);
+            self.mem.write_phys(pa, &data[done..done + take])?;
+            done += take;
+            at += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads a guest-virtual pointer-sized value (4 or 8 bytes by width).
+    pub fn read_ptr(&self, va: u64) -> Result<u64, HvError> {
+        match self.width() {
+            AddressWidth::W32 => {
+                let mut b = [0u8; 4];
+                self.read_virt(va, &mut b)?;
+                Ok(u32::from_le_bytes(b) as u64)
+            }
+            AddressWidth::W64 => {
+                let mut b = [0u8; 8];
+                self.read_virt(va, &mut b)?;
+                Ok(u64::from_le_bytes(b))
+            }
+        }
+    }
+
+    /// Writes a guest-virtual pointer-sized value.
+    pub fn write_ptr(&mut self, va: u64, value: u64) -> Result<(), HvError> {
+        match self.width() {
+            AddressWidth::W32 => self.write_virt(va, &(value as u32).to_le_bytes()),
+            AddressWidth::W64 => self.write_virt(va, &value.to_le_bytes()),
+        }
+    }
+
+    /// Number of pages a read of `len` bytes at `va` crosses (for cost
+    /// accounting).
+    pub fn pages_crossed(va: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = va >> PAGE_SHIFT;
+        let last = (va + len - 1) >> PAGE_SHIFT;
+        last - first + 1
+    }
+
+    /// Takes (or replaces) a named snapshot of memory + mappings + symbols.
+    pub fn snapshot(&mut self, name: &str) {
+        self.snapshots.insert(
+            name.to_string(),
+            Snapshot {
+                mem: self.mem.clone(),
+                aspace: self.aspace,
+                symbols: self.symbols.clone(),
+            },
+        );
+    }
+
+    /// Reverts to a named snapshot (the paper's clean-state remediation).
+    pub fn revert(&mut self, name: &str) -> Result<(), HvError> {
+        let snap = self
+            .snapshots
+            .get(name)
+            .ok_or_else(|| HvError::SnapshotMissing(name.to_string()))?;
+        self.mem = snap.mem.clone();
+        self.aspace = snap.aspace;
+        self.symbols = snap.symbols.clone();
+        Ok(())
+    }
+
+    /// Names of existing snapshots.
+    pub fn snapshot_names(&self) -> impl Iterator<Item = &str> {
+        self.snapshots.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm32() -> Vm {
+        Vm::new(VmId(0), "t", AddressWidth::W32)
+    }
+
+    #[test]
+    fn virt_rw_spanning_pages() {
+        let mut vm = vm32();
+        let va = 0x8000_0000u64;
+        vm.map_range(va, 3 * PAGE_SIZE as u64).unwrap();
+        let data: Vec<u8> = (0..(2 * PAGE_SIZE + 100)).map(|i| (i % 251) as u8).collect();
+        vm.write_virt(va + 50, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        vm.read_virt(va + 50, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn read_unmapped_fails() {
+        let vm = vm32();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            vm.read_virt(0x8000_0000, &mut buf),
+            Err(HvError::UnmappedVa(_))
+        ));
+    }
+
+    #[test]
+    fn read_partially_unmapped_fails() {
+        let mut vm = vm32();
+        let va = 0x8000_0000u64;
+        vm.map_range(va, PAGE_SIZE as u64).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE + 1];
+        assert!(vm.read_virt(va, &mut buf).is_err());
+    }
+
+    #[test]
+    fn ptr_round_trip_both_widths() {
+        let mut vm = vm32();
+        vm.map_range(0x8000_0000, PAGE_SIZE as u64).unwrap();
+        vm.write_ptr(0x8000_0010, 0xDEAD_BEEF).unwrap();
+        assert_eq!(vm.read_ptr(0x8000_0010).unwrap(), 0xDEAD_BEEF);
+
+        let mut vm64 = Vm::new(VmId(1), "t64", AddressWidth::W64);
+        vm64.map_range(0xFFFF_F800_0000_0000, PAGE_SIZE as u64).unwrap();
+        vm64.write_ptr(0xFFFF_F800_0000_0008, 0xFFFF_F800_1234_5678)
+            .unwrap();
+        assert_eq!(
+            vm64.read_ptr(0xFFFF_F800_0000_0008).unwrap(),
+            0xFFFF_F800_1234_5678
+        );
+    }
+
+    #[test]
+    fn pages_crossed_counts() {
+        assert_eq!(Vm::pages_crossed(0, 0), 0);
+        assert_eq!(Vm::pages_crossed(0, 1), 1);
+        assert_eq!(Vm::pages_crossed(0, PAGE_SIZE as u64), 1);
+        assert_eq!(Vm::pages_crossed(0, PAGE_SIZE as u64 + 1), 2);
+        assert_eq!(Vm::pages_crossed(PAGE_SIZE as u64 - 1, 2), 2);
+    }
+
+    #[test]
+    fn snapshot_and_revert() {
+        let mut vm = vm32();
+        let va = 0x8000_0000u64;
+        vm.map_range(va, PAGE_SIZE as u64).unwrap();
+        vm.write_virt(va, b"clean").unwrap();
+        vm.symbols.insert("PsLoadedModuleList".into(), va);
+        vm.snapshot("clean");
+
+        vm.write_virt(va, b"DIRTY").unwrap();
+        vm.symbols.clear();
+        vm.revert("clean").unwrap();
+
+        let mut buf = [0u8; 5];
+        vm.read_virt(va, &mut buf).unwrap();
+        assert_eq!(&buf, b"clean");
+        assert_eq!(vm.symbols["PsLoadedModuleList"], va);
+        assert!(matches!(
+            vm.revert("missing"),
+            Err(HvError::SnapshotMissing(_))
+        ));
+    }
+}

@@ -1,0 +1,117 @@
+//! HeavyLoad equivalent: saturate guest resources.
+
+use mc_hypervisor::{HvError, Hypervisor, VmId};
+
+/// How hard to push one guest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadProfile {
+    /// vCPU cores' worth of CPU burn (HeavyLoad spins all cores: 1.0 per
+    /// single-vCPU XP guest).
+    pub cpu_cores: f64,
+    /// Fraction of guest RAM kept churning (0..=1).
+    pub memory_pressure: f64,
+    /// Disk stress intensity (0..=1) — queue depth and IO rate scale with
+    /// it in the resource monitor.
+    pub disk_pressure: f64,
+}
+
+impl LoadProfile {
+    /// Fully idle guest (background OS activity only).
+    pub fn idle() -> Self {
+        LoadProfile {
+            cpu_cores: 0.02,
+            memory_pressure: 0.02,
+            disk_pressure: 0.01,
+        }
+    }
+
+    /// HeavyLoad at full tilt: CPU, RAM and disk all saturated.
+    pub fn heavy() -> Self {
+        LoadProfile {
+            cpu_cores: 1.0,
+            memory_pressure: 0.9,
+            disk_pressure: 0.8,
+        }
+    }
+}
+
+/// Load controller: applies profiles to guests.
+#[derive(Clone, Debug, Default)]
+pub struct HeavyLoad {
+    applied: Vec<(VmId, LoadProfile)>,
+}
+
+impl HeavyLoad {
+    /// New controller with nothing applied.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies `profile` to each listed VM.
+    pub fn start(
+        &mut self,
+        hv: &mut Hypervisor,
+        vms: &[VmId],
+        profile: LoadProfile,
+    ) -> Result<(), HvError> {
+        for &vm in vms {
+            hv.vm_mut(vm)?.cpu_demand = profile.cpu_cores;
+            self.applied.push((vm, profile));
+        }
+        Ok(())
+    }
+
+    /// Stops all load this controller started (guests back to idle).
+    pub fn stop(&mut self, hv: &mut Hypervisor) -> Result<(), HvError> {
+        for (vm, _) in self.applied.drain(..) {
+            hv.vm_mut(vm)?.cpu_demand = LoadProfile::idle().cpu_cores;
+        }
+        Ok(())
+    }
+
+    /// The profile most recently applied to `vm`, if any.
+    pub fn profile_of(&self, vm: VmId) -> Option<LoadProfile> {
+        self.applied
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == vm)
+            .map(|(_, p)| *p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_hypervisor::AddressWidth;
+
+    #[test]
+    fn start_and_stop_drive_contention() {
+        let mut hv = Hypervisor::new();
+        let vms: Vec<VmId> = (0..12)
+            .map(|i| hv.create_vm(&format!("d{i}"), AddressWidth::W32).unwrap())
+            .collect();
+        let idle_slowdown = hv.dom0_slowdown();
+
+        let mut load = HeavyLoad::new();
+        load.start(&mut hv, &vms, LoadProfile::heavy()).unwrap();
+        let loaded_slowdown = hv.dom0_slowdown();
+        assert!(loaded_slowdown > idle_slowdown * 2.0);
+        assert_eq!(load.profile_of(vms[3]), Some(LoadProfile::heavy()));
+
+        load.stop(&mut hv).unwrap();
+        let after = hv.dom0_slowdown();
+        assert!(after < loaded_slowdown / 2.0);
+        assert!(load.profile_of(vms[3]).is_none());
+    }
+
+    #[test]
+    fn partial_load_affects_only_targets() {
+        let mut hv = Hypervisor::new();
+        let a = hv.create_vm("a", AddressWidth::W32).unwrap();
+        let b = hv.create_vm("b", AddressWidth::W32).unwrap();
+        let mut load = HeavyLoad::new();
+        load.start(&mut hv, &[a], LoadProfile::heavy()).unwrap();
+        assert!(hv.vm(a).unwrap().cpu_demand > 0.9);
+        assert!(hv.vm(b).unwrap().cpu_demand < 0.1);
+    }
+}

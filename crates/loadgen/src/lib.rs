@@ -1,0 +1,27 @@
+//! Guest load generation and in-VM resource monitoring.
+//!
+//! Two tools from the paper's runtime study (§V.C):
+//!
+//! * [`heavyload`] — the paper stressed guests with *HeavyLoad*, "capable
+//!   of stressing all the resources (such as CPU, RAM and disk)". Our
+//!   equivalent drives each VM's `cpu_demand` (feeding the hypervisor's
+//!   contention model, which produces Figure 8's nonlinear knee) and tracks
+//!   memory/disk pressure for the resource monitor.
+//! * [`monitor`] — the paper's "light-weight tool in Python" that ran
+//!   inside a guest, continuously recording CPU state (idle/privileged/user
+//!   time), memory state (free physical/virtual, page faults), disk state
+//!   (queue length, read/write rate) and network state (packets sent/
+//!   received), shipping samples to remote storage. Figure 9 overlays the
+//!   introspection windows on those timelines and observes no perturbation.
+//!   Our monitor samples an analytic guest-activity model with
+//!   deterministic noise; because introspection is agentless, the model is
+//!   — correctly — independent of ModChecker's memory accesses, except for
+//!   the monitor's own constant network trickle.
+
+#![warn(missing_docs)]
+
+pub mod heavyload;
+pub mod monitor;
+
+pub use heavyload::{HeavyLoad, LoadProfile};
+pub use monitor::{ResourceMonitor, ResourceSample, Timeline, Window};

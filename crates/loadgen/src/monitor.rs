@@ -1,0 +1,314 @@
+//! In-VM resource monitor — the paper's Python recorder behind Figure 9.
+//!
+//! The recorder sampled the guest's CPU, memory, disk and network state at
+//! a fixed rate, shipping ASCII records to remote storage (so the local
+//! disk, "an important part of virtual memory analysis", stays untouched).
+//! The experiment's point: overlay ModChecker's introspection windows on
+//! the timeline and observe *no perturbation* — introspection is agentless.
+//!
+//! Our guest activity is an analytic model of (load profile × time) with
+//! deterministic noise; it does not depend on introspection activity at
+//! all, which is the ground truth the real experiment established. The
+//! monitor's own reporting adds a small constant network packet rate,
+//! visible in the `net_*` series exactly as in the paper's setup.
+
+use mc_hypervisor::{Hypervisor, VmId};
+
+use crate::heavyload::LoadProfile;
+
+/// One sample of guest resource state (the fields the paper's tool
+/// recorded).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceSample {
+    /// Sample time (simulated milliseconds since monitoring start).
+    pub t_ms: u64,
+    /// CPU idle time percentage.
+    pub cpu_idle_pct: f64,
+    /// CPU user time percentage.
+    pub cpu_user_pct: f64,
+    /// CPU privileged (kernel) time percentage.
+    pub cpu_privileged_pct: f64,
+    /// Free physical memory percentage.
+    pub mem_free_physical_pct: f64,
+    /// Free virtual memory percentage.
+    pub mem_free_virtual_pct: f64,
+    /// Page faults per second.
+    pub page_faults_per_sec: f64,
+    /// Disk queue length.
+    pub disk_queue_len: f64,
+    /// Disk reads per second.
+    pub disk_reads_per_sec: f64,
+    /// Disk writes per second.
+    pub disk_writes_per_sec: f64,
+    /// Network packets sent per second (includes the monitor's own
+    /// reporting trickle).
+    pub net_packets_sent_per_sec: f64,
+    /// Network packets received per second.
+    pub net_packets_recv_per_sec: f64,
+    /// True while ModChecker was reading this VM's memory (annotation for
+    /// the Figure 9 boxes; not an input to the model).
+    pub introspection_active: bool,
+}
+
+/// A half-open time window `[start_ms, end_ms)` during which introspection
+/// ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// Window start (ms).
+    pub start_ms: u64,
+    /// Window end (ms).
+    pub end_ms: u64,
+}
+
+impl Window {
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t_ms: u64) -> bool {
+        (self.start_ms..self.end_ms).contains(&t_ms)
+    }
+}
+
+/// A recorded timeline for one VM.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// Samples in time order.
+    pub samples: Vec<ResourceSample>,
+    /// The introspection windows that were annotated.
+    pub windows: Vec<Window>,
+}
+
+impl Timeline {
+    /// Mean and standard deviation of a metric over samples selected by
+    /// `inside` (true → inside introspection windows).
+    pub fn stats(&self, metric: impl Fn(&ResourceSample) -> f64, inside: bool) -> (f64, f64) {
+        let values: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.introspection_active == inside)
+            .map(&metric)
+            .collect();
+        if values.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    /// The paper's Figure 9 claim, as a predicate: for `metric`, the mean
+    /// inside introspection windows deviates from the outside mean by less
+    /// than `tolerance` (in the metric's own units).
+    pub fn unperturbed(&self, metric: impl Fn(&ResourceSample) -> f64, tolerance: f64) -> bool {
+        let (inside, _) = self.stats(&metric, true);
+        let (outside, _) = self.stats(&metric, false);
+        (inside - outside).abs() < tolerance
+    }
+}
+
+/// The in-VM resource monitor.
+pub struct ResourceMonitor {
+    /// Sampling interval in simulated milliseconds (the paper sampled
+    /// continuously; 1 Hz is the plotted granularity).
+    pub interval_ms: u64,
+}
+
+impl Default for ResourceMonitor {
+    fn default() -> Self {
+        ResourceMonitor { interval_ms: 1000 }
+    }
+}
+
+/// Deterministic per-(vm, t, series) noise in `[-1, 1]`.
+fn noise(vm: u32, t_ms: u64, series: u32) -> f64 {
+    let mut h = (vm as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(t_ms)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(series as u64);
+    h ^= h >> 31;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 29;
+    ((h & 0xFFFF) as f64 / 32768.0) - 1.0
+}
+
+impl ResourceMonitor {
+    /// Records a timeline of `duration_ms` for `vm` under `profile`,
+    /// annotating `windows` as introspection-active.
+    ///
+    /// Guest activity is a function of the profile and time only — the
+    /// model encodes the agentless-introspection ground truth. Callers pass
+    /// the actual windows their ModChecker run produced.
+    pub fn record(
+        &self,
+        hv: &Hypervisor,
+        vm: VmId,
+        profile: LoadProfile,
+        duration_ms: u64,
+        windows: &[Window],
+    ) -> Timeline {
+        let vm_index = hv.vm(vm).map(|v| v.id.0).unwrap_or(0);
+        let mut samples = Vec::with_capacity((duration_ms / self.interval_ms) as usize + 1);
+        let mut t = 0u64;
+        while t < duration_ms {
+            samples.push(self.sample(vm_index, profile, t, windows));
+            t += self.interval_ms;
+        }
+        Timeline {
+            samples,
+            windows: windows.to_vec(),
+        }
+    }
+
+    /// One sample of the activity model.
+    fn sample(
+        &self,
+        vm: u32,
+        profile: LoadProfile,
+        t_ms: u64,
+        windows: &[Window],
+    ) -> ResourceSample {
+        let cpu_busy = (profile.cpu_cores.min(1.0) * 97.0).max(0.5);
+        let user_share = 0.7; // HeavyLoad burns mostly user time
+        let n = |series: u32, amp: f64| noise(vm, t_ms, series) * amp;
+
+        let cpu_user = (cpu_busy * user_share + n(1, 1.5)).clamp(0.0, 100.0);
+        let cpu_priv = (cpu_busy * (1.0 - user_share) + n(2, 0.8)).clamp(0.0, 100.0);
+        let cpu_idle = (100.0 - cpu_user - cpu_priv).clamp(0.0, 100.0);
+
+        let mem_used = 18.0 + profile.memory_pressure * 75.0;
+        ResourceSample {
+            t_ms,
+            cpu_idle_pct: cpu_idle,
+            cpu_user_pct: cpu_user,
+            cpu_privileged_pct: cpu_priv,
+            mem_free_physical_pct: (100.0 - mem_used + n(3, 0.6)).clamp(0.0, 100.0),
+            mem_free_virtual_pct: (100.0 - mem_used * 0.6 + n(4, 0.4)).clamp(0.0, 100.0),
+            page_faults_per_sec: (15.0 + profile.memory_pressure * 900.0 + n(5, 8.0)).max(0.0),
+            disk_queue_len: (profile.disk_pressure * 4.0 + n(6, 0.15)).max(0.0),
+            disk_reads_per_sec: (2.0 + profile.disk_pressure * 120.0 + n(7, 2.0)).max(0.0),
+            disk_writes_per_sec: (1.0 + profile.disk_pressure * 90.0 + n(8, 2.0)).max(0.0),
+            // The monitor ships one ASCII record per interval: a small,
+            // constant send rate on top of workload traffic.
+            net_packets_sent_per_sec: (1.0 + profile.cpu_cores * 5.0 + n(9, 0.3)).max(0.0),
+            net_packets_recv_per_sec: (0.5 + profile.cpu_cores * 4.0 + n(10, 0.3)).max(0.0),
+            introspection_active: windows.iter().any(|w| w.contains(t_ms)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_hypervisor::AddressWidth;
+
+    fn setup() -> (Hypervisor, VmId) {
+        let mut hv = Hypervisor::new();
+        let vm = hv.create_vm("dom1", AddressWidth::W32).unwrap();
+        (hv, vm)
+    }
+
+    fn windows() -> Vec<Window> {
+        vec![
+            Window {
+                start_ms: 30_000,
+                end_ms: 36_000,
+            },
+            Window {
+                start_ms: 80_000,
+                end_ms: 86_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn idle_guest_is_mostly_idle() {
+        let (hv, vm) = setup();
+        let tl = ResourceMonitor::default().record(&hv, vm, LoadProfile::idle(), 120_000, &[]);
+        let (idle_mean, _) = tl.stats(|s| s.cpu_idle_pct, false);
+        assert!(idle_mean > 95.0, "idle mean {idle_mean}");
+        assert_eq!(tl.samples.len(), 120);
+    }
+
+    #[test]
+    fn heavy_guest_is_busy() {
+        let (hv, vm) = setup();
+        let tl = ResourceMonitor::default().record(&hv, vm, LoadProfile::heavy(), 60_000, &[]);
+        let (idle_mean, _) = tl.stats(|s| s.cpu_idle_pct, false);
+        assert!(idle_mean < 10.0, "heavy idle mean {idle_mean}");
+        let (pf, _) = tl.stats(|s| s.page_faults_per_sec, false);
+        assert!(pf > 500.0);
+    }
+
+    #[test]
+    fn introspection_windows_are_annotated() {
+        let (hv, vm) = setup();
+        let tl =
+            ResourceMonitor::default().record(&hv, vm, LoadProfile::idle(), 120_000, &windows());
+        let active = tl.samples.iter().filter(|s| s.introspection_active).count();
+        assert_eq!(active, 12, "two 6-second windows at 1 Hz");
+    }
+
+    #[test]
+    fn figure9_no_perturbation_during_introspection() {
+        let (hv, vm) = setup();
+        let tl =
+            ResourceMonitor::default().record(&hv, vm, LoadProfile::idle(), 300_000, &windows());
+        assert!(tl.unperturbed(|s| s.cpu_idle_pct, 1.5));
+        assert!(tl.unperturbed(|s| s.cpu_privileged_pct, 1.0));
+        assert!(tl.unperturbed(|s| s.mem_free_physical_pct, 1.0));
+        assert!(tl.unperturbed(|s| s.page_faults_per_sec, 10.0));
+        assert!(tl.unperturbed(|s| s.net_packets_sent_per_sec, 1.0));
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let (hv, vm) = setup();
+        let m = ResourceMonitor::default();
+        let a = m.record(&hv, vm, LoadProfile::idle(), 30_000, &[]);
+        let b = m.record(&hv, vm, LoadProfile::idle(), 30_000, &[]);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let w = Window {
+            start_ms: 1000,
+            end_ms: 2000,
+        };
+        assert!(!w.contains(999));
+        assert!(w.contains(1000));
+        assert!(w.contains(1999));
+        assert!(!w.contains(2000));
+    }
+
+    #[test]
+    fn stats_with_no_matching_samples_are_zero() {
+        let (hv, vm) = setup();
+        // No windows → no introspection-active samples.
+        let tl = ResourceMonitor::default().record(&hv, vm, LoadProfile::idle(), 10_000, &[]);
+        let (mean, sd) = tl.stats(|s| s.cpu_idle_pct, true);
+        assert_eq!((mean, sd), (0.0, 0.0));
+    }
+
+    #[test]
+    fn heavy_load_perturbs_relative_to_idle_baseline() {
+        // Sanity that `unperturbed` can fail: comparing a heavy timeline's
+        // inside-window samples against an idle profile would show a gap.
+        let (hv, vm) = setup();
+        let idle = ResourceMonitor::default().record(&hv, vm, LoadProfile::idle(), 60_000, &[]);
+        let heavy = ResourceMonitor::default().record(&hv, vm, LoadProfile::heavy(), 60_000, &[]);
+        let (idle_mean, _) = idle.stats(|s| s.cpu_idle_pct, false);
+        let (heavy_mean, _) = heavy.stats(|s| s.cpu_idle_pct, false);
+        assert!(idle_mean - heavy_mean > 50.0);
+    }
+
+    #[test]
+    fn cpu_shares_sum_to_one_hundred() {
+        let (hv, vm) = setup();
+        let tl = ResourceMonitor::default().record(&hv, vm, LoadProfile::heavy(), 30_000, &[]);
+        for s in &tl.samples {
+            let sum = s.cpu_idle_pct + s.cpu_user_pct + s.cpu_privileged_pct;
+            assert!((sum - 100.0).abs() < 1e-6 || sum < 100.0 + 1e-6);
+        }
+    }
+}

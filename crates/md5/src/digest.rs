@@ -1,0 +1,76 @@
+//! The 128-bit MD5 digest value type.
+
+use std::fmt;
+
+/// A 128-bit MD5 digest.
+///
+/// Ordered, hashable and cheaply copyable so it can key mismatch tables in
+/// the integrity checker.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub [u8; 16]);
+
+impl Digest {
+    /// Lowercase hexadecimal rendering, as OpenSSL's `md5` utility prints.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use fmt::Write as _;
+            // Writing to a String cannot fail.
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Parses a 32-character hex string. Returns `None` on bad length or
+    /// non-hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.as_bytes();
+        if s.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, pair) in s.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(Digest::from_hex("short").is_none());
+        assert!(Digest::from_hex(&"g".repeat(32)).is_none());
+        assert!(Digest::from_hex(&"0".repeat(33)).is_none());
+        assert!(Digest::from_hex(&"0".repeat(32)).is_some());
+    }
+
+    #[test]
+    fn display_matches_to_hex() {
+        let d = Digest([0xde, 0xad, 0xbe, 0xef, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0xff]);
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert!(d.to_hex().starts_with("deadbeef"));
+    }
+}

@@ -1,0 +1,305 @@
+//! MD5 message digest, implemented from scratch per RFC 1321.
+//!
+//! The ModChecker paper hashes every extracted PE header and executable
+//! section with OpenSSL's MD5. This crate is the substitution: a dependency-
+//! free MD5 with both a one-shot ([`md5`]) and an incremental ([`Md5`]) API,
+//! validated against the RFC 1321 test suite.
+//!
+//! MD5 is used here exactly as the paper uses it — as a fast fingerprint for
+//! cross-VM *consistency* checking, not as a collision-resistant commitment.
+//!
+//! # Examples
+//!
+//! ```
+//! let d = mc_md5::md5(b"abc");
+//! assert_eq!(d.to_hex(), "900150983cd24fb0d6963f7d28e17f72");
+//!
+//! let mut ctx = mc_md5::Md5::new();
+//! ctx.update(b"ab");
+//! ctx.update(b"c");
+//! assert_eq!(ctx.finalize(), d);
+//! ```
+
+#![warn(missing_docs)]
+
+mod digest;
+
+pub use digest::Digest;
+
+/// Per-round shift amounts (RFC 1321 section 3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants `K[i] = floor(2^32 * abs(sin(i + 1)))`.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Initial state (RFC 1321 section 3.3), little-endian word order A, B, C, D.
+const INIT: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+
+/// Incremental MD5 context.
+///
+/// Feed arbitrary chunks with [`Md5::update`] and call [`Md5::finalize`] once
+/// at the end. The digest is independent of how the input is split across
+/// `update` calls (verified by property test).
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes (mod 2^64, as RFC allows).
+    len: u64,
+    /// Partial block carried between `update` calls.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a fresh context.
+    pub fn new() -> Self {
+        Md5 {
+            state: INIT,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the digest state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            } else {
+                // The partial buffer absorbed all of `data`; nothing may fall
+                // through to the tail logic below or it would clobber
+                // `buf_len`.
+                debug_assert!(rest.is_empty());
+                return;
+            }
+        }
+
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            // `chunks_exact` guarantees 64 bytes; copy into a fixed array so the
+            // compress loop indexes without bound checks.
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Applies RFC 1321 padding and returns the final digest, consuming the
+    /// context.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: a single 0x80 byte, zeros to 56 mod 64, then the 64-bit
+        // little-endian message bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // `update` also advances `len`, which is why `bit_len` was latched first.
+        self.update(&bit_len.to_le_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        Digest(out)
+    }
+
+    /// One 64-byte block of the MD5 compression function.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, word) in m.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot MD5 of `data`.
+pub fn md5(data: &[u8]) -> Digest {
+    let mut ctx = Md5::new();
+    ctx.update(data);
+    ctx.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 1321 appendix A.5 test suite.
+    const VECTORS: &[(&str, &str)] = &[
+        ("", "d41d8cd98f00b204e9800998ecf8427e"),
+        ("a", "0cc175b9c0f1b6a831c399e269772661"),
+        ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+        ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+        (
+            "abcdefghijklmnopqrstuvwxyz",
+            "c3fcd3d76192e4007dfb496cca67e13b",
+        ),
+        (
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+            "d174ab98d277d9f5a5611c2c9f419d9f",
+        ),
+        (
+            "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+            "57edf4a22be3c955ac49da2e2107b67a",
+        ),
+    ];
+
+    #[test]
+    fn rfc1321_vectors() {
+        for (input, expected) in VECTORS {
+            assert_eq!(md5(input.as_bytes()).to_hex(), *expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_on_block_boundaries() {
+        // Lengths chosen to straddle the 56-byte padding threshold and the
+        // 64-byte block size.
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 127, 128, 129, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let oneshot = md5(&data);
+            let mut ctx = Md5::new();
+            for chunk in data.chunks(7) {
+                ctx.update(chunk);
+            }
+            assert_eq!(ctx.finalize(), oneshot, "len {len}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let data = vec![0xAAu8; 300];
+        let base = md5(&data);
+        for byte in [0usize, 150, 299] {
+            let mut flipped = data.clone();
+            flipped[byte] ^= 1;
+            assert_ne!(md5(&flipped), base, "flip at byte {byte}");
+        }
+    }
+
+    #[test]
+    fn digest_roundtrips_through_hex() {
+        let d = md5(b"roundtrip");
+        let parsed = Digest::from_hex(&d.to_hex()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn empty_update_calls_are_identity() {
+        let mut ctx = Md5::new();
+        ctx.update(b"");
+        ctx.update(b"abc");
+        ctx.update(b"");
+        assert_eq!(ctx.finalize().to_hex(), "900150983cd24fb0d6963f7d28e17f72");
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut ctx = Md5::new();
+        ctx.update(b"common prefix ");
+        let fork = ctx.clone();
+        ctx.update(b"left");
+        let mut right = fork;
+        right.update(b"right");
+        assert_eq!(ctx.finalize(), md5(b"common prefix left"));
+        assert_eq!(right.finalize(), md5(b"common prefix right"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Splitting the input arbitrarily across update calls never
+            /// changes the digest.
+            #[test]
+            fn incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                          cuts in proptest::collection::vec(0usize..4096, 0..8)) {
+                let oneshot = md5(&data);
+                let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+                points.sort_unstable();
+                let mut ctx = Md5::new();
+                let mut prev = 0;
+                for p in points {
+                    ctx.update(&data[prev..p]);
+                    prev = p;
+                }
+                ctx.update(&data[prev..]);
+                prop_assert_eq!(ctx.finalize(), oneshot);
+            }
+
+            /// Distinct short inputs produce distinct digests (no accidental
+            /// state-reset bug that maps everything to one value).
+            #[test]
+            fn length_extension_distinct(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let mut extended = data.clone();
+                extended.push(0);
+                prop_assert_ne!(md5(&extended), md5(&data));
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Deterministic synthetic machine-code generation.
+//!
+//! Real driver binaries (hal.dll, http.sys, ...) are unavailable here, so the
+//! corpus fills `.text` sections with synthetic x86/x86-64 machine code that
+//! preserves everything ModChecker's algorithms interact with:
+//!
+//! * **Embedded absolute-address operands.** Instructions like
+//!   `MOV EAX, [moffs32]` and `CALL [abs32]` carry address slots the loader
+//!   relocates — the exact bytes Algorithm 2 must find and rewrite back to
+//!   RVAs. Their density is configurable (real 32-bit driver code averages
+//!   roughly one absolute fixup per 40–80 bytes).
+//! * **Function entries with a fixed prologue** (`PUSH EBP; MOV EBP,ESP;
+//!   SUB ESP, imm8`) so the inline-hooking attack has a ≥5-byte entry
+//!   sequence to overwrite, as in the paper's Figure 5.
+//! * **Opcode caves** — runs of `00` bytes between functions — which inline
+//!   hooking uses to stash its payload.
+//! * **Literal `DEC ECX` (0x49) opcodes** for the single-opcode-replacement
+//!   experiment (§V.B.1).
+//!
+//! Generation is a pure function of [`CodeGenConfig`] (seeded), so every
+//! cloned VM derives a byte-identical module file, matching the paper's
+//! "15 VM clones from a single installation" setup.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::AddressWidth;
+
+/// Configuration for synthetic `.text` generation.
+#[derive(Clone, Debug)]
+pub struct CodeGenConfig {
+    /// Pointer width (selects encodings and slot sizes).
+    pub width: AddressWidth,
+    /// Approximate size of the generated section in bytes.
+    pub size: usize,
+    /// Average bytes of ordinary instructions between address-bearing ones.
+    pub addr_spacing: usize,
+    /// Length of the zero cave after each function.
+    pub cave_len: usize,
+    /// Range of RVAs address operands point at (consistency is what matters;
+    /// targets default to plausible in-image RVAs).
+    pub target_rva_range: std::ops::Range<u32>,
+    /// RNG seed; same seed ⇒ byte-identical output.
+    pub seed: u64,
+}
+
+impl CodeGenConfig {
+    /// A reasonable default for a module of `size` bytes.
+    pub fn sized(width: AddressWidth, size: usize, seed: u64) -> Self {
+        CodeGenConfig {
+            width,
+            size,
+            addr_spacing: 48,
+            cave_len: 24,
+            target_rva_range: 0x1000..(size as u32).max(0x2000) * 2,
+            seed,
+        }
+    }
+}
+
+/// A generated function's geometry within the section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Offset of the entry point within the section.
+    pub entry: u32,
+    /// Total function length in bytes (prologue through RET).
+    pub len: u32,
+    /// Length of the fixed prologue (always ≥ 5, hookable).
+    pub prologue_len: u32,
+}
+
+/// A zero-filled cave usable as a hook payload site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaveInfo {
+    /// Offset of the first zero byte.
+    pub offset: u32,
+    /// Cave length in bytes.
+    pub len: u32,
+}
+
+/// Output of [`generate`]: section bytes plus the geometry attacks and the
+/// loader need.
+#[derive(Clone, Debug)]
+pub struct GeneratedCode {
+    /// The section contents.
+    pub bytes: Vec<u8>,
+    /// Offsets of every absolute-address slot (relocation sites).
+    pub reloc_offsets: Vec<u32>,
+    /// Function geometry, in layout order.
+    pub functions: Vec<FunctionInfo>,
+    /// Zero caves, in layout order (the final cave always exists).
+    pub caves: Vec<CaveInfo>,
+    /// Offsets of literal `DEC ECX` (0x49) one-byte instructions.
+    pub dec_ecx_offsets: Vec<u32>,
+}
+
+/// Fixed prologue: `PUSH EBP; MOV EBP, ESP; SUB ESP, imm8`.
+const PROLOGUE: [u8; 6] = [0x55, 0x89, 0xE5, 0x83, 0xEC, 0x20];
+/// Fixed epilogue: `MOV ESP, EBP; POP EBP; RET`.
+const EPILOGUE: [u8; 4] = [0x89, 0xEC, 0x5D, 0xC3];
+
+/// Generates a synthetic `.text` section per `cfg`.
+pub fn generate(cfg: &CodeGenConfig) -> GeneratedCode {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = GeneratedCode {
+        bytes: Vec::with_capacity(cfg.size + 64),
+        reloc_offsets: Vec::new(),
+        functions: Vec::new(),
+        caves: Vec::new(),
+        dec_ecx_offsets: Vec::new(),
+    };
+    let addr_bytes = cfg.width.bytes();
+    // Reserve room for the epilogue + trailing cave so `size` is respected.
+    let budget = cfg.size.saturating_sub(cfg.cave_len).max(64);
+
+    let mut since_addr = 0usize;
+    let mut since_dec = usize::MAX / 2; // force an early DEC ECX
+    while out.bytes.len() < budget {
+        let entry = out.bytes.len() as u32;
+        out.bytes.extend_from_slice(&PROLOGUE);
+
+        // Function body: at least a handful of instructions, ending when a
+        // random draw or the byte budget says so.
+        let body_len = rng.random_range(40..160).min(budget.saturating_sub(out.bytes.len()).max(16));
+        let body_end = out.bytes.len() + body_len;
+        while out.bytes.len() < body_end {
+            if since_dec >= 512 {
+                // Guarantee DEC ECX appears regularly (experiment §V.B.1).
+                out.dec_ecx_offsets.push(out.bytes.len() as u32);
+                out.bytes.push(0x49);
+                since_dec = 0;
+                continue;
+            }
+            if since_addr >= cfg.addr_spacing && out.bytes.len() + 2 + addr_bytes <= body_end + 16 {
+                emit_addr_instruction(cfg, &mut rng, &mut out);
+                since_addr = 0;
+                continue;
+            }
+            let grew = emit_plain_instruction(&mut rng, &mut out);
+            since_addr += grew;
+            since_dec += grew;
+        }
+
+        out.bytes.extend_from_slice(&EPILOGUE);
+        out.functions.push(FunctionInfo {
+            entry,
+            len: out.bytes.len() as u32 - entry,
+            prologue_len: PROLOGUE.len() as u32,
+        });
+
+        // Inter-function opcode cave.
+        out.caves.push(CaveInfo {
+            offset: out.bytes.len() as u32,
+            len: cfg.cave_len as u32,
+        });
+        out.bytes.extend(std::iter::repeat_n(0u8, cfg.cave_len));
+    }
+    out
+}
+
+/// Emits one address-bearing instruction, recording its relocation slot.
+fn emit_addr_instruction(cfg: &CodeGenConfig, rng: &mut StdRng, out: &mut GeneratedCode) {
+    let target = rng.random_range(cfg.target_rva_range.clone()) as u64;
+    match cfg.width {
+        AddressWidth::W32 => {
+            // Pick among MOV EAX,[abs] / CALL [abs] / PUSH imm32(ptr) /
+            // MOV [abs], EAX.
+            let form = rng.random_range(0u8..4);
+            match form {
+                0 => out.bytes.push(0xA1),            // MOV EAX, [moffs32]
+                1 => out.bytes.extend([0xFF, 0x15]),  // CALL [abs32]
+                2 => out.bytes.push(0x68),            // PUSH imm32
+                _ => out.bytes.push(0xA3),            // MOV [moffs32], EAX
+            }
+            out.reloc_offsets.push(out.bytes.len() as u32);
+            out.bytes.extend((target as u32).to_le_bytes());
+        }
+        AddressWidth::W64 => {
+            // MOV RAX, imm64 — the canonical 64-bit absolute reference.
+            out.bytes.extend([0x48, 0xB8]);
+            out.reloc_offsets.push(out.bytes.len() as u32);
+            out.bytes.extend(target.to_le_bytes());
+        }
+    }
+}
+
+/// Emits one ordinary (non-relocated) instruction; returns its length.
+fn emit_plain_instruction(rng: &mut StdRng, out: &mut GeneratedCode) -> usize {
+    match rng.random_range(0u8..8) {
+        0 => {
+            out.bytes.push(0x90); // NOP
+            1
+        }
+        1 => {
+            out.bytes.push(0x50 + rng.random_range(0u8..8)); // PUSH reg
+            1
+        }
+        2 => {
+            out.bytes.push(0x58 + rng.random_range(0u8..8)); // POP reg
+            1
+        }
+        3 => {
+            // MOV r32, r32: 0x89 with a register-direct ModRM.
+            out.bytes.extend([0x89, 0xC0 | rng.random_range(0u8..64)]);
+            2
+        }
+        4 => {
+            // ADD/SUB r32, imm8: 0x83 /0 or /5.
+            let modrm = if rng.random_bool(0.5) { 0xC0 } else { 0xE8 } | rng.random_range(0u8..8);
+            out.bytes.extend([0x83, modrm, rng.random_range(1u8..0x7F)]);
+            3
+        }
+        5 => {
+            // MOV r32, imm32 with a small non-address constant.
+            out.bytes.push(0xB8 + rng.random_range(0u8..8));
+            out.bytes.extend(rng.random_range(0u32..0x400).to_le_bytes());
+            5
+        }
+        6 => {
+            // TEST r32, r32.
+            out.bytes.extend([0x85, 0xC0 | rng.random_range(0u8..64)]);
+            2
+        }
+        _ => {
+            // Short conditional jump with a tiny forward displacement.
+            out.bytes.extend([0x74 + rng.random_range(0u8..2), rng.random_range(2u8..16)]);
+            2
+        }
+    }
+}
+
+/// Generates deterministic read-only data bytes (for `.rdata`/`.data`
+/// sections): a mix of string-table-looking ASCII and binary tables.
+pub fn generate_data(size: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_DA7A);
+    let mut out = Vec::with_capacity(size);
+    while out.len() < size {
+        if rng.random_bool(0.3) {
+            // ASCII fragment.
+            let len = rng.random_range(4..24).min(size - out.len());
+            for _ in 0..len {
+                out.push(rng.random_range(0x20u8..0x7F));
+            }
+            out.push(0);
+        } else {
+            let len = rng.random_range(8..64).min(size.saturating_sub(out.len()));
+            for _ in 0..len {
+                out.push(rng.random());
+            }
+        }
+    }
+    out.truncate(size);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg32() -> CodeGenConfig {
+        CodeGenConfig::sized(AddressWidth::W32, 8 * 1024, 42)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&cfg32());
+        let b = generate(&cfg32());
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.reloc_offsets, b.reloc_offsets);
+        let mut other = cfg32();
+        other.seed = 43;
+        assert_ne!(generate(&other).bytes, a.bytes);
+    }
+
+    #[test]
+    fn size_close_to_request() {
+        let g = generate(&cfg32());
+        let want = cfg32().size;
+        assert!(
+            g.bytes.len() >= want / 2 && g.bytes.len() <= want + 512,
+            "generated {} for request {want}",
+            g.bytes.len()
+        );
+    }
+
+    #[test]
+    fn reloc_slots_are_disjoint_and_in_bounds() {
+        let g = generate(&cfg32());
+        assert!(!g.reloc_offsets.is_empty());
+        let mut prev_end = 0u32;
+        let mut sorted = g.reloc_offsets.clone();
+        sorted.sort_unstable();
+        for off in sorted {
+            assert!(off >= prev_end, "overlapping slots");
+            assert!(off as usize + 4 <= g.bytes.len());
+            prev_end = off + 4;
+        }
+    }
+
+    #[test]
+    fn functions_have_hookable_prologues() {
+        let g = generate(&cfg32());
+        assert!(!g.functions.is_empty());
+        for f in &g.functions {
+            assert!(f.prologue_len >= 5);
+            let e = f.entry as usize;
+            assert_eq!(&g.bytes[e..e + 6], &PROLOGUE);
+            // RET terminates the function.
+            assert_eq!(g.bytes[(f.entry + f.len) as usize - 1], 0xC3);
+        }
+    }
+
+    #[test]
+    fn caves_are_zero_filled() {
+        let g = generate(&cfg32());
+        assert!(!g.caves.is_empty());
+        for c in &g.caves {
+            let s = c.offset as usize;
+            assert!(g.bytes[s..s + c.len as usize].iter().all(|&b| b == 0));
+        }
+        // The section ends with a cave (needed by EXP-B1's shift-absorbing
+        // truncation).
+        let last = g.caves.last().unwrap();
+        assert_eq!(
+            (last.offset + last.len) as usize,
+            g.bytes.len(),
+            "trailing cave"
+        );
+    }
+
+    #[test]
+    fn dec_ecx_opcodes_present_and_correct() {
+        let g = generate(&cfg32());
+        assert!(!g.dec_ecx_offsets.is_empty());
+        for off in &g.dec_ecx_offsets {
+            assert_eq!(g.bytes[*off as usize], 0x49);
+        }
+    }
+
+    #[test]
+    fn w64_slots_are_eight_bytes_apart_at_least() {
+        let cfg = CodeGenConfig::sized(AddressWidth::W64, 8 * 1024, 7);
+        let g = generate(&cfg);
+        assert!(!g.reloc_offsets.is_empty());
+        let mut sorted = g.reloc_offsets.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[1] - w[0] >= 8);
+        }
+        // Slot is preceded by the MOV RAX, imm64 encoding.
+        let first = g.reloc_offsets[0] as usize;
+        assert_eq!(&g.bytes[first - 2..first], &[0x48, 0xB8]);
+    }
+
+    #[test]
+    fn data_generation_deterministic() {
+        assert_eq!(generate_data(512, 1), generate_data(512, 1));
+        assert_ne!(generate_data(512, 1), generate_data(512, 2));
+        assert_eq!(generate_data(512, 1).len(), 512);
+    }
+}

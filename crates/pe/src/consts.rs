@@ -1,0 +1,151 @@
+//! PE header constants and field offsets.
+//!
+//! Offsets follow the Microsoft PE/COFF specification for the structures the
+//! paper's Figure 3 names: `IMAGE_DOS_HEADER`, `IMAGE_NT_HEADERS`
+//! (`Signature` + `IMAGE_FILE_HEADER` + `IMAGE_OPTIONAL_HEADER`) and
+//! `IMAGE_SECTION_HEADER`.
+
+/// `IMAGE_DOS_HEADER.e_magic`: the ASCII bytes "MZ".
+pub const DOS_MAGIC: u16 = 0x5A4D;
+/// Size of `IMAGE_DOS_HEADER` itself (the stub program follows it).
+pub const DOS_HEADER_SIZE: usize = 0x40;
+/// Offset of `e_lfanew` (file offset of the NT headers) in the DOS header.
+pub const E_LFANEW_OFFSET: usize = 0x3C;
+
+/// `IMAGE_NT_HEADERS.Signature`: the ASCII bytes "PE\0\0".
+pub const PE_SIGNATURE: u32 = 0x0000_4550;
+/// Size of the NT signature field.
+pub const PE_SIGNATURE_SIZE: usize = 4;
+
+/// `IMAGE_FILE_HEADER` is a fixed 20 bytes.
+pub const FILE_HEADER_SIZE: usize = 20;
+/// `IMAGE_FILE_HEADER.Machine` for 32-bit x86.
+pub const MACHINE_I386: u16 = 0x014C;
+/// `IMAGE_FILE_HEADER.Machine` for x86-64.
+pub const MACHINE_AMD64: u16 = 0x8664;
+
+// Field offsets *within* IMAGE_FILE_HEADER.
+/// `Machine` (u16).
+pub const FH_MACHINE: usize = 0;
+/// `NumberOfSections` (u16) — the paper's `NoOfSections`.
+pub const FH_NUMBER_OF_SECTIONS: usize = 2;
+/// `TimeDateStamp` (u32).
+pub const FH_TIME_DATE_STAMP: usize = 4;
+/// `SizeOfOptionalHeader` (u16).
+pub const FH_SIZE_OF_OPTIONAL_HEADER: usize = 16;
+/// `Characteristics` (u16).
+pub const FH_CHARACTERISTICS: usize = 18;
+
+/// `IMAGE_FILE_HEADER.Characteristics` bit: image is executable.
+pub const FILE_EXECUTABLE_IMAGE: u16 = 0x0002;
+/// `IMAGE_FILE_HEADER.Characteristics` bit: 32-bit machine word.
+pub const FILE_32BIT_MACHINE: u16 = 0x0100;
+/// `IMAGE_FILE_HEADER.Characteristics` bit: file is a DLL.
+pub const FILE_DLL: u16 = 0x2000;
+
+/// Optional-header magic for PE32 (32-bit).
+pub const OPTIONAL_MAGIC_PE32: u16 = 0x010B;
+/// Optional-header magic for PE32+ (64-bit).
+pub const OPTIONAL_MAGIC_PE32_PLUS: u16 = 0x020B;
+
+/// Standard PE32 optional header size with 16 data directories.
+pub const OPTIONAL_HEADER_SIZE_32: usize = 224;
+/// Standard PE32+ optional header size with 16 data directories.
+pub const OPTIONAL_HEADER_SIZE_64: usize = 240;
+
+// Field offsets *within* IMAGE_OPTIONAL_HEADER (identical for PE32/PE32+
+// unless noted; sizes differ for ImageBase).
+/// `Magic` (u16).
+pub const OH_MAGIC: usize = 0;
+/// `AddressOfEntryPoint` (u32).
+pub const OH_ADDRESS_OF_ENTRY_POINT: usize = 16;
+/// `ImageBase` — u32 at 28 for PE32, u64 at 24 for PE32+.
+pub const OH_IMAGE_BASE_32: usize = 28;
+/// `ImageBase` for PE32+ (u64).
+pub const OH_IMAGE_BASE_64: usize = 24;
+/// `SectionAlignment` (u32).
+pub const OH_SECTION_ALIGNMENT: usize = 32;
+/// `FileAlignment` (u32).
+pub const OH_FILE_ALIGNMENT: usize = 36;
+/// `SizeOfImage` (u32).
+pub const OH_SIZE_OF_IMAGE: usize = 56;
+/// `SizeOfHeaders` (u32).
+pub const OH_SIZE_OF_HEADERS: usize = 60;
+/// `NumberOfRvaAndSizes` (u32) — PE32 offset.
+pub const OH_NUMBER_OF_RVA_AND_SIZES_32: usize = 92;
+/// `NumberOfRvaAndSizes` (u32) — PE32+ offset.
+pub const OH_NUMBER_OF_RVA_AND_SIZES_64: usize = 108;
+/// First data directory — PE32 offset.
+pub const OH_DATA_DIRECTORIES_32: usize = 96;
+/// First data directory — PE32+ offset.
+pub const OH_DATA_DIRECTORIES_64: usize = 112;
+/// Number of data directory slots emitted.
+pub const NUM_DATA_DIRECTORIES: u32 = 16;
+/// Bytes per data directory entry (VirtualAddress u32 + Size u32).
+pub const DATA_DIRECTORY_SIZE: usize = 8;
+
+/// Data directory index: export table.
+pub const DIR_EXPORT: usize = 0;
+/// Data directory index: import table.
+pub const DIR_IMPORT: usize = 1;
+/// Data directory index: base relocation table.
+pub const DIR_BASERELOC: usize = 5;
+
+/// `IMAGE_SECTION_HEADER` is a fixed 40 bytes.
+pub const SECTION_HEADER_SIZE: usize = 40;
+/// `Name` field length (padded with NULs, not necessarily terminated).
+pub const SECTION_NAME_LEN: usize = 8;
+
+// Field offsets *within* IMAGE_SECTION_HEADER.
+/// `Name` ([u8; 8]).
+pub const SH_NAME: usize = 0;
+/// `VirtualSize` (u32) — the paper's `sec.VirtualSize`.
+pub const SH_VIRTUAL_SIZE: usize = 8;
+/// `VirtualAddress` (u32) — the paper's `sec.VirtualAddress` (an RVA).
+pub const SH_VIRTUAL_ADDRESS: usize = 12;
+/// `SizeOfRawData` (u32).
+pub const SH_SIZE_OF_RAW_DATA: usize = 16;
+/// `PointerToRawData` (u32).
+pub const SH_POINTER_TO_RAW_DATA: usize = 20;
+/// `Characteristics` (u32).
+pub const SH_CHARACTERISTICS: usize = 36;
+
+/// Section contains executable code.
+pub const SCN_CNT_CODE: u32 = 0x0000_0020;
+/// Section contains initialized data.
+pub const SCN_CNT_INITIALIZED_DATA: u32 = 0x0000_0040;
+/// Section can be discarded after init (e.g. `.reloc`, `INIT`).
+pub const SCN_MEM_DISCARDABLE: u32 = 0x0200_0000;
+/// Section is executable.
+pub const SCN_MEM_EXECUTE: u32 = 0x2000_0000;
+/// Section is readable.
+pub const SCN_MEM_READ: u32 = 0x4000_0000;
+/// Section is writable.
+pub const SCN_MEM_WRITE: u32 = 0x8000_0000;
+
+/// Characteristics of a typical driver `.text` section (read-only executable
+/// code — the content class the paper's Integrity-Checker hashes).
+pub const TEXT_CHARACTERISTICS: u32 = SCN_CNT_CODE | SCN_MEM_EXECUTE | SCN_MEM_READ;
+/// Characteristics of a typical `.data` section.
+pub const DATA_CHARACTERISTICS: u32 = SCN_CNT_INITIALIZED_DATA | SCN_MEM_READ | SCN_MEM_WRITE;
+/// Characteristics of a typical `.rdata` section.
+pub const RDATA_CHARACTERISTICS: u32 = SCN_CNT_INITIALIZED_DATA | SCN_MEM_READ;
+/// Characteristics of a typical `.reloc` section.
+pub const RELOC_CHARACTERISTICS: u32 =
+    SCN_CNT_INITIALIZED_DATA | SCN_MEM_READ | SCN_MEM_DISCARDABLE;
+
+/// Default section alignment for loaded images (one guest page).
+pub const DEFAULT_SECTION_ALIGNMENT: u32 = 0x1000;
+/// Default file alignment.
+pub const DEFAULT_FILE_ALIGNMENT: u32 = 0x200;
+
+/// Base-relocation entry type: 32-bit absolute (`IMAGE_REL_BASED_HIGHLOW`).
+pub const REL_BASED_HIGHLOW: u8 = 3;
+/// Base-relocation entry type: 64-bit absolute (`IMAGE_REL_BASED_DIR64`).
+pub const REL_BASED_DIR64: u8 = 10;
+/// Base-relocation entry type: padding (`IMAGE_REL_BASED_ABSOLUTE`).
+pub const REL_BASED_ABSOLUTE: u8 = 0;
+
+/// The DOS stub message carried by MSVC-linked binaries; the paper's
+/// experiment §V.B.3 rewrites "DOS" to "CHK" inside it.
+pub const DOS_STUB_MESSAGE: &[u8] = b"This program cannot be run in DOS mode.\r\r\n$";

@@ -1,0 +1,327 @@
+//! The evaluation module corpus.
+//!
+//! The paper exercises real Windows XP SP2 kernel modules: `hal.dll` (§V.B.1,
+//! §V.B.2), a "Hello World" dummy driver (§V.B.3), `dummy.sys` + `inject.dll`
+//! (§V.B.4) and `http.sys` (§V.C runtime study). This module synthesizes
+//! stand-ins with paper-plausible sizes. Every blueprint is deterministic:
+//! cloned VMs must observe byte-identical module *files* (they were cloned
+//! from one installation), differing in memory only by relocation.
+
+use crate::builder::{ExportSpec, PeBuilder, PeFile, SectionSpec};
+use crate::codegen::{self, CodeGenConfig, GeneratedCode};
+use crate::consts::{DATA_CHARACTERISTICS, RDATA_CHARACTERISTICS, TEXT_CHARACTERISTICS};
+use crate::{AddressWidth, PeError};
+
+/// Recipe for one synthetic kernel module.
+#[derive(Clone, Debug)]
+pub struct ModuleBlueprint {
+    /// Module file name as it appears in `BaseDllName` (e.g. `hal.dll`).
+    pub name: String,
+    /// Pointer width.
+    pub width: AddressWidth,
+    /// Target `.text` size in bytes.
+    pub text_size: usize,
+    /// Target `.data` size in bytes.
+    pub data_size: usize,
+    /// Target `.rdata` size in bytes.
+    pub rdata_size: usize,
+    /// Deterministic generation seed (derived from the name by default).
+    pub seed: u64,
+    /// Whether the image is a DLL.
+    pub is_dll: bool,
+    /// Exported function names, assigned to generated functions round-robin.
+    pub exports: Vec<String>,
+    /// Imported DLLs: `(dll, functions)`. Drivers typically import from
+    /// `ntoskrnl.exe`/`hal.dll`; the DLL-hooking attack (§V.B.4) appends an
+    /// entry here.
+    pub imports: Vec<(String, Vec<String>)>,
+    /// Size of an additional `INIT` executable section (0 = none). Real
+    /// drivers carry discardable init code alongside `.text`; the checker
+    /// must hash every executable section separately.
+    pub init_size: usize,
+}
+
+impl ModuleBlueprint {
+    /// Creates a blueprint with sizes and a name-derived seed.
+    pub fn new(name: &str, width: AddressWidth, text_size: usize) -> Self {
+        ModuleBlueprint {
+            name: name.to_string(),
+            width,
+            text_size,
+            data_size: (text_size / 4).max(256),
+            rdata_size: (text_size / 8).max(128),
+            seed: seed_from_name(name),
+            is_dll: name.ends_with(".dll"),
+            exports: Vec::new(),
+            imports: Vec::new(),
+            init_size: 0,
+        }
+    }
+
+    /// Adds an `INIT` executable section of `size` bytes.
+    pub fn with_init_section(mut self, size: usize) -> Self {
+        self.init_size = size;
+        self
+    }
+
+    /// Adds imported DLLs.
+    pub fn with_imports(mut self, imports: &[(&str, &[&str])]) -> Self {
+        self.imports = imports
+            .iter()
+            .map(|(dll, fns)| (dll.to_string(), fns.iter().map(|f| f.to_string()).collect()))
+            .collect();
+        self
+    }
+
+    /// Adds exported symbols (realized against generated function entries).
+    pub fn with_exports(mut self, names: &[&str]) -> Self {
+        self.exports = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Generates the code and a ready-to-build [`PeBuilder`].
+    ///
+    /// Attacks mutate the returned builder (or the produced bytes) before
+    /// the guest loads the module.
+    pub fn generate(&self) -> ModuleArtifacts {
+        let code = codegen::generate(&CodeGenConfig::sized(self.width, self.text_size, self.seed));
+
+        let mut builder = PeBuilder::new(self.width).dll(self.is_dll);
+        let text = builder.add_section(SectionSpec::new(
+            ".text",
+            TEXT_CHARACTERISTICS,
+            code.bytes.clone(),
+        ));
+        builder.add_section(SectionSpec::new(
+            ".rdata",
+            RDATA_CHARACTERISTICS,
+            codegen::generate_data(self.rdata_size, self.seed ^ 1),
+        ));
+        builder.add_section(SectionSpec::new(
+            ".data",
+            DATA_CHARACTERISTICS,
+            codegen::generate_data(self.data_size, self.seed ^ 2),
+        ));
+        builder.add_reloc_sites(text, code.reloc_offsets.iter().copied());
+
+        if self.init_size > 0 {
+            // Discardable init code: executable, so the checker hashes it
+            // (after RVA adjustment) like .text. Windows loaders keep INIT
+            // resident in the configurations the paper inspects.
+            let init_code = codegen::generate(&CodeGenConfig::sized(
+                self.width,
+                self.init_size,
+                self.seed ^ 0x1217,
+            ));
+            let init = builder.add_section(SectionSpec::new(
+                "INIT",
+                TEXT_CHARACTERISTICS,
+                init_code.bytes.clone(),
+            ));
+            builder.add_reloc_sites(init, init_code.reloc_offsets.iter().copied());
+        }
+
+        if !self.imports.is_empty() {
+            builder.imports(
+                self.imports
+                    .iter()
+                    .map(|(dll, fns)| crate::builder::ImportSpec {
+                        dll: dll.clone(),
+                        functions: fns.clone(),
+                    })
+                    .collect(),
+            );
+        }
+        if !self.exports.is_empty() {
+            let specs = self
+                .exports
+                .iter()
+                .enumerate()
+                .map(|(i, name)| ExportSpec {
+                    name: name.clone(),
+                    text_offset: code.functions[i % code.functions.len()].entry,
+                })
+                .collect();
+            builder.exports(&self.name, specs);
+        }
+        // Entry point: first generated function (RVA filled by the builder's
+        // fixed first-section layout; .text is always section 0 at the first
+        // page boundary past the headers).
+        ModuleArtifacts {
+            name: self.name.clone(),
+            width: self.width,
+            builder,
+            code,
+            text_section: text,
+        }
+    }
+
+    /// Builds the pristine module file.
+    pub fn build(&self) -> Result<PeFile, PeError> {
+        self.generate().builder.build()
+    }
+}
+
+/// A generated module plus the geometry attacks need to target it.
+#[derive(Clone, Debug)]
+pub struct ModuleArtifacts {
+    /// Module name.
+    pub name: String,
+    /// Pointer width the module was generated for.
+    pub width: AddressWidth,
+    /// Builder holding the pristine sections; mutate then `build()`.
+    pub builder: PeBuilder,
+    /// Code geometry: functions, caves, reloc slots, `DEC ECX` sites.
+    pub code: GeneratedCode,
+    /// Index of the `.text` section within the builder.
+    pub text_section: usize,
+}
+
+impl ModuleArtifacts {
+    /// Builds the (possibly mutated) module file.
+    pub fn build(&self) -> Result<PeFile, PeError> {
+        self.builder.build()
+    }
+}
+
+/// Stable 64-bit FNV-1a of the module name; keeps blueprints deterministic
+/// without coordinating seeds by hand.
+fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The standard guest module set, sized after the Windows XP SP2 drivers the
+/// paper names (sizes are order-of-magnitude faithful, scaled to keep a
+/// 15-VM cloud comfortably in memory).
+pub fn standard_corpus(width: AddressWidth) -> Vec<ModuleBlueprint> {
+    const NT_IMPORTS: (&str, &[&str]) = (
+        "ntoskrnl.exe",
+        &[
+            "ExAllocatePoolWithTag",
+            "ExFreePoolWithTag",
+            "IoCreateDevice",
+            "IofCompleteRequest",
+            "KeBugCheckEx",
+        ],
+    );
+    const HAL_IMPORTS: (&str, &[&str]) = ("hal.dll", &["KfAcquireSpinLock", "READ_PORT_UCHAR"]);
+    vec![
+        ModuleBlueprint::new("ntoskrnl.exe", width, 512 * 1024)
+            .with_exports(&["ExAllocatePoolWithTag", "IoCreateDevice", "KeBugCheckEx"]),
+        ModuleBlueprint::new("hal.dll", width, 128 * 1024)
+            .with_exports(&["KfAcquireSpinLock", "READ_PORT_UCHAR"])
+            .with_imports(&[NT_IMPORTS]),
+        ModuleBlueprint::new("ntfs.sys", width, 384 * 1024)
+            .with_imports(&[NT_IMPORTS])
+            .with_init_section(24 * 1024),
+        ModuleBlueprint::new("tcpip.sys", width, 256 * 1024)
+            .with_imports(&[NT_IMPORTS, HAL_IMPORTS])
+            .with_init_section(16 * 1024),
+        ModuleBlueprint::new("http.sys", width, 256 * 1024).with_imports(&[NT_IMPORTS]),
+        ModuleBlueprint::new("ndis.sys", width, 160 * 1024)
+            .with_imports(&[NT_IMPORTS, HAL_IMPORTS]),
+        ModuleBlueprint::new("win32k.sys", width, 448 * 1024).with_imports(&[NT_IMPORTS]),
+        ModuleBlueprint::new("fltmgr.sys", width, 96 * 1024).with_imports(&[NT_IMPORTS]),
+        ModuleBlueprint::new("ksecdd.sys", width, 64 * 1024).with_imports(&[NT_IMPORTS]),
+        ModuleBlueprint::new("helloworld.sys", width, 8 * 1024),
+        // dummy.sys carries a baseline import table so the §V.B.4 attack
+        // can *extend* it (appending a DLL must not change the section
+        // count, or the FILE header would also flag — the paper reports it
+        // does not).
+        ModuleBlueprint::new("dummy.sys", width, 12 * 1024).with_imports(&[(
+            "ntoskrnl.exe",
+            &["IoCreateDevice", "IoDeleteDevice", "IofCompleteRequest"],
+        )]),
+    ]
+}
+
+/// The malicious helper DLL of experiment §V.B.4.
+pub fn inject_dll(width: AddressWidth) -> ModuleBlueprint {
+    ModuleBlueprint::new("inject.dll", width, 4 * 1024).with_exports(&["callMessageBox"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::ParsedModule;
+
+    #[test]
+    fn corpus_builds_and_parses() {
+        for bp in standard_corpus(AddressWidth::W32) {
+            let pe = bp.build().unwrap_or_else(|e| panic!("{}: {e}", bp.name));
+            let parsed = ParsedModule::parse_file(pe.bytes()).unwrap();
+            assert_eq!(parsed.width, AddressWidth::W32, "{}", bp.name);
+            assert_eq!(parsed.sections[0].name, ".text", "{}", bp.name);
+            assert!(!pe.reloc_rvas().is_empty(), "{}", bp.name);
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = ModuleBlueprint::new("hal.dll", AddressWidth::W32, 128 * 1024)
+            .build()
+            .unwrap();
+        let b = ModuleBlueprint::new("hal.dll", AddressWidth::W32, 128 * 1024)
+            .build()
+            .unwrap();
+        assert_eq!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn distinct_modules_differ() {
+        let a = ModuleBlueprint::new("a.sys", AddressWidth::W32, 16 * 1024)
+            .build()
+            .unwrap();
+        let b = ModuleBlueprint::new("b.sys", AddressWidth::W32, 16 * 1024)
+            .build()
+            .unwrap();
+        assert_ne!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn inject_dll_exports_call_message_box() {
+        let pe = inject_dll(AddressWidth::W32).build().unwrap();
+        assert!(pe
+            .bytes()
+            .windows(b"callMessageBox".len())
+            .any(|w| w == b"callMessageBox"));
+        let parsed = ParsedModule::parse_file(pe.bytes()).unwrap();
+        assert!(parsed.find_section(".edata").is_some());
+    }
+
+    #[test]
+    fn init_section_is_second_executable_section() {
+        let bp = ModuleBlueprint::new("drv.sys", AddressWidth::W32, 16 * 1024)
+            .with_init_section(8 * 1024);
+        let pe = bp.build().unwrap();
+        let parsed = ParsedModule::parse_file(pe.bytes()).unwrap();
+        let execs: Vec<&str> = parsed
+            .sections
+            .iter()
+            .filter(|s| s.is_executable())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(execs, vec![".text", "INIT"]);
+        // INIT carries its own relocation sites.
+        let init = &parsed.sections[parsed.find_section("INIT").unwrap()];
+        assert!(pe
+            .reloc_rvas()
+            .iter()
+            .any(|&r| r >= init.virtual_address && r < init.virtual_address + init.virtual_size));
+    }
+
+    #[test]
+    fn text_sizes_match_blueprints_roughly() {
+        let bp = ModuleBlueprint::new("http.sys", AddressWidth::W32, 256 * 1024);
+        let pe = bp.build().unwrap();
+        let parsed = ParsedModule::parse_file(pe.bytes()).unwrap();
+        let text = &parsed.sections[parsed.find_section(".text").unwrap()];
+        let vsize = text.virtual_size as usize;
+        assert!(vsize > 200 * 1024 && vsize < 300 * 1024, "vsize {vsize}");
+    }
+}

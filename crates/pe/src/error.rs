@@ -1,0 +1,90 @@
+//! Typed PE parsing/building errors.
+
+use std::fmt;
+
+/// Errors produced while parsing or constructing PE images.
+///
+/// The checker must degrade gracefully on corrupt guest memory (a rootkit may
+/// deliberately smash headers), so every malformation is a typed error rather
+/// than a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PeError {
+    /// Buffer smaller than a DOS header, or a header range runs off the end.
+    Truncated {
+        /// What we were reading when the buffer ran out.
+        what: &'static str,
+        /// Byte offset at which the read failed.
+        offset: usize,
+    },
+    /// `e_magic` is not "MZ".
+    BadDosMagic(u16),
+    /// `e_lfanew` points outside the buffer or below the DOS header.
+    BadLfanew(u32),
+    /// NT signature is not "PE\0\0".
+    BadPeSignature(u32),
+    /// Optional-header magic is neither PE32 nor PE32+.
+    BadOptionalMagic(u16),
+    /// `SizeOfOptionalHeader` disagrees with the magic-implied size.
+    OptionalHeaderSizeMismatch {
+        /// Value from `IMAGE_FILE_HEADER.SizeOfOptionalHeader`.
+        declared: u16,
+        /// Minimum size implied by the optional-header magic.
+        expected: u16,
+    },
+    /// `NumberOfSections` exceeds the sanity cap.
+    TooManySections(u16),
+    /// A section's data range (`VirtualAddress..+VirtualSize` or raw range)
+    /// lies outside the image buffer.
+    SectionOutOfBounds {
+        /// Section name (possibly lossy if non-UTF-8).
+        name: String,
+        /// Start of the offending range.
+        start: u64,
+        /// Length of the offending range.
+        len: u64,
+        /// Size of the buffer it had to fit in.
+        image_len: usize,
+    },
+    /// Builder misuse: e.g. duplicate section name or oversized name.
+    Build(String),
+}
+
+/// Upper bound on `NumberOfSections` we accept; real drivers have < 20
+/// sections, and an attacker-controlled huge count must not drive an
+/// unbounded parse loop.
+pub const MAX_SECTIONS: u16 = 96;
+
+impl fmt::Display for PeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeError::Truncated { what, offset } => {
+                write!(f, "truncated image while reading {what} at offset {offset:#x}")
+            }
+            PeError::BadDosMagic(m) => write!(f, "bad DOS magic {m:#06x} (expected \"MZ\")"),
+            PeError::BadLfanew(v) => write!(f, "e_lfanew {v:#x} out of range"),
+            PeError::BadPeSignature(s) => {
+                write!(f, "bad PE signature {s:#010x} (expected \"PE\\0\\0\")")
+            }
+            PeError::BadOptionalMagic(m) => write!(f, "bad optional-header magic {m:#06x}"),
+            PeError::OptionalHeaderSizeMismatch { declared, expected } => write!(
+                f,
+                "SizeOfOptionalHeader {declared} smaller than magic-implied {expected}"
+            ),
+            PeError::TooManySections(n) => {
+                write!(f, "NumberOfSections {n} exceeds sanity cap {MAX_SECTIONS}")
+            }
+            PeError::SectionOutOfBounds {
+                name,
+                start,
+                len,
+                image_len,
+            } => write!(
+                f,
+                "section {name:?} range {start:#x}+{len:#x} outside image of {image_len:#x} bytes"
+            ),
+            PeError::Build(msg) => write!(f, "builder error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PeError {}

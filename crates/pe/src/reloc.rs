@@ -1,0 +1,129 @@
+//! Base-relocation (`.reloc`) section encoding and decoding.
+//!
+//! The on-disk format is a sequence of `IMAGE_BASE_RELOCATION` blocks:
+//! `{ PageRVA: u32, BlockSize: u32, entries: [u16] }` where each entry packs
+//! a 4-bit type and a 12-bit offset within the page. Blocks are 4-aligned
+//! with `IMAGE_REL_BASED_ABSOLUTE` padding entries.
+//!
+//! ModChecker itself never reads this section — Algorithm 2 reconstructs
+//! relocations by diffing — but the guest loader consumes it, and ablation
+//! ABL-2 compares Algorithm 2 against relocation-table-driven normalization.
+
+use crate::consts::{REL_BASED_ABSOLUTE, REL_BASED_DIR64, REL_BASED_HIGHLOW};
+use crate::{read_u16, read_u32, write_u16, write_u32, AddressWidth};
+
+/// Encodes the relocation RVA list into `.reloc` section bytes.
+pub fn build_reloc_section(width: AddressWidth, rvas: &[u32]) -> Vec<u8> {
+    let mut sorted: Vec<u32> = rvas.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    let rtype = match width {
+        AddressWidth::W32 => REL_BASED_HIGHLOW,
+        AddressWidth::W64 => REL_BASED_DIR64,
+    };
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let page = sorted[i] & !0xFFF;
+        let mut entries: Vec<u16> = Vec::new();
+        while i < sorted.len() && sorted[i] & !0xFFF == page {
+            let off = (sorted[i] & 0xFFF) as u16;
+            entries.push(((rtype as u16) << 12) | off);
+            i += 1;
+        }
+        if entries.len() % 2 == 1 {
+            entries.push((REL_BASED_ABSOLUTE as u16) << 12); // pad to u32 boundary
+        }
+        let block_size = 8 + entries.len() * 2;
+        let base = out.len();
+        out.resize(base + block_size, 0);
+        write_u32(&mut out, base, page);
+        write_u32(&mut out, base + 4, block_size as u32);
+        for (k, e) in entries.iter().enumerate() {
+            write_u16(&mut out, base + 8 + 2 * k, *e);
+        }
+    }
+    out
+}
+
+/// Decodes a `.reloc` section back into relocation-slot RVAs.
+///
+/// Returns `None` if the section is structurally malformed (truncated block,
+/// zero `BlockSize`). Unknown entry types are skipped, matching loader
+/// behaviour.
+pub fn parse_reloc_section(data: &[u8]) -> Option<Vec<u32>> {
+    let mut rvas = Vec::new();
+    let mut at = 0usize;
+    while at + 8 <= data.len() {
+        let page = read_u32(data, at)?;
+        let block_size = read_u32(data, at + 4)? as usize;
+        if block_size < 8 || at + block_size > data.len() || !block_size.is_multiple_of(2) {
+            return None;
+        }
+        let mut e = at + 8;
+        while e + 2 <= at + block_size {
+            let entry = read_u16(data, e)?;
+            let rtype = (entry >> 12) as u8;
+            if rtype == REL_BASED_HIGHLOW || rtype == REL_BASED_DIR64 {
+                rvas.push(page + (entry & 0xFFF) as u32);
+            }
+            e += 2;
+        }
+        at += block_size;
+    }
+    if at == data.len() {
+        Some(rvas)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single_page() {
+        let rvas = vec![0x1004, 0x1010, 0x1ffc];
+        let sec = build_reloc_section(AddressWidth::W32, &rvas);
+        assert_eq!(parse_reloc_section(&sec).unwrap(), rvas);
+    }
+
+    #[test]
+    fn round_trip_multi_page_and_dedup() {
+        let rvas = vec![0x3008, 0x1004, 0x1004, 0x2ff0];
+        let sec = build_reloc_section(AddressWidth::W64, &rvas);
+        assert_eq!(parse_reloc_section(&sec).unwrap(), vec![0x1004, 0x2ff0, 0x3008]);
+    }
+
+    #[test]
+    fn blocks_are_four_aligned() {
+        // An odd number of entries in a page forces a padding entry.
+        let sec = build_reloc_section(AddressWidth::W32, &[0x1000]);
+        assert_eq!(sec.len() % 4, 0);
+        assert_eq!(parse_reloc_section(&sec).unwrap(), vec![0x1000]);
+    }
+
+    #[test]
+    fn empty_list_is_empty_section() {
+        let sec = build_reloc_section(AddressWidth::W32, &[]);
+        assert!(sec.is_empty());
+        assert_eq!(parse_reloc_section(&sec).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn malformed_sections_rejected() {
+        // Truncated block header.
+        assert!(parse_reloc_section(&[0, 0, 0]).is_none());
+        // BlockSize smaller than the header.
+        let mut bad = vec![0u8; 8];
+        write_u32(&mut bad, 4, 4);
+        assert!(parse_reloc_section(&bad).is_none());
+        // BlockSize overrunning the buffer.
+        let mut bad = vec![0u8; 8];
+        write_u32(&mut bad, 4, 64);
+        assert!(parse_reloc_section(&bad).is_none());
+    }
+}

@@ -1,0 +1,390 @@
+//! Virtual machine introspection — the reproduction's libVMI.
+//!
+//! The paper introspects guests with libvmi-0.6: from the privileged VM it
+//! resolves kernel symbols, translates guest virtual addresses by walking
+//! the guest's page tables, maps foreign frames, and copies memory out.
+//! [`VmiSession`] provides that surface over the simulated hypervisor with
+//! two properties the reproduction depends on:
+//!
+//! * **Read-only.** There is deliberately no write API. ModChecker "performs
+//!   read-only operations of the memory of guest VMs"; the type system
+//!   enforces it (a session borrows the hypervisor immutably, so guests
+//!   cannot change under it, and parallel sessions are safe).
+//! * **Cost-accounted.** Every read charges simulated time to the session's
+//!   ledger: per-page translation + foreign-map cost plus per-byte copy
+//!   cost, scaled by the host contention factor captured at attach time.
+//!   The performance figures (Fig. 7/8) are integrals of this ledger.
+//!
+//! Processing costs (parsing, hashing, diffing) are charged by the checker
+//! via [`VmiSession::charge_process`], so one ledger carries a whole
+//! per-VM check and can be split per component.
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::fmt;
+
+use mc_hypervisor::{AddressWidth, HvError, Hypervisor, SimDuration, Vm, VmId, PAGE_SHIFT};
+
+/// Introspection errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmiError {
+    /// Underlying guest-memory/translation failure (e.g. unmapped page —
+    /// possibly a hostile guest pointing us into the void).
+    Hv(HvError),
+    /// No VM with this name exists on the host.
+    VmNotFound(String),
+    /// The requested symbol is not in the VM's profile.
+    UnknownSymbol(String),
+}
+
+impl fmt::Display for VmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmiError::Hv(e) => write!(f, "guest access failed: {e}"),
+            VmiError::VmNotFound(n) => write!(f, "no VM named {n:?}"),
+            VmiError::UnknownSymbol(s) => write!(f, "symbol {s:?} not in profile"),
+        }
+    }
+}
+
+impl std::error::Error for VmiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmiError::Hv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HvError> for VmiError {
+    fn from(e: HvError) -> Self {
+        VmiError::Hv(e)
+    }
+}
+
+/// Access statistics for one session (used by benches and tests to verify
+/// the page-granular access pattern).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmiStats {
+    /// Number of `read_va` calls.
+    pub reads: u64,
+    /// Guest frames mapped (one per page crossed per read; no map cache, as
+    /// in the paper's sequential prototype).
+    pub pages_mapped: u64,
+    /// Bytes copied out of the guest.
+    pub bytes_copied: u64,
+}
+
+/// An introspection session against one guest VM.
+pub struct VmiSession<'hv> {
+    vm: &'hv Vm,
+    cost: mc_hypervisor::CostModel,
+    slowdown: f64,
+    elapsed: SimDuration,
+    stats: VmiStats,
+    /// Pages already mapped this session (libVMI's page cache). `None`
+    /// reproduces the paper's prototype, which pays the foreign-map cost on
+    /// every access (ablation ABL-5 measures the difference).
+    page_cache: Option<HashSet<u64>>,
+}
+
+impl<'hv> VmiSession<'hv> {
+    /// Attaches to a VM by id. Charges the attach cost.
+    pub fn attach(hv: &'hv Hypervisor, id: VmId) -> Result<Self, VmiError> {
+        let vm = hv.vm(id)?;
+        let slowdown = hv.dom0_slowdown();
+        let mut s = VmiSession {
+            vm,
+            cost: hv.cost,
+            slowdown,
+            elapsed: SimDuration::ZERO,
+            stats: VmiStats::default(),
+            page_cache: None,
+        };
+        s.charge(SimDuration::from_nanos(s.cost.vmi_attach_ns));
+        Ok(s)
+    }
+
+    /// Enables the page-map cache for this session: a page crossed more
+    /// than once charges its translation + foreign-map cost only the first
+    /// time (per-byte copy costs still accrue). Mirrors libVMI's
+    /// `--enable-address-cache`; the paper's prototype runs uncached.
+    pub fn with_page_cache(mut self) -> Self {
+        self.page_cache = Some(HashSet::new());
+        self
+    }
+
+    /// Attaches to a VM by domain name.
+    pub fn attach_by_name(hv: &'hv Hypervisor, name: &str) -> Result<Self, VmiError> {
+        let vm = hv
+            .vm_by_name(name)
+            .ok_or_else(|| VmiError::VmNotFound(name.to_string()))?;
+        Self::attach(hv, vm.id)
+    }
+
+    /// The introspected VM's name.
+    pub fn vm_name(&self) -> &str {
+        &self.vm.name
+    }
+
+    /// The introspected VM's id.
+    pub fn vm_id(&self) -> VmId {
+        self.vm.id
+    }
+
+    /// Guest pointer width (from the profile).
+    pub fn width(&self) -> AddressWidth {
+        self.vm.width()
+    }
+
+    /// Resolves a kernel symbol from the VM's profile (libVMI's
+    /// `vmi_translate_ksym2v`).
+    pub fn symbol(&mut self, name: &str) -> Result<u64, VmiError> {
+        self.charge(SimDuration::from_nanos(self.cost.symbol_lookup_ns));
+        self.vm
+            .symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| VmiError::UnknownSymbol(name.to_string()))
+    }
+
+    /// Reads guest-virtual memory into `buf`, charging per-page map +
+    /// per-byte copy costs (libVMI's `vmi_read_va`).
+    pub fn read_va(&mut self, va: u64, buf: &mut [u8]) -> Result<(), VmiError> {
+        let pages = Vm::pages_crossed(va, buf.len() as u64);
+        // With the cache enabled, only first-touch pages pay the map cost.
+        let chargeable_pages = match &mut self.page_cache {
+            None => pages,
+            Some(cache) => {
+                let first = va >> PAGE_SHIFT;
+                (0..pages).filter(|i| cache.insert(first + i)).count() as u64
+            }
+        };
+        self.stats.reads += 1;
+        self.stats.pages_mapped += chargeable_pages;
+        self.stats.bytes_copied += buf.len() as u64;
+        self.charge(self.cost.read_cost(chargeable_pages, buf.len() as u64));
+        self.vm.read_virt(va, buf)?;
+        Ok(())
+    }
+
+    /// Reads a guest pointer (4/8 bytes by width).
+    pub fn read_ptr(&mut self, va: u64) -> Result<u64, VmiError> {
+        match self.width() {
+            AddressWidth::W32 => {
+                let mut b = [0u8; 4];
+                self.read_va(va, &mut b)?;
+                Ok(u32::from_le_bytes(b) as u64)
+            }
+            AddressWidth::W64 => {
+                let mut b = [0u8; 8];
+                self.read_va(va, &mut b)?;
+                Ok(u64::from_le_bytes(b))
+            }
+        }
+    }
+
+    /// Reads a `u16`.
+    pub fn read_u16(&mut self, va: u64) -> Result<u16, VmiError> {
+        let mut b = [0u8; 2];
+        self.read_va(va, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Reads a `u32`.
+    pub fn read_u32(&mut self, va: u64) -> Result<u32, VmiError> {
+        let mut b = [0u8; 4];
+        self.read_va(va, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Charges non-introspection processing time (parser/hasher/differ) to
+    /// this session's ledger, scaled by host contention.
+    pub fn charge_process(&mut self, per_byte_ns: f64, bytes: u64) {
+        self.charge(self.cost.process_cost(per_byte_ns, bytes));
+    }
+
+    /// The session's cost model (so callers use consistent constants).
+    pub fn cost_model(&self) -> &mc_hypervisor::CostModel {
+        &self.cost
+    }
+
+    /// Simulated time consumed so far.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Returns and resets the ledger (used to split time per component).
+    pub fn take_elapsed(&mut self) -> SimDuration {
+        std::mem::take(&mut self.elapsed)
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> VmiStats {
+        self.stats
+    }
+
+    fn charge(&mut self, base: SimDuration) {
+        self.elapsed += base.scaled(self.slowdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_hypervisor::PAGE_SIZE;
+
+    fn host_with_vm() -> (Hypervisor, VmId) {
+        let mut hv = Hypervisor::new();
+        let id = hv.create_vm("dom1", AddressWidth::W32).unwrap();
+        let vm = hv.vm_mut(id).unwrap();
+        vm.map_range(0x8000_0000, 4 * PAGE_SIZE as u64).unwrap();
+        vm.write_virt(0x8000_0000, b"introspect me").unwrap();
+        vm.write_ptr(0x8000_0100, 0xF7AB_0000).unwrap();
+        vm.symbols.insert("PsLoadedModuleList".into(), 0x8000_0100);
+        (hv, id)
+    }
+
+    #[test]
+    fn read_va_returns_guest_bytes() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = [0u8; 13];
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        assert_eq!(&buf, b"introspect me");
+        assert_eq!(s.stats().reads, 1);
+        assert_eq!(s.stats().bytes_copied, 13);
+        assert_eq!(s.stats().pages_mapped, 1);
+    }
+
+    #[test]
+    fn symbol_resolution_and_ptr_read() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let head = s.symbol("PsLoadedModuleList").unwrap();
+        assert_eq!(s.read_ptr(head).unwrap(), 0xF7AB_0000);
+        assert!(matches!(
+            s.symbol("NoSuchSymbol"),
+            Err(VmiError::UnknownSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn costs_accrue_per_page() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let after_attach = s.elapsed();
+        assert!(after_attach > SimDuration::ZERO, "attach itself is charged");
+
+        let mut small = [0u8; 16];
+        s.read_va(0x8000_0000, &mut small).unwrap();
+        let one_page_read = s.elapsed() - after_attach;
+
+        let mut big = vec![0u8; 3 * PAGE_SIZE];
+        let before = s.elapsed();
+        s.read_va(0x8000_0000, &mut big).unwrap();
+        let three_page_read = s.elapsed() - before;
+        assert!(three_page_read.as_nanos() > 2 * one_page_read.as_nanos());
+        assert_eq!(s.stats().pages_mapped, 1 + 3);
+    }
+
+    #[test]
+    fn contention_scales_charges() {
+        let (mut hv, id) = host_with_vm();
+        let idle_cost = {
+            let mut s = VmiSession::attach(&hv, id).unwrap();
+            let mut buf = vec![0u8; 2 * PAGE_SIZE];
+            s.read_va(0x8000_0000, &mut buf).unwrap();
+            s.elapsed()
+        };
+        // Load the host far past its cores.
+        for i in 0..20 {
+            let v = hv.create_vm(&format!("ld{i}"), AddressWidth::W32).unwrap();
+            hv.vm_mut(v).unwrap().cpu_demand = 1.0;
+        }
+        let loaded_cost = {
+            let mut s = VmiSession::attach(&hv, id).unwrap();
+            let mut buf = vec![0u8; 2 * PAGE_SIZE];
+            s.read_va(0x8000_0000, &mut buf).unwrap();
+            s.elapsed()
+        };
+        assert!(
+            loaded_cost.as_nanos() > 2 * idle_cost.as_nanos(),
+            "loaded {loaded_cost} vs idle {idle_cost}"
+        );
+    }
+
+    #[test]
+    fn take_elapsed_splits_ledger() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let phase1 = s.take_elapsed();
+        assert!(phase1 > SimDuration::ZERO);
+        assert_eq!(s.elapsed(), SimDuration::ZERO);
+        s.charge_process(2.0, 1000);
+        // 2000 ns scaled by the near-idle slowdown (~1.04).
+        let ns = s.elapsed().as_nanos();
+        assert!((2000..=2400).contains(&ns), "unexpected charge {ns}");
+    }
+
+    #[test]
+    fn read_of_unmapped_guest_memory_is_typed_error() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            s.read_va(0xDEAD_0000, &mut buf),
+            Err(VmiError::Hv(HvError::UnmappedVa(_)))
+        ));
+    }
+
+    #[test]
+    fn page_cache_charges_first_touch_only() {
+        let (hv, id) = host_with_vm();
+        // Uncached: two reads of the same page charge two maps.
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        s.take_elapsed();
+        let mut buf = [0u8; 64];
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        let uncached = s.take_elapsed();
+        assert_eq!(s.stats().pages_mapped, 2);
+
+        // Cached: the second read only pays the copy cost.
+        let mut s = VmiSession::attach(&hv, id).unwrap().with_page_cache();
+        s.take_elapsed();
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        let cached = s.take_elapsed();
+        assert_eq!(s.stats().pages_mapped, 1);
+        assert!(cached < uncached, "cached {cached} vs uncached {uncached}");
+
+        // A different page still pays.
+        s.read_va(0x8000_0000 + PAGE_SIZE as u64, &mut buf).unwrap();
+        assert_eq!(s.stats().pages_mapped, 2);
+    }
+
+    #[test]
+    fn page_cache_handles_multi_page_reads() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap().with_page_cache();
+        let mut big = vec![0u8; 3 * PAGE_SIZE];
+        s.read_va(0x8000_0000, &mut big).unwrap();
+        assert_eq!(s.stats().pages_mapped, 3);
+        // Overlapping re-read: only the fourth page is new.
+        let mut big = vec![0u8; 4 * PAGE_SIZE];
+        s.read_va(0x8000_0000, &mut big).unwrap();
+        assert_eq!(s.stats().pages_mapped, 4);
+    }
+
+    #[test]
+    fn attach_by_name() {
+        let (hv, _id) = host_with_vm();
+        assert!(VmiSession::attach_by_name(&hv, "dom1").is_ok());
+        assert!(matches!(
+            VmiSession::attach_by_name(&hv, "nope"),
+            Err(VmiError::VmNotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the ModChecker reproduction workspace.
+//!
+//! This crate exists so the repository-level `tests/` and `examples/`
+//! directories are real cargo targets with access to every workspace member.
+//! It also provides [`testbed`], a small convenience layer used by the
+//! integration tests and examples to stand up the paper's evaluation cloud
+//! (a Xen-like host with a pool of identical Windows-XP-like guests) in a
+//! couple of lines.
+
+#![warn(missing_docs)]
+
+pub use mc_attacks as attacks;
+pub use mc_guest as guest;
+pub use mc_hypervisor as hypervisor;
+pub use mc_loadgen as loadgen;
+pub use mc_md5 as md5;
+pub use mc_pe as pe;
+pub use mc_vmi as vmi;
+pub use modchecker as core;
+
+pub mod testbed;

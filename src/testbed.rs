@@ -1,0 +1,160 @@
+//! Evaluation testbed: the paper's cloud in a few lines.
+//!
+//! The paper's testbed is a Xen host with 15 Windows XP SP2 clones
+//! (Dom1–Dom15). [`Testbed::cloud`] builds the simulated equivalent with
+//! the standard module corpus; [`Testbed::infected_cloud`] additionally
+//! applies one of the §V.B infection techniques to chosen victims *at
+//! build time* (the paper's on-disk infection followed by a reboot);
+//! in-memory infections can be applied afterwards via
+//! `guests[i].patch_module(..)` or the worm helpers.
+
+use mc_attacks::{AttackError, Technique};
+use mc_guest::GuestOs;
+use mc_hypervisor::{AddressWidth, Hypervisor, VmId};
+use mc_pe::corpus::{standard_corpus, ModuleBlueprint};
+use mc_pe::PeFile;
+
+/// A built cloud: host, ground-truth guests, and convenience id list.
+pub struct Testbed {
+    /// The simulated host.
+    pub hv: Hypervisor,
+    /// Ground truth per VM (for attacks and assertions; ModChecker itself
+    /// never reads this).
+    pub guests: Vec<GuestOs>,
+    /// VM ids in creation order (`dom1..domN`).
+    pub vm_ids: Vec<VmId>,
+    /// Guest pointer width.
+    pub width: AddressWidth,
+}
+
+impl Testbed {
+    /// Builds `n` clean VMs with the standard corpus (32-bit, as the
+    /// paper's XP SP2 guests).
+    pub fn cloud(n: usize) -> Self {
+        Self::cloud_with(n, AddressWidth::W32, &standard_corpus(AddressWidth::W32))
+    }
+
+    /// Builds `n` clean VMs with a custom blueprint set (small sets keep
+    /// tests fast).
+    pub fn cloud_with(n: usize, width: AddressWidth, blueprints: &[ModuleBlueprint]) -> Self {
+        let mut hv = Hypervisor::new();
+        let guests = mc_guest::build_cloud_with_modules(&mut hv, n, width, blueprints)
+            .expect("cloud construction is infallible on a fresh host");
+        let vm_ids = guests.iter().map(|g| g.vm).collect();
+        Testbed {
+            hv,
+            guests,
+            vm_ids,
+            width,
+        }
+    }
+
+    /// A small, fast cloud for tests: three small modules.
+    pub fn small_cloud(n: usize) -> Self {
+        let width = AddressWidth::W32;
+        Self::cloud_with(
+            n,
+            width,
+            &[
+                ModuleBlueprint::new("hal.dll", width, 16 * 1024),
+                ModuleBlueprint::new("http.sys", width, 24 * 1024),
+                ModuleBlueprint::new("dummy.sys", width, 12 * 1024).with_imports(&[(
+                    "ntoskrnl.exe",
+                    &["IoCreateDevice", "IoDeleteDevice"],
+                )]),
+                ModuleBlueprint::new("helloworld.sys", width, 8 * 1024),
+            ],
+        )
+    }
+
+    /// Builds `n` VMs where `victims` (indices) carry the technique's
+    /// infected module file — the paper's modify-on-disk-then-reboot flow.
+    pub fn infected_cloud(
+        n: usize,
+        technique: Technique,
+        victims: &[usize],
+    ) -> Result<(Self, Vec<modchecker::PartId>), AttackError> {
+        Self::infected_cloud_with(
+            n,
+            AddressWidth::W32,
+            &standard_corpus(AddressWidth::W32),
+            technique,
+            victims,
+        )
+    }
+
+    /// [`Self::infected_cloud`] with a custom blueprint set.
+    pub fn infected_cloud_with(
+        n: usize,
+        width: AddressWidth,
+        blueprints: &[ModuleBlueprint],
+        technique: Technique,
+        victims: &[usize],
+    ) -> Result<(Self, Vec<modchecker::PartId>), AttackError> {
+        let infection = technique.infection();
+        let target = infection.target_module();
+        let artifacts = blueprints
+            .iter()
+            .find(|bp| bp.name == target)
+            .unwrap_or_else(|| panic!("corpus lacks the technique's target {target}"))
+            .generate();
+        let infected_file = infection.infect(&artifacts)?;
+
+        // Resolve the expected mismatch set against a clean extraction.
+        let clean_file = artifacts.build()?;
+        let expected = {
+            let parsed = mc_pe::parser::ParsedModule::parse_file(clean_file.bytes())
+                .expect("clean corpus parses");
+            let parts = modchecker::parts::ModuleParts::from_parsed(&parsed, clean_file.bytes().len());
+            let ids: Vec<modchecker::PartId> = parts.parts.iter().map(|p| p.id.clone()).collect();
+            mc_attacks::resolve_expectations(&infection.expected_mismatches(), &ids)
+        };
+
+        let clean_corpus: Vec<(String, PeFile)> = blueprints
+            .iter()
+            .map(|bp| (bp.name.clone(), bp.build().expect("corpus builds")))
+            .collect();
+
+        let mut hv = Hypervisor::new();
+        let mut guests = Vec::with_capacity(n);
+        for i in 0..n {
+            let vm = hv
+                .create_vm(&format!("dom{}", i + 1), width)
+                .expect("fresh names");
+            let modules: Vec<(String, PeFile)> = clean_corpus
+                .iter()
+                .map(|(name, pe)| {
+                    if victims.contains(&i) && name == target {
+                        (name.clone(), infected_file.clone())
+                    } else {
+                        (name.clone(), pe.clone())
+                    }
+                })
+                .collect();
+            guests.push(
+                mc_guest::GuestOs::install_with_modules(&mut hv, vm, &modules, i as u64 + 1)
+                    .expect("guest install"),
+            );
+        }
+        let vm_ids = guests.iter().map(|g| g.vm).collect();
+        Ok((
+            Testbed {
+                hv,
+                guests,
+                vm_ids,
+                width,
+            },
+            expected,
+        ))
+    }
+
+    /// VM ids excluding the given index (peers of a reference VM).
+    pub fn peers_of(&self, reference: usize) -> Vec<VmId> {
+        self.vm_ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != reference)
+            .map(|(_, id)| *id)
+            .collect()
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end reproduction of the paper's integrity experiments (§V.B).
+//!
+//! For each technique: build a cloud where one VM boots the infected module
+//! file, run ModChecker, and assert the flagged parts equal the paper's
+//! reported mismatch set *exactly* — no more, no less.
+
+use mc_attacks::Technique;
+use mc_hypervisor::AddressWidth;
+use mc_pe::corpus::ModuleBlueprint;
+use modchecker::{ModChecker, PartId};
+use modchecker_repro::testbed::Testbed;
+
+/// Small-sized corpus with the experiment targets (fast tests, same names
+/// and structure as the standard corpus).
+fn corpus() -> Vec<ModuleBlueprint> {
+    let w = AddressWidth::W32;
+    vec![
+        ModuleBlueprint::new("hal.dll", w, 24 * 1024),
+        ModuleBlueprint::new("helloworld.sys", w, 8 * 1024),
+        ModuleBlueprint::new("dummy.sys", w, 12 * 1024).with_imports(&[(
+            "ntoskrnl.exe",
+            &["IoCreateDevice", "IoDeleteDevice", "IofCompleteRequest"],
+        )]),
+        ModuleBlueprint::new("http.sys", w, 16 * 1024),
+    ]
+}
+
+/// Runs one technique on a 6-VM cloud with dom3 infected and checks the
+/// paper-reported mismatch set.
+fn run_experiment(technique: Technique) {
+    let victim = 2usize;
+    let (bed, expected) = Testbed::infected_cloud_with(
+        6,
+        AddressWidth::W32,
+        &corpus(),
+        technique,
+        &[victim],
+    )
+    .unwrap_or_else(|e| panic!("{technique}: {e}"));
+    let target = technique.infection().target_module().to_string();
+
+    // check_one with the victim as reference: every comparison fails, and
+    // the union of mismatched parts is exactly the paper's set.
+    let report = ModChecker::new()
+        .check_one(&bed.hv, bed.vm_ids[victim], &bed.peers_of(victim), &target)
+        .unwrap();
+    assert!(!report.clean, "{technique}: infected VM must be flagged");
+    assert_eq!(report.successes, 0, "{technique}");
+    assert_eq!(
+        report.suspect_parts(),
+        expected,
+        "{technique}: flagged parts must match the paper exactly"
+    );
+
+    // Pool check pinpoints exactly the victim.
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, &target)
+        .unwrap();
+    let suspects: Vec<&str> = pool.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(suspects, vec!["dom3"], "{technique}");
+
+    // A clean reference VM still votes clean (the infected peer is the
+    // minority).
+    let clean_ref = ModChecker::new()
+        .check_one(&bed.hv, bed.vm_ids[0], &bed.peers_of(0), &target)
+        .unwrap();
+    assert!(clean_ref.clean, "{technique}: clean VM mislabeled");
+    assert_eq!(clean_ref.successes, 4, "{technique}");
+
+    // Collateral check: an unrelated module is clean everywhere.
+    let other = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "http.sys")
+        .unwrap();
+    assert!(other.all_clean(), "{technique}: http.sys must be unaffected");
+}
+
+#[test]
+fn exp_b1_single_opcode_replacement() {
+    run_experiment(Technique::OpcodeReplacement);
+}
+
+#[test]
+fn exp_b2_inline_hooking() {
+    run_experiment(Technique::InlineHook);
+}
+
+#[test]
+fn exp_b3_stub_modification() {
+    run_experiment(Technique::StubModification);
+}
+
+#[test]
+fn exp_b4_dll_hooking() {
+    run_experiment(Technique::DllHook);
+}
+
+#[test]
+fn expected_sets_match_paper_text() {
+    // Pin the paper's reported mismatch sets symbolically.
+    let (_, b1) = Testbed::infected_cloud_with(
+        2,
+        AddressWidth::W32,
+        &corpus(),
+        Technique::OpcodeReplacement,
+        &[1],
+    )
+    .unwrap();
+    assert_eq!(b1, vec![PartId::SectionData(".text".into())]);
+
+    let (_, b3) = Testbed::infected_cloud_with(
+        2,
+        AddressWidth::W32,
+        &corpus(),
+        Technique::StubModification,
+        &[1],
+    )
+    .unwrap();
+    assert_eq!(b3, vec![PartId::DosHeader]);
+
+    let (_, b4) =
+        Testbed::infected_cloud_with(2, AddressWidth::W32, &corpus(), Technique::DllHook, &[1])
+            .unwrap();
+    // "IMAGE_NT_HEADER, IMAGE_OPTIONAL_HEADER, all SECTION_HEADER's and
+    // .text" — and nothing else (no DOS, no FILE header).
+    assert!(b4.contains(&PartId::NtHeaders));
+    assert!(b4.contains(&PartId::OptionalHeader));
+    assert!(b4.contains(&PartId::SectionData(".text".into())));
+    assert!(!b4.contains(&PartId::DosHeader));
+    assert!(!b4.contains(&PartId::FileHeader));
+    let header_count = b4
+        .iter()
+        .filter(|p| matches!(p, PartId::SectionHeader(_)))
+        .count();
+    assert_eq!(header_count, 5, ".text/.rdata/.data/.idata/.reloc headers");
+}
+
+#[test]
+fn detection_works_at_paper_scale_fifteen_vms() {
+    // The paper's full 15-VM pool, one infected, everything detected.
+    let (bed, expected) = Testbed::infected_cloud_with(
+        15,
+        AddressWidth::W32,
+        &corpus(),
+        Technique::InlineHook,
+        &[7],
+    )
+    .unwrap();
+    let report = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .unwrap();
+    let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(suspects, vec!["dom8"]);
+    let victim = report.suspects().next().unwrap();
+    assert_eq!(victim.suspect_parts, expected);
+}

@@ -1,0 +1,144 @@
+//! Failure injection: hostile guests must degrade into typed errors and
+//! report-level discrepancies, never panics or hangs.
+
+use mc_hypervisor::{AddressWidth, PAGE_SIZE};
+use mc_pe::corpus::ModuleBlueprint;
+use modchecker::{CheckError, ModChecker};
+use modchecker_repro::testbed::Testbed;
+
+fn bed(n: usize) -> Testbed {
+    let w = AddressWidth::W32;
+    Testbed::cloud_with(
+        n,
+        w,
+        &[
+            ModuleBlueprint::new("hal.dll", w, 16 * 1024),
+            ModuleBlueprint::new("ndis.sys", w, 12 * 1024),
+        ],
+    )
+}
+
+#[test]
+fn dkom_hidden_module_is_a_failed_comparison_and_discrepancy() {
+    let mut bed = bed(5);
+    bed.guests[2].dkom_hide(&mut bed.hv, "hal.dll").unwrap();
+
+    // The hidden VM can't serve as a comparison peer...
+    let report = ModChecker::new()
+        .check_one(&bed.hv, bed.vm_ids[0], &bed.peers_of(0), "hal.dll")
+        .unwrap();
+    assert_eq!(report.errors.len(), 1);
+    assert!(report.clean, "3 of 4 still a majority");
+
+    // ...and the pool check flags it with the error attached.
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .unwrap();
+    assert!(pool.any_discrepancy());
+    let hidden = pool.verdicts.iter().find(|v| v.vm_name == "dom3").unwrap();
+    assert!(!hidden.clean);
+    assert!(hidden.error.as_deref().unwrap_or("").contains("not loaded"));
+}
+
+#[test]
+fn reference_vm_with_hidden_module_is_an_error() {
+    let mut bed = bed(4);
+    bed.guests[0].dkom_hide(&mut bed.hv, "hal.dll").unwrap();
+    let result = ModChecker::new().check_one(&bed.hv, bed.vm_ids[0], &bed.peers_of(0), "hal.dll");
+    assert!(matches!(result, Err(CheckError::ModuleNotFound { .. })));
+}
+
+#[test]
+fn smashed_pe_header_is_flagged_not_fatal() {
+    let mut bed = bed(4);
+    // Overwrite the DOS magic of the in-memory module on one VM.
+    bed.guests[1]
+        .patch_module(&mut bed.hv, "ndis.sys", 0, b"XX")
+        .unwrap();
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
+        .unwrap();
+    let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom2").unwrap();
+    assert!(!bad.clean);
+    assert!(bad.error.as_deref().unwrap_or("").contains("not a valid PE"));
+    // Everyone else remains clean.
+    assert!(pool
+        .verdicts
+        .iter()
+        .filter(|v| v.vm_name != "dom2")
+        .all(|v| v.clean));
+}
+
+#[test]
+fn unmapped_module_page_is_flagged_not_fatal() {
+    let mut bed = bed(4);
+    let base = bed.guests[3].find_module("hal.dll").unwrap().base;
+    {
+        let vm = bed.hv.vm_mut(bed.vm_ids[3]).unwrap();
+        let aspace = vm.aspace;
+        aspace
+            .unmap(&mut vm.mem, base + 2 * PAGE_SIZE as u64)
+            .unwrap();
+    }
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .unwrap();
+    let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom4").unwrap();
+    assert!(!bad.clean);
+    assert!(bad.error.is_some());
+}
+
+#[test]
+fn cyclic_module_list_is_flagged_not_hung() {
+    let mut bed = bed(4);
+    // Self-loop the first entry so the walk cycles before it can reach the
+    // module being searched (ndis.sys is the second list entry).
+    let e0 = bed.guests[1].modules[0].ldr_entry_va;
+    bed.hv.vm_mut(bed.vm_ids[1]).unwrap().write_ptr(e0, e0).unwrap();
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
+        .unwrap();
+    let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom2").unwrap();
+    assert!(bad.error.as_deref().unwrap_or("").contains("corrupt"));
+}
+
+#[test]
+fn forged_section_geometry_is_flagged_not_fatal() {
+    let mut bed = bed(4);
+    // Corrupt the first section header's VirtualAddress in guest memory so
+    // the captured image fails section bounds validation.
+    let m = bed.guests[2].find_module("ndis.sys").unwrap().clone();
+    let vm = bed.hv.vm(bed.vm_ids[2]).unwrap();
+    // Find e_lfanew to locate the section header.
+    let mut lfanew = [0u8; 4];
+    vm.read_virt(m.base + 0x3C, &mut lfanew).unwrap();
+    let lfanew = u32::from_le_bytes(lfanew) as u64;
+    let sh0 = m.base + lfanew + 4 + 20 + 224; // NT sig + file hdr + optional
+    bed.guests[2]
+        .patch_module(
+            &mut bed.hv,
+            "ndis.sys",
+            sh0 - m.base + 12,
+            &0xFFFF_0000u32.to_le_bytes(),
+        )
+        .unwrap();
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
+        .unwrap();
+    let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom3").unwrap();
+    assert!(!bad.clean);
+}
+
+#[test]
+fn whole_pool_unreadable_module_errors_cleanly() {
+    let mut bed = bed(3);
+    for g in &bed.guests {
+        g.dkom_hide(&mut bed.hv, "ndis.sys").unwrap();
+    }
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
+        .unwrap();
+    assert!(pool.any_discrepancy());
+    assert!(pool.verdicts.iter().all(|v| v.error.is_some()));
+    assert!(pool.matrix.is_empty(), "no comparable captures at all");
+}

@@ -1,0 +1,106 @@
+//! Automated verification of the evaluation figures' *shapes* in the test
+//! suite (the release bench binaries assert the same on the full sweep).
+
+use mc_hypervisor::AddressWidth;
+use mc_loadgen::{HeavyLoad, LoadProfile};
+use mc_pe::corpus::ModuleBlueprint;
+use modchecker::ModChecker;
+use modchecker_repro::testbed::Testbed;
+
+fn linear_r2(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+    let mean = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+fn sweep_bed() -> Testbed {
+    let w = AddressWidth::W32;
+    Testbed::cloud_with(
+        10,
+        w,
+        &[
+            ModuleBlueprint::new("hal.dll", w, 8 * 1024),
+            ModuleBlueprint::new("http.sys", w, 24 * 1024),
+        ],
+    )
+}
+
+#[test]
+fn fig7_shape_idle_runtime_is_linear_and_searcher_dominated() {
+    let bed = sweep_bed();
+    let checker = ModChecker::new();
+    let mut pts = Vec::new();
+    for n in 2..=10usize {
+        let ids = &bed.vm_ids[..n];
+        let r = checker.check_one(&bed.hv, ids[0], &ids[1..], "http.sys").unwrap();
+        pts.push((n as f64, r.times.total().as_millis_f64()));
+        assert!(r.times.searcher > r.times.parser + r.times.checker || r.times.searcher > r.times.checker);
+        assert!(r.times.searcher > r.times.parser);
+    }
+    let r2 = linear_r2(&pts);
+    assert!(r2 > 0.99, "idle total not linear: R² = {r2}");
+}
+
+#[test]
+fn fig8_shape_loaded_runtime_has_a_knee_past_the_cores() {
+    let mut bed = sweep_bed();
+    let cores = bed.hv.host.virtual_cores as f64;
+    let checker = ModChecker::new();
+    let mut totals = Vec::new();
+    for n in 2..=10usize {
+        let ids: Vec<_> = bed.vm_ids[..n].to_vec();
+        let mut load = HeavyLoad::new();
+        load.start(&mut bed.hv, &ids, LoadProfile::heavy()).unwrap();
+        let r = checker.check_one(&bed.hv, ids[0], &ids[1..], "http.sys").unwrap();
+        load.stop(&mut bed.hv).unwrap();
+        totals.push((n as f64, r.times.total().as_millis_f64()));
+    }
+    // Slope before the core count vs slope after: the latter must clearly
+    // dominate (the knee).
+    let slope = |a: (f64, f64), b: (f64, f64)| (b.1 - a.1) / (b.0 - a.0);
+    let pre = slope(totals[1], totals[4]); // N=3..6, below 8 cores
+    let post = slope(totals[6], totals[8]); // N=8..10, past the cores
+    assert!(
+        post > 2.5 * pre,
+        "no knee: pre {pre:.3} ms/VM vs post {post:.3} ms/VM (cores {cores})"
+    );
+}
+
+#[test]
+fn fig9_shape_idle_guest_unperturbed_by_real_checks() {
+    let bed = sweep_bed();
+    // Real ModChecker runs define the windows.
+    let mut windows = Vec::new();
+    for (i, start_s) in [20u64, 60].into_iter().enumerate() {
+        let r = ModChecker::new()
+            .check_one(&bed.hv, bed.vm_ids[i], &bed.vm_ids[i + 1..], "http.sys")
+            .unwrap();
+        let span = (r.times.total().as_nanos() / 1_000_000).max(1_000);
+        windows.push(mc_loadgen::Window {
+            start_ms: start_s * 1000,
+            end_ms: start_s * 1000 + span,
+        });
+    }
+    let tl = mc_loadgen::ResourceMonitor::default().record(
+        &bed.hv,
+        bed.vm_ids[0],
+        LoadProfile::idle(),
+        120_000,
+        &windows,
+    );
+    assert!(tl.samples.iter().any(|s| s.introspection_active));
+    assert!(tl.unperturbed(|s| s.cpu_idle_pct, 2.0));
+    assert!(tl.unperturbed(|s| s.mem_free_physical_pct, 1.5));
+    assert!(tl.unperturbed(|s| s.page_faults_per_sec, 12.0));
+}

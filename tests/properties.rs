@@ -1,0 +1,131 @@
+//! Property-based integration tests across the whole stack: cloud
+//! construction → infection → introspection → verdicts.
+
+use mc_hypervisor::AddressWidth;
+use mc_pe::corpus::ModuleBlueprint;
+use modchecker::{ModChecker, PartId};
+use modchecker_repro::testbed::Testbed;
+use proptest::prelude::*;
+
+/// A fast 4-VM bed with one small module.
+fn bed() -> Testbed {
+    Testbed::cloud_with(
+        4,
+        AddressWidth::W32,
+        &[ModuleBlueprint::new("hal.dll", AddressWidth::W32, 8 * 1024)],
+    )
+}
+
+/// .text occupies the image's second page onward; its size for the 8 KiB
+/// blueprint comfortably exceeds 4 KiB.
+const TEXT_START: u64 = 0x1000;
+const TEXT_SAFE_LEN: u64 = 0x1800;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any non-identity in-memory patch inside .text on one VM is flagged,
+    /// and only on that VM — unless the patch lands entirely inside a
+    /// relocation slot AND happens to encode a plausible shared RVA, which
+    /// the generator avoids by always flipping bits (the slot's value then
+    /// disagrees between VMs and still flags).
+    #[test]
+    fn any_text_patch_is_detected(
+        victim in 0usize..4,
+        offset in 0u64..TEXT_SAFE_LEN,
+        flips in proptest::collection::vec(1u8..=255, 1..4),
+    ) {
+        let mut bed = bed();
+        // Read current bytes, XOR with the flips (guaranteed != original).
+        let base = bed.guests[victim].find_module("hal.dll").unwrap().base;
+        let vm = bed.hv.vm(bed.vm_ids[victim]).unwrap();
+        let mut original = vec![0u8; flips.len()];
+        vm.read_virt(base + TEXT_START + offset, &mut original).unwrap();
+        let patched: Vec<u8> = original.iter().zip(&flips).map(|(o, f)| o ^ f).collect();
+        bed.guests[victim]
+            .patch_module(&mut bed.hv, "hal.dll", TEXT_START + offset, &patched)
+            .unwrap();
+
+        let report = ModChecker::new().check_pool(&bed.hv, &bed.vm_ids, "hal.dll").unwrap();
+        prop_assert!(report.any_discrepancy(), "patch at {offset:#x} missed");
+        let suspects: Vec<String> = report.suspects().map(|v| v.vm_name.clone()).collect();
+        prop_assert_eq!(suspects, vec![format!("dom{}", victim + 1)]);
+        // Flag set is .text only (we never touched headers).
+        let victim_verdict = report.suspects().next().unwrap();
+        prop_assert_eq!(
+            &victim_verdict.suspect_parts,
+            &vec![PartId::SectionData(".text".into())]
+        );
+    }
+
+    /// Reverting the patch restores a fully clean pool (the check has no
+    /// memory/side effects on guests).
+    #[test]
+    fn patch_then_restore_round_trips(
+        victim in 0usize..4,
+        offset in 0u64..TEXT_SAFE_LEN,
+    ) {
+        let mut bed = bed();
+        let base = bed.guests[victim].find_module("hal.dll").unwrap().base;
+        let mut original = [0u8; 2];
+        bed.hv.vm(bed.vm_ids[victim]).unwrap()
+            .read_virt(base + TEXT_START + offset, &mut original).unwrap();
+
+        bed.guests[victim]
+            .patch_module(&mut bed.hv, "hal.dll", TEXT_START + offset, &[original[0] ^ 0xFF, original[1] ^ 0x0F])
+            .unwrap();
+        let dirty = ModChecker::new().check_pool(&bed.hv, &bed.vm_ids, "hal.dll").unwrap();
+        prop_assert!(!dirty.all_clean());
+
+        bed.guests[victim]
+            .patch_module(&mut bed.hv, "hal.dll", TEXT_START + offset, &original)
+            .unwrap();
+        let clean = ModChecker::new().check_pool(&bed.hv, &bed.vm_ids, "hal.dll").unwrap();
+        prop_assert!(clean.all_clean());
+    }
+
+    /// Pool verdicts are invariant under VM scan order.
+    #[test]
+    fn verdicts_invariant_under_vm_order(seed in 0u64..1000) {
+        let mut bed = bed();
+        let victim = (seed % 4) as usize;
+        bed.guests[victim]
+            .patch_module(&mut bed.hv, "hal.dll", TEXT_START + 5, &[0xCC])
+            .unwrap();
+
+        let mut order = bed.vm_ids.clone();
+        // Deterministic shuffle from the seed.
+        for i in (1..order.len()).rev() {
+            let j = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+
+        let a = ModChecker::new().check_pool(&bed.hv, &bed.vm_ids, "hal.dll").unwrap();
+        let b = ModChecker::new().check_pool(&bed.hv, &order, "hal.dll").unwrap();
+        let mut sa: Vec<(String, bool)> = a.verdicts.iter().map(|v| (v.vm_name.clone(), v.clean)).collect();
+        let mut sb: Vec<(String, bool)> = b.verdicts.iter().map(|v| (v.vm_name.clone(), v.clean)).collect();
+        sa.sort();
+        sb.sort();
+        prop_assert_eq!(sa, sb);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Clean clouds of any size ≥ 4 and either width are fully clean, and
+    /// repeated checks are deterministic.
+    #[test]
+    fn clean_cloud_is_clean_at_any_size(n in 4usize..9, wide in proptest::bool::ANY) {
+        let width = if wide { AddressWidth::W64 } else { AddressWidth::W32 };
+        let bed = Testbed::cloud_with(
+            n,
+            width,
+            &[ModuleBlueprint::new("hal.dll", width, 8 * 1024)],
+        );
+        let r1 = ModChecker::new().check_pool(&bed.hv, &bed.vm_ids, "hal.dll").unwrap();
+        prop_assert!(r1.all_clean());
+        let r2 = ModChecker::new().check_pool(&bed.hv, &bed.vm_ids, "hal.dll").unwrap();
+        prop_assert_eq!(r1.times.total(), r2.times.total(), "simulated time deterministic");
+    }
+}
