@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repository CI gate. Run before every push; everything must pass offline.
+#
+#   ./ci.sh
+#
+# Steps (in order, failing fast):
+#   1. cargo fmt --check     — formatting is canonical
+#   2. cargo clippy          — all targets, workspace lints, zero warnings
+#   3. cargo build --release — the tier-1 build
+#   4. cargo test -q         — the tier-1 test suite (root crate + deps)
+#   5. cargo test --workspace -q — every crate's unit tests
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -1,0 +1,409 @@
+//! Image lints L1–L4: everything decidable from one captured module image.
+//!
+//! The lints lean on two kinds of ground truth. *Invariants* hold for any
+//! well-formed driver (sections don't overlap, the MSVC DOS stub carries its
+//! canonical message, entry points live in executable sections). *Profile
+//! facts* hold for this corpus's clean codegen and for the large class of
+//! real drivers it models: inter-function caves are zero, kernel modules
+//! import only the kernel and HAL, and intra-module calls go through
+//! absolute indirect operands rather than `rel32` branches — so a bare
+//! `E8`/`E9` is itself reportable, which is exactly the inline-hook
+//! trampoline idiom (paper §V.B.2, Figure 5).
+
+use mc_pe::consts::{DOS_HEADER_SIZE, DOS_STUB_MESSAGE};
+use mc_pe::parser::{ParsedModule, SectionView};
+use mc_pe::AddressWidth;
+
+use crate::decoder::{decode, Kind, Mode, Sweep};
+use crate::{AnalyzerConfig, Confidence, Diagnostic, Lint, Severity};
+
+/// The fixed function prologue the clean codegen emits (`PUSH EBP; MOV
+/// EBP, ESP`). Used to delimit inter-function caves.
+const PROLOGUE: [u8; 3] = [0x55, 0x89, 0xE5];
+
+/// Scan statistics for the report.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ImageStats {
+    pub instructions: usize,
+    pub bytes: usize,
+}
+
+/// Runs L1–L4 and returns unsorted findings plus scan statistics.
+pub(crate) fn run(
+    p: &ParsedModule,
+    base: u64,
+    image: &[u8],
+    cfg: &AnalyzerConfig,
+) -> (Vec<Diagnostic>, ImageStats) {
+    let mode = match p.width {
+        AddressWidth::W32 => Mode::Bits32,
+        AddressWidth::W64 => Mode::Bits64,
+    };
+    let mut out = Vec::new();
+    let mut stats = ImageStats::default();
+
+    // The linear sweep is exact for the 32-bit profile. On x86-64 a sweep
+    // needs function metadata (unwind info) to stay synchronized — and this
+    // corpus's W64 codegen additionally embeds `0x49` literals that are REX
+    // prefixes in long mode — so L2/L3 stay opt-in there (see
+    // `AnalyzerConfig::sweep_64bit`). L1/L4/L5 and the raw-byte slack lint
+    // are width-universal.
+    let sweep = mode == Mode::Bits32 || cfg.sweep_64bit;
+    lint_entry_redirects(p, base, image, mode, &mut out);
+    for sec in p.sections.iter().filter(|s| s.is_executable()) {
+        let Some(data) = image.get(sec.data_range.clone()) else {
+            continue;
+        };
+        if sweep {
+            sweep_section(p, sec, data, base, mode, &mut out, &mut stats);
+        }
+        lint_section_slack(p, sec, base, image, &mut out);
+    }
+    lint_pe_structure(p, base, image, cfg, &mut out);
+    (out, stats)
+}
+
+/// L1 — does any entry point (AddressOfEntryPoint or exported function)
+/// begin with a control transfer instead of a function body?
+fn lint_entry_redirects(
+    p: &ParsedModule,
+    base: u64,
+    image: &[u8],
+    mode: Mode,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut candidates: Vec<(u32, &'static str)> = Vec::new();
+    // The corpus builder leaves AddressOfEntryPoint at 0 for drivers; 0
+    // means "unset", never "entry at the DOS header".
+    if let Some(ep) = p.entry_point(image).filter(|&ep| ep != 0) {
+        candidates.push((ep, "AddressOfEntryPoint"));
+    }
+    for rva in p.export_function_rvas(image) {
+        candidates.push((rva, "exported function"));
+    }
+
+    for (rva, what) in candidates {
+        let Some(sec) = p.sections.iter().filter(|s| s.is_executable()).find(|s| {
+            rva >= s.virtual_address && rva - s.virtual_address < s.data_range.len() as u32
+        }) else {
+            out.push(Diagnostic {
+                lint: Lint::PeStructure,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: base + u64::from(rva),
+                detail: format!("{what} RVA {rva:#x} falls outside every executable section"),
+            });
+            continue;
+        };
+        let data = &image[sec.data_range.clone()];
+        let local = (rva - sec.virtual_address) as usize;
+        let Some(insn) = decode(data, local, mode) else {
+            continue;
+        };
+        match insn.kind {
+            Kind::RelBranch { opcode, target, .. } => {
+                let target_va = base + u64::from(sec.virtual_address) + target.max(0) as u64;
+                out.push(Diagnostic {
+                    lint: Lint::EntryRedirect,
+                    severity: Severity::Critical,
+                    confidence: Confidence::High,
+                    va: base + u64::from(rva),
+                    detail: format!(
+                        "{what} begins with a relative {} to {target_va:#x} instead of a \
+                         function prologue — inline-hook redirection",
+                        branch_mnemonic(opcode)
+                    ),
+                });
+            }
+            _ => {
+                // PUSH imm32; RET — the other classic entry trampoline.
+                if data.get(local) == Some(&0x68) && data.get(local + 5) == Some(&0xC3) {
+                    out.push(Diagnostic {
+                        lint: Lint::EntryRedirect,
+                        severity: Severity::Critical,
+                        confidence: Confidence::High,
+                        va: base + u64::from(rva),
+                        detail: format!("{what} begins with a PUSH imm32 / RET trampoline"),
+                    });
+                }
+                // FF /4 or /5 — indirect JMP at the entry.
+                if data.get(local) == Some(&0xFF)
+                    && data
+                        .get(local + 1)
+                        .is_some_and(|m| matches!((m >> 3) & 7, 4 | 5))
+                {
+                    out.push(Diagnostic {
+                        lint: Lint::EntryRedirect,
+                        severity: Severity::Critical,
+                        confidence: Confidence::High,
+                        va: base + u64::from(rva),
+                        detail: format!("{what} begins with an indirect JMP"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// L2 + L3 over one executable section in a single linear sweep.
+fn sweep_section(
+    p: &ParsedModule,
+    sec: &SectionView,
+    data: &[u8],
+    base: u64,
+    mode: Mode,
+    out: &mut Vec<Diagnostic>,
+    stats: &mut ImageStats,
+) {
+    let sec_va = u64::from(sec.virtual_address);
+    let mut ret_ends: Vec<usize> = Vec::new();
+    let mut unknown = 0usize;
+
+    for insn in Sweep::new(data, mode) {
+        stats.instructions += 1;
+        match insn.kind {
+            Kind::RelBranch {
+                opcode,
+                target,
+                rel32: true,
+            } => {
+                let va = base + sec_va + insn.offset as u64;
+                let target_rva = sec_va as i64 + target;
+                let (severity, confidence, class) = if target_rva < 0
+                    || target_rva >= i64::from(p.size_of_image)
+                {
+                    (
+                        Severity::Critical,
+                        Confidence::High,
+                        "resolves outside the module image",
+                    )
+                } else if !p.sections.iter().any(|s| {
+                    s.is_executable()
+                        && target_rva >= i64::from(s.virtual_address)
+                        && target_rva < i64::from(s.virtual_address) + s.data_range.len() as i64
+                }) {
+                    (
+                        Severity::Critical,
+                        Confidence::High,
+                        "lands in a non-executable section",
+                    )
+                } else {
+                    // In-image, executable target. Clean driver code in this
+                    // profile transfers control through absolute indirect
+                    // operands only; a rel32 branch is the hook idiom.
+                    (
+                        Severity::Warning,
+                        Confidence::Medium,
+                        "is absent from the clean driver profile (absolute indirect transfers only) — consistent with a hook trampoline",
+                    )
+                };
+                let target_va = (base as i64 + target_rva) as u64;
+                out.push(Diagnostic {
+                    lint: Lint::EscapingTransfer,
+                    severity,
+                    confidence,
+                    va,
+                    detail: format!(
+                        "{} rel32 to {target_va:#x} {class}",
+                        branch_mnemonic(opcode)
+                    ),
+                });
+            }
+            Kind::Ret => ret_ends.push(insn.end()),
+            Kind::Unknown => unknown += 1,
+            _ => {}
+        }
+    }
+    stats.bytes += data.len();
+
+    if unknown > 0 {
+        out.push(Diagnostic {
+            lint: Lint::EscapingTransfer,
+            severity: Severity::Info,
+            confidence: Confidence::Low,
+            va: base + sec_va,
+            detail: format!(
+                "{unknown} undecodable opcode(s) in section {} — sweep resynchronized byte-wise",
+                sec.name
+            ),
+        });
+    }
+
+    lint_caves(sec, data, base, &ret_ends, out);
+}
+
+/// L3 — inter-function caves. In clean code every gap between a `RET` and
+/// the next function prologue is zero-filled; the inline hook parks its
+/// payload, the displaced entry bytes and a back-jump exactly there.
+fn lint_caves(
+    sec: &SectionView,
+    data: &[u8],
+    base: u64,
+    ret_ends: &[usize],
+    out: &mut Vec<Diagnostic>,
+) {
+    // All prologue positions, one pass.
+    let mut prologues: Vec<usize> = Vec::new();
+    if data.len() >= PROLOGUE.len() {
+        for i in 0..=data.len() - PROLOGUE.len() {
+            if data[i..i + PROLOGUE.len()] == PROLOGUE {
+                prologues.push(i);
+            }
+        }
+    }
+
+    for &gap_start in ret_ends {
+        let gap_end = prologues
+            .iter()
+            .find(|&&pp| pp >= gap_start)
+            .copied()
+            .unwrap_or(data.len());
+        let gap = &data[gap_start.min(data.len())..gap_end];
+        let nonzero = gap.iter().filter(|&&b| b != 0).count();
+        if nonzero == 0 {
+            continue;
+        }
+        let first = gap_start + gap.iter().position(|&b| b != 0).unwrap_or(0);
+        let preview: Vec<u8> = data[first..(first + 8).min(gap_end)].to_vec();
+        out.push(Diagnostic {
+            lint: Lint::CavePayload,
+            severity: Severity::Critical,
+            confidence: Confidence::Medium,
+            va: base + u64::from(sec.virtual_address) + first as u64,
+            detail: format!(
+                "{nonzero} non-zero byte(s) in the opcode cave after the RET at \
+                 {:#x} (starts {preview:02X?}) — executable payload outside any function",
+                base + u64::from(sec.virtual_address) + gap_start as u64 - 1,
+            ),
+        });
+    }
+}
+
+/// L3 (slack variant) — bytes between the end of an executable section's
+/// declared data and the next section must be the loader's zero fill.
+fn lint_section_slack(
+    p: &ParsedModule,
+    sec: &SectionView,
+    base: u64,
+    image: &[u8],
+    out: &mut Vec<Diagnostic>,
+) {
+    let slack_start = sec.data_range.end;
+    let slack_end = p
+        .sections
+        .iter()
+        .map(|s| s.data_range.start)
+        .filter(|&s| s >= slack_start)
+        .min()
+        .unwrap_or(image.len())
+        .min(image.len());
+    if slack_start >= slack_end {
+        return;
+    }
+    let slack = &image[slack_start..slack_end];
+    if let Some(pos) = slack.iter().position(|&b| b != 0) {
+        out.push(Diagnostic {
+            lint: Lint::CavePayload,
+            severity: Severity::Critical,
+            confidence: Confidence::High,
+            va: base + (slack_start + pos) as u64,
+            detail: format!(
+                "non-zero byte(s) in the page slack after section {} — \
+                 content hidden outside the hashed VirtualSize range",
+                sec.name
+            ),
+        });
+    }
+}
+
+/// L4 — PE structural invariants.
+fn lint_pe_structure(
+    p: &ParsedModule,
+    base: u64,
+    image: &[u8],
+    cfg: &AnalyzerConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    // DOS stub message. Every MSVC-linked driver carries the canonical
+    // string; EXP-B3 rewrites three bytes of it.
+    if p.e_lfanew as usize > DOS_HEADER_SIZE {
+        let stub = &image[DOS_HEADER_SIZE..p.e_lfanew as usize];
+        let intact = stub
+            .windows(DOS_STUB_MESSAGE.len())
+            .any(|w| w == DOS_STUB_MESSAGE);
+        if !intact {
+            out.push(Diagnostic {
+                lint: Lint::PeStructure,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: base + DOS_HEADER_SIZE as u64,
+                detail: "DOS stub does not carry the canonical \"This program cannot be \
+                         run in DOS mode.\" message — stub modification"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Import allowlist. Kernel modules bind the kernel and the HAL; a
+    // user-mode DLL in a driver's import table is the EXP-B4 signature.
+    for dll in p.import_dlls(image) {
+        if !cfg
+            .import_allowlist
+            .iter()
+            .any(|ok| ok.eq_ignore_ascii_case(&dll))
+        {
+            out.push(Diagnostic {
+                lint: Lint::PeStructure,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: base,
+                detail: format!(
+                    "import table references '{dll}', which is outside the kernel-module \
+                     allowlist {:?}",
+                    cfg.import_allowlist
+                ),
+            });
+        }
+    }
+
+    // Section table geometry: ascending, disjoint, covered by SizeOfImage.
+    for w in p.sections.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if b.virtual_address < a.virtual_address + a.virtual_size {
+            out.push(Diagnostic {
+                lint: Lint::PeStructure,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: base + u64::from(b.virtual_address),
+                detail: format!(
+                    "sections {} and {} overlap in virtual address space",
+                    a.name, b.name
+                ),
+            });
+        }
+    }
+    if let Some(last) = p.sections.last() {
+        let end = u64::from(last.virtual_address) + u64::from(last.virtual_size);
+        if end > u64::from(p.size_of_image) {
+            out.push(Diagnostic {
+                lint: Lint::PeStructure,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: base + u64::from(last.virtual_address),
+                detail: format!(
+                    "section {} extends to RVA {end:#x}, beyond SizeOfImage {:#x}",
+                    last.name, p.size_of_image
+                ),
+            });
+        }
+    }
+}
+
+/// Mnemonic for a relative-branch opcode (one-byte map or `0F`-escaped).
+fn branch_mnemonic(opcode: u8) -> &'static str {
+    match opcode {
+        0xE8 => "CALL",
+        0xE9 | 0xEB => "JMP",
+        _ => "Jcc",
+    }
+}

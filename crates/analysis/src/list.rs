@@ -1,0 +1,207 @@
+//! L5 — structural invariants of the guest's `PsLoadedModuleList`.
+//!
+//! A DKOM rootkit hides a driver by unlinking its `LDR_DATA_TABLE_ENTRY`
+//! from the doubly linked list: the neighbors are stitched together and the
+//! walk never reports the module. The entry itself, however, stays resident
+//! in pool memory, and its own `FLINK`/`BLINK` still point at live list
+//! nodes — a shape nothing legitimate produces. This lint walks the list
+//! (checking forward/backward symmetry and `DllBase` disjointness), then
+//! scans the pool neighborhood of the visible entries for exactly such
+//! orphaned nodes.
+//!
+//! Everything is read-only VMI; like the Module-Searcher the walk is
+//! bounded and cycle-checked so hostile list data degrades into findings
+//! rather than hangs.
+
+use std::collections::HashSet;
+
+use mc_guest::ldr::{decode_utf16, LdrOffsets};
+use mc_guest::PS_LOADED_MODULE_LIST;
+use mc_hypervisor::PAGE_SIZE;
+use mc_vmi::VmiSession;
+
+use crate::{AnalysisError, AnalyzerConfig, Confidence, Diagnostic, Lint, Severity};
+
+/// Upper bound on the list walk (matches the searcher's hardening).
+const MAX_WALK: usize = 512;
+/// Pool pages scanned beyond the lowest/highest visible entry. Entry and
+/// name-buffer allocations are page-aligned with randomized guard gaps of
+/// up to 64 pages, so 128 pages of margin covers an entry hidden past
+/// either end of the visible allocation span.
+const MARGIN_PAGES: u64 = 128;
+/// Cap on a `BaseDllName` read during orphan identification.
+const MAX_NAME_BYTES: u16 = 512;
+
+/// Runs L5. Returns findings plus the number of pool bytes scanned.
+pub(crate) fn run(
+    session: &mut VmiSession<'_>,
+    _cfg: &AnalyzerConfig,
+) -> Result<(Vec<Diagnostic>, usize), AnalysisError> {
+    let offs = LdrOffsets::for_width(session.width());
+    let head = session.symbol(PS_LOADED_MODULE_LIST)?;
+    let mut out = Vec::new();
+
+    // Forward walk with symmetry checking: for every traversed link
+    // `cur -> next`, the target's BLINK must point back at `cur`.
+    let mut nodes: Vec<u64> = Vec::new();
+    let mut seen = HashSet::new();
+    let mut cur = head;
+    let mut next = session.read_ptr(head + offs.flink)?;
+    while next != head {
+        if nodes.len() >= MAX_WALK || !seen.insert(next) {
+            out.push(Diagnostic {
+                lint: Lint::ModuleList,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: next,
+                detail: format!(
+                    "module list does not return to the head within {MAX_WALK} steps \
+                     (cycle or forged FLINK chain)"
+                ),
+            });
+            break;
+        }
+        match session.read_ptr(next + offs.blink) {
+            Ok(b) if b == cur => {}
+            Ok(b) => out.push(Diagnostic {
+                lint: Lint::ModuleList,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: next,
+                detail: format!(
+                    "BLINK {b:#x} of entry {next:#x} does not point back at its \
+                     predecessor {cur:#x}"
+                ),
+            }),
+            Err(_) => {
+                out.push(Diagnostic {
+                    lint: Lint::ModuleList,
+                    severity: Severity::Critical,
+                    confidence: Confidence::High,
+                    va: next,
+                    detail: "list entry is unreadable guest memory".to_string(),
+                });
+                break;
+            }
+        }
+        nodes.push(next);
+        cur = next;
+        match session.read_ptr(cur + offs.flink) {
+            Ok(n) => next = n,
+            Err(_) => {
+                out.push(Diagnostic {
+                    lint: Lint::ModuleList,
+                    severity: Severity::Critical,
+                    confidence: Confidence::High,
+                    va: cur,
+                    detail: "FLINK points at unreadable guest memory".to_string(),
+                });
+                break;
+            }
+        }
+    }
+    if let Ok(head_blink) = session.read_ptr(head + offs.blink) {
+        if head_blink != cur && next == head {
+            out.push(Diagnostic {
+                lint: Lint::ModuleList,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: head,
+                detail: format!(
+                    "head BLINK {head_blink:#x} disagrees with the last walked entry {cur:#x}"
+                ),
+            });
+        }
+    }
+
+    // Visible modules must occupy disjoint address ranges.
+    let mut ranges: Vec<(u64, u64, u64)> = nodes
+        .iter()
+        .filter_map(|&n| {
+            let base = session.read_ptr(n + offs.dll_base).ok()?;
+            let size = u64::from(session.read_u32(n + offs.size_of_image).ok()?);
+            Some((base, size, n))
+        })
+        .collect();
+    ranges.sort_unstable();
+    for w in ranges.windows(2) {
+        if w[0].0 + w[0].1 > w[1].0 {
+            out.push(Diagnostic {
+                lint: Lint::ModuleList,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: w[1].2,
+                detail: format!(
+                    "DllBase ranges overlap: [{:#x}, +{:#x}) and [{:#x}, +{:#x})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ),
+            });
+        }
+    }
+
+    // Orphan scan: page-aligned pool allocations in the neighborhood of the
+    // visible entries whose links point INTO the list but whose neighbors
+    // no longer point back — the post-unlink residue of DKOM hiding.
+    let mut bytes_scanned = 0usize;
+    if let (Some(&lo), Some(&hi)) = (nodes.iter().min(), nodes.iter().max()) {
+        let page = PAGE_SIZE as u64;
+        let start = (lo & !(page - 1)).saturating_sub(MARGIN_PAGES * page);
+        let end = (hi & !(page - 1)) + MARGIN_PAGES * page;
+        let targets: HashSet<u64> = nodes.iter().copied().chain([head]).collect();
+        let mut candidate = start;
+        while candidate < end {
+            let c = candidate;
+            candidate += page;
+            bytes_scanned += PAGE_SIZE;
+            if targets.contains(&c) {
+                continue;
+            }
+            let Ok(f) = session.read_ptr(c + offs.flink) else {
+                continue;
+            };
+            let Ok(b) = session.read_ptr(c + offs.blink) else {
+                continue;
+            };
+            if !targets.contains(&f) || !targets.contains(&b) {
+                continue;
+            }
+            // Node-shaped. Linked nodes were walked already; an entry whose
+            // forward neighbor does not link back is orphaned.
+            if session.read_ptr(f + offs.blink) == Ok(c) {
+                continue;
+            }
+            let identity = describe_entry(session, &offs, c);
+            out.push(Diagnostic {
+                lint: Lint::ModuleList,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: c,
+                detail: format!(
+                    "unlinked LDR_DATA_TABLE_ENTRY{identity} still resident in the pool \
+                     with links into the live list — DKOM module hiding"
+                ),
+            });
+        }
+    }
+
+    Ok((out, bytes_scanned))
+}
+
+/// Best-effort identification of an orphaned entry (name + base).
+fn describe_entry(session: &mut VmiSession<'_>, offs: &LdrOffsets, entry: u64) -> String {
+    let ustr = entry + offs.base_dll_name;
+    let name = (|| {
+        let len = session.read_u16(ustr).ok()?.min(MAX_NAME_BYTES) & !1;
+        let buffer = session.read_ptr(ustr + offs.ustr_buffer).ok()?;
+        let mut raw = vec![0u8; len as usize];
+        session.read_va(buffer, &mut raw).ok()?;
+        Some(decode_utf16(&raw))
+    })();
+    let base = session.read_ptr(entry + offs.dll_base).ok();
+    match (name, base) {
+        (Some(n), Some(b)) => format!(" for '{n}' (DllBase {b:#x})"),
+        (Some(n), None) => format!(" for '{n}'"),
+        (None, Some(b)) => format!(" (DllBase {b:#x})"),
+        (None, None) => String::new(),
+    }
+}

@@ -22,6 +22,7 @@ use modchecker::PartId;
 use crate::{AttackError, Expectation, Infection};
 
 /// Attach `inject.dll` and its call stubs to the target module.
+#[derive(Clone, Copy, Debug)]
 pub struct DllHook;
 
 /// Bytes of call-stub code appended to `.text`. Crossing a page boundary is
@@ -79,6 +80,13 @@ impl Infection for DllHook {
             Expectation::AllSectionHeaders,
             Expectation::Part(PartId::SectionData(".text".into())),
         ]
+    }
+
+    fn statically_detectable(&self) -> Option<&'static str> {
+        // inject.dll in a kernel module's import table violates the
+        // kernel/HAL allowlist (L4). The appended stub code itself decodes
+        // as ordinary functions and stays under the instruction lints.
+        Some("L4")
     }
 }
 

@@ -35,8 +35,7 @@ pub fn hook_first_iat_slot(
     let vm = hv.vm(guest.vm).expect("vm exists");
     let mut image = vec![0u8; m.size as usize];
     vm.read_virt(m.base, &mut image).expect("image readable");
-    let parsed = mc_pe::parser::ParsedModule::parse_memory(&image)
-        .map_err(AttackError::Build)?;
+    let parsed = mc_pe::parser::ParsedModule::parse_memory(&image).map_err(AttackError::Build)?;
     let idata = parsed
         .find_section(".idata")
         .ok_or(AttackError::NoSuitableSite("module has no import section"))?;
@@ -81,7 +80,9 @@ mod tests {
 
         // ModChecker does NOT flag it: the IAT is data, excluded from
         // content hashing — the documented scope boundary.
-        let report = ModChecker::new().check_pool(&hv, &ids, "dummy.sys").unwrap();
+        let report = ModChecker::new()
+            .check_pool(&hv, &ids, "dummy.sys")
+            .unwrap();
         assert!(
             report.all_clean(),
             "IAT hook unexpectedly detected — the scope boundary moved"

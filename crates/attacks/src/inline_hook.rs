@@ -20,6 +20,7 @@ const JMP_LEN: usize = 5;
 const PAYLOAD: [u8; 7] = [0x60, 0x90, 0x90, 0x90, 0x90, 0x61, 0x90]; // pusha; nops; popa; nop
 
 /// Jmp-hook a function through an opcode cave.
+#[derive(Clone, Copy, Debug)]
 pub struct InlineHook;
 
 impl InlineHook {
@@ -94,6 +95,12 @@ impl Infection for InlineHook {
     fn expected_mismatches(&self) -> Vec<Expectation> {
         vec![Expectation::Part(PartId::SectionData(".text".into()))]
     }
+
+    fn statically_detectable(&self) -> Option<&'static str> {
+        // The entry JMP trips L1, the rel32 trampoline L2, and the payload
+        // parked in the opcode cave L3.
+        Some("L1+L2+L3")
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +126,9 @@ mod tests {
         // Entry starts with JMP rel32 into the cave.
         assert_eq!(text[f.entry as usize], 0xE9);
         let rel = i32::from_le_bytes(
-            text[f.entry as usize + 1..f.entry as usize + 5].try_into().unwrap(),
+            text[f.entry as usize + 1..f.entry as usize + 5]
+                .try_into()
+                .unwrap(),
         );
         let dest = (f.entry as i64 + 5 + rel as i64) as u32;
         assert_eq!(dest, cave.offset);
@@ -144,7 +153,10 @@ mod tests {
         let infected = InlineHook.infect(&art).unwrap();
         let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
         let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
-        assert_ne!(pc.section_data(clean.bytes(), 0), pi.section_data(infected.bytes(), 0));
+        assert_ne!(
+            pc.section_data(clean.bytes(), 0),
+            pi.section_data(infected.bytes(), 0)
+        );
         for name in [".rdata", ".data", ".reloc"] {
             let i = pc.find_section(name).unwrap();
             assert_eq!(

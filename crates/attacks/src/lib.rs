@@ -86,6 +86,15 @@ pub trait Infection {
 
     /// The mismatch set the paper reports for this technique.
     fn expected_mismatches(&self) -> Vec<Expectation>;
+
+    /// The `mc-analysis` lint codes expected to flag this technique on a
+    /// *single* VM, with no reference to compare against (EXT-4), or
+    /// `None` for techniques below static-analysis resolution (EXP-B1's
+    /// one-opcode swap is length-preserving valid code: only the cross-VM
+    /// hash comparison sees it).
+    fn statically_detectable(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// The paper's four techniques, in evaluation order.
@@ -135,10 +144,7 @@ impl fmt::Display for Technique {
 
 /// Resolves an [`Expectation`] list against a concrete part list (as
 /// extracted from a clean module) into the exact expected `PartId` set.
-pub fn resolve_expectations(
-    expectations: &[Expectation],
-    all_parts: &[PartId],
-) -> Vec<PartId> {
+pub fn resolve_expectations(expectations: &[Expectation], all_parts: &[PartId]) -> Vec<PartId> {
     let mut out = Vec::new();
     for e in expectations {
         match e {

@@ -19,6 +19,7 @@ use modchecker::PartId;
 use crate::{AttackError, Expectation, Infection};
 
 /// `DEC ECX` → `SUB ECX, 1`.
+#[derive(Clone, Copy, Debug)]
 pub struct OpcodeReplacement;
 
 /// The replacement encoding.
@@ -106,7 +107,10 @@ mod tests {
             );
         }
         // .text differs; other section data does not.
-        assert_ne!(pc.section_data(clean.bytes(), 0), pi.section_data(infected.bytes(), 0));
+        assert_ne!(
+            pc.section_data(clean.bytes(), 0),
+            pi.section_data(infected.bytes(), 0)
+        );
         let rdata = pc.find_section(".rdata").unwrap();
         assert_eq!(
             pc.section_data(clean.bytes(), rdata),

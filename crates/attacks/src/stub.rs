@@ -14,6 +14,7 @@ use modchecker::PartId;
 use crate::{AttackError, Expectation, Infection};
 
 /// "DOS" → "CHK" in the stub message.
+#[derive(Clone, Copy, Debug)]
 pub struct StubModification;
 
 impl Infection for StubModification {
@@ -44,6 +45,11 @@ impl Infection for StubModification {
 
     fn expected_mismatches(&self) -> Vec<Expectation> {
         vec![Expectation::Part(PartId::DosHeader)]
+    }
+
+    fn statically_detectable(&self) -> Option<&'static str> {
+        // The canonical DOS-stub message is a structural invariant (L4).
+        Some("L4")
     }
 }
 

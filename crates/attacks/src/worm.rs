@@ -42,15 +42,34 @@ pub fn infect_fraction(
     // construction of the techniques' text edits only when sizes match;
     // for size-changing attacks we overwrite the whole section range that
     // both files share).
-    let clean_parsed = mc_pe::parser::ParsedModule::parse_file(clean_file.bytes()).expect("clean parses");
+    let clean_parsed =
+        mc_pe::parser::ParsedModule::parse_file(clean_file.bytes()).expect("clean parses");
     let infected_parsed =
         mc_pe::parser::ParsedModule::parse_file(infected_file.bytes()).expect("infected parses");
-    let text_c = clean_parsed.section_data(clean_file.bytes(), 0).expect("text");
+    let text_c = clean_parsed
+        .section_data(clean_file.bytes(), 0)
+        .expect("text");
     let text_i = infected_parsed
         .section_data(infected_file.bytes(), 0)
         .expect("text");
     let common = text_c.len().min(text_i.len());
     let text_va = clean_parsed.sections[0].virtual_address as u64;
+
+    // Byte positions covered by the *loaded* (clean) module's relocation
+    // slots. The loader rebased these per-VM, so a worm that blindly wrote
+    // file bytes there would desynchronize the slot from the VM's own base;
+    // a real in-memory payload leaves live pointers alone.
+    let slot_width = clean_file.width().bytes();
+    let mut in_slot = vec![false; common];
+    for &rva in clean_file.reloc_rvas() {
+        let rva = rva as usize;
+        let start = rva.saturating_sub(text_va as usize);
+        if (text_va as usize) <= rva && start < common {
+            for flag in &mut in_slot[start..(start + slot_width).min(common)] {
+                *flag = true;
+            }
+        }
+    }
 
     let mut infected_vms = Vec::with_capacity(count);
     for guest in guests.iter().take(count) {
@@ -58,13 +77,18 @@ pub fn infect_fraction(
         // payload (and keeping relocated slots intact).
         let mut i = 0usize;
         while i < common {
-            if text_c[i] != text_i[i] {
+            if text_c[i] != text_i[i] && !in_slot[i] {
                 let start = i;
-                while i < common && text_c[i] != text_i[i] {
+                while i < common && text_c[i] != text_i[i] && !in_slot[i] {
                     i += 1;
                 }
                 guest
-                    .patch_module(hv, &pristine.name, text_va + start as u64, &text_i[start..i])
+                    .patch_module(
+                        hv,
+                        &pristine.name,
+                        text_va + start as u64,
+                        &text_i[start..i],
+                    )
                     .expect("victim has the module loaded");
             } else {
                 i += 1;

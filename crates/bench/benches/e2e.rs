@@ -49,5 +49,9 @@ fn bench_sequential_vs_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_check_one_scaling, bench_sequential_vs_parallel);
+criterion_group!(
+    benches,
+    bench_check_one_scaling,
+    bench_sequential_vs_parallel
+);
 criterion_main!(benches);

@@ -25,13 +25,9 @@ fn bench_parse(c: &mut Criterion) {
     for text_kb in [16usize, 128, 512] {
         let img = memory_image(text_kb << 10);
         group.throughput(Throughput::Bytes(img.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("parse_memory", text_kb),
-            &img,
-            |b, img| {
-                b.iter(|| ParsedModule::parse_memory(black_box(img)).expect("parses"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parse_memory", text_kb), &img, |b, img| {
+            b.iter(|| ParsedModule::parse_memory(black_box(img)).expect("parses"));
+        });
     }
     group.finish();
 }

@@ -39,8 +39,7 @@ fn bench_adjust(c: &mut Criterion) {
                 bch.iter(|| {
                     let mut a = ta.clone();
                     let mut b = tb.clone();
-                    let stats =
-                        adjust_rvas(&mut a, &mut b, base_a, base_b, AddressWidth::W32);
+                    let stats = adjust_rvas(&mut a, &mut b, base_a, base_b, AddressWidth::W32);
                     black_box((a, b, stats))
                 });
             },

@@ -49,7 +49,10 @@ fn main() {
             parts.join(", ")
         );
         assert!(detected, "{technique}: wrong suspects {suspects:?}");
-        assert_eq!(flagged, expected, "{technique}: flag set differs from paper");
+        assert_eq!(
+            flagged, expected,
+            "{technique}: flag set differs from paper"
+        );
     }
 
     println!("\nall four techniques detected with paper-exact mismatch sets.");
@@ -62,14 +65,9 @@ fn main() {
             .find(|b| b.name == "hal.dll")
             .expect("hal.dll in corpus");
         let infection = Technique::InlineHook.infection();
-        let victims = worm::infect_fraction(
-            &mut bed.hv,
-            &bed.guests,
-            &*infection,
-            &bp.generate(),
-            0.6,
-        )
-        .expect("worm applies");
+        let victims =
+            worm::infect_fraction(&mut bed.hv, &bed.guests, &*infection, &bp.generate(), 0.6)
+                .expect("worm applies");
         println!("  infected {} of 15 VMs", victims.len());
 
         let report = checker
@@ -77,7 +75,10 @@ fn main() {
             .expect("pool check");
         let flagged: Vec<String> = report.suspects().map(|v| v.vm_name.clone()).collect();
         println!("  majority vote now favors the worm; flagged: {flagged:?}");
-        println!("  pool-wide discrepancy signal: {}", report.any_discrepancy());
+        println!(
+            "  pool-wide discrepancy signal: {}",
+            report.any_discrepancy()
+        );
         assert!(report.any_discrepancy());
         println!("  as the paper argues: the discrepancy survives even when the vote fails.");
     }

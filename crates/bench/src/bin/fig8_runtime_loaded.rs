@@ -31,7 +31,12 @@ impl std::fmt::Display for Row {
         write!(
             f,
             "{},{:.3},{:.3},{:.3},{:.3},{:.3}",
-            self.n, self.searcher_ms, self.parser_ms, self.checker_ms, self.total_ms, self.idle_total_ms
+            self.n,
+            self.searcher_ms,
+            self.parser_ms,
+            self.checker_ms,
+            self.total_ms,
+            self.idle_total_ms
         )
     }
 }
@@ -51,7 +56,8 @@ fn main() {
             .expect("idle check");
 
         let mut load = HeavyLoad::new();
-        load.start(&mut bed.hv, &ids, LoadProfile::heavy()).expect("start load");
+        load.start(&mut bed.hv, &ids, LoadProfile::heavy())
+            .expect("start load");
         let loaded = checker
             .check_one(&bed.hv, ids[0], &ids[1..], module)
             .expect("loaded check");

@@ -33,7 +33,13 @@ impl std::fmt::Display for Row {
         write!(
             f,
             "{},{:.2},{:.2},{:.2},{:.2},{:.2},{}",
-            self.t_s, self.cpu_idle, self.cpu_user, self.cpu_priv, self.mem_free, self.page_faults, self.introspecting
+            self.t_s,
+            self.cpu_idle,
+            self.cpu_user,
+            self.cpu_priv,
+            self.mem_free,
+            self.page_faults,
+            self.introspecting
         )
     }
 }
@@ -87,7 +93,11 @@ fn main() {
 
     println!("\nFIG-9 introspection windows (simulated):");
     for w in &timeline.windows {
-        println!("  [{:.1}s, {:.1}s)", w.start_ms as f64 / 1e3, w.end_ms as f64 / 1e3);
+        println!(
+            "  [{:.1}s, {:.1}s)",
+            w.start_ms as f64 / 1e3,
+            w.end_ms as f64 / 1e3
+        );
     }
 
     println!("\nFIG-9 perturbation analysis (inside vs outside windows):");
@@ -97,7 +107,11 @@ fn main() {
         ("cpu_privileged_pct", |s| s.cpu_privileged_pct, 1.0),
         ("mem_free_physical_pct", |s| s.mem_free_physical_pct, 1.0),
         ("page_faults_per_sec", |s| s.page_faults_per_sec, 10.0),
-        ("net_packets_sent_per_sec", |s| s.net_packets_sent_per_sec, 1.0),
+        (
+            "net_packets_sent_per_sec",
+            |s| s.net_packets_sent_per_sec,
+            1.0,
+        ),
     ];
     for (name, metric, tolerance) in metrics {
         let (inside, _) = timeline.stats(metric, true);
@@ -106,10 +120,16 @@ fn main() {
         println!(
             "  {name:<26} inside {inside:>8.2}  outside {outside:>8.2} (σ {sd:.2})  Δ {:+.2}  {}",
             inside - outside,
-            if ok { "no perturbation ✓" } else { "PERTURBED ✗" }
+            if ok {
+                "no perturbation ✓"
+            } else {
+                "PERTURBED ✗"
+            }
         );
         assert!(ok, "{name} perturbed during introspection");
     }
 
-    println!("\nFIG-9 reproduced: no significant in-guest perturbation while ModChecker reads memory.");
+    println!(
+        "\nFIG-9 reproduced: no significant in-guest perturbation while ModChecker reads memory."
+    );
 }

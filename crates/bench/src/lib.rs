@@ -37,7 +37,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (slope, intercept, r2)
 }
 
@@ -82,7 +86,11 @@ mod tests {
         let pts: Vec<(f64, f64)> = (2..=15)
             .map(|i| {
                 let x = i as f64;
-                let y = if x <= 8.0 { x } else { x + (x - 8.0).powi(2) * 4.0 };
+                let y = if x <= 8.0 {
+                    x
+                } else {
+                    x + (x - 8.0).powi(2) * 4.0
+                };
                 (x, y)
             })
             .collect();

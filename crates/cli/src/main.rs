@@ -36,6 +36,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "check" => cmd_check(&mut args),
+        "analyze" => cmd_analyze(&mut args),
         "list-modules" => cmd_list_modules(&mut args),
         "listdiff" => cmd_listdiff(&mut args),
         "sweep" => cmd_sweep(&mut args),
@@ -61,8 +62,11 @@ const USAGE: &str = "\
 modchecker — cross-VM kernel module integrity checking (ICPP 2012 reproduction)
 
 USAGE:
-  modchecker check --vms <N> --module <NAME> [--parallel] [--width64]
+  modchecker check --vms <N> --module <NAME> [--parallel] [--width64] [--static]
                    [--infect <technique>@<vm-index>] [--sha256] [--cache] [--json]
+  modchecker analyze [--vms <N>] [--module <NAME>] [--width64] [--json]
+                     [--infect <technique>@<vm-index>] [--hide <module>@<vm-index>]
+                                         single-VM static lints, no reference needed
   modchecker list-modules [--vms <N>] [--width64]
   modchecker listdiff --vms <N> [--hide <module>@<vm-index>]
   modchecker sweep [--loaded]            runtime vs pool size (Fig. 7/8 preview)
@@ -78,7 +82,9 @@ fn parse_technique(s: &str) -> Result<Technique, String> {
         "inline-hook" => Ok(Technique::InlineHook),
         "stub-modification" => Ok(Technique::StubModification),
         "dll-hook" => Ok(Technique::DllHook),
-        other => Err(format!("unknown technique {other:?} (see `modchecker techniques`)")),
+        other => Err(format!(
+            "unknown technique {other:?} (see `modchecker techniques`)"
+        )),
     }
 }
 
@@ -136,6 +142,7 @@ fn cmd_check(args: &mut Args) -> Result<(), String> {
         } else {
             modchecker::DigestAlgo::Md5
         },
+        static_prepass: args.flag("static"),
     };
     let report = ModChecker::with_config(config)
         .check_pool(&bed.hv, &bed.vm_ids, &module)
@@ -147,6 +154,7 @@ fn cmd_check(args: &mut Args) -> Result<(), String> {
             "vms": report.vm_names,
             "all_clean": report.all_clean(),
             "any_discrepancy": report.any_discrepancy(),
+            "statically_flagged_vms": report.statically_flagged_vms(),
             "verdicts": report.verdicts.iter().map(|v| serde_json::json!({
                 "vm": v.vm_name,
                 "clean": v.clean,
@@ -162,16 +170,147 @@ fn cmd_check(args: &mut Args) -> Result<(), String> {
                 "total_ms": report.times.total().as_millis_f64(),
             },
         });
-        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json).expect("serializable")
+        );
     } else {
         print!("{report}");
     }
     Ok(())
 }
 
+/// Parses `--hide <module>@<vm-index>` and, when present, DKOM-hides the
+/// module on that guest. Validates the module name before touching the
+/// guest (`GuestOs::dkom_hide` panics on unknown modules by design).
+fn apply_hide(args: &mut Args, bed: &mut Testbed) -> Result<(), String> {
+    let Some(spec) = args.raw_value("hide") else {
+        return Ok(());
+    };
+    let (module, idx) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("--hide expects <module>@<vm-index>, got {spec:?}"))?;
+    let victim: usize = idx.parse().map_err(|_| format!("bad index {idx:?}"))?;
+    if victim >= bed.guests.len() {
+        return Err(format!("vm index {victim} out of range"));
+    }
+    if bed.guests[victim].find_module(module).is_none() {
+        return Err(format!(
+            "unknown module {module:?} on vm {victim} (see `modchecker list-modules`)"
+        ));
+    }
+    let module = module.to_string();
+    bed.guests[victim]
+        .dkom_hide(&mut bed.hv, &module)
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_analyze(args: &mut Args) -> Result<(), String> {
+    let (mut bed, infected_target) = build_bed(args)?;
+    apply_hide(args, &mut bed)?;
+    let only_module = args
+        .raw_value("module")
+        .map(str::to_string)
+        .or(infected_target);
+    let analyzer = mc_analysis::Analyzer::new();
+
+    let mut reports: Vec<mc_analysis::AnalysisReport> = Vec::new();
+    let mut target_captures = 0usize;
+    for &vm in &bed.vm_ids {
+        let mut session = VmiSession::attach(&bed.hv, vm).map_err(|e| e.to_string())?;
+        reports.push(
+            analyzer
+                .analyze_module_list(&mut session)
+                .map_err(|e| e.to_string())?,
+        );
+        let targets: Vec<String> = match &only_module {
+            Some(m) => vec![m.clone()],
+            None => ModuleSearcher::list_modules(&mut session)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(|m| m.name)
+                .collect(),
+        };
+        for name in targets {
+            // A module hidden on this VM is the list report's finding, not
+            // a capture error.
+            let Ok(image) = ModuleSearcher::find(&mut session, &name) else {
+                continue;
+            };
+            target_captures += 1;
+            reports.push(
+                analyzer
+                    .analyze_image(&image.vm_name, &name, image.base, &image.bytes)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+    }
+    if let Some(m) = &only_module {
+        if target_captures == 0 {
+            return Err(format!(
+                "module {m:?} not found on any VM (see `modchecker list-modules`)"
+            ));
+        }
+    }
+
+    let mut flagged: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.is_clean())
+        .map(|r| r.vm_name.as_str())
+        .collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+
+    if args.flag("json") {
+        let json = serde_json::json!({
+            "flagged_vms": flagged,
+            "reports": reports.iter().map(|r| serde_json::json!({
+                "vm": r.vm_name,
+                "module": r.module,
+                "clean": r.is_clean(),
+                "instructions_decoded": r.instructions_decoded,
+                "bytes_scanned": r.bytes_scanned,
+                "diagnostics": r.diagnostics.iter().map(|d| serde_json::json!({
+                    "lint": d.lint.code(),
+                    "name": d.lint.name(),
+                    "severity": d.severity.to_string(),
+                    "confidence": d.confidence.to_string(),
+                    "va": format!("{:#x}", d.va),
+                    "detail": d.detail,
+                })).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json).expect("serializable")
+        );
+    } else {
+        let clean = reports.iter().filter(|r| r.is_clean()).count();
+        println!(
+            "static analysis: {} subject(s) across {} VM(s), {} clean",
+            reports.len(),
+            bed.vm_ids.len(),
+            clean
+        );
+        for r in reports.iter().filter(|r| !r.is_clean()) {
+            print!("{r}");
+        }
+        if flagged.is_empty() {
+            println!("no findings");
+        } else {
+            println!("flagged VMs: {}", flagged.join(", "));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_list_modules(args: &mut Args) -> Result<(), String> {
     let n = args.value("vms")?.unwrap_or(2);
-    let bed = Testbed::cloud_with(n.max(2), width_of(args), &mc_pe::corpus::standard_corpus(width_of(args)));
+    let bed = Testbed::cloud_with(
+        n.max(2),
+        width_of(args),
+        &mc_pe::corpus::standard_corpus(width_of(args)),
+    );
     let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[0]).map_err(|e| e.to_string())?;
     let modules = ModuleSearcher::list_modules(&mut session).map_err(|e| e.to_string())?;
     println!("{:<18} {:>18} {:>10}", "module", "base", "size");
@@ -188,19 +327,7 @@ fn cmd_listdiff(args: &mut Args) -> Result<(), String> {
         width_of(args),
         &mc_pe::corpus::standard_corpus(width_of(args)),
     );
-    if let Some(spec) = args.raw_value("hide") {
-        let (module, idx) = spec
-            .split_once('@')
-            .ok_or_else(|| format!("--hide expects <module>@<vm-index>, got {spec:?}"))?;
-        let victim: usize = idx.parse().map_err(|_| format!("bad index {idx:?}"))?;
-        if victim >= bed.guests.len() {
-            return Err(format!("vm index {victim} out of range"));
-        }
-        let module = module.to_string();
-        bed.guests[victim]
-            .dkom_hide(&mut bed.hv, &module)
-            .map_err(|e| e.to_string())?;
-    }
+    apply_hide(args, &mut bed)?;
     let report = modchecker::ListDiff::scan(&bed.hv, &bed.vm_ids).map_err(|e| e.to_string())?;
     print!("{report}");
     Ok(())
@@ -290,7 +417,10 @@ fn cmd_monitor(args: &mut Args) -> Result<(), String> {
 }
 
 fn cmd_techniques() -> Result<(), String> {
-    println!("{:<22} {:<16} paper-reported mismatches", "technique", "target");
+    println!(
+        "{:<22} {:<16} {:<10} paper-reported mismatches",
+        "technique", "target", "static"
+    );
     for t in Technique::ALL {
         let inf = t.infection();
         let flag = match t {
@@ -307,7 +437,13 @@ fn cmd_techniques() -> Result<(), String> {
                 mc_attacks::Expectation::AllSectionHeaders => "all SECTION_HEADERs".to_string(),
             })
             .collect();
-        println!("{:<22} {:<16} {}", flag, inf.target_module(), expect.join(", "));
+        println!(
+            "{:<22} {:<16} {:<10} {}",
+            flag,
+            inf.target_module(),
+            inf.statically_detectable().unwrap_or("—"),
+            expect.join(", ")
+        );
     }
     Ok(())
 }

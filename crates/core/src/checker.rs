@@ -137,9 +137,7 @@ pub fn compare_pair(
         );
         slots_adjusted += stats.slots_adjusted;
         residual_diffs += stats.residual_diffs;
-        if bytes_a.len() != bytes_b.len()
-            || digest(a.algo, &bytes_a) != digest(b.algo, &bytes_b)
-        {
+        if bytes_a.len() != bytes_b.len() || digest(a.algo, &bytes_a) != digest(b.algo, &bytes_b) {
             mismatched.push(PartId::SectionData(sa.name.clone()));
         }
     }
@@ -257,8 +255,12 @@ mod tests {
             }
         }
         let out = compare_pair(&a, &b, None);
-        assert!(out.mismatched.contains(&PartId::SectionData(".text".into())));
-        assert!(out.mismatched.contains(&PartId::SectionData(".evil".into())));
+        assert!(out
+            .mismatched
+            .contains(&PartId::SectionData(".text".into())));
+        assert!(out
+            .mismatched
+            .contains(&PartId::SectionData(".evil".into())));
     }
 
     #[test]

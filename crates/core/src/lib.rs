@@ -79,8 +79,8 @@ pub use checker::{compare_pair, ExtractedModule, PairOutcome};
 pub use digest::{DigestAlgo, PartDigest};
 pub use error::CheckError;
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
-pub use parts::{ModuleParts, PartId};
 pub use monitor::{remediate, ContinuousMonitor, MonitorConfig, MonitorEvent};
+pub use parts::{ModuleParts, PartId};
 pub use pool::{CheckConfig, ModChecker, ScanMode};
 pub use report::{ComponentTimes, ModuleCheckReport, PoolCheckReport, VmVerdict};
 pub use rva::{adjust_rvas, AdjustStats};

@@ -102,7 +102,11 @@ impl std::fmt::Display for ListDiffReport {
             f,
             "module-list cross-view over {} VM(s): {}",
             self.listings.len(),
-            if self.consistent() { "consistent" } else { "ANOMALOUS" }
+            if self.consistent() {
+                "consistent"
+            } else {
+                "ANOMALOUS"
+            }
         )?;
         for l in &self.listings {
             if let Some(e) = &l.error {
@@ -117,6 +121,7 @@ impl std::fmt::Display for ListDiffReport {
 }
 
 /// The list-diff scanner.
+#[derive(Clone, Copy, Debug)]
 pub struct ListDiff;
 
 impl ListDiff {
@@ -176,7 +181,7 @@ impl ListDiff {
             } else {
                 anomalies.push(ListAnomaly::ExtraOn {
                     module: module.to_string(),
-                    vms: on.iter().map(|s| s.to_string()).collect(),
+                    vms: on.iter().map(std::string::ToString::to_string).collect(),
                     total,
                 });
             }
@@ -228,7 +233,11 @@ mod tests {
         assert!(!report.consistent());
         assert_eq!(report.anomalies.len(), 1);
         match &report.anomalies[0] {
-            ListAnomaly::MissingOn { module, vms, present_on } => {
+            ListAnomaly::MissingOn {
+                module,
+                vms,
+                present_on,
+            } => {
                 assert_eq!(module, "ndis.sys");
                 assert_eq!(vms, &vec!["dom3".to_string()]);
                 assert_eq!(*present_on, 4);
@@ -247,7 +256,9 @@ mod tests {
             .build()
             .unwrap();
         let base = 0xF7F0_0000;
-        guests[1].load(&mut hv, "rootkit.sys", &implant, base).unwrap();
+        guests[1]
+            .load(&mut hv, "rootkit.sys", &implant, base)
+            .unwrap();
 
         let report = ListDiff::scan(&hv, &ids).unwrap();
         assert!(!report.consistent());
@@ -259,7 +270,9 @@ mod tests {
             }
             other => panic!("wrong anomaly {other:?}"),
         }
-        assert!(!report.consensus_modules.contains(&"rootkit.sys".to_string()));
+        assert!(!report
+            .consensus_modules
+            .contains(&"rootkit.sys".to_string()));
     }
 
     #[test]

@@ -88,13 +88,7 @@ impl ContinuousMonitor {
     /// Runs `rounds` rounds, emitting an event per module per round into
     /// `events`. Blocks until done; call from a scoped thread for
     /// concurrent consumption (see the `continuous_monitoring` example).
-    pub fn run(
-        &self,
-        hv: &Hypervisor,
-        vms: &[VmId],
-        rounds: usize,
-        events: &Sender<MonitorEvent>,
-    ) {
+    pub fn run(&self, hv: &Hypervisor, vms: &[VmId], rounds: usize, events: &Sender<MonitorEvent>) {
         for round in 0..rounds {
             for (module, result) in self.run_round(hv, vms) {
                 let event = match result {
@@ -197,8 +191,7 @@ mod tests {
         match discrepancies[0] {
             MonitorEvent::Discrepancy { module, report, .. } => {
                 assert_eq!(module, "ndis.sys");
-                let suspects: Vec<&str> =
-                    report.suspects().map(|v| v.vm_name.as_str()).collect();
+                let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
                 assert_eq!(suspects, vec!["dom2"]);
             }
             _ => unreachable!(),

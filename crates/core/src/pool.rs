@@ -45,6 +45,12 @@ pub struct CheckConfig {
     pub page_cache: bool,
     /// Part fingerprint algorithm (paper: MD5; ablation ABL-6).
     pub digest: crate::digest::DigestAlgo,
+    /// Run the single-VM static lint pass (`mc-analysis`) over every
+    /// captured image and attach non-clean reports. This is the "deeper
+    /// analysis" the paper's §III defers to when voting is ambiguous: it
+    /// needs no reference VM, so it names infected VMs even when the
+    /// majority is compromised (EXT-4).
+    pub static_prepass: bool,
 }
 
 /// The ModChecker driver.
@@ -76,6 +82,22 @@ impl ModChecker {
     /// Scanner with full configuration.
     pub fn with_config(config: CheckConfig) -> Self {
         ModChecker { config }
+    }
+
+    /// Single-VM static lint pass over one extracted image; `Some` only
+    /// when the analyzer has findings. Parse failures yield no report —
+    /// structural corruption already surfaces through the extraction and
+    /// hashing paths.
+    fn static_scan(m: &ExtractedModule) -> Option<mc_analysis::AnalysisReport> {
+        mc_analysis::Analyzer::new()
+            .analyze_image(
+                &m.image.vm_name,
+                &m.image.name,
+                m.image.base,
+                &m.image.bytes,
+            )
+            .ok()
+            .filter(|r| !r.is_clean())
     }
 
     /// Captures and decomposes `module` from one VM, splitting simulated
@@ -158,6 +180,10 @@ impl ModChecker {
         let mut per_vm_times = vec![(ref_name.clone(), ref_times)];
         let mut outcomes = Vec::new();
         let mut errors = Vec::new();
+        let mut static_findings = Vec::new();
+        if self.config.static_prepass {
+            static_findings.extend(Self::static_scan(&reference_mod));
+        }
 
         // Pairwise comparison cost is charged via a ledger attached to the
         // reference VM (Dom0 does this work; contention applies).
@@ -169,7 +195,12 @@ impl ModChecker {
         for (result, times, vm_name) in compare_inputs {
             per_vm_times.push((vm_name.clone(), times));
             match result {
-                Ok(other) => outcomes.push(compare_pair(&reference_mod, &other, Some(&mut ledger))),
+                Ok(other) => {
+                    if self.config.static_prepass {
+                        static_findings.extend(Self::static_scan(&other));
+                    }
+                    outcomes.push(compare_pair(&reference_mod, &other, Some(&mut ledger)));
+                }
                 Err(e) => errors.push((vm_name, e.to_string())),
             }
         }
@@ -193,6 +224,7 @@ impl ModChecker {
             clean: successes * 2 > comparisons,
             times,
             per_vm_times,
+            static_findings,
         })
     }
 
@@ -223,6 +255,14 @@ impl ModChecker {
                 Err(e) => errors[i] = Some(e.to_string()),
             }
         }
+        let static_findings: Vec<mc_analysis::AnalysisReport> = if self.config.static_prepass {
+            extracted
+                .iter()
+                .filter_map(|(_, m)| Self::static_scan(m))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // All pairs over successful extractions.
         let pairs: Vec<(usize, usize)> = (0..extracted.len())
@@ -301,6 +341,7 @@ impl ModChecker {
             verdicts,
             matrix: matrix.into_iter().map(|(_, _, o)| o).collect(),
             times,
+            static_findings,
         })
     }
 }
@@ -531,7 +572,8 @@ mod tests {
         // mislabels, but discrepancies are still visible pool-wide.
         let (mut hv, guests, ids) = cloud(5);
         for g in guests.iter().take(3) {
-            g.patch_module(&mut hv, "hal.dll", 0x1009, &[0xFE, 0xED]).unwrap();
+            g.patch_module(&mut hv, "hal.dll", 0x1009, &[0xFE, 0xED])
+                .unwrap();
         }
         let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
         assert!(report.any_discrepancy());
@@ -541,5 +583,32 @@ mod tests {
         // what triggers deeper analysis.
         let flagged: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
         assert_eq!(flagged, vec!["dom1", "dom2", "dom3", "dom4", "dom5"]);
+    }
+
+    #[test]
+    fn static_prepass_names_the_infected_vms_without_a_majority() {
+        // Same worm-majority shape as above, but the patch is a hook-style
+        // rel32 JMP — the artifact the static pre-pass keys on. The vote
+        // cannot say *who* is infected; the per-VM lint findings can.
+        let (mut hv, guests, ids) = cloud(5);
+        for g in guests.iter().take(3) {
+            g.patch_module(&mut hv, "hal.dll", 0x1000, &[0xE9, 0x10, 0x00, 0x00, 0x00])
+                .unwrap();
+        }
+        let config = CheckConfig {
+            static_prepass: true,
+            ..CheckConfig::default()
+        };
+        let report = ModChecker::with_config(config)
+            .check_pool(&hv, &ids, "hal.dll")
+            .unwrap();
+        assert!(report.any_discrepancy());
+        assert_eq!(
+            report.statically_flagged_vms(),
+            vec!["dom1", "dom2", "dom3"]
+        );
+        // Without the pre-pass the same scan attaches nothing.
+        let plain = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        assert!(plain.static_findings.is_empty());
     }
 }

@@ -114,6 +114,11 @@ pub struct ModuleCheckReport {
     pub times: ComponentTimes,
     /// Per-VM component times, in scan order (reference first).
     pub per_vm_times: Vec<(String, ComponentTimes)>,
+    /// Non-clean single-VM static analysis reports, one per flagged VM
+    /// (populated when [`crate::pool::CheckConfig::static_prepass`] is on).
+    /// Orthogonal to the vote: these findings name the infected VM even
+    /// when the majority is compromised.
+    pub static_findings: Vec<mc_analysis::AnalysisReport>,
 }
 
 impl ModuleCheckReport {
@@ -185,6 +190,14 @@ impl fmt::Display for ModuleCheckReport {
         for (vm, e) in &self.errors {
             writeln!(f, "  vs {vm:<8} ERROR: {e}")?;
         }
+        for r in &self.static_findings {
+            writeln!(
+                f,
+                "  static: {} findings on {}",
+                r.diagnostics.len(),
+                r.vm_name
+            )?;
+        }
         writeln!(f, "  times: {}", self.times)
     }
 }
@@ -203,6 +216,11 @@ pub struct PoolCheckReport {
     pub matrix: Vec<PairOutcome>,
     /// Aggregate component times.
     pub times: ComponentTimes,
+    /// Non-clean single-VM static analysis reports (populated when
+    /// [`crate::pool::CheckConfig::static_prepass`] is on). These break
+    /// worm-majority ties: the vote says "discrepancy somewhere", the
+    /// static pass names the VMs carrying hook artifacts.
+    pub static_findings: Vec<mc_analysis::AnalysisReport>,
 }
 
 impl PoolCheckReport {
@@ -220,8 +238,21 @@ impl PoolCheckReport {
     /// name the culprit (the worm scenario of §III: ModChecker still
     /// "detects discrepancies among VMs that can trigger deeper analysis").
     pub fn any_discrepancy(&self) -> bool {
-        self.matrix.iter().any(|o| !o.matches())
-            || self.verdicts.iter().any(|v| v.error.is_some())
+        self.matrix.iter().any(|o| !o.matches()) || self.verdicts.iter().any(|v| v.error.is_some())
+    }
+
+    /// VM names carrying static-analysis findings (the "deeper analysis"
+    /// the paper defers to; requires `static_prepass`). Unlike the vote,
+    /// this is per-VM evidence and survives a compromised majority.
+    pub fn statically_flagged_vms(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .static_findings
+            .iter()
+            .map(|r| r.vm_name.as_str())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -235,6 +266,14 @@ impl fmt::Display for PoolCheckReport {
         )?;
         for v in &self.verdicts {
             writeln!(f, "  {v}")?;
+        }
+        for r in &self.static_findings {
+            writeln!(
+                f,
+                "  static: {} findings on {}",
+                r.diagnostics.len(),
+                r.vm_name
+            )?;
         }
         writeln!(f, "  times: {}", self.times)
     }
@@ -285,6 +324,7 @@ mod tests {
             clean: false,
             times: ComponentTimes::default(),
             per_vm_times: vec![],
+            static_findings: vec![],
         };
         assert_eq!(report.suspect_parts().len(), 1);
     }
@@ -298,10 +338,8 @@ mod tests {
         };
         let mut times = ComponentTimes::default();
         let names = ["dom1", "dom2", "dom3", "dom4"];
-        let per: Vec<(String, ComponentTimes)> = names
-            .iter()
-            .map(|n| (n.to_string(), per_vm(4)))
-            .collect();
+        let per: Vec<(String, ComponentTimes)> =
+            names.iter().map(|n| (n.to_string(), per_vm(4))).collect();
         for (_, t) in &per {
             times.accumulate(t);
         }
@@ -316,6 +354,7 @@ mod tests {
             clean: true,
             times,
             per_vm_times: per,
+            static_findings: vec![],
         };
         let seq = report.simulated_wall_sequential();
         let par4 = report.simulated_wall_parallel(4);

@@ -53,6 +53,7 @@ pub struct ModuleImage {
 }
 
 /// Module-Searcher: list traversal and page-wise image capture.
+#[derive(Clone, Copy, Debug)]
 pub struct ModuleSearcher;
 
 impl ModuleSearcher {
@@ -78,10 +79,7 @@ impl ModuleSearcher {
 
     /// Finds a module by name (case-insensitive, as Windows treats
     /// `BaseDllName`) without copying its image.
-    pub fn find_ref(
-        session: &mut VmiSession<'_>,
-        module: &str,
-    ) -> Result<ModuleRef, CheckError> {
+    pub fn find_ref(session: &mut VmiSession<'_>, module: &str) -> Result<ModuleRef, CheckError> {
         let offs = LdrOffsets::for_width(session.width());
         let head = session.symbol(PS_LOADED_MODULE_LIST)?;
         let mut seen = HashSet::new();
@@ -286,7 +284,9 @@ mod tests {
         {
             let vm = hv.vm_mut(guests[0].vm).unwrap();
             let aspace = vm.aspace;
-            aspace.unmap(&mut vm.mem, truth.base + PAGE_SIZE as u64).unwrap();
+            aspace
+                .unmap(&mut vm.mem, truth.base + PAGE_SIZE as u64)
+                .unwrap();
         }
         let mut s = VmiSession::attach(&hv, guests[0].vm).unwrap();
         assert!(matches!(

@@ -73,7 +73,7 @@ impl LdrOffsets {
 /// Encodes a module name as UTF-16LE (no terminator), as `UNICODE_STRING`
 /// buffers store it.
 pub fn encode_utf16(name: &str) -> Vec<u8> {
-    name.encode_utf16().flat_map(|u| u.to_le_bytes()).collect()
+    name.encode_utf16().flat_map(u16::to_le_bytes).collect()
 }
 
 /// Decodes a UTF-16LE buffer back to a `String` (lossy on bad surrogates).
@@ -101,7 +101,10 @@ pub fn write_entry(
     vm.write_ptr(entry_va + offs.entry_point, dll_base)?;
     match offs.ptr {
         4 => vm.write_virt(entry_va + offs.size_of_image, &size_of_image.to_le_bytes())?,
-        _ => vm.write_virt(entry_va + offs.size_of_image, &(size_of_image as u64).to_le_bytes())?,
+        _ => vm.write_virt(
+            entry_va + offs.size_of_image,
+            &(size_of_image as u64).to_le_bytes(),
+        )?,
     }
     // BaseDllName and FullDllName share the buffer (the reproduction's
     // guests don't model paths; the searcher compares BaseDllName only).
@@ -116,7 +119,12 @@ pub fn write_entry(
 
 /// Links `entry_va` at the tail of the circular list headed at `head_va`
 /// (load order: new modules append).
-pub fn link_tail(vm: &mut Vm, offs: &LdrOffsets, head_va: u64, entry_va: u64) -> Result<(), HvError> {
+pub fn link_tail(
+    vm: &mut Vm,
+    offs: &LdrOffsets,
+    head_va: u64,
+    entry_va: u64,
+) -> Result<(), HvError> {
     let old_tail = vm.read_ptr(head_va + offs.blink)?;
     // entry.flink = head; entry.blink = old_tail.
     vm.write_ptr(entry_va + offs.flink, head_va)?;
@@ -182,8 +190,16 @@ mod tests {
         let name_buf = pool + 0x400;
         let name = encode_utf16("http.sys");
         vm.write_virt(name_buf, &name).unwrap();
-        write_entry(&mut vm, &offs, entry, 0xF7AB_0000, 0x42000, name_buf, name.len() as u16)
-            .unwrap();
+        write_entry(
+            &mut vm,
+            &offs,
+            entry,
+            0xF7AB_0000,
+            0x42000,
+            name_buf,
+            name.len() as u16,
+        )
+        .unwrap();
         link_tail(&mut vm, &offs, head, entry).unwrap();
 
         assert_eq!(vm.read_ptr(head + offs.flink).unwrap(), entry);
@@ -216,8 +232,16 @@ mod tests {
             let nb = pool + 0x800 + i as u64 * 0x40;
             let name = encode_utf16(&format!("m{i}.sys"));
             vm.write_virt(nb, &name).unwrap();
-            write_entry(&mut vm, &offs, e, 0x1000 * (i as u64 + 1), 0x1000, nb, name.len() as u16)
-                .unwrap();
+            write_entry(
+                &mut vm,
+                &offs,
+                e,
+                0x1000 * (i as u64 + 1),
+                0x1000,
+                nb,
+                name.len() as u16,
+            )
+            .unwrap();
             link_tail(&mut vm, &offs, head, e).unwrap();
         }
 

@@ -202,7 +202,11 @@ impl GuestOs {
 
     /// Unlinks a module's LDR entry from the list without unmapping the
     /// image — the classic DKOM (direct kernel object manipulation) hiding
-    /// technique. Returns an error if the module is unknown.
+    /// technique.
+    ///
+    /// # Panics
+    /// Panics if the module is unknown — callers with untrusted input
+    /// should check [`GuestOs::find_module`] first.
     pub fn dkom_hide(&self, hv: &mut Hypervisor, name: &str) -> Result<(), HvError> {
         let module = self
             .find_module(name)
@@ -247,7 +251,12 @@ pub fn build_cloud(
     let mut guests = Vec::with_capacity(count);
     for i in 0..count {
         let vm = hv.create_vm(&format!("dom{}", i + 1), width)?;
-        guests.push(GuestOs::install_with_modules(hv, vm, &corpus, i as u64 + 1)?);
+        guests.push(GuestOs::install_with_modules(
+            hv,
+            vm,
+            &corpus,
+            i as u64 + 1,
+        )?);
     }
     Ok(guests)
 }
@@ -267,7 +276,12 @@ pub fn build_cloud_with_modules(
     let mut guests = Vec::with_capacity(count);
     for i in 0..count {
         let vm = hv.create_vm(&format!("dom{}", i + 1), width)?;
-        guests.push(GuestOs::install_with_modules(hv, vm, &corpus, i as u64 + 1)?);
+        guests.push(GuestOs::install_with_modules(
+            hv,
+            vm,
+            &corpus,
+            i as u64 + 1,
+        )?);
     }
     Ok(guests)
 }
@@ -287,9 +301,13 @@ mod tests {
     #[test]
     fn cloud_has_distinct_bases_per_vm() {
         let mut hv = Hypervisor::new();
-        let guests =
-            build_cloud_with_modules(&mut hv, 3, AddressWidth::W32, &small_blueprints(AddressWidth::W32))
-                .unwrap();
+        let guests = build_cloud_with_modules(
+            &mut hv,
+            3,
+            AddressWidth::W32,
+            &small_blueprints(AddressWidth::W32),
+        )
+        .unwrap();
         let bases: Vec<u64> = guests
             .iter()
             .map(|g| g.find_module("hal.dll").unwrap().base)
@@ -311,8 +329,14 @@ mod tests {
 
         let mut img0 = vec![0u8; m0.size as usize];
         let mut img1 = vec![0u8; m1.size as usize];
-        hv.vm(guests[0].vm).unwrap().read_virt(m0.base, &mut img0).unwrap();
-        hv.vm(guests[1].vm).unwrap().read_virt(m1.base, &mut img1).unwrap();
+        hv.vm(guests[0].vm)
+            .unwrap()
+            .read_virt(m0.base, &mut img0)
+            .unwrap();
+        hv.vm(guests[1].vm)
+            .unwrap()
+            .read_virt(m1.base, &mut img1)
+            .unwrap();
         assert_ne!(img0, img1, "relocation must differentiate the images");
 
         // Undo relocation using ground truth (the reloc site list): the
@@ -346,7 +370,10 @@ mod tests {
             .patch_module(&mut hv, "alpha.sys", 0x40, b"XYZ")
             .unwrap();
         let mut buf = [0u8; 3];
-        hv.vm(guests[0].vm).unwrap().read_virt(base + 0x40, &mut buf).unwrap();
+        hv.vm(guests[0].vm)
+            .unwrap()
+            .read_virt(base + 0x40, &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"XYZ");
     }
 

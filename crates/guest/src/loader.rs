@@ -34,7 +34,12 @@ pub struct LoadedModule {
 
 /// Maps `pe` into `vm` at `base`, applies relocations, and returns ground
 /// truth. Does not touch the module list (see [`crate::GuestOs::load`]).
-pub fn load_module(vm: &mut Vm, pe: &PeFile, name: &str, base: u64) -> Result<LoadedModule, HvError> {
+pub fn load_module(
+    vm: &mut Vm,
+    pe: &PeFile,
+    name: &str,
+    base: u64,
+) -> Result<LoadedModule, HvError> {
     let file = pe.bytes();
     let parsed = ParsedModule::parse_file(file).expect("corpus PE files parse");
     let size = pe.size_of_image();
@@ -103,7 +108,9 @@ mod tests {
 
     fn load_one(width: AddressWidth, base: u64) -> (Vm, LoadedModule, PeFile) {
         let mut vm = Vm::new(VmId(0), "t", width);
-        let pe = ModuleBlueprint::new("x.sys", width, 8 * 1024).build().unwrap();
+        let pe = ModuleBlueprint::new("x.sys", width, 8 * 1024)
+            .build()
+            .unwrap();
         let m = load_module(&mut vm, &pe, "x.sys", base).unwrap();
         (vm, m, pe)
     }
@@ -135,7 +142,11 @@ mod tests {
             let mut mem_slot = [0u8; 4];
             vm.read_virt(m.base + rva as u64, &mut mem_slot).unwrap();
             let mem_val = u32::from_le_bytes(mem_slot);
-            assert_eq!(mem_val as u64, file_val as u64 + base, "slot at rva {rva:#x}");
+            assert_eq!(
+                mem_val as u64,
+                file_val as u64 + base,
+                "slot at rva {rva:#x}"
+            );
         }
     }
 
@@ -169,6 +180,9 @@ mod tests {
         let mut slot = [0u8; 8];
         vm.read_virt(base + rva as u64, &mut slot).unwrap();
         let abs = u64::from_le_bytes(slot);
-        assert!(abs >= base, "absolute address {abs:#x} below base {base:#x}");
+        assert!(
+            abs >= base,
+            "absolute address {abs:#x} below base {base:#x}"
+        );
     }
 }

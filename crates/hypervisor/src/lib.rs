@@ -144,7 +144,9 @@ impl Hypervisor {
 
     /// Mutable access to a VM (guest construction and attacks only).
     pub fn vm_mut(&mut self, id: VmId) -> Result<&mut Vm, HvError> {
-        self.vms.get_mut(id.0 as usize).ok_or(HvError::UnknownVm(id))
+        self.vms
+            .get_mut(id.0 as usize)
+            .ok_or(HvError::UnknownVm(id))
     }
 
     /// Looks a VM up by name.
@@ -213,7 +215,10 @@ mod tests {
         }
         let b = hv.clone_vm(a, "clone1").unwrap();
         // Mutating the clone must not affect the golden image.
-        hv.vm_mut(b).unwrap().write_virt(0x8000_0000, b"CLONED").unwrap();
+        hv.vm_mut(b)
+            .unwrap()
+            .write_virt(0x8000_0000, b"CLONED")
+            .unwrap();
         let mut buf = [0u8; 6];
         hv.vm(a).unwrap().read_virt(0x8000_0000, &mut buf).unwrap();
         assert_eq!(&buf, b"golden");

@@ -145,8 +145,8 @@ impl AddressSpace {
                 if pde & ENTRY_PRESENT == 0 {
                     return Err(HvError::UnmappedVa(va));
                 }
-                let pte = mem.read_u32((pde & ADDR_MASK_32) + 4 * ((va >> PAGE_SHIFT) & 0x3FF))?
-                    as u64;
+                let pte =
+                    mem.read_u32((pde & ADDR_MASK_32) + 4 * ((va >> PAGE_SHIFT) & 0x3FF))? as u64;
                 if pte & ENTRY_PRESENT == 0 {
                     return Err(HvError::UnmappedVa(va));
                 }
@@ -277,7 +277,9 @@ mod tests {
     fn map_range_alloc_covers_len() {
         let (mut mem, aspace) = setup(AddressWidth::W32);
         let va = 0x8000_0000u64;
-        aspace.map_range_alloc(&mut mem, va, 3 * PAGE_SIZE as u64 + 1).unwrap();
+        aspace
+            .map_range_alloc(&mut mem, va, 3 * PAGE_SIZE as u64 + 1)
+            .unwrap();
         for p in 0..4 {
             aspace.translate(&mem, va + p * PAGE_SIZE as u64).unwrap();
         }
@@ -288,7 +290,9 @@ mod tests {
     fn distinct_pages_get_distinct_frames() {
         let (mut mem, aspace) = setup(AddressWidth::W32);
         let va = 0x9000_0000u64;
-        aspace.map_range_alloc(&mut mem, va, 2 * PAGE_SIZE as u64).unwrap();
+        aspace
+            .map_range_alloc(&mut mem, va, 2 * PAGE_SIZE as u64)
+            .unwrap();
         let p0 = aspace.translate(&mem, va).unwrap();
         let p1 = aspace.translate(&mem, va + PAGE_SIZE as u64).unwrap();
         assert_ne!(p0 >> PAGE_SHIFT, p1 >> PAGE_SHIFT);
@@ -298,7 +302,9 @@ mod tests {
     fn unmap_makes_va_unreachable() {
         let (mut mem, aspace) = setup(AddressWidth::W32);
         let va = 0x8000_0000u64;
-        aspace.map_range_alloc(&mut mem, va, PAGE_SIZE as u64).unwrap();
+        aspace
+            .map_range_alloc(&mut mem, va, PAGE_SIZE as u64)
+            .unwrap();
         aspace.translate(&mem, va).unwrap();
         aspace.unmap(&mut mem, va).unwrap();
         assert!(matches!(

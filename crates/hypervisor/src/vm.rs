@@ -185,7 +185,9 @@ mod tests {
         let mut vm = vm32();
         let va = 0x8000_0000u64;
         vm.map_range(va, 3 * PAGE_SIZE as u64).unwrap();
-        let data: Vec<u8> = (0..(2 * PAGE_SIZE + 100)).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..(2 * PAGE_SIZE + 100))
+            .map(|i| (i % 251) as u8)
+            .collect();
         vm.write_virt(va + 50, &data).unwrap();
         let mut back = vec![0u8; data.len()];
         vm.read_virt(va + 50, &mut back).unwrap();
@@ -219,7 +221,8 @@ mod tests {
         assert_eq!(vm.read_ptr(0x8000_0010).unwrap(), 0xDEAD_BEEF);
 
         let mut vm64 = Vm::new(VmId(1), "t64", AddressWidth::W64);
-        vm64.map_range(0xFFFF_F800_0000_0000, PAGE_SIZE as u64).unwrap();
+        vm64.map_range(0xFFFF_F800_0000_0000, PAGE_SIZE as u64)
+            .unwrap();
         vm64.write_ptr(0xFFFF_F800_0000_0008, 0xFFFF_F800_1234_5678)
             .unwrap();
         assert_eq!(

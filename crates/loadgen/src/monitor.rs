@@ -90,8 +90,7 @@ impl Timeline {
             return (0.0, 0.0);
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         (mean, var.sqrt())
     }
 
@@ -106,6 +105,7 @@ impl Timeline {
 }
 
 /// The in-VM resource monitor.
+#[derive(Clone, Copy, Debug)]
 pub struct ResourceMonitor {
     /// Sampling interval in simulated milliseconds (the paper sampled
     /// continuously; 1 Hz is the plotted granularity).
@@ -146,7 +146,7 @@ impl ResourceMonitor {
         duration_ms: u64,
         windows: &[Window],
     ) -> Timeline {
-        let vm_index = hv.vm(vm).map(|v| v.id.0).unwrap_or(0);
+        let vm_index = hv.vm(vm).map_or(0, |v| v.id.0);
         let mut samples = Vec::with_capacity((duration_ms / self.interval_ms) as usize + 1);
         let mut t = 0u64;
         while t < duration_ms {

@@ -69,7 +69,9 @@ mod tests {
 
     #[test]
     fn display_matches_to_hex() {
-        let d = Digest([0xde, 0xad, 0xbe, 0xef, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0xff]);
+        let d = Digest([
+            0xde, 0xad, 0xbe, 0xef, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0xff,
+        ]);
         assert_eq!(format!("{d}"), d.to_hex());
         assert!(d.to_hex().starts_with("deadbeef"));
     }

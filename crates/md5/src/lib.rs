@@ -54,7 +54,7 @@ const INIT: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
 /// Feed arbitrary chunks with [`Md5::update`] and call [`Md5::finalize`] once
 /// at the end. The digest is independent of how the input is split across
 /// `update` calls (verified by property test).
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Md5 {
     state: [u32; 4],
     /// Total message length in bytes (mod 2^64, as RFC allows).

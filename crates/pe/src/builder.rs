@@ -144,8 +144,11 @@ impl PeBuilder {
 
     /// Registers many relocation sites within one section.
     pub fn add_reloc_sites(&mut self, section: usize, offsets: impl IntoIterator<Item = u32>) {
-        self.reloc_sites
-            .extend(offsets.into_iter().map(|offset| RelocSite { section, offset }));
+        self.reloc_sites.extend(
+            offsets
+                .into_iter()
+                .map(|offset| RelocSite { section, offset }),
+        );
     }
 
     /// Declares exported functions (generates an `.edata` section).
@@ -213,14 +216,16 @@ impl PeBuilder {
     pub fn build(&self) -> Result<PeFile, PeError> {
         for s in &self.sections {
             if s.name.len() > SECTION_NAME_LEN {
-                return Err(PeError::Build(format!("section name {:?} too long", s.name)));
+                return Err(PeError::Build(format!(
+                    "section name {:?} too long",
+                    s.name
+                )));
             }
         }
         for site in &self.reloc_sites {
-            let sec = self
-                .sections
-                .get(site.section)
-                .ok_or_else(|| PeError::Build(format!("reloc site in missing section {}", site.section)))?;
+            let sec = self.sections.get(site.section).ok_or_else(|| {
+                PeError::Build(format!("reloc site in missing section {}", site.section))
+            })?;
             let end = site.offset as usize + self.width.bytes();
             if end > sec.data.len() {
                 return Err(PeError::Build(format!(
@@ -239,13 +244,21 @@ impl PeBuilder {
         let export_index = if self.exports.is_empty() {
             None
         } else {
-            sections.push(SectionSpec::new(".edata", RDATA_CHARACTERISTICS, Vec::new()));
+            sections.push(SectionSpec::new(
+                ".edata",
+                RDATA_CHARACTERISTICS,
+                Vec::new(),
+            ));
             Some(sections.len() - 1)
         };
         let import_index = if self.imports.is_empty() {
             None
         } else {
-            sections.push(SectionSpec::new(".idata", RDATA_CHARACTERISTICS, Vec::new()));
+            sections.push(SectionSpec::new(
+                ".idata",
+                RDATA_CHARACTERISTICS,
+                Vec::new(),
+            ));
             Some(sections.len() - 1)
         };
         // Reserve .edata/.idata space before layout: their size depends only
@@ -258,7 +271,11 @@ impl PeBuilder {
         }
         // The .reloc section's size depends only on the site list.
         let reloc_index = if self.emit_reloc_section && !self.reloc_sites.is_empty() {
-            sections.push(SectionSpec::new(".reloc", RELOC_CHARACTERISTICS, Vec::new()));
+            sections.push(SectionSpec::new(
+                ".reloc",
+                RELOC_CHARACTERISTICS,
+                Vec::new(),
+            ));
             Some(sections.len() - 1)
         } else {
             None
@@ -288,7 +305,10 @@ impl PeBuilder {
         // relocation-slot RVA is known and its content (and thus size) can be
         // produced before it is placed.
         let mut layouts: Vec<SectionLayout> = Vec::with_capacity(nsections);
-        let mut va = align_up(size_of_headers.max(DEFAULT_SECTION_ALIGNMENT), DEFAULT_SECTION_ALIGNMENT);
+        let mut va = align_up(
+            size_of_headers.max(DEFAULT_SECTION_ALIGNMENT),
+            DEFAULT_SECTION_ALIGNMENT,
+        );
         let mut raw = size_of_headers;
         let mut reloc_rvas: Vec<u32> = Vec::new();
         for (i, s) in sections.iter_mut().enumerate() {
@@ -331,8 +351,7 @@ impl PeBuilder {
                 self.sections
                     .iter()
                     .position(|s| s.name == ".text")
-                    .map(|t| layouts[t].va)
-                    .unwrap_or(0),
+                    .map_or(0, |t| layouts[t].va),
                 self.timestamp,
             );
         }
@@ -381,7 +400,11 @@ impl PeBuilder {
             AddressWidth::W32 => write_u32(&mut bytes, oh + OH_IMAGE_BASE_32, 0),
             AddressWidth::W64 => write_u64(&mut bytes, oh + OH_IMAGE_BASE_64, 0),
         }
-        write_u32(&mut bytes, oh + OH_SECTION_ALIGNMENT, DEFAULT_SECTION_ALIGNMENT);
+        write_u32(
+            &mut bytes,
+            oh + OH_SECTION_ALIGNMENT,
+            DEFAULT_SECTION_ALIGNMENT,
+        );
         write_u32(&mut bytes, oh + OH_FILE_ALIGNMENT, DEFAULT_FILE_ALIGNMENT);
         write_u32(&mut bytes, oh + OH_SIZE_OF_IMAGE, size_of_image);
         write_u32(&mut bytes, oh + OH_SIZE_OF_HEADERS, size_of_headers);
@@ -396,13 +419,28 @@ impl PeBuilder {
             write_u32(bytes, at + 4, size);
         };
         if let Some(i) = export_index {
-            set_dir(&mut bytes, DIR_EXPORT, layouts[i].va, sections[i].data.len() as u32);
+            set_dir(
+                &mut bytes,
+                DIR_EXPORT,
+                layouts[i].va,
+                sections[i].data.len() as u32,
+            );
         }
         if let Some(i) = import_index {
-            set_dir(&mut bytes, DIR_IMPORT, layouts[i].va, sections[i].data.len() as u32);
+            set_dir(
+                &mut bytes,
+                DIR_IMPORT,
+                layouts[i].va,
+                sections[i].data.len() as u32,
+            );
         }
         if let Some(i) = reloc_index {
-            set_dir(&mut bytes, DIR_BASERELOC, layouts[i].va, sections[i].data.len() as u32);
+            set_dir(
+                &mut bytes,
+                DIR_BASERELOC,
+                layouts[i].va,
+                sections[i].data.len() as u32,
+            );
         }
 
         // Section headers.
@@ -490,7 +528,12 @@ impl PeFile {
 
     /// Creates a `PeFile` from raw bytes plus externally known relocation
     /// info (used by attacks that splice bytes directly).
-    pub fn from_parts(bytes: Vec<u8>, width: AddressWidth, reloc_rvas: Vec<u32>, size_of_image: u32) -> Self {
+    pub fn from_parts(
+        bytes: Vec<u8>,
+        width: AddressWidth,
+        reloc_rvas: Vec<u32>,
+        size_of_image: u32,
+    ) -> Self {
         PeFile {
             bytes,
             width,
@@ -728,7 +771,9 @@ mod tests {
         assert!(edata
             .windows(b"callMessageBox".len())
             .any(|w| w == b"callMessageBox"));
-        assert!(edata.windows(b"inject.dll".len()).any(|w| w == b"inject.dll"));
+        assert!(edata
+            .windows(b"inject.dll".len())
+            .any(|w| w == b"inject.dll"));
         let idata = parsed.section_file_data(pe.bytes(), 2).unwrap();
         assert!(idata
             .windows(b"IoCreateDevice".len())
@@ -738,10 +783,16 @@ mod tests {
     #[test]
     fn dll_flag_and_timestamp_land_in_file_header() {
         use crate::consts::{
-            FH_CHARACTERISTICS, FH_TIME_DATE_STAMP, FILE_DLL, E_LFANEW_OFFSET, PE_SIGNATURE_SIZE,
+            E_LFANEW_OFFSET, FH_CHARACTERISTICS, FH_TIME_DATE_STAMP, FILE_DLL, PE_SIGNATURE_SIZE,
         };
-        let mut b = PeBuilder::new(AddressWidth::W32).dll(true).timestamp(0x1234_5678);
-        b.add_section(SectionSpec::new(".text", TEXT_CHARACTERISTICS, vec![0x90; 16]));
+        let mut b = PeBuilder::new(AddressWidth::W32)
+            .dll(true)
+            .timestamp(0x1234_5678);
+        b.add_section(SectionSpec::new(
+            ".text",
+            TEXT_CHARACTERISTICS,
+            vec![0x90; 16],
+        ));
         let pe = b.build().unwrap();
         let lfanew = crate::read_u32(pe.bytes(), E_LFANEW_OFFSET).unwrap() as usize;
         let fh = lfanew + PE_SIGNATURE_SIZE;
@@ -757,7 +808,11 @@ mod tests {
     fn entry_point_written_to_optional_header() {
         use crate::consts::{E_LFANEW_OFFSET, OH_ADDRESS_OF_ENTRY_POINT, PE_SIGNATURE_SIZE};
         let mut b = PeBuilder::new(AddressWidth::W32).entry_point(0x1040);
-        b.add_section(SectionSpec::new(".text", TEXT_CHARACTERISTICS, vec![0x90; 16]));
+        b.add_section(SectionSpec::new(
+            ".text",
+            TEXT_CHARACTERISTICS,
+            vec![0x90; 16],
+        ));
         let pe = b.build().unwrap();
         let lfanew = crate::read_u32(pe.bytes(), E_LFANEW_OFFSET).unwrap() as usize;
         let oh = lfanew + PE_SIGNATURE_SIZE + FILE_HEADER_SIZE;

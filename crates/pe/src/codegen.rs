@@ -121,7 +121,9 @@ pub fn generate(cfg: &CodeGenConfig) -> GeneratedCode {
 
         // Function body: at least a handful of instructions, ending when a
         // random draw or the byte budget says so.
-        let body_len = rng.random_range(40..160).min(budget.saturating_sub(out.bytes.len()).max(16));
+        let body_len = rng
+            .random_range(40..160)
+            .min(budget.saturating_sub(out.bytes.len()).max(16));
         let body_end = out.bytes.len() + body_len;
         while out.bytes.len() < body_end {
             if since_dec >= 512 {
@@ -167,10 +169,10 @@ fn emit_addr_instruction(cfg: &CodeGenConfig, rng: &mut StdRng, out: &mut Genera
             // MOV [abs], EAX.
             let form = rng.random_range(0u8..4);
             match form {
-                0 => out.bytes.push(0xA1),            // MOV EAX, [moffs32]
-                1 => out.bytes.extend([0xFF, 0x15]),  // CALL [abs32]
-                2 => out.bytes.push(0x68),            // PUSH imm32
-                _ => out.bytes.push(0xA3),            // MOV [moffs32], EAX
+                0 => out.bytes.push(0xA1),           // MOV EAX, [moffs32]
+                1 => out.bytes.extend([0xFF, 0x15]), // CALL [abs32]
+                2 => out.bytes.push(0x68),           // PUSH imm32
+                _ => out.bytes.push(0xA3),           // MOV [moffs32], EAX
             }
             out.reloc_offsets.push(out.bytes.len() as u32);
             out.bytes.extend((target as u32).to_le_bytes());
@@ -213,7 +215,8 @@ fn emit_plain_instruction(rng: &mut StdRng, out: &mut GeneratedCode) -> usize {
         5 => {
             // MOV r32, imm32 with a small non-address constant.
             out.bytes.push(0xB8 + rng.random_range(0u8..8));
-            out.bytes.extend(rng.random_range(0u32..0x400).to_le_bytes());
+            out.bytes
+                .extend(rng.random_range(0u32..0x400).to_le_bytes());
             5
         }
         6 => {
@@ -223,7 +226,8 @@ fn emit_plain_instruction(rng: &mut StdRng, out: &mut GeneratedCode) -> usize {
         }
         _ => {
             // Short conditional jump with a tiny forward displacement.
-            out.bytes.extend([0x74 + rng.random_range(0u8..2), rng.random_range(2u8..16)]);
+            out.bytes
+                .extend([0x74 + rng.random_range(0u8..2), rng.random_range(2u8..16)]);
             2
         }
     }

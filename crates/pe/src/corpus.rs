@@ -68,14 +68,19 @@ impl ModuleBlueprint {
     pub fn with_imports(mut self, imports: &[(&str, &[&str])]) -> Self {
         self.imports = imports
             .iter()
-            .map(|(dll, fns)| (dll.to_string(), fns.iter().map(|f| f.to_string()).collect()))
+            .map(|(dll, fns)| {
+                (
+                    dll.to_string(),
+                    fns.iter().map(std::string::ToString::to_string).collect(),
+                )
+            })
             .collect();
         self
     }
 
     /// Adds exported symbols (realized against generated function entries).
     pub fn with_exports(mut self, names: &[&str]) -> Self {
-        self.exports = names.iter().map(|s| s.to_string()).collect();
+        self.exports = names.iter().map(std::string::ToString::to_string).collect();
         self
     }
 
@@ -211,8 +216,11 @@ pub fn standard_corpus(width: AddressWidth) -> Vec<ModuleBlueprint> {
     );
     const HAL_IMPORTS: (&str, &[&str]) = ("hal.dll", &["KfAcquireSpinLock", "READ_PORT_UCHAR"]);
     vec![
-        ModuleBlueprint::new("ntoskrnl.exe", width, 512 * 1024)
-            .with_exports(&["ExAllocatePoolWithTag", "IoCreateDevice", "KeBugCheckEx"]),
+        ModuleBlueprint::new("ntoskrnl.exe", width, 512 * 1024).with_exports(&[
+            "ExAllocatePoolWithTag",
+            "IoCreateDevice",
+            "KeBugCheckEx",
+        ]),
         ModuleBlueprint::new("hal.dll", width, 128 * 1024)
             .with_exports(&["KfAcquireSpinLock", "READ_PORT_UCHAR"])
             .with_imports(&[NT_IMPORTS]),

@@ -58,7 +58,10 @@ impl fmt::Display for PeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PeError::Truncated { what, offset } => {
-                write!(f, "truncated image while reading {what} at offset {offset:#x}")
+                write!(
+                    f,
+                    "truncated image while reading {what} at offset {offset:#x}"
+                )
             }
             PeError::BadDosMagic(m) => write!(f, "bad DOS magic {m:#06x} (expected \"MZ\")"),
             PeError::BadLfanew(v) => write!(f, "e_lfanew {v:#x} out of range"),

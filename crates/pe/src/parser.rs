@@ -188,7 +188,10 @@ impl ParsedModule {
                 });
             }
             let raw_name = &image[sh + SH_NAME..sh + SH_NAME + SECTION_NAME_LEN];
-            let name_len = raw_name.iter().position(|&b| b == 0).unwrap_or(SECTION_NAME_LEN);
+            let name_len = raw_name
+                .iter()
+                .position(|&b| b == 0)
+                .unwrap_or(SECTION_NAME_LEN);
             let name = String::from_utf8_lossy(&raw_name[..name_len]).into_owned();
 
             // Unwraps are safe: header_end bounds were checked above.
@@ -280,6 +283,131 @@ impl ParsedModule {
     pub fn optional_bytes<'a>(&self, image: &'a [u8]) -> &'a [u8] {
         &image[self.optional_range.clone()]
     }
+
+    /// `AddressOfEntryPoint` from the optional header (an RVA). Kernel
+    /// modules loaded by the corpus builder leave this 0 ("unset"); callers
+    /// must treat 0 as *no entry point* rather than "entry at the headers".
+    pub fn entry_point(&self, image: &[u8]) -> Option<u32> {
+        read_u32(image, self.optional_range.start + OH_ADDRESS_OF_ENTRY_POINT)
+    }
+
+    /// The `index`-th data directory as `(VirtualAddress, Size)`.
+    ///
+    /// Returns `None` when the index is out of range or the optional header
+    /// is too short to hold the slot.
+    pub fn data_directory(&self, image: &[u8], index: usize) -> Option<(u32, u32)> {
+        if index >= NUM_DATA_DIRECTORIES as usize {
+            return None;
+        }
+        let first = match self.width {
+            AddressWidth::W32 => OH_DATA_DIRECTORIES_32,
+            AddressWidth::W64 => OH_DATA_DIRECTORIES_64,
+        };
+        let at = self.optional_range.start + first + index * DATA_DIRECTORY_SIZE;
+        if at + DATA_DIRECTORY_SIZE > self.optional_range.end {
+            return None;
+        }
+        Some((read_u32(image, at)?, read_u32(image, at + 4)?))
+    }
+
+    /// Maps an RVA to an offset into the buffer this module was parsed from,
+    /// honoring the parse layout. RVAs below the first section fall in the
+    /// headers, which both layouts keep at identity offsets.
+    pub fn rva_to_offset(&self, rva: u32) -> Option<usize> {
+        let first_va = self
+            .sections
+            .first()
+            .map_or(u32::MAX, |s| s.virtual_address);
+        if rva < first_va {
+            return Some(rva as usize);
+        }
+        for sec in &self.sections {
+            if rva >= sec.virtual_address
+                && (rva - sec.virtual_address) < sec.data_range.len() as u32
+            {
+                return Some(sec.data_range.start + (rva - sec.virtual_address) as usize);
+            }
+        }
+        None
+    }
+
+    /// Names of the DLLs referenced by the import directory, in descriptor
+    /// order. Malformed tables yield a truncated (possibly empty) list
+    /// rather than an error: the lint layer treats "whatever was readable"
+    /// as the observable import surface.
+    pub fn import_dlls(&self, image: &[u8]) -> Vec<String> {
+        const MAX_DESCRIPTORS: usize = 64;
+        const MAX_NAME: usize = 256;
+        const DESCRIPTOR_SIZE: usize = 20;
+        const DESC_NAME: usize = 12;
+
+        let mut dlls = Vec::new();
+        let Some((dir_rva, _)) = self.data_directory(image, DIR_IMPORT) else {
+            return dlls;
+        };
+        if dir_rva == 0 {
+            return dlls;
+        }
+        let Some(mut at) = self.rva_to_offset(dir_rva) else {
+            return dlls;
+        };
+        for _ in 0..MAX_DESCRIPTORS {
+            let Some(name_rva) = read_u32(image, at + DESC_NAME) else {
+                break;
+            };
+            if name_rva == 0 {
+                break;
+            }
+            if let Some(name_off) = self.rva_to_offset(name_rva) {
+                let tail = &image[name_off.min(image.len())..];
+                let len = tail
+                    .iter()
+                    .take(MAX_NAME)
+                    .position(|&b| b == 0)
+                    .unwrap_or(0);
+                if len > 0 {
+                    dlls.push(String::from_utf8_lossy(&tail[..len]).into_owned());
+                }
+            }
+            at += DESCRIPTOR_SIZE;
+        }
+        dlls
+    }
+
+    /// Function RVAs from the export directory's `AddressOfFunctions` array
+    /// (every exported entry point, before name/ordinal indirection).
+    pub fn export_function_rvas(&self, image: &[u8]) -> Vec<u32> {
+        const MAX_FUNCTIONS: u32 = 4096;
+        const EXP_NUMBER_OF_FUNCTIONS: usize = 20;
+        const EXP_ADDRESS_OF_FUNCTIONS: usize = 28;
+
+        let mut rvas = Vec::new();
+        let Some((dir_rva, _)) = self.data_directory(image, DIR_EXPORT) else {
+            return rvas;
+        };
+        if dir_rva == 0 {
+            return rvas;
+        }
+        let Some(dir_off) = self.rva_to_offset(dir_rva) else {
+            return rvas;
+        };
+        let Some(count) = read_u32(image, dir_off + EXP_NUMBER_OF_FUNCTIONS) else {
+            return rvas;
+        };
+        let Some(funcs_rva) = read_u32(image, dir_off + EXP_ADDRESS_OF_FUNCTIONS) else {
+            return rvas;
+        };
+        let Some(funcs_off) = self.rva_to_offset(funcs_rva) else {
+            return rvas;
+        };
+        for i in 0..count.min(MAX_FUNCTIONS) as usize {
+            match read_u32(image, funcs_off + i * 4) {
+                Some(rva) if rva != 0 => rvas.push(rva),
+                _ => break,
+            }
+        }
+        rvas
+    }
 }
 
 #[cfg(test)]
@@ -295,11 +423,7 @@ mod tests {
             TEXT_CHARACTERISTICS,
             (0..200u32).map(|i| i as u8).collect(),
         ));
-        b.add_section(SectionSpec::new(
-            ".data",
-            DATA_CHARACTERISTICS,
-            vec![7; 50],
-        ));
+        b.add_section(SectionSpec::new(".data", DATA_CHARACTERISTICS, vec![7; 50]));
         b.add_reloc_sites(t, [16u32]);
         b.build().unwrap().bytes().to_vec()
     }
@@ -431,5 +555,54 @@ mod tests {
         assert!(p.sections[0].is_executable());
         assert!(!p.sections[1].is_executable());
         assert!(p.sections[1].is_writable());
+    }
+
+    #[test]
+    fn entry_point_and_directories_read_back() {
+        let img = sample();
+        let p = ParsedModule::parse_file(&img).unwrap();
+        // The test builder never sets an entry point: the RVA reads as 0.
+        assert_eq!(p.entry_point(&img), Some(0));
+        // Reloc directory exists (one site was added); export/import absent.
+        let (reloc_rva, reloc_size) = p.data_directory(&img, DIR_BASERELOC).unwrap();
+        assert!(reloc_rva != 0 && reloc_size != 0);
+        assert_eq!(p.data_directory(&img, DIR_EXPORT), Some((0, 0)));
+        assert_eq!(p.data_directory(&img, 16), None);
+    }
+
+    #[test]
+    fn rva_mapping_covers_headers_and_sections() {
+        let img = sample();
+        let p = ParsedModule::parse_file(&img).unwrap();
+        // Headers map to identity.
+        assert_eq!(p.rva_to_offset(0), Some(0));
+        // First section byte maps to its data range start (file layout).
+        let s = &p.sections[0];
+        assert_eq!(p.rva_to_offset(s.virtual_address), Some(s.data_range.start));
+        // Past the end of all sections: unmapped.
+        assert_eq!(p.rva_to_offset(0xFFFF_0000), None);
+    }
+
+    #[test]
+    fn imports_and_exports_enumerate() {
+        use crate::corpus::ModuleBlueprint;
+        let bp = ModuleBlueprint::new("sample.sys", AddressWidth::W32, 32 * 1024)
+            .with_imports(&[
+                ("ntoskrnl.exe", &["ExAllocatePool"]),
+                ("hal.dll", &["KfAcquireSpinLock"]),
+            ])
+            .with_exports(&["SampleEntry", "SampleUnload"]);
+        let img = bp.build().unwrap().bytes().to_vec();
+        let p = ParsedModule::parse_file(&img).unwrap();
+        assert_eq!(p.import_dlls(&img), vec!["ntoskrnl.exe", "hal.dll"]);
+        let exports = p.export_function_rvas(&img);
+        assert_eq!(exports.len(), 2);
+        let text = &p.sections[p.find_section(".text").unwrap()];
+        for rva in exports {
+            assert!(
+                rva >= text.virtual_address && rva < text.virtual_address + text.virtual_size,
+                "export RVAs land inside .text"
+            );
+        }
     }
 }

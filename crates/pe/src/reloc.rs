@@ -95,7 +95,10 @@ mod tests {
     fn round_trip_multi_page_and_dedup() {
         let rvas = vec![0x3008, 0x1004, 0x1004, 0x2ff0];
         let sec = build_reloc_section(AddressWidth::W64, &rvas);
-        assert_eq!(parse_reloc_section(&sec).unwrap(), vec![0x1004, 0x2ff0, 0x3008]);
+        assert_eq!(
+            parse_reloc_section(&sec).unwrap(),
+            vec![0x1004, 0x2ff0, 0x3008]
+        );
     }
 
     #[test]

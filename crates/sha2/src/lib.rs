@@ -75,7 +75,7 @@ impl fmt::Display for Digest {
 }
 
 /// Incremental SHA-256 context.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Sha256 {
     state: [u32; 8],
     len: u64,

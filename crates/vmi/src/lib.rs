@@ -77,6 +77,10 @@ pub struct VmiStats {
 }
 
 /// An introspection session against one guest VM.
+///
+/// Not `derive`d `Debug`: dumping the borrowed [`Vm`] (and with it the whole
+/// guest memory image) would be useless noise, so the manual impl below
+/// prints only the session-level state.
 pub struct VmiSession<'hv> {
     vm: &'hv Vm,
     cost: mc_hypervisor::CostModel,
@@ -87,6 +91,18 @@ pub struct VmiSession<'hv> {
     /// reproduces the paper's prototype, which pays the foreign-map cost on
     /// every access (ablation ABL-5 measures the difference).
     page_cache: Option<HashSet<u64>>,
+}
+
+impl fmt::Debug for VmiSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VmiSession")
+            .field("vm", &self.vm.name)
+            .field("slowdown", &self.slowdown)
+            .field("elapsed", &self.elapsed)
+            .field("stats", &self.stats)
+            .field("page_cache", &self.page_cache.as_ref().map(HashSet::len))
+            .finish()
+    }
 }
 
 impl<'hv> VmiSession<'hv> {

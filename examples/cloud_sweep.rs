@@ -13,7 +13,10 @@ use modchecker_repro::testbed::Testbed;
 fn main() {
     let checker = ModChecker::new();
     println!("checking http.sys from dom1 against N-1 peers (simulated time)\n");
-    println!("{:>4} {:>14} {:>14} {:>14} {:>14}   {:>14}", "N", "searcher", "parser", "checker", "total idle", "total loaded");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>14}   {:>14}",
+        "N", "searcher", "parser", "checker", "total idle", "total loaded"
+    );
 
     let mut bed = Testbed::cloud(15);
     for n in 2..=15 {

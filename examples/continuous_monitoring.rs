@@ -24,7 +24,12 @@ fn main() {
     // A rootkit lands on dom5 between rounds 0 and 1 — simulated by
     // patching before we start and only scanning hal.dll in round 0.
     bed.guests[4]
-        .patch_module(&mut bed.hv, "http.sys", 0x1010, &[0xE9, 0x10, 0x00, 0x00, 0x00])
+        .patch_module(
+            &mut bed.hv,
+            "http.sys",
+            0x1010,
+            &[0xE9, 0x10, 0x00, 0x00, 0x00],
+        )
         .unwrap();
 
     let monitor = ContinuousMonitor::new(MonitorConfig {
@@ -43,7 +48,7 @@ fn main() {
         s.spawn(move |_| m.run(hv, &ids, 2, &sender));
         drop(tx);
 
-        for event in rx.iter() {
+        for event in &rx {
             match event {
                 MonitorEvent::Clean { round, module } => {
                     println!("round {round}: {module:<12} clean");

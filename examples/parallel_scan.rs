@@ -34,7 +34,10 @@ fn main() {
     assert!(seq.all_clean() && par.all_clean());
     println!("module: {module}, pool: {} VMs", bed.vm_ids.len());
     println!("wall-clock  sequential: {seq_wall:?}");
-    println!("wall-clock  parallel:   {par_wall:?} ({:.2}x)", seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9));
+    println!(
+        "wall-clock  parallel:   {par_wall:?} ({:.2}x)",
+        seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9)
+    );
 
     // Simulated-time model (check_one gives the per-VM component split the
     // model needs).

@@ -6,12 +6,15 @@
 //! cargo run --example rootkit_hunt
 //! ```
 
+use mc_analysis::Analyzer;
 use mc_attacks::Technique;
-use modchecker::ModChecker;
+use mc_vmi::VmiSession;
+use modchecker::{ModChecker, ModuleSearcher};
 use modchecker_repro::testbed::Testbed;
 
 fn main() {
     let checker = ModChecker::new();
+    let analyzer = Analyzer::new();
 
     for technique in Technique::ALL {
         let infection = technique.infection();
@@ -32,9 +35,30 @@ fn main() {
         let flagged = &report.suspects().next().unwrap().suspect_parts;
         assert_eq!(flagged, &expected, "{technique}: paper-exact mismatch set");
         println!(
-            "    detected: {} part(s) flagged, exactly as the paper reports\n",
+            "    detected: {} part(s) flagged, exactly as the paper reports",
             flagged.len()
         );
+
+        // Second opinion, no reference VM needed: static lints over the
+        // single captured image (EXT-4).
+        let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[3]).unwrap();
+        let image = ModuleSearcher::find(&mut session, &target).unwrap();
+        let lints = analyzer
+            .analyze_image(&image.vm_name, &target, image.base, &image.bytes)
+            .unwrap();
+        match infection.statically_detectable() {
+            Some(codes) => {
+                assert!(!lints.is_clean(), "{technique} declared detectable");
+                for d in &lints.diagnostics {
+                    println!("    static {d}");
+                }
+                println!("    static verdict: {codes} fired without any reference VM\n");
+            }
+            None => {
+                assert!(lints.is_clean(), "{technique} declared invisible");
+                println!("    static verdict: below single-image resolution — the cross-VM vote above is the only detector\n");
+            }
+        }
     }
 
     // DKOM hiding — beyond the paper's table, but squarely in its threat
@@ -43,12 +67,24 @@ fn main() {
     println!("==> DKOM module hiding against tcpip.sys");
     let mut bed = Testbed::cloud(5);
     bed.guests[1].dkom_hide(&mut bed.hv, "tcpip.sys").unwrap();
-    let report = checker.check_pool(&bed.hv, &bed.vm_ids, "tcpip.sys").unwrap();
+    let report = checker
+        .check_pool(&bed.hv, &bed.vm_ids, "tcpip.sys")
+        .unwrap();
     for v in &report.verdicts {
         println!("    {v}");
     }
     assert!(report.any_discrepancy());
-    println!("    detected: hidden module surfaces as a per-VM error\n");
+    println!("    detected: hidden module surfaces as a per-VM error");
+
+    // The list scan pinpoints the unlinked-but-resident entry on dom2
+    // alone — no peer needed.
+    let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[1]).unwrap();
+    let lints = analyzer.analyze_module_list(&mut session).unwrap();
+    assert!(!lints.is_clean());
+    for d in &lints.diagnostics {
+        println!("    static {d}");
+    }
+    println!();
 
     println!("all techniques detected.");
 }

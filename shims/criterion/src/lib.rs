@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's benches compile against
+//! (`Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!`) without registry
+//! access. Instead of statistical sampling it runs each routine a handful of
+//! iterations and prints mean wall-clock time — enough to smoke-test that
+//! every bench still runs, not a measurement tool. Use the real criterion
+//! when the registry is reachable and numbers matter.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iterations per routine: enough to amortise clock overhead, few enough
+/// that heavyweight end-to-end benches stay quick in smoke runs.
+const ITERS: u32 = 3;
+
+/// Top-level bench context handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the smoke harness ignores throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the smoke harness has a fixed count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified within the group by `id`.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (a no-op in the smoke harness).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Declared input volume per iteration (ignored by the smoke harness).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handle passed to each routine; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let per_iter = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        self.nanos_per_iter = Some(per_iter);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    match bencher.nanos_per_iter {
+        Some(ns) => println!("bench {label:<48} {ns:>12.0} ns/iter"),
+        None => println!("bench {label:<48} (no iter() call)"),
+    }
+}
+
+/// Collects bench functions into one named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` invoking each group runner in turn.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_routines() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Bytes(4096));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_function("closure".to_string(), |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs > 0, "iter() must actually run the routine");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("parse", 64).to_string(), "parse/64");
+        assert_eq!(BenchmarkId::from_parameter("md5").to_string(), "md5");
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace uses two slices of crossbeam: multi-producer channels
+//! (`crossbeam::channel`) and scoped threads (`crossbeam::scope`). Both have
+//! had std equivalents since Rust 1.63, so this shim maps crossbeam's names
+//! onto `std::sync::mpsc` and `std::thread::scope`. Semantics match at the
+//! call sites this workspace has; the full crossbeam feature set (select!,
+//! bounded channels, work-stealing deques) is deliberately absent.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Multi-producer channels (std mpsc under crossbeam's names).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// An unbounded channel (`std::sync::mpsc::channel`).
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Handle for spawning threads inside a [`scope`] call.
+///
+/// Crossbeam passes a scope reference into each spawned closure so nested
+/// spawns are possible; no call site in this workspace nests, so the closure
+/// here receives a unit placeholder (`|_|` at call sites still binds).
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the handle joins on scope exit if dropped.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a scoped-thread handle, joining every spawned thread before
+/// returning. Returns `Err` with the panic payload if `f` or any spawned
+/// thread panicked (matching crossbeam's `Result`-wrapped API).
+///
+/// # Errors
+///
+/// Returns the boxed panic payload when the scope panics.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn channel_fans_in_from_scoped_threads() {
+        let (tx, rx) = unbounded();
+        super::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+        })
+        .unwrap();
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

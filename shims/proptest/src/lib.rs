@@ -1,0 +1,326 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the subset of proptest it uses: the [`proptest!`] macro (runs each
+//! property as a `#[test]` over N deterministically-seeded random cases), the
+//! range / `any` / `collection::vec` / `collection::hash_set` / `bool::ANY`
+//! strategies, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, accepted for offline builds:
+//! * no shrinking — a failing case reports the panic from `prop_assert*`
+//!   directly (the deterministic seed makes it reproducible);
+//! * `prop_assume!` rejects a case by `continue`-ing the case loop, so it
+//!   must appear at the top level of the property body (true of every call
+//!   site in this workspace), not inside a nested loop;
+//! * the default case count is 64 rather than 256.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+
+pub use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng, Uniform};
+
+/// Per-block runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: Uniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: Uniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Types with a whole-domain default strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+/// The whole-domain strategy for `T` (`any::<u8>()` etc.).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.sizes.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a size drawn from `sizes`.
+    pub fn hash_set<S>(element: S, sizes: core::ops::Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, sizes }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        sizes: core::ops::Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = rng.random_range(self.sizes.clone());
+            let mut set = HashSet::with_capacity(target);
+            // Retry on collision, with a cap so a tiny element domain cannot
+            // hang the test (the set is then simply smaller than drawn).
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 10_000 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The strategy for both boolean values.
+pub mod bool {
+    /// Strategy producing `true` or `false` uniformly.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl super::Strategy for BoolStrategy {
+        type Value = bool;
+        fn sample(&self, rng: &mut super::StdRng) -> bool {
+            use rand::RngExt;
+            rng.random()
+        }
+    }
+}
+
+/// Builds the deterministic per-test generator (FNV-1a of the test path).
+#[doc(hidden)]
+#[must_use]
+pub fn __test_rng(test_path: &str) -> StdRng {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in test_path.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one rule per property fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Rejects the current case when `cond` is false (top-level use only).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-imported surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{any, Any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 1u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_bounds(
+            v in crate::collection::vec(1u8..=255, 1..4),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&b| b >= 1));
+        }
+
+        #[test]
+        fn assume_rejects_cases(a in 0u8..4, b in 0u8..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn hash_set_has_distinct_elements(s in crate::collection::hash_set(0u64..0x8_0000, 1..32)) {
+            prop_assert!(!s.is_empty() && s.len() < 32);
+        }
+
+        #[test]
+        fn bool_any_produces_both(_x in crate::bool::ANY) {
+            // Determinism of the stream is exercised by the runner itself.
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        use crate::Strategy;
+        let mut a = crate::__test_rng("some::test");
+        let mut b = crate::__test_rng("some::test");
+        let strat = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

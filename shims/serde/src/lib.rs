@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's only serde dependency is `modchecker`'s non-default
+//! `serde` cargo feature, which gates `#[cfg_attr(feature = "serde",
+//! derive(serde::Serialize))]` attributes; with the feature off (the offline
+//! default) those attributes are inert and nothing here is referenced. This
+//! crate exists so dependency resolution succeeds without the registry. The
+//! `derive` feature is accepted but provides no macro — enabling the
+//! downstream `serde` feature requires the real crate.
+
+#![warn(missing_docs)]
+
+/// Marker for serializable types (the real trait's methods are absent; see
+/// the crate docs for why that is sufficient offline).
+pub trait Serialize {}

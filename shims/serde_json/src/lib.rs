@@ -1,0 +1,334 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides a JSON [`Value`] tree, the [`json!`] constructor macro and
+//! [`to_string_pretty`] — the full surface the workspace's CLI uses to emit
+//! machine-readable reports. Two deliberate differences from the real crate:
+//! object keys keep insertion order (a `Vec` of pairs, not a map — stable
+//! output for tests), and the `json!` value grammar takes expressions *by
+//! reference* via [`ToValue`], so struct fields can be spliced in without
+//! moving out of borrowed data.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON document tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer number (serialized without a decimal point).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; pairs keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into [`Value`] by reference (how [`json!`] splices exprs).
+pub trait ToValue {
+    /// Builds the JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Free-function form of [`ToValue`] used by the macro expansion.
+pub fn to_value<T: ToValue + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToValue for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+macro_rules! impl_to_value_int {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            #[allow(clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_to_value_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax. Object values may be nested
+/// `{..}` / `[..]` literals or arbitrary expressions (captured by
+/// reference through [`ToValue`]).
+#[macro_export]
+macro_rules! json {
+    // -- object entry muncher ------------------------------------------------
+    (@obj $obj:ident) => {};
+    (@obj $obj:ident $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json!(@obj $obj $($rest)*);
+    };
+    (@obj $obj:ident $key:literal : { $($inner:tt)* }) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    (@obj $obj:ident $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json!(@obj $obj $($rest)*);
+    };
+    (@obj $obj:ident $key:literal : [ $($inner:tt)* ]) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    (@obj $obj:ident $key:literal : null , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json!(@obj $obj $($rest)*);
+    };
+    (@obj $obj:ident $key:literal : null) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+    };
+    (@obj $obj:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$value)));
+        $crate::json!(@obj $obj $($rest)*);
+    };
+    (@obj $obj:ident $key:literal : $value:expr) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$value)));
+    };
+    // -- entry points --------------------------------------------------------
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json!(@obj __obj $($tt)*);
+        $crate::Value::Object(__obj)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![$($crate::to_value(&$elem)),*])
+    };
+    ($value:expr) => { $crate::to_value(&$value) };
+}
+
+/// Serialization failure. The shim's printer is total, so this is never
+/// constructed; it exists to keep `to_string_pretty`'s `Result` signature.
+#[derive(Clone, Copy, Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization failed")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints a value as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: ToValue + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Match serde_json: floats always carry a decimal point.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(elems) => {
+            if elems.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, elem) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_newline_indent(out, depth + 1);
+                write_pretty(elem, depth + 1, out);
+            }
+            push_newline_indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_newline_indent(out, depth + 1);
+                write_escaped(key, out);
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+            }
+            push_newline_indent(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn push_newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splicing_does_not_move_borrowed_fields() {
+        struct Verdict {
+            name: String,
+            clean: bool,
+        }
+        let verdicts = vec![
+            Verdict {
+                name: "dom1".into(),
+                clean: true,
+            },
+            Verdict {
+                name: "dom2".into(),
+                clean: false,
+            },
+        ];
+        let v = json!({
+            "verdicts": verdicts.iter().map(|v| json!({
+                "vm": v.name,
+                "clean": v.clean,
+            })).collect::<Vec<_>>(),
+            "nested": {
+                "total_ms": 1.5,
+                "count": 2usize,
+            },
+            "missing": Option::<String>::None,
+        });
+        // The borrowed structs are still usable afterwards.
+        assert_eq!(verdicts[0].name, "dom1");
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"vm\": \"dom2\""));
+        assert!(text.contains("\"total_ms\": 1.5"));
+        assert!(text.contains("\"count\": 2"));
+        assert!(text.contains("\"missing\": null"));
+    }
+
+    #[test]
+    fn pretty_printer_escapes_and_indents() {
+        let v = json!({
+            "text": "line1\nline2\t\"quoted\"",
+            "arr": [1, 2, 3],
+            "empty_obj": {},
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.starts_with("{\n  \"text\""));
+        assert!(text.contains("\"arr\": [\n    1,\n    2,\n    3\n  ]"));
+        assert!(text.contains("\"empty_obj\": {}"));
+    }
+
+    #[test]
+    fn ints_and_floats_format_distinctly() {
+        assert_eq!(to_string_pretty(&json!(42u64)).unwrap(), "42");
+        assert_eq!(to_string_pretty(&json!(42.0f64)).unwrap(), "42.0");
+        assert_eq!(to_string_pretty(&json!(null)).unwrap(), "null");
+    }
+}

@@ -15,6 +15,7 @@ use mc_pe::corpus::{standard_corpus, ModuleBlueprint};
 use mc_pe::PeFile;
 
 /// A built cloud: host, ground-truth guests, and convenience id list.
+#[derive(Clone, Debug)]
 pub struct Testbed {
     /// The simulated host.
     pub hv: Hypervisor,
@@ -58,10 +59,8 @@ impl Testbed {
             &[
                 ModuleBlueprint::new("hal.dll", width, 16 * 1024),
                 ModuleBlueprint::new("http.sys", width, 24 * 1024),
-                ModuleBlueprint::new("dummy.sys", width, 12 * 1024).with_imports(&[(
-                    "ntoskrnl.exe",
-                    &["IoCreateDevice", "IoDeleteDevice"],
-                )]),
+                ModuleBlueprint::new("dummy.sys", width, 12 * 1024)
+                    .with_imports(&[("ntoskrnl.exe", &["IoCreateDevice", "IoDeleteDevice"])]),
                 ModuleBlueprint::new("helloworld.sys", width, 8 * 1024),
             ],
         )
@@ -105,7 +104,8 @@ impl Testbed {
         let expected = {
             let parsed = mc_pe::parser::ParsedModule::parse_file(clean_file.bytes())
                 .expect("clean corpus parses");
-            let parts = modchecker::parts::ModuleParts::from_parsed(&parsed, clean_file.bytes().len());
+            let parts =
+                modchecker::parts::ModuleParts::from_parsed(&parsed, clean_file.bytes().len());
             let ids: Vec<modchecker::PartId> = parts.parts.iter().map(|p| p.id.clone()).collect();
             mc_attacks::resolve_expectations(&infection.expected_mismatches(), &ids)
         };

@@ -162,9 +162,7 @@ fn version_skew_is_flagged_as_the_assumptions_require() {
     let mut hv = mc_hypervisor::Hypervisor::new();
     let mut ids = Vec::new();
     for i in 0..5usize {
-        let vm = hv
-            .create_vm(&format!("dom{}", i + 1), width)
-            .unwrap();
+        let vm = hv.create_vm(&format!("dom{}", i + 1), width).unwrap();
         let bp = if i == 2 { v2.clone() } else { v1.clone() };
         let corpus = vec![("hal.dll".to_string(), bp.build().unwrap())];
         mc_guest::GuestOs::install_with_modules(&mut hv, vm, &corpus, i as u64 + 1).unwrap();
@@ -185,7 +183,11 @@ fn legitimately_unloaded_module_is_an_anomaly_not_a_crash() {
         .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
         .unwrap();
     assert!(report.any_discrepancy());
-    let bad = report.verdicts.iter().find(|v| v.vm_name == "dom2").unwrap();
+    let bad = report
+        .verdicts
+        .iter()
+        .find(|v| v.vm_name == "dom2")
+        .unwrap();
     assert!(bad.error.is_some());
     // List diff reports it missing.
     let lists = modchecker::ListDiff::scan(&bed.hv, &bed.vm_ids).unwrap();

@@ -29,14 +29,9 @@ fn corpus() -> Vec<ModuleBlueprint> {
 /// paper-reported mismatch set.
 fn run_experiment(technique: Technique) {
     let victim = 2usize;
-    let (bed, expected) = Testbed::infected_cloud_with(
-        6,
-        AddressWidth::W32,
-        &corpus(),
-        technique,
-        &[victim],
-    )
-    .unwrap_or_else(|e| panic!("{technique}: {e}"));
+    let (bed, expected) =
+        Testbed::infected_cloud_with(6, AddressWidth::W32, &corpus(), technique, &[victim])
+            .unwrap_or_else(|e| panic!("{technique}: {e}"));
     let target = technique.infection().target_module().to_string();
 
     // check_one with the victim as reference: every comparison fails, and
@@ -71,7 +66,10 @@ fn run_experiment(technique: Technique) {
     let other = ModChecker::new()
         .check_pool(&bed.hv, &bed.vm_ids, "http.sys")
         .unwrap();
-    assert!(other.all_clean(), "{technique}: http.sys must be unaffected");
+    assert!(
+        other.all_clean(),
+        "{technique}: http.sys must be unaffected"
+    );
 }
 
 #[test]

@@ -60,7 +60,11 @@ fn smashed_pe_header_is_flagged_not_fatal() {
         .unwrap();
     let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom2").unwrap();
     assert!(!bad.clean);
-    assert!(bad.error.as_deref().unwrap_or("").contains("not a valid PE"));
+    assert!(bad
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("not a valid PE"));
     // Everyone else remains clean.
     assert!(pool
         .verdicts
@@ -94,7 +98,11 @@ fn cyclic_module_list_is_flagged_not_hung() {
     // Self-loop the first entry so the walk cycles before it can reach the
     // module being searched (ndis.sys is the second list entry).
     let e0 = bed.guests[1].modules[0].ldr_entry_va;
-    bed.hv.vm_mut(bed.vm_ids[1]).unwrap().write_ptr(e0, e0).unwrap();
+    bed.hv
+        .vm_mut(bed.vm_ids[1])
+        .unwrap()
+        .write_ptr(e0, e0)
+        .unwrap();
     let pool = ModChecker::new()
         .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
         .unwrap();

@@ -43,9 +43,14 @@ fn fig7_shape_idle_runtime_is_linear_and_searcher_dominated() {
     let mut pts = Vec::new();
     for n in 2..=10usize {
         let ids = &bed.vm_ids[..n];
-        let r = checker.check_one(&bed.hv, ids[0], &ids[1..], "http.sys").unwrap();
+        let r = checker
+            .check_one(&bed.hv, ids[0], &ids[1..], "http.sys")
+            .unwrap();
         pts.push((n as f64, r.times.total().as_millis_f64()));
-        assert!(r.times.searcher > r.times.parser + r.times.checker || r.times.searcher > r.times.checker);
+        assert!(
+            r.times.searcher > r.times.parser + r.times.checker
+                || r.times.searcher > r.times.checker
+        );
         assert!(r.times.searcher > r.times.parser);
     }
     let r2 = linear_r2(&pts);
@@ -62,7 +67,9 @@ fn fig8_shape_loaded_runtime_has_a_knee_past_the_cores() {
         let ids: Vec<_> = bed.vm_ids[..n].to_vec();
         let mut load = HeavyLoad::new();
         load.start(&mut bed.hv, &ids, LoadProfile::heavy()).unwrap();
-        let r = checker.check_one(&bed.hv, ids[0], &ids[1..], "http.sys").unwrap();
+        let r = checker
+            .check_one(&bed.hv, ids[0], &ids[1..], "http.sys")
+            .unwrap();
         load.stop(&mut bed.hv).unwrap();
         totals.push((n as f64, r.times.total().as_millis_f64()));
     }

@@ -28,7 +28,12 @@ fn detect_remediate_verify_cycle() {
     // Infect two VMs in memory (a TCPIRPHOOK-style runtime hook).
     for i in [1usize, 3] {
         bed.guests[i]
-            .patch_module(&mut bed.hv, "tcpip.sys", 0x100B, &[0xE9, 0x44, 0x01, 0x00, 0x00])
+            .patch_module(
+                &mut bed.hv,
+                "tcpip.sys",
+                0x100B,
+                &[0xE9, 0x44, 0x01, 0x00, 0x00],
+            )
             .unwrap();
     }
 
@@ -45,7 +50,10 @@ fn detect_remediate_verify_cycle() {
         .1
         .as_ref()
         .unwrap();
-    let suspects: Vec<&str> = tcpip_report.suspects().map(|v| v.vm_name.as_str()).collect();
+    let suspects: Vec<&str> = tcpip_report
+        .suspects()
+        .map(|v| v.vm_name.as_str())
+        .collect();
     assert_eq!(suspects, vec!["dom2", "dom4"]);
 
     let reverted = remediate(&mut bed.hv, tcpip_report, "clean").unwrap();
@@ -77,7 +85,7 @@ fn threaded_monitor_streams_events() {
         drop(tx);
         let mut discrepancies = 0;
         let mut cleans = 0;
-        for event in rx.iter() {
+        for event in &rx {
             match event {
                 MonitorEvent::Discrepancy { module, .. } => {
                     assert_eq!(module, "hal.dll");
@@ -99,16 +107,13 @@ fn threaded_monitor_streams_events() {
 #[test]
 fn worm_outbreak_alerts_even_without_majority() {
     let mut bed = Testbed::cloud_with(7, AddressWidth::W32, &blueprints());
-    let bp = blueprints().into_iter().find(|b| b.name == "hal.dll").unwrap();
+    let bp = blueprints()
+        .into_iter()
+        .find(|b| b.name == "hal.dll")
+        .unwrap();
     let infection = Technique::InlineHook.infection();
-    let victims = worm::infect_fraction(
-        &mut bed.hv,
-        &bed.guests,
-        &*infection,
-        &bp.generate(),
-        0.72,
-    )
-    .unwrap();
+    let victims =
+        worm::infect_fraction(&mut bed.hv, &bed.guests, &*infection, &bp.generate(), 0.72).unwrap();
     assert_eq!(victims.len(), 5, "5 of 7 infected — a strict majority");
 
     let report = ModChecker::new()

@@ -1,0 +1,160 @@
+//! EXT-4 — single-VM static hook analysis (`mc-analysis`).
+//!
+//! ModChecker's cross-VM vote needs a healthy majority; these tests pin
+//! what the static lint engine adds: per-VM evidence that needs no
+//! reference image. Each of the paper's §V.B techniques is checked against
+//! the lint codes its `Infection::statically_detectable` declares, the
+//! clean corpus must stay silent (zero false positives), and the §III
+//! worm-majority scenario — where voting alone cannot name the culprit —
+//! must be resolved by the static pre-pass.
+
+use mc_analysis::{Analyzer, Lint};
+use mc_attacks::{worm, Technique};
+use mc_hypervisor::AddressWidth;
+use mc_vmi::VmiSession;
+use modchecker::{CheckConfig, ModChecker, ModuleSearcher};
+use modchecker_repro::testbed::Testbed;
+
+/// Captures `module` from one VM and runs the image lints on it.
+fn analyze_module(bed: &Testbed, vm_index: usize, module: &str) -> mc_analysis::AnalysisReport {
+    let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[vm_index]).unwrap();
+    let image = ModuleSearcher::find(&mut session, module).unwrap();
+    Analyzer::new()
+        .analyze_image(&image.vm_name, module, image.base, &image.bytes)
+        .unwrap()
+}
+
+#[test]
+fn clean_standard_corpus_is_statically_silent() {
+    // Zero-false-positive floor: every module of the full standard corpus
+    // (including the multi-section ntfs.sys/tcpip.sys images) and every
+    // module list must produce no findings on an uninfected cloud.
+    let bed = Testbed::cloud(2);
+    for &vm in &bed.vm_ids {
+        let mut session = VmiSession::attach(&bed.hv, vm).unwrap();
+        let list = Analyzer::new().analyze_module_list(&mut session).unwrap();
+        assert!(list.is_clean(), "clean module list flagged:\n{list}");
+        let names: Vec<String> = ModuleSearcher::list_modules(&mut session)
+            .unwrap()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        assert!(names.len() >= 10, "standard corpus loads 11 modules");
+        for name in names {
+            let image = ModuleSearcher::find(&mut session, &name).unwrap();
+            let report = Analyzer::new()
+                .analyze_image(&image.vm_name, &name, image.base, &image.bytes)
+                .unwrap();
+            assert!(report.is_clean(), "clean {name} flagged:\n{report}");
+            assert!(report.bytes_scanned > 0);
+        }
+    }
+}
+
+#[test]
+fn static_detectability_declarations_match_reality() {
+    // Each technique's self-declared lint codes must actually fire on the
+    // infected VM — and never on the clean peer.
+    for technique in Technique::ALL {
+        let infection = technique.infection();
+        let target = infection.target_module().to_string();
+        let (bed, _) = Testbed::infected_cloud(2, technique, &[0]).unwrap();
+        let infected = analyze_module(&bed, 0, &target);
+        let peer = analyze_module(&bed, 1, &target);
+        assert!(peer.is_clean(), "{technique}: clean peer flagged:\n{peer}");
+        match infection.statically_detectable() {
+            None => assert!(
+                infected.is_clean(),
+                "{technique} is declared statically invisible, got:\n{infected}"
+            ),
+            Some(codes) => {
+                for code in codes.split('+') {
+                    assert!(
+                        infected.diagnostics.iter().any(|d| d.lint.code() == code),
+                        "{technique}: declared lint {code} did not fire:\n{infected}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn opcode_replacement_needs_the_cross_vm_vote() {
+    // EXP-B1's one-opcode swap (DEC ECX → SUB ECX,1) is length-preserving
+    // valid code: the documented blind spot of single-image analysis. The
+    // cross-VM hash comparison — the paper's core mechanism — still names
+    // the victim, which is why the static pass complements rather than
+    // replaces it.
+    let (bed, _) = Testbed::infected_cloud(5, Technique::OpcodeReplacement, &[0]).unwrap();
+    let report = analyze_module(&bed, 0, "hal.dll");
+    assert!(
+        report.is_clean(),
+        "EXP-B1 is below static resolution by design, got:\n{report}"
+    );
+    let pool = ModChecker::new()
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .unwrap();
+    let suspects: Vec<&str> = pool.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(suspects, vec!["dom1"]);
+}
+
+#[test]
+fn dkom_hiding_is_named_by_the_list_scan() {
+    let mut bed = Testbed::cloud(2);
+    bed.guests[0].dkom_hide(&mut bed.hv, "tcpip.sys").unwrap();
+
+    let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[0]).unwrap();
+    let report = Analyzer::new().analyze_module_list(&mut session).unwrap();
+    assert!(report.has(Lint::ModuleList));
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.detail.contains("tcpip.sys") && d.detail.contains("unlinked")),
+        "orphan scan names the hidden module:\n{report}"
+    );
+
+    let mut peer = VmiSession::attach(&bed.hv, bed.vm_ids[1]).unwrap();
+    let clean = Analyzer::new().analyze_module_list(&mut peer).unwrap();
+    assert!(clean.is_clean(), "untouched peer flagged:\n{clean}");
+}
+
+#[test]
+fn worm_majority_is_resolved_by_the_static_prepass() {
+    // §III: with 3 of 5 VMs identically infected, no VM reaches a strict
+    // majority and the vote flags everyone. The static pre-pass inspects
+    // each image on its own and names exactly the infected three.
+    let mut bed = Testbed::cloud(5);
+    let corpus = mc_pe::corpus::standard_corpus(AddressWidth::W32);
+    let hal = corpus
+        .iter()
+        .find(|bp| bp.name == "hal.dll")
+        .unwrap()
+        .generate();
+    let infection = Technique::InlineHook.infection();
+    let infected = worm::infect_fraction(&mut bed.hv, &bed.guests, &*infection, &hal, 0.6).unwrap();
+    assert_eq!(infected, vec!["dom1", "dom2", "dom3"]);
+
+    let config = CheckConfig {
+        static_prepass: true,
+        ..CheckConfig::default()
+    };
+    let report = ModChecker::with_config(config)
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .unwrap();
+    assert!(report.any_discrepancy());
+    assert!(
+        report.verdicts.iter().all(|v| !v.clean),
+        "majority compromise leaves the vote with no clean verdicts"
+    );
+    assert_eq!(
+        report.statically_flagged_vms(),
+        vec!["dom1", "dom2", "dom3"],
+        "static findings name exactly the infected VMs"
+    );
+    // The per-VM evidence is the hook triad.
+    for r in &report.static_findings {
+        assert!(r.has(Lint::EntryRedirect) || r.has(Lint::EscapingTransfer));
+    }
+}
