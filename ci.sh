@@ -9,6 +9,7 @@
 #   3. cargo build --release — the tier-1 build
 #   4. cargo test -q         — the tier-1 test suite (root crate + deps)
 #   5. cargo test --workspace -q — every crate's unit tests
+#   6. chaos suite           — fault-injection gate (pinned seeds)
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,5 +28,12 @@ cargo test -q
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+# Chaos gate: re-run the fault-injection suite on its own so a chaos
+# regression is named in the CI log. Fault seeds are pinned inside the
+# tests and the property sweeps are bounded (16 cases), so this step is
+# deterministic and cheap.
+echo "==> chaos suite (pinned seeds, bounded cases)"
+cargo test -q --test chaos
 
 echo "ci: all green"

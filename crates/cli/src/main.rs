@@ -15,10 +15,13 @@
 use std::process::ExitCode;
 
 use mc_attacks::Technique;
-use mc_hypervisor::AddressWidth;
+use mc_hypervisor::{AddressWidth, FaultPlan, SimDuration};
 use mc_loadgen::{HeavyLoad, LoadProfile};
 use mc_vmi::VmiSession;
-use modchecker::{ContinuousMonitor, ModChecker, ModuleSearcher, MonitorConfig, ScanMode};
+use modchecker::{
+    ContinuousMonitor, ModChecker, ModuleSearcher, MonitorConfig, MonitorEvent, RetryPolicy,
+    ScanMode,
+};
 use modchecker_repro::testbed::Testbed;
 
 mod args;
@@ -64,6 +67,8 @@ modchecker — cross-VM kernel module integrity checking (ICPP 2012 reproduction
 USAGE:
   modchecker check --vms <N> --module <NAME> [--parallel] [--width64] [--static]
                    [--infect <technique>@<vm-index>] [--sha256] [--cache] [--json]
+                   [--retries <R>] [--deadline-ms <MS>] [--min-quorum <Q>]
+                   [--fault-seed <SEED>] [--fault-rate <0..1>]
   modchecker analyze [--vms <N>] [--module <NAME>] [--width64] [--json]
                      [--infect <technique>@<vm-index>] [--hide <module>@<vm-index>]
                                          single-VM static lints, no reference needed
@@ -71,10 +76,60 @@ USAGE:
   modchecker listdiff --vms <N> [--hide <module>@<vm-index>]
   modchecker sweep [--loaded]            runtime vs pool size (Fig. 7/8 preview)
   modchecker sweep-all [--vms <N>]       list-diff + content-check every module
-  modchecker monitor [--vms <N>] [--rounds <R>]
+  modchecker monitor [--vms <N>] [--rounds <R>] [--fault-seed <SEED>]
+                     [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
   modchecker techniques                  list infection techniques
 
+Chaos: --fault-seed/--fault-rate inject deterministic transient read faults
+into every VM (same seed ⇒ same faults ⇒ same report); --retries bounds the
+per-read retry budget, --deadline-ms the per-VM simulated capture time, and
+--min-quorum how many captured VMs the majority vote needs to carry weight.
+
 Techniques: opcode-replacement, inline-hook, stub-modification, dll-hook";
+
+/// Parses the shared chaos flags into an optional [`FaultPlan`] covering
+/// every VM. Injection engages when either `--fault-seed` or
+/// `--fault-rate` is present (seed defaults to 42, rate to 0.05).
+fn fault_plan_of(args: &Args) -> Result<Option<FaultPlan>, String> {
+    let seed = args.value("fault-seed")?;
+    let rate = match args.raw_value("fault-rate") {
+        None => None,
+        Some(v) => {
+            let r: f64 = v
+                .parse()
+                .map_err(|_| format!("--fault-rate expects a number in [0,1), got {v:?}"))?;
+            if !(0.0..1.0).contains(&r) {
+                return Err(format!("--fault-rate must be in [0,1), got {r}"));
+            }
+            Some(r)
+        }
+    };
+    if seed.is_none() && rate.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(FaultPlan::transient(
+        seed.unwrap_or(42) as u64,
+        rate.unwrap_or(0.05),
+    )))
+}
+
+/// Parses `--retries`, `--deadline-ms`, and `--min-quorum` onto a base
+/// [`modchecker::CheckConfig`].
+fn chaos_config_of(
+    args: &Args,
+    mut config: modchecker::CheckConfig,
+) -> Result<modchecker::CheckConfig, String> {
+    if let Some(r) = args.value("retries")? {
+        config.retry = RetryPolicy::with_max_retries(r as u32);
+    }
+    if let Some(ms) = args.value("deadline-ms")? {
+        config.deadline = Some(SimDuration::from_millis(ms as u64));
+    }
+    if let Some(q) = args.value("min-quorum")? {
+        config.min_quorum = q;
+    }
+    Ok(config)
+}
 
 fn parse_technique(s: &str) -> Result<Technique, String> {
     match s {
@@ -124,55 +179,41 @@ fn build_bed(args: &mut Args) -> Result<(Testbed, Option<String>), String> {
 }
 
 fn cmd_check(args: &mut Args) -> Result<(), String> {
-    let (bed, infected_target) = build_bed(args)?;
+    let (mut bed, infected_target) = build_bed(args)?;
     let module = args
         .raw_value("module")
         .map(str::to_string)
         .or(infected_target)
         .ok_or("--module is required (or implied by --infect)")?;
-    let config = modchecker::CheckConfig {
-        mode: if args.flag("parallel") {
-            ScanMode::Parallel
-        } else {
-            ScanMode::Sequential
+    if let Some(plan) = fault_plan_of(args)? {
+        bed.hv.inject_fault_plan(plan);
+    }
+    let config = chaos_config_of(
+        args,
+        modchecker::CheckConfig {
+            mode: if args.flag("parallel") {
+                ScanMode::Parallel
+            } else {
+                ScanMode::Sequential
+            },
+            page_cache: args.flag("cache"),
+            digest: if args.flag("sha256") {
+                modchecker::DigestAlgo::Sha256
+            } else {
+                modchecker::DigestAlgo::Md5
+            },
+            static_prepass: args.flag("static"),
+            ..modchecker::CheckConfig::default()
         },
-        page_cache: args.flag("cache"),
-        digest: if args.flag("sha256") {
-            modchecker::DigestAlgo::Sha256
-        } else {
-            modchecker::DigestAlgo::Md5
-        },
-        static_prepass: args.flag("static"),
-    };
+    )?;
     let report = ModChecker::with_config(config)
         .check_pool(&bed.hv, &bed.vm_ids, &module)
         .map_err(|e| e.to_string())?;
 
     if args.flag("json") {
-        let json = serde_json::json!({
-            "module": report.module,
-            "vms": report.vm_names,
-            "all_clean": report.all_clean(),
-            "any_discrepancy": report.any_discrepancy(),
-            "statically_flagged_vms": report.statically_flagged_vms(),
-            "verdicts": report.verdicts.iter().map(|v| serde_json::json!({
-                "vm": v.vm_name,
-                "clean": v.clean,
-                "successes": v.successes,
-                "comparisons": v.comparisons,
-                "suspect_parts": v.suspect_parts.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
-                "error": v.error,
-            })).collect::<Vec<_>>(),
-            "times": {
-                "searcher_ms": report.times.searcher.as_millis_f64(),
-                "parser_ms": report.times.parser.as_millis_f64(),
-                "checker_ms": report.times.checker.as_millis_f64(),
-                "total_ms": report.times.total().as_millis_f64(),
-            },
-        });
         println!(
             "{}",
-            serde_json::to_string_pretty(&json).expect("serializable")
+            serde_json::to_string_pretty(&report.to_json()).expect("serializable")
         );
     } else {
         print!("{report}");
@@ -393,23 +434,67 @@ fn cmd_sweep(args: &mut Args) -> Result<(), String> {
 fn cmd_monitor(args: &mut Args) -> Result<(), String> {
     let n = args.value("vms")?.unwrap_or(6);
     let rounds = args.value("rounds")?.unwrap_or(3);
-    let bed = Testbed::cloud(n.max(2));
-    let monitor = ContinuousMonitor::new(MonitorConfig {
+    let mut bed = Testbed::cloud(n.max(2));
+    if let Some(plan) = fault_plan_of(args)? {
+        bed.hv.inject_fault_plan(plan);
+    }
+    let check = chaos_config_of(
+        args,
+        modchecker::CheckConfig {
+            mode: ScanMode::Parallel,
+            ..modchecker::CheckConfig::default()
+        },
+    )?;
+    let mut monitor = ContinuousMonitor::new(MonitorConfig {
         modules: vec!["hal.dll".into(), "http.sys".into(), "tcpip.sys".into()],
-        mode: ScanMode::Parallel,
+        check,
+        ..MonitorConfig::default()
     });
-    for round in 0..rounds {
-        for (module, result) in monitor.run_round(&bed.hv, &bed.vm_ids) {
-            match result {
-                Ok(report) if report.all_clean() => {
-                    println!("round {round}: {module:<12} clean");
-                }
-                Ok(report) => {
-                    let suspects: Vec<String> =
-                        report.suspects().map(|v| v.vm_name.clone()).collect();
-                    println!("round {round}: {module:<12} DISCREPANCY {suspects:?}");
-                }
-                Err(e) => println!("round {round}: {module:<12} error: {e}"),
+    let (tx, rx) = crossbeam::channel::unbounded();
+    monitor.run(&bed.hv, &bed.vm_ids, rounds, &tx);
+    drop(tx);
+    for event in rx.iter() {
+        match event {
+            MonitorEvent::Clean { round, module } => {
+                println!("round {round}: {module:<12} clean");
+            }
+            MonitorEvent::Degraded {
+                round,
+                module,
+                report,
+            } => {
+                let out: Vec<String> = report.unscannable().map(|v| v.vm_name.clone()).collect();
+                println!(
+                    "round {round}: {module:<12} degraded ({} quorum, unscannable {out:?})",
+                    report.quorum
+                );
+            }
+            MonitorEvent::Discrepancy {
+                round,
+                module,
+                report,
+            } => {
+                let suspects: Vec<String> = report.suspects().map(|v| v.vm_name.clone()).collect();
+                println!("round {round}: {module:<12} DISCREPANCY {suspects:?}");
+            }
+            MonitorEvent::Failed {
+                round,
+                module,
+                error,
+            } => {
+                println!("round {round}: {module:<12} error: {error}");
+            }
+            MonitorEvent::VmQuarantined {
+                round,
+                vm_name,
+                consecutive_failures,
+            } => {
+                println!(
+                    "round {round}: breaker OPEN for {vm_name} after {consecutive_failures} failed round(s)"
+                );
+            }
+            MonitorEvent::VmRestored { round, vm_name } => {
+                println!("round {round}: breaker half-open, re-probing {vm_name}");
             }
         }
     }

@@ -79,9 +79,14 @@ pub use checker::{compare_pair, ExtractedModule, PairOutcome};
 pub use digest::{DigestAlgo, PartDigest};
 pub use error::CheckError;
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
-pub use monitor::{remediate, ContinuousMonitor, MonitorConfig, MonitorEvent};
+pub use monitor::{remediate, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent};
 pub use parts::{ModuleParts, PartId};
 pub use pool::{CheckConfig, ModChecker, ScanMode};
-pub use report::{ComponentTimes, ModuleCheckReport, PoolCheckReport, VmVerdict};
+pub use report::{
+    ComponentTimes, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictError,
+    VerdictErrorKind, VerdictStatus, VmVerdict,
+};
+
+pub use mc_vmi::RetryPolicy;
 pub use rva::{adjust_rvas, AdjustStats};
 pub use searcher::{ModuleImage, ModuleRef, ModuleSearcher};

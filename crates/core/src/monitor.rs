@@ -6,23 +6,64 @@
 //! implements the scan loop (optionally on a background thread streaming
 //! [`MonitorEvent`]s over a crossbeam channel) and [`remediate`] implements
 //! snapshot-revert remediation.
+//!
+//! The monitor also carries per-VM health: a VM that is unscannable for
+//! [`HealthPolicy::failure_threshold`] consecutive rounds trips a circuit
+//! breaker and is quarantined — dropped from the scan set for
+//! [`HealthPolicy::cooldown_rounds`] rounds so a flapping guest cannot
+//! burn every round's introspection budget — then re-probed half-open: one
+//! clean round restores it fully, one more failure re-trips the breaker
+//! immediately.
+
+use std::collections::{HashMap, HashSet};
 
 use crossbeam::channel::Sender;
 
 use mc_hypervisor::{Hypervisor, VmId};
 
 use crate::error::CheckError;
-use crate::pool::{ModChecker, ScanMode};
-use crate::report::PoolCheckReport;
+use crate::pool::{CheckConfig, ModChecker};
+use crate::report::{PoolCheckReport, QuorumStatus, VerdictStatus};
+
+/// Circuit-breaker policy for persistently unscannable VMs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive unscannable rounds before a VM is quarantined. Clamped
+    /// to at least 1.
+    pub failure_threshold: usize,
+    /// Rounds a quarantined VM sits out before the half-open re-probe.
+    /// Clamped to at least 1.
+    pub cooldown_rounds: usize,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            failure_threshold: 3,
+            cooldown_rounds: 2,
+        }
+    }
+}
 
 /// Monitor configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct MonitorConfig {
     /// Modules to check each round (e.g. every module in the list, or the
     /// high-value set: hal.dll, ntfs.sys, tcpip.sys ...).
     pub modules: Vec<String>,
-    /// Scan mode per round.
-    pub mode: ScanMode,
+    /// Per-round scan configuration (mode, retries, deadline, quorum...).
+    pub check: CheckConfig,
+    /// Circuit-breaker policy.
+    pub health: HealthPolicy,
+}
+
+/// Per-VM circuit-breaker state.
+#[derive(Clone, Copy, Debug, Default)]
+struct VmHealth {
+    /// Consecutive rounds in which the VM was unscannable.
+    consecutive_unscannable: usize,
+    /// Quarantine rounds remaining; 0 means the VM is in the scan set.
+    cooldown_left: usize,
 }
 
 /// One event from a monitoring round.
@@ -44,6 +85,16 @@ pub enum MonitorEvent {
         /// Full report (who mismatched, which parts).
         report: Box<PoolCheckReport>,
     },
+    /// The scan completed but fewer VMs than the full pool took part —
+    /// verdicts for the survivors are valid, coverage is not total.
+    Degraded {
+        /// Round number.
+        round: usize,
+        /// Module name.
+        module: String,
+        /// Full report (quorum status, who was unscannable).
+        report: Box<PoolCheckReport>,
+    },
     /// The check itself failed (e.g. pool too small).
     Failed {
         /// Round number.
@@ -53,6 +104,24 @@ pub enum MonitorEvent {
         /// Error description.
         error: String,
     },
+    /// A VM tripped the circuit breaker and sits out the next
+    /// [`HealthPolicy::cooldown_rounds`] rounds.
+    VmQuarantined {
+        /// Round number in which the breaker tripped.
+        round: usize,
+        /// VM name.
+        vm_name: String,
+        /// Consecutive unscannable rounds that tripped the breaker.
+        consecutive_failures: usize,
+    },
+    /// A quarantined VM finished cooldown and rejoins the scan set
+    /// (half-open: the next failure re-quarantines immediately).
+    VmRestored {
+        /// Round number in which the VM rejoined.
+        round: usize,
+        /// VM name.
+        vm_name: String,
+    },
 }
 
 /// The continuous scan loop.
@@ -60,15 +129,29 @@ pub enum MonitorEvent {
 pub struct ContinuousMonitor {
     checker: ModChecker,
     config: MonitorConfig,
+    health: HashMap<VmId, VmHealth>,
 }
 
 impl ContinuousMonitor {
     /// Creates a monitor for the given module set.
     pub fn new(config: MonitorConfig) -> Self {
         ContinuousMonitor {
-            checker: ModChecker::with_mode(config.mode),
+            checker: ModChecker::with_config(config.check),
             config,
+            health: HashMap::new(),
         }
+    }
+
+    /// VM names currently quarantined by the circuit breaker.
+    pub fn quarantined(&self) -> Vec<VmId> {
+        let mut out: Vec<VmId> = self
+            .health
+            .iter()
+            .filter(|(_, h)| h.cooldown_left > 0)
+            .map(|(&vm, _)| vm)
+            .collect();
+        out.sort_by_key(|vm| vm.0);
+        out
     }
 
     /// Runs one round over all configured modules, returning reports in
@@ -86,18 +169,71 @@ impl ContinuousMonitor {
     }
 
     /// Runs `rounds` rounds, emitting an event per module per round into
-    /// `events`. Blocks until done; call from a scoped thread for
-    /// concurrent consumption (see the `continuous_monitoring` example).
-    pub fn run(&self, hv: &Hypervisor, vms: &[VmId], rounds: usize, events: &Sender<MonitorEvent>) {
+    /// `events`, plus circuit-breaker events as VMs drop out and return.
+    /// Blocks until done; call from a scoped thread for concurrent
+    /// consumption (see the `continuous_monitoring` example).
+    pub fn run(
+        &mut self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        rounds: usize,
+        events: &Sender<MonitorEvent>,
+    ) {
+        let threshold = self.config.health.failure_threshold.max(1);
+        let cooldown = self.config.health.cooldown_rounds.max(1);
         for round in 0..rounds {
-            for (module, result) in self.run_round(hv, vms) {
+            // Assemble this round's scan set; expired quarantines re-probe.
+            let mut active: Vec<VmId> = Vec::with_capacity(vms.len());
+            for &vm in vms {
+                let h = self.health.entry(vm).or_default();
+                if h.cooldown_left > 0 {
+                    h.cooldown_left -= 1;
+                    continue; // sits this round out
+                }
+                if h.consecutive_unscannable >= threshold {
+                    // Cooldown just elapsed: half-open re-probe. One clean
+                    // round resets the counter; one more failure re-trips.
+                    h.consecutive_unscannable = threshold - 1;
+                    if events
+                        .send(MonitorEvent::VmRestored {
+                            round,
+                            vm_name: Self::vm_name(hv, vm),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                active.push(vm);
+            }
+
+            let mut unscannable_this_round: HashSet<String> = HashSet::new();
+            for (module, result) in self.run_round(hv, &active) {
                 let event = match result {
-                    Ok(report) if report.any_discrepancy() => MonitorEvent::Discrepancy {
-                        round,
-                        module,
-                        report: Box::new(report),
-                    },
-                    Ok(_) => MonitorEvent::Clean { round, module },
+                    Ok(report) => {
+                        unscannable_this_round.extend(
+                            report
+                                .verdicts
+                                .iter()
+                                .filter(|v| v.status == VerdictStatus::Unscannable)
+                                .map(|v| v.vm_name.clone()),
+                        );
+                        if report.any_discrepancy() {
+                            MonitorEvent::Discrepancy {
+                                round,
+                                module,
+                                report: Box::new(report),
+                            }
+                        } else if report.quorum == QuorumStatus::Full {
+                            MonitorEvent::Clean { round, module }
+                        } else {
+                            MonitorEvent::Degraded {
+                                round,
+                                module,
+                                report: Box::new(report),
+                            }
+                        }
+                    }
                     Err(e) => MonitorEvent::Failed {
                         round,
                         module,
@@ -108,7 +244,36 @@ impl ContinuousMonitor {
                     return; // receiver hung up; stop scanning
                 }
             }
+
+            // Health bookkeeping for the VMs that were actually probed.
+            for &vm in &active {
+                let name = Self::vm_name(hv, vm);
+                let h = self.health.entry(vm).or_default();
+                if unscannable_this_round.contains(&name) {
+                    h.consecutive_unscannable += 1;
+                    if h.consecutive_unscannable >= threshold {
+                        h.cooldown_left = cooldown;
+                        if events
+                            .send(MonitorEvent::VmQuarantined {
+                                round,
+                                vm_name: name,
+                                consecutive_failures: h.consecutive_unscannable,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                } else {
+                    h.consecutive_unscannable = 0;
+                }
+            }
         }
+    }
+
+    fn vm_name(hv: &Hypervisor, vm: VmId) -> String {
+        hv.vm(vm)
+            .map_or_else(|_| format!("vm{}", vm.0), |v| v.name.clone())
     }
 }
 
@@ -153,7 +318,7 @@ mod tests {
     fn monitor() -> ContinuousMonitor {
         ContinuousMonitor::new(MonitorConfig {
             modules: vec!["hal.dll".into(), "ndis.sys".into()],
-            mode: ScanMode::Sequential,
+            ..MonitorConfig::default()
         })
     }
 
@@ -188,14 +353,15 @@ mod tests {
             .filter(|e| matches!(e, MonitorEvent::Discrepancy { .. }))
             .collect();
         assert_eq!(discrepancies.len(), 1);
-        match discrepancies[0] {
-            MonitorEvent::Discrepancy { module, report, .. } => {
-                assert_eq!(module, "ndis.sys");
-                let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
-                assert_eq!(suspects, vec!["dom2"]);
-            }
-            _ => unreachable!(),
-        }
+        let MonitorEvent::Discrepancy { module, report, .. } = discrepancies[0] else {
+            panic!(
+                "filtered to discrepancies above, got {:?}",
+                discrepancies[0]
+            );
+        };
+        assert_eq!(module, "ndis.sys");
+        let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
+        assert_eq!(suspects, vec!["dom2"]);
     }
 
     #[test]
@@ -222,6 +388,74 @@ mod tests {
         assert!(round2
             .iter()
             .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+    }
+
+    #[test]
+    fn persistent_failure_trips_and_retrips_the_breaker() {
+        use mc_hypervisor::FaultPlan;
+        let (mut hv, _guests, ids) = cloud(4);
+        // dom4 is gone for good: every attach fails.
+        hv.set_fault_plan(ids[3], Some(FaultPlan::none(7).lose_after(0)))
+            .unwrap();
+        let mut m = ContinuousMonitor::new(MonitorConfig {
+            modules: vec!["hal.dll".into()],
+            health: HealthPolicy {
+                failure_threshold: 2,
+                cooldown_rounds: 2,
+            },
+            ..MonitorConfig::default()
+        });
+        let (tx, rx) = unbounded();
+        m.run(&hv, &ids, 6, &tx);
+        drop(tx);
+        let events: Vec<MonitorEvent> = rx.iter().collect();
+
+        // Breaker lifecycle: trip after 2 failed rounds, sit out 2, re-probe
+        // half-open, fail once more, re-trip immediately.
+        let breaker: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::VmQuarantined { round, vm_name, .. } => {
+                    Some(format!("quarantine {vm_name} @{round}"))
+                }
+                MonitorEvent::VmRestored { round, vm_name } => {
+                    Some(format!("restore {vm_name} @{round}"))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            breaker,
+            vec![
+                "quarantine dom4 @1",
+                "restore dom4 @4",
+                "quarantine dom4 @4"
+            ]
+        );
+
+        // While dom4 is probed the scans degrade; while it sits out, the
+        // survivors form a full quorum and the rounds read clean.
+        let per_round: Vec<(usize, &'static str)> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Clean { round, .. } => Some((*round, "clean")),
+                MonitorEvent::Degraded { round, .. } => Some((*round, "degraded")),
+                MonitorEvent::Discrepancy { round, .. } => Some((*round, "discrepancy")),
+                MonitorEvent::Failed { round, .. } => Some((*round, "failed")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            per_round,
+            vec![
+                (0, "degraded"),
+                (1, "degraded"),
+                (2, "clean"),
+                (3, "clean"),
+                (4, "degraded"),
+                (5, "clean"),
+            ]
+        );
     }
 
     #[test]

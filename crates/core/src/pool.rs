@@ -15,12 +15,15 @@
 
 use rayon::prelude::*;
 
-use mc_hypervisor::{Hypervisor, VmId};
-use mc_vmi::VmiSession;
+use mc_hypervisor::{Hypervisor, SimDuration, VmId};
+use mc_vmi::{RetryPolicy, VmiSession};
 
 use crate::checker::{compare_pair, ExtractedModule, PairOutcome};
 use crate::error::CheckError;
-use crate::report::{ComponentTimes, ModuleCheckReport, PoolCheckReport, VmVerdict};
+use crate::report::{
+    ComponentTimes, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictError, VerdictStatus,
+    VmVerdict,
+};
 use crate::searcher::ModuleSearcher;
 
 /// How the pool is traversed.
@@ -36,7 +39,7 @@ pub enum ScanMode {
 }
 
 /// Scanner configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct CheckConfig {
     /// Traversal mode.
     pub mode: ScanMode,
@@ -51,6 +54,32 @@ pub struct CheckConfig {
     /// needs no reference VM, so it names infected VMs even when the
     /// majority is compromised (EXT-4).
     pub static_prepass: bool,
+    /// Retry policy for transient introspection faults (applies to every
+    /// per-VM session the scan opens).
+    pub retry: RetryPolicy,
+    /// Per-VM simulated-time capture deadline. `None` — the default —
+    /// lets a capture run as long as it takes.
+    pub deadline: Option<SimDuration>,
+    /// Minimum number of scannable VMs for the vote to carry weight. Below
+    /// this the scan still completes but reports
+    /// [`QuorumStatus::Lost`] and marks every surviving verdict
+    /// [`VerdictStatus::Unscannable`].
+    pub min_quorum: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            mode: ScanMode::default(),
+            page_cache: false,
+            digest: crate::digest::DigestAlgo::default(),
+            static_prepass: false,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            // Pairwise voting needs at least two captures to compare.
+            min_quorum: 2,
+        }
+    }
 }
 
 /// The ModChecker driver.
@@ -109,6 +138,10 @@ impl ModChecker {
             Ok(s) => s,
             Err(e) => return (Err(e.into()), times, name),
         };
+        session = session.with_retry(self.config.retry);
+        if let Some(deadline) = self.config.deadline {
+            session = session.with_deadline(deadline);
+        }
         if self.config.page_cache {
             session = session.with_page_cache();
         }
@@ -157,9 +190,12 @@ impl ModChecker {
     /// The paper's check: compare `module` on `reference` against the same
     /// module on `others`; clean iff it matches a majority.
     ///
-    /// Failures on peer VMs (module missing, unreadable, corrupt) count as
-    /// failed comparisons and are reported; a failure on the reference VM
-    /// itself is an error (there is nothing to vote about).
+    /// Integrity-signal failures on peer VMs (module missing, unreadable,
+    /// corrupt) count as failed comparisons and are reported; *unreachable*
+    /// peers (lost, paused out, past deadline) are excluded from the vote
+    /// entirely — they say nothing about the reference module. A failure on
+    /// the reference VM itself is an error (there is nothing to vote
+    /// about).
     pub fn check_one(
         &self,
         hv: &Hypervisor,
@@ -201,7 +237,7 @@ impl ModChecker {
                     }
                     outcomes.push(compare_pair(&reference_mod, &other, Some(&mut ledger)));
                 }
-                Err(e) => errors.push((vm_name, e.to_string())),
+                Err(e) => errors.push((vm_name, VerdictError::classify(&e))),
             }
         }
         // Attribute pairwise checker time to the reference VM's slot.
@@ -213,7 +249,22 @@ impl ModChecker {
         }
 
         let successes = outcomes.iter().filter(|o| o.matches()).count();
-        let comparisons = outcomes.len() + errors.len();
+        // Integrity-signal failures are failed comparisons; unreachable
+        // peers drop out of the vote.
+        let suspect_errors = errors
+            .iter()
+            .filter(|(_, e)| !e.kind.is_unscannable())
+            .count();
+        let comparisons = outcomes.len() + suspect_errors;
+        let scanned = 1 + outcomes.len();
+        let pool_size = 1 + others.len();
+        let quorum = if scanned < self.config.min_quorum {
+            QuorumStatus::Lost
+        } else if scanned == pool_size {
+            QuorumStatus::Full
+        } else {
+            QuorumStatus::Degraded
+        };
         Ok(ModuleCheckReport {
             module: module.to_string(),
             reference: ref_name,
@@ -221,7 +272,9 @@ impl ModChecker {
             errors,
             successes,
             comparisons,
-            clean: successes * 2 > comparisons,
+            clean: quorum != QuorumStatus::Lost && successes * 2 > comparisons,
+            scanned,
+            quorum,
             times,
             per_vm_times,
             static_findings,
@@ -229,6 +282,13 @@ impl ModChecker {
     }
 
     /// Full-matrix pool check: every VM gets a majority verdict.
+    ///
+    /// The scan *always completes*, whatever the guests do: VMs that
+    /// cannot be captured are excluded from the vote (status
+    /// [`VerdictStatus::Unscannable`] when unreachable,
+    /// [`VerdictStatus::Suspect`] when the failure is itself an integrity
+    /// signal), the survivors vote among themselves, and the report's
+    /// [`QuorumStatus`] says how much the vote still means.
     pub fn check_pool(
         &self,
         hv: &Hypervisor,
@@ -248,13 +308,25 @@ impl ModChecker {
 
         // Split successes and failures, remembering positions.
         let mut extracted: Vec<(usize, ExtractedModule)> = Vec::new();
-        let mut errors: Vec<Option<String>> = vec![None; extractions.len()];
+        let mut errors: Vec<Option<VerdictError>> = vec![None; extractions.len()];
         for (i, (result, _, _)) in extractions.into_iter().enumerate() {
             match result {
                 Ok(m) => extracted.push((i, m)),
-                Err(e) => errors[i] = Some(e.to_string()),
+                Err(e) => errors[i] = Some(VerdictError::classify(&e)),
             }
         }
+        let scanned = extracted.len();
+        let quorum = if scanned < self.config.min_quorum {
+            QuorumStatus::Lost
+        } else if scanned == vms.len() {
+            QuorumStatus::Full
+        } else {
+            QuorumStatus::Degraded
+        };
+        // The pairwise ledger charges Dom0's comparison work to a session
+        // against a VM that is actually reachable; with nothing extracted
+        // there are no pairs and no ledger to keep.
+        let ledger_vm = extracted.first().map(|(_, m)| m.image.vm);
         let static_findings: Vec<mc_analysis::AnalysisReport> = if self.config.static_prepass {
             extracted
                 .iter()
@@ -270,32 +342,48 @@ impl ModChecker {
             .collect();
         let matrix: Vec<(usize, usize, PairOutcome)> = match self.config.mode {
             ScanMode::Sequential => {
-                let mut ledger = VmiSession::attach(hv, vms[0])?;
-                ledger.take_elapsed();
+                let mut ledger = match ledger_vm {
+                    Some(vm) => {
+                        let mut l = VmiSession::attach(hv, vm)?;
+                        l.take_elapsed();
+                        Some(l)
+                    }
+                    None => None,
+                };
                 let out = pairs
                     .iter()
                     .map(|&(i, j)| {
                         (
                             extracted[i].0,
                             extracted[j].0,
-                            compare_pair(&extracted[i].1, &extracted[j].1, Some(&mut ledger)),
+                            compare_pair(&extracted[i].1, &extracted[j].1, ledger.as_mut()),
                         )
                     })
                     .collect();
-                times.checker += ledger.take_elapsed();
+                if let Some(l) = &mut ledger {
+                    times.checker += l.take_elapsed();
+                }
                 out
             }
             ScanMode::Parallel => {
                 // Cost accounting in parallel mode: charge each pair on a
                 // thread-local ledger and sum (total work is what matters;
-                // wall-clock division is modeled in the report).
-                let results: Vec<(usize, usize, PairOutcome, mc_hypervisor::SimDuration)> = pairs
+                // wall-clock division is modeled in the report). A ledger
+                // attach can itself fail under fault injection; the
+                // comparison still runs, just uncharged — verdicts must
+                // never depend on bookkeeping.
+                let results: Vec<(usize, usize, PairOutcome, SimDuration)> = pairs
                     .par_iter()
                     .map(|&(i, j)| {
-                        let mut ledger = VmiSession::attach(hv, vms[0]).expect("vm exists");
-                        ledger.take_elapsed();
-                        let o = compare_pair(&extracted[i].1, &extracted[j].1, Some(&mut ledger));
-                        (extracted[i].0, extracted[j].0, o, ledger.take_elapsed())
+                        let mut ledger = ledger_vm.and_then(|vm| VmiSession::attach(hv, vm).ok());
+                        if let Some(l) = &mut ledger {
+                            l.take_elapsed();
+                        }
+                        let o = compare_pair(&extracted[i].1, &extracted[j].1, ledger.as_mut());
+                        let t = ledger
+                            .as_mut()
+                            .map_or(SimDuration::ZERO, VmiSession::take_elapsed);
+                        (extracted[i].0, extracted[j].0, o, t)
                     })
                     .collect();
                 let mut out = Vec::with_capacity(results.len());
@@ -307,9 +395,8 @@ impl ModChecker {
             }
         };
 
-        // Per-VM verdicts.
-        let t = vms.len();
-        let mut verdicts = Vec::with_capacity(t);
+        // Per-VM verdicts: the vote runs among the scanned VMs only.
+        let mut verdicts = Vec::with_capacity(vms.len());
         for (idx, vm_name) in vm_names.iter().enumerate() {
             let mut successes = 0usize;
             let mut suspect_parts = Vec::new();
@@ -324,14 +411,33 @@ impl ModChecker {
             }
             suspect_parts.sort();
             suspect_parts.dedup();
-            let comparisons = t - 1; // peers that failed to extract count as failures
+            let error = errors[idx].clone();
+            let (status, comparisons) = match &error {
+                // No capture from this VM: unreachable ⇒ no evidence
+                // either way; an integrity-signal failure ⇒ suspect.
+                Some(e) if e.kind.is_unscannable() => (VerdictStatus::Unscannable, 0),
+                Some(_) => (VerdictStatus::Suspect, 0),
+                // Captured, but the pool as a whole fell below quorum: the
+                // "vote" (if any pairs exist at all) has no weight.
+                None if quorum == QuorumStatus::Lost => (VerdictStatus::Unscannable, 0),
+                None => {
+                    let comparisons = scanned - 1;
+                    let status = if successes * 2 > comparisons {
+                        VerdictStatus::Clean
+                    } else {
+                        VerdictStatus::Suspect
+                    };
+                    (status, comparisons)
+                }
+            };
             verdicts.push(VmVerdict {
                 vm_name: vm_name.clone(),
+                status,
                 successes,
                 comparisons,
-                clean: errors[idx].is_none() && successes * 2 > comparisons,
+                clean: status == VerdictStatus::Clean,
                 suspect_parts,
-                error: errors[idx].clone(),
+                error,
             });
         }
 
@@ -340,6 +446,8 @@ impl ModChecker {
             vm_names,
             verdicts,
             matrix: matrix.into_iter().map(|(_, _, o)| o).collect(),
+            scanned,
+            quorum,
             times,
             static_findings,
         })
@@ -455,7 +563,10 @@ mod tests {
         assert_eq!(report.comparisons, 3);
         assert_eq!(report.successes, 2);
         assert!(report.clean, "2 of 3 still a majority");
-        assert!(report.errors[0].1.contains("not loaded"));
+        assert_eq!(
+            report.errors[0].1.kind,
+            crate::report::VerdictErrorKind::ModuleNotFound
+        );
     }
 
     #[test]

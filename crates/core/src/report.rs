@@ -1,11 +1,163 @@
-//! Check reports: per-pair outcomes, majority verdicts, component timing.
+//! Check reports: per-pair outcomes, majority verdicts, component timing,
+//! and — since the chaos work — quorum accounting: a pool scan reports how
+//! many VMs it could actually vote over, and each verdict distinguishes
+//! *unscannable* (the VM vanished / timed out) from *infected*.
 
 use std::fmt;
 
 use mc_hypervisor::SimDuration;
 
 use crate::checker::PairOutcome;
+use crate::error::CheckError;
 use crate::parts::PartId;
+
+/// Coarse classification of why a VM produced no comparable capture.
+///
+/// The kind — not the human-readable detail — is what degradation logic
+/// keys on: [`VerdictErrorKind::is_unscannable`] kinds exclude the VM from
+/// the vote (it says nothing about integrity), while the rest are
+/// integrity signals in their own right (a module that is hidden or
+/// unparseable *here* but fine elsewhere is suspicious).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictErrorKind {
+    /// The module is not in this VM's loaded-module list (present on
+    /// peers — the DKOM-hiding signal).
+    ModuleNotFound,
+    /// The VM itself is out of reach: lost mid-scan, paused past the
+    /// retry budget, or gone from the host.
+    VmUnreachable,
+    /// The VM was reachable but the capture failed structurally: corrupt
+    /// list, bad PE, implausible size, unmapped or hopelessly torn pages.
+    CaptureFailed,
+    /// The per-session simulated-time deadline expired mid-capture.
+    Deadline,
+}
+
+impl VerdictErrorKind {
+    /// True when the error says "could not scan", not "looks infected":
+    /// the VM must be excluded from the vote rather than counted against
+    /// anyone.
+    pub fn is_unscannable(self) -> bool {
+        matches!(
+            self,
+            VerdictErrorKind::VmUnreachable | VerdictErrorKind::Deadline
+        )
+    }
+
+    /// Stable lowercase name (used in JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerdictErrorKind::ModuleNotFound => "module_not_found",
+            VerdictErrorKind::VmUnreachable => "vm_unreachable",
+            VerdictErrorKind::CaptureFailed => "capture_failed",
+            VerdictErrorKind::Deadline => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for VerdictErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed per-VM extraction error: machine-matchable kind plus the
+/// original error text for humans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerdictError {
+    /// What class of failure this was.
+    pub kind: VerdictErrorKind,
+    /// Human-readable description (the underlying error's display form).
+    pub detail: String,
+}
+
+impl VerdictError {
+    /// Classifies a [`CheckError`] into a verdict error.
+    pub fn classify(e: &CheckError) -> Self {
+        use mc_hypervisor::HvError;
+        use mc_vmi::VmiError;
+        let kind = match e {
+            CheckError::ModuleNotFound { .. } => VerdictErrorKind::ModuleNotFound,
+            CheckError::Vmi(VmiError::DeadlineExceeded { .. }) => VerdictErrorKind::Deadline,
+            CheckError::Vmi(
+                VmiError::VmNotFound(_)
+                | VmiError::RetriesExhausted { .. }
+                | VmiError::Hv(HvError::VmLost(_) | HvError::VmPaused(_) | HvError::UnknownVm(_)),
+            ) => VerdictErrorKind::VmUnreachable,
+            _ => VerdictErrorKind::CaptureFailed,
+        };
+        VerdictError {
+            kind,
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for VerdictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// Tri-state per-VM verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictStatus {
+    /// Scanned and matched a majority of the other scanned VMs.
+    Clean,
+    /// Scanned and mismatched the majority — or produced an
+    /// integrity-signal error (hidden module, corrupt capture).
+    Suspect,
+    /// Could not be scanned (VM unreachable / deadline) or the quorum was
+    /// lost — says nothing about this VM's integrity either way.
+    Unscannable,
+}
+
+impl VerdictStatus {
+    /// Stable uppercase name (used in text and JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerdictStatus::Clean => "CLEAN",
+            VerdictStatus::Suspect => "SUSPECT",
+            VerdictStatus::Unscannable => "UNSCANNABLE",
+        }
+    }
+}
+
+impl fmt::Display for VerdictStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How much of the pool the vote actually covered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuorumStatus {
+    /// Every VM in the pool was scanned.
+    Full,
+    /// Some VMs dropped out but at least `min_quorum` were scanned; the
+    /// vote ran over the survivors.
+    Degraded,
+    /// Fewer than `min_quorum` VMs could be scanned; no verdict carries
+    /// voting weight.
+    Lost,
+}
+
+impl QuorumStatus {
+    /// Stable lowercase name (used in JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuorumStatus::Full => "full",
+            QuorumStatus::Degraded => "degraded",
+            QuorumStatus::Lost => "lost",
+        }
+    }
+}
+
+impl fmt::Display for QuorumStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Simulated time attributed to each ModChecker component (the split the
 /// paper plots in Figures 7 and 8).
@@ -51,28 +203,33 @@ impl fmt::Display for ComponentTimes {
 pub struct VmVerdict {
     /// VM name.
     pub vm_name: String,
+    /// Tri-state verdict (drives [`PoolCheckReport::suspects`] /
+    /// [`PoolCheckReport::unscannable`]).
+    pub status: VerdictStatus,
     /// Comparisons in which every part hash matched.
     pub successes: usize,
-    /// Total comparisons attempted (`t − 1`; extraction errors on peers
-    /// count as failed comparisons).
+    /// Comparisons this VM participated in: `scanned − 1` for scanned VMs
+    /// (the vote runs only among reachable captures), 0 for VMs that
+    /// produced no capture.
     pub comparisons: usize,
-    /// Majority rule: `successes > comparisons / 2` (the paper's
-    /// `n > (t−1)/2`).
+    /// Majority rule over the scanned population:
+    /// `successes > comparisons / 2` (the paper's `n > (t−1)/2`).
+    /// Equivalent to `status == VerdictStatus::Clean`.
     pub clean: bool,
     /// Union of mismatched parts across this VM's failed comparisons.
     pub suspect_parts: Vec<PartId>,
-    /// Extraction error on this VM itself, if any (also a discrepancy:
-    /// a module that is unreadable or missing here but present elsewhere).
-    pub error: Option<String>,
+    /// Extraction error on this VM itself, if any. Whether it is an
+    /// integrity signal or mere unreachability is the
+    /// [`VerdictError::kind`]'s call.
+    pub error: Option<VerdictError>,
 }
 
 impl fmt::Display for VmVerdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let status = if self.clean { "CLEAN" } else { "SUSPECT" };
         write!(
             f,
             "{:<8} {} ({}/{} matches)",
-            self.vm_name, status, self.successes, self.comparisons
+            self.vm_name, self.status, self.successes, self.comparisons
         )?;
         if let Some(e) = &self.error {
             write!(f, " [error: {e}]")?;
@@ -101,15 +258,22 @@ pub struct ModuleCheckReport {
     /// Pairwise outcomes against each peer that yielded a comparable
     /// capture.
     pub outcomes: Vec<PairOutcome>,
-    /// Peers whose capture failed (`(vm, error)`); each counts as a failed
-    /// comparison.
-    pub errors: Vec<(String, String)>,
+    /// Peers whose capture failed (`(vm, error)`). Integrity-signal
+    /// failures (hidden module, corrupt capture) count as failed
+    /// comparisons; unreachable peers are excluded from the vote.
+    pub errors: Vec<(String, VerdictError)>,
     /// Matching comparisons (`n` in the paper).
     pub successes: usize,
-    /// Total comparisons (`t − 1`).
+    /// Total comparisons the vote ran over (`t − 1` when every peer is
+    /// reachable; unreachable peers don't count).
     pub comparisons: usize,
     /// `n > (t−1)/2`.
     pub clean: bool,
+    /// VMs (reference + peers) that produced a comparable capture.
+    pub scanned: usize,
+    /// Whether the vote covered the whole pool, a degraded majority, or
+    /// too few VMs to mean anything.
+    pub quorum: QuorumStatus,
     /// Aggregate component times over the whole run.
     pub times: ComponentTimes,
     /// Per-VM component times, in scan order (reference first).
@@ -214,6 +378,11 @@ pub struct PoolCheckReport {
     /// All pairwise outcomes (`i < j` order over successfully extracted
     /// VMs).
     pub matrix: Vec<PairOutcome>,
+    /// VMs that produced a comparable capture (the voting population).
+    pub scanned: usize,
+    /// Whether the vote covered the whole pool, a degraded majority, or
+    /// too few VMs to mean anything.
+    pub quorum: QuorumStatus,
     /// Aggregate component times.
     pub times: ComponentTimes,
     /// Non-clean single-VM static analysis reports (populated when
@@ -224,9 +393,20 @@ pub struct PoolCheckReport {
 }
 
 impl PoolCheckReport {
-    /// VMs flagged as suspect.
+    /// VMs flagged as suspect — infected or carrying an integrity-signal
+    /// error. Unscannable VMs are *not* suspects (no evidence either way).
     pub fn suspects(&self) -> impl Iterator<Item = &VmVerdict> {
-        self.verdicts.iter().filter(|v| !v.clean)
+        self.verdicts
+            .iter()
+            .filter(|v| v.status == VerdictStatus::Suspect)
+    }
+
+    /// VMs the scan could not reach (lost, paused past the retry budget,
+    /// or out of deadline) — candidates for re-scan, not for remediation.
+    pub fn unscannable(&self) -> impl Iterator<Item = &VmVerdict> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.status == VerdictStatus::Unscannable)
     }
 
     /// True when every VM is clean (no discrepancy anywhere).
@@ -237,8 +417,57 @@ impl PoolCheckReport {
     /// True when *any* discrepancy exists — even if majority voting cannot
     /// name the culprit (the worm scenario of §III: ModChecker still
     /// "detects discrepancies among VMs that can trigger deeper analysis").
+    /// Unscannable VMs are availability problems, not discrepancies.
     pub fn any_discrepancy(&self) -> bool {
-        self.matrix.iter().any(|o| !o.matches()) || self.verdicts.iter().any(|v| v.error.is_some())
+        self.matrix.iter().any(|o| !o.matches())
+            || self
+                .verdicts
+                .iter()
+                .any(|v| v.status == VerdictStatus::Suspect && v.error.is_some())
+    }
+
+    /// Machine-readable form of the report (stable key order; used by the
+    /// CLI's `--json` and the chaos suite's determinism check).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "module": self.module,
+            "vms": self.vm_names.len(),
+            "scanned": self.scanned,
+            "quorum": self.quorum.as_str(),
+            "all_clean": self.all_clean(),
+            "any_discrepancy": self.any_discrepancy(),
+            "verdicts": self
+                .verdicts
+                .iter()
+                .map(|v| {
+                    serde_json::json!({
+                        "vm": v.vm_name,
+                        "status": v.status.as_str(),
+                        "clean": v.clean,
+                        "successes": v.successes,
+                        "comparisons": v.comparisons,
+                        "suspect_parts": v
+                            .suspect_parts
+                            .iter()
+                            .map(std::string::ToString::to_string)
+                            .collect::<Vec<_>>(),
+                        "error_kind": v.error.as_ref().map(|e| e.kind.as_str()),
+                        "error": v.error.as_ref().map(|e| e.detail.clone()),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "statically_flagged": self
+                .statically_flagged_vms()
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect::<Vec<_>>(),
+            "times_ms": {
+                "searcher": self.times.searcher.as_millis_f64(),
+                "parser": self.times.parser.as_millis_f64(),
+                "checker": self.times.checker.as_millis_f64(),
+                "total": self.times.total().as_millis_f64(),
+            },
+        })
     }
 
     /// VM names carrying static-analysis findings (the "deeper analysis"
@@ -322,6 +551,8 @@ mod tests {
             successes: 0,
             comparisons: 2,
             clean: false,
+            scanned: 3,
+            quorum: QuorumStatus::Full,
             times: ComponentTimes::default(),
             per_vm_times: vec![],
             static_findings: vec![],
@@ -352,6 +583,8 @@ mod tests {
             successes: 0,
             comparisons: 0,
             clean: true,
+            scanned: 4,
+            quorum: QuorumStatus::Full,
             times,
             per_vm_times: per,
             static_findings: vec![],
@@ -369,6 +602,7 @@ mod tests {
     fn display_renders_verdicts() {
         let v = VmVerdict {
             vm_name: "dom3".into(),
+            status: VerdictStatus::Suspect,
             successes: 1,
             comparisons: 4,
             clean: false,
@@ -378,5 +612,62 @@ mod tests {
         let s = v.to_string();
         assert!(s.contains("SUSPECT"));
         assert!(s.contains("IMAGE_DOS_HEADER"));
+    }
+
+    #[test]
+    fn error_kinds_classify_reachability_vs_integrity() {
+        use mc_hypervisor::{HvError, VmId};
+        use mc_vmi::VmiError;
+        let cases = [
+            (
+                CheckError::ModuleNotFound {
+                    vm: "dom1".into(),
+                    module: "hal.dll".into(),
+                },
+                VerdictErrorKind::ModuleNotFound,
+                false,
+            ),
+            (
+                CheckError::Vmi(VmiError::Hv(HvError::VmLost(VmId(3)))),
+                VerdictErrorKind::VmUnreachable,
+                true,
+            ),
+            (
+                CheckError::Vmi(VmiError::RetriesExhausted {
+                    va: 0x1000,
+                    attempts: 5,
+                    last: HvError::TransientFault { va: 0x1000 },
+                }),
+                VerdictErrorKind::VmUnreachable,
+                true,
+            ),
+            (
+                CheckError::Vmi(VmiError::DeadlineExceeded {
+                    elapsed: SimDuration::from_millis(10),
+                    deadline: SimDuration::from_millis(5),
+                }),
+                VerdictErrorKind::Deadline,
+                true,
+            ),
+            (
+                CheckError::Vmi(VmiError::TornRead { va: 0x2000 }),
+                VerdictErrorKind::CaptureFailed,
+                false,
+            ),
+            (
+                CheckError::ListCorrupt {
+                    vm: "dom2".into(),
+                    walked: 9,
+                },
+                VerdictErrorKind::CaptureFailed,
+                false,
+            ),
+        ];
+        for (err, kind, unscannable) in cases {
+            let v = VerdictError::classify(&err);
+            assert_eq!(v.kind, kind, "{err}");
+            assert_eq!(v.kind.is_unscannable(), unscannable, "{err}");
+            assert!(!v.detail.is_empty());
+        }
     }
 }

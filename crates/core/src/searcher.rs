@@ -131,7 +131,9 @@ impl ModuleSearcher {
         // is copied to a local buffer."
         for (page_idx, chunk) in bytes.chunks_mut(PAGE_SIZE).enumerate() {
             let va = entry.base + (page_idx * PAGE_SIZE) as u64;
-            session.read_va(va, chunk)?;
+            // Stable (double-checked) read: a torn page must surface as a
+            // typed error, never as a phantom integrity mismatch.
+            session.read_va_stable(va, chunk)?;
         }
         Ok(ModuleImage {
             vm: session.vm_id(),

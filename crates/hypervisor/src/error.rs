@@ -25,6 +25,37 @@ pub enum HvError {
     SnapshotMissing(String),
     /// Virtual address is not canonical / representable for the guest width.
     BadVa(u64),
+    /// Injected: a read attempt transiently failed (failed foreign-map /
+    /// hypercall); retrying usually succeeds. See [`crate::fault`].
+    TransientFault {
+        /// Virtual address of the failed attempt.
+        va: u64,
+    },
+    /// Injected: the page backing this VA is currently paged out by the
+    /// guest; it pages back in after a bounded number of attempts.
+    PagedOut {
+        /// Virtual address of the failed attempt.
+        va: u64,
+    },
+    /// Injected: the VM is paused (e.g. a live-migration brown-out);
+    /// resumes after a bounded window.
+    VmPaused(VmId),
+    /// Injected: the VM vanished mid-scan (destroyed or migrated away).
+    /// Permanent — retrying cannot help.
+    VmLost(VmId),
+}
+
+impl HvError {
+    /// True for injected failures that a bounded retry with backoff can
+    /// ride out; false for permanent conditions ([`HvError::VmLost`]) and
+    /// all structural errors (unmapped VAs, bad addresses, …), where a
+    /// retry would only repeat the same outcome.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            HvError::TransientFault { .. } | HvError::PagedOut { .. } | HvError::VmPaused(_)
+        )
+    }
 }
 
 impl fmt::Display for HvError {
@@ -39,6 +70,12 @@ impl fmt::Display for HvError {
             HvError::AlreadyMapped(va) => write!(f, "virtual address {va:#x} already mapped"),
             HvError::SnapshotMissing(n) => write!(f, "no snapshot named {n:?}"),
             HvError::BadVa(va) => write!(f, "non-canonical virtual address {va:#x}"),
+            HvError::TransientFault { va } => {
+                write!(f, "transient read fault at {va:#x} (retryable)")
+            }
+            HvError::PagedOut { va } => write!(f, "guest page at {va:#x} is paged out"),
+            HvError::VmPaused(id) => write!(f, "VM {} is paused", id.0),
+            HvError::VmLost(id) => write!(f, "VM {} vanished mid-scan", id.0),
         }
     }
 }

@@ -1,0 +1,444 @@
+//! Deterministic fault injection — the chaos layer under the VMI stack.
+//!
+//! Live-guest introspection is racy and lossy: pages get paged out, guests
+//! dirty memory between the introspector's reads (torn pages), foreign-map
+//! calls transiently fail, and a VM can pause or vanish mid-scan. The
+//! paper's prototype ran against live Xen guests and simply ate these
+//! failures; our simulator previously modeled none of them, so the
+//! majority-vote core had never been exercised under the failure modes a
+//! production deployment sees daily.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong on one VM; it is attached
+//! to the [`crate::Vm`] (immutable configuration, cloned with the VM). The
+//! mutable per-scan state — the RNG, the read counter that triggers
+//! pause/loss, the set of currently paged-out pages — lives in a
+//! [`FaultState`] owned by each introspection session, so concurrent
+//! sessions against the same host stay data-race free and *deterministic*:
+//! the stream of faults a session sees is a pure function of
+//! `(plan.seed, vm id)`, independent of thread scheduling.
+//!
+//! Faults are surfaced as typed [`HvError`] variants. Transient ones
+//! ([`HvError::is_transient`]) are retryable; [`HvError::VmLost`] is not.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::HvError;
+use crate::vm::VmId;
+use crate::PAGE_SHIFT;
+
+/// Reads at least this long are exposed to torn-page corruption. Shorter
+/// reads model control-structure accesses (list pointers, header words)
+/// that fit in one cache line and are effectively atomic; bulk page copies
+/// are where a guest write lands mid-copy.
+pub const TORN_READ_MIN_BYTES: usize = 1024;
+
+/// Per-VM fault model: what can go wrong, how often, seeded for
+/// reproducibility. All rates are per read *attempt* in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-session fault stream. Two sessions against the same
+    /// VM under the same plan observe identical faults.
+    pub seed: u64,
+    /// Probability a read attempt fails with [`HvError::TransientFault`]
+    /// (a failed foreign-map / hypercall that succeeds on retry).
+    pub transient_rate: f64,
+    /// Probability a first-touched page is currently paged out
+    /// ([`HvError::PagedOut`] until the guest pages it back in).
+    pub paged_out_rate: f64,
+    /// How many read attempts a paged-out page stays out before the
+    /// (simulated) guest pages it back in.
+    pub paged_out_attempts: u32,
+    /// Probability a bulk read (≥ [`TORN_READ_MIN_BYTES`]) returns torn
+    /// data: the guest dirtied the page between the introspector's reads,
+    /// so one byte of the returned buffer is stale. Detectable only by
+    /// reading twice ([`read_va_stable`](../mc_vmi/index.html)).
+    pub torn_rate: f64,
+    /// Probability a successful read suffers a scheduling latency spike.
+    pub latency_spike_rate: f64,
+    /// Extra simulated nanoseconds charged by one latency spike.
+    pub latency_spike_ns: u64,
+    /// After this many successful reads the VM pauses (e.g. live migration
+    /// brown-out): reads fail transiently with [`HvError::VmPaused`] for
+    /// [`FaultPlan::pause_attempts`] attempts, then resume.
+    pub pause_after_reads: Option<u64>,
+    /// Failed attempts a paused VM stays paused.
+    pub pause_attempts: u32,
+    /// After this many successful reads the VM vanishes (destroyed or
+    /// migrated away): every later access fails with the *fatal*
+    /// [`HvError::VmLost`]. `Some(0)` makes even attach fail.
+    pub lose_after_reads: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder base).
+    pub const fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            paged_out_rate: 0.0,
+            paged_out_attempts: 2,
+            torn_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_ns: 200_000,
+            pause_after_reads: None,
+            pause_attempts: 3,
+            lose_after_reads: None,
+        }
+    }
+
+    /// Transient read faults only, at `rate`.
+    pub const fn transient(seed: u64, rate: f64) -> Self {
+        let mut p = Self::none(seed);
+        p.transient_rate = rate;
+        p
+    }
+
+    /// The kitchen sink at moderate rates: transient faults, paged-out
+    /// pages, torn pages and latency spikes — everything recoverable.
+    pub const fn chaos(seed: u64, rate: f64) -> Self {
+        let mut p = Self::none(seed);
+        p.transient_rate = rate;
+        p.paged_out_rate = rate;
+        p.torn_rate = rate;
+        p.latency_spike_rate = rate;
+        p
+    }
+
+    /// Builder: the VM vanishes after `reads` successful reads.
+    pub const fn lose_after(mut self, reads: u64) -> Self {
+        self.lose_after_reads = Some(reads);
+        self
+    }
+
+    /// Builder: the VM pauses after `reads` successful reads for
+    /// `attempts` failed attempts.
+    pub const fn pause_after(mut self, reads: u64, attempts: u32) -> Self {
+        self.pause_after_reads = Some(reads);
+        self.pause_attempts = attempts;
+        self
+    }
+
+    /// Builder: torn-page rate.
+    pub const fn with_torn_rate(mut self, rate: f64) -> Self {
+        self.torn_rate = rate;
+        self
+    }
+}
+
+/// What the fault layer decided about one read attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultDecision {
+    /// The read proceeds. `torn_byte` asks the caller to corrupt that
+    /// offset of the returned buffer (a stale byte from a concurrent guest
+    /// write); `extra_ns` is latency-spike time to charge on top of the
+    /// normal read cost.
+    Proceed {
+        /// Buffer offset to corrupt, if this read is torn.
+        torn_byte: Option<usize>,
+        /// Latency-spike nanoseconds to charge.
+        extra_ns: u64,
+    },
+    /// The read fails with this error; `extra_ns` is still charged (the
+    /// failed hypercall costs time too).
+    Fail {
+        /// The injected error.
+        error: HvError,
+        /// Latency-spike nanoseconds to charge.
+        extra_ns: u64,
+    },
+}
+
+/// Mutable per-session fault state: a deterministic RNG plus the counters
+/// that drive pause/loss triggers and the paged-out page set.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    vm: VmId,
+    /// Successful reads so far (drives pause/loss triggers).
+    reads_ok: u64,
+    /// Remaining failed attempts while paused; `None` = pause not yet
+    /// triggered or already over.
+    pause_remaining: Option<u32>,
+    pause_done: bool,
+    /// Page number → remaining attempts before it pages back in.
+    paged_out: HashMap<u64, u32>,
+    /// Pages already decided resident (first-touch decision is sticky).
+    decided: HashSet<u64>,
+}
+
+impl FaultState {
+    /// Fault state for one session against `vm` under `plan`. The RNG
+    /// stream depends only on the plan seed and the VM id, so parallel and
+    /// sequential scans observe identical faults.
+    pub fn new(vm: VmId, plan: FaultPlan) -> Self {
+        let mix = plan.seed ^ (u64::from(vm.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultState {
+            plan,
+            rng: StdRng::seed_from_u64(mix),
+            vm,
+            reads_ok: 0,
+            pause_remaining: None,
+            pause_done: false,
+            paged_out: HashMap::new(),
+            decided: HashSet::new(),
+        }
+    }
+
+    /// The plan this state was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Consulted at session attach: a VM lost before its first read cannot
+    /// even be attached to.
+    pub fn on_attach(&self) -> Result<(), HvError> {
+        if self.plan.lose_after_reads == Some(0) {
+            return Err(HvError::VmLost(self.vm));
+        }
+        Ok(())
+    }
+
+    /// Decides the fate of one read attempt of `len` bytes at `va`.
+    /// Deterministic given the session's prior attempt history.
+    pub fn on_read(&mut self, va: u64, len: usize) -> FaultDecision {
+        let extra_ns = if self.plan.latency_spike_rate > 0.0
+            && self.rng.random_bool(self.plan.latency_spike_rate)
+        {
+            self.plan.latency_spike_ns
+        } else {
+            0
+        };
+
+        // Permanent loss dominates everything.
+        if let Some(after) = self.plan.lose_after_reads {
+            if self.reads_ok >= after {
+                return FaultDecision::Fail {
+                    error: HvError::VmLost(self.vm),
+                    extra_ns,
+                };
+            }
+        }
+
+        // Pause window: triggered once, holds for `pause_attempts`
+        // attempts, then the VM resumes.
+        if !self.pause_done {
+            if let Some(after) = self.plan.pause_after_reads {
+                if self.reads_ok >= after {
+                    let remaining = self.pause_remaining.unwrap_or(self.plan.pause_attempts);
+                    if remaining > 0 {
+                        self.pause_remaining = Some(remaining - 1);
+                        return FaultDecision::Fail {
+                            error: HvError::VmPaused(self.vm),
+                            extra_ns,
+                        };
+                    }
+                    self.pause_done = true;
+                }
+            }
+        }
+
+        // Paged-out pages: the first page of the read is subject to a
+        // sticky first-touch decision; an out page costs attempts until the
+        // guest pages it back in.
+        let page = va >> PAGE_SHIFT;
+        if let Some(remaining) = self.paged_out.get_mut(&page) {
+            if *remaining > 0 {
+                *remaining -= 1;
+                return FaultDecision::Fail {
+                    error: HvError::PagedOut { va },
+                    extra_ns,
+                };
+            }
+            self.paged_out.remove(&page);
+        } else if self.plan.paged_out_rate > 0.0
+            && self.decided.insert(page)
+            && self.rng.random_bool(self.plan.paged_out_rate)
+        {
+            self.paged_out
+                .insert(page, self.plan.paged_out_attempts.saturating_sub(1));
+            return FaultDecision::Fail {
+                error: HvError::PagedOut { va },
+                extra_ns,
+            };
+        }
+
+        // Transient hypercall failure.
+        if self.plan.transient_rate > 0.0 && self.rng.random_bool(self.plan.transient_rate) {
+            return FaultDecision::Fail {
+                error: HvError::TransientFault { va },
+                extra_ns,
+            };
+        }
+
+        // Torn page: only bulk reads race guest writes.
+        let torn_byte = if len >= TORN_READ_MIN_BYTES
+            && self.plan.torn_rate > 0.0
+            && self.rng.random_bool(self.plan.torn_rate)
+        {
+            Some(self.rng.random_range(0..len))
+        } else {
+            None
+        };
+
+        self.reads_ok += 1;
+        FaultDecision::Proceed {
+            torn_byte,
+            extra_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(state: &mut FaultState, reads: usize, len: usize) -> Vec<FaultDecision> {
+        (0..reads)
+            .map(|i| state.on_read(0x8000_0000 + (i as u64) * 4096, len))
+            .collect()
+    }
+
+    #[test]
+    fn no_plan_faults_nothing() {
+        let mut s = FaultState::new(VmId(0), FaultPlan::none(1));
+        for d in drain(&mut s, 64, 4096) {
+            assert_eq!(
+                d,
+                FaultDecision::Proceed {
+                    torn_byte: None,
+                    extra_ns: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let plan = FaultPlan::chaos(42, 0.2);
+        let a = drain(&mut FaultState::new(VmId(3), plan), 200, 4096);
+        let b = drain(&mut FaultState::new(VmId(3), plan), 200, 4096);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_vms_get_different_streams() {
+        let plan = FaultPlan::chaos(42, 0.2);
+        let a = drain(&mut FaultState::new(VmId(0), plan), 200, 4096);
+        let b = drain(&mut FaultState::new(VmId(1), plan), 200, 4096);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn transient_faults_appear_at_roughly_the_configured_rate() {
+        let mut s = FaultState::new(VmId(0), FaultPlan::transient(7, 0.25));
+        let faults = drain(&mut s, 1000, 64)
+            .iter()
+            .filter(|d| matches!(d, FaultDecision::Fail { .. }))
+            .count();
+        assert!((150..350).contains(&faults), "got {faults}/1000");
+    }
+
+    #[test]
+    fn loss_is_permanent() {
+        let mut s = FaultState::new(VmId(0), FaultPlan::none(1).lose_after(3));
+        assert!(s.on_attach().is_ok());
+        let mut ok = 0;
+        let mut lost = 0;
+        for d in drain(&mut s, 10, 64) {
+            match d {
+                FaultDecision::Proceed { .. } => ok += 1,
+                FaultDecision::Fail {
+                    error: HvError::VmLost(_),
+                    ..
+                } => lost += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(ok, 3);
+        assert_eq!(lost, 7);
+    }
+
+    #[test]
+    fn loss_at_zero_fails_attach() {
+        let s = FaultState::new(VmId(5), FaultPlan::none(1).lose_after(0));
+        assert!(matches!(s.on_attach(), Err(HvError::VmLost(VmId(5)))));
+    }
+
+    #[test]
+    fn pause_is_a_bounded_window() {
+        let mut s = FaultState::new(VmId(0), FaultPlan::none(1).pause_after(2, 3));
+        let decisions = drain(&mut s, 10, 64);
+        let kinds: Vec<bool> = decisions
+            .iter()
+            .map(|d| matches!(d, FaultDecision::Proceed { .. }))
+            .collect();
+        // 2 ok, 3 paused, then resumed.
+        assert_eq!(
+            kinds,
+            vec![true, true, false, false, false, true, true, true, true, true]
+        );
+        assert!(decisions[2..5].iter().all(|d| matches!(
+            d,
+            FaultDecision::Fail {
+                error: HvError::VmPaused(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn paged_out_page_comes_back() {
+        let mut plan = FaultPlan::none(9);
+        plan.paged_out_rate = 1.0; // every first-touch page is out
+        plan.paged_out_attempts = 2;
+        let mut s = FaultState::new(VmId(0), plan);
+        let va = 0x8000_0000;
+        assert!(matches!(
+            s.on_read(va, 64),
+            FaultDecision::Fail {
+                error: HvError::PagedOut { .. },
+                ..
+            }
+        ));
+        assert!(matches!(s.on_read(va, 64), FaultDecision::Fail { .. }));
+        // Third attempt: paged back in, and the decision is sticky.
+        assert!(matches!(s.on_read(va, 64), FaultDecision::Proceed { .. }));
+        assert!(matches!(s.on_read(va, 64), FaultDecision::Proceed { .. }));
+    }
+
+    #[test]
+    fn torn_reads_only_affect_bulk_reads() {
+        let mut plan = FaultPlan::none(11);
+        plan.torn_rate = 1.0;
+        let mut s = FaultState::new(VmId(0), plan);
+        // Small control read: never torn.
+        match s.on_read(0x8000_0000, 8) {
+            FaultDecision::Proceed { torn_byte, .. } => assert_eq!(torn_byte, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bulk read: torn, with an in-bounds byte offset.
+        match s.on_read(0x8000_0000, 4096) {
+            FaultDecision::Proceed {
+                torn_byte: Some(off),
+                ..
+            } => assert!(off < 4096),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_spikes_charge_extra_time() {
+        let mut plan = FaultPlan::none(13);
+        plan.latency_spike_rate = 1.0;
+        plan.latency_spike_ns = 77;
+        let mut s = FaultState::new(VmId(0), plan);
+        match s.on_read(0x8000_0000, 64) {
+            FaultDecision::Proceed { extra_ns, .. } => assert_eq!(extra_ns, 77),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -34,12 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod mem;
 pub mod paging;
 pub mod simtime;
 pub mod vm;
 
 pub use error::HvError;
+pub use fault::{FaultDecision, FaultPlan, FaultState};
 pub use mem::{GuestPhysMemory, PAGE_SHIFT, PAGE_SIZE};
 pub use paging::AddressSpace;
 pub use simtime::{ContentionModel, CostModel, SimDuration};
@@ -174,6 +176,23 @@ impl Hypervisor {
     /// (ModChecker) work. See [`ContentionModel::slowdown`].
     pub fn dom0_slowdown(&self) -> f64 {
         ContentionModel::new(self.host.virtual_cores).slowdown(self.total_guest_demand())
+    }
+
+    /// Attaches a fault plan to one VM (subsequent introspection sessions
+    /// observe it). Pass `None` to clear.
+    pub fn set_fault_plan(&mut self, id: VmId, plan: Option<FaultPlan>) -> Result<(), HvError> {
+        self.vm_mut(id)?.fault_plan = plan;
+        Ok(())
+    }
+
+    /// Attaches the same fault plan to every VM on the host — the one-line
+    /// chaos switch used by the CLI's `--fault-seed` and the chaos suite.
+    /// Per-VM fault streams still differ (the state mixes the VM id into
+    /// the seed).
+    pub fn inject_fault_plan(&mut self, plan: FaultPlan) {
+        for vm in &mut self.vms {
+            vm.fault_plan = Some(plan);
+        }
     }
 }
 

@@ -45,6 +45,11 @@ pub struct Vm {
     /// True while the VM is paused (introspectors may pause to get a
     /// consistent view; reads work either way).
     pub paused: bool,
+    /// Optional fault model for chaos testing: when set, introspection
+    /// sessions against this VM observe the planned faults (see
+    /// [`crate::fault`]). `None` — the default — reproduces the original
+    /// always-succeeds simulator.
+    pub fault_plan: Option<crate::fault::FaultPlan>,
     snapshots: HashMap<String, Snapshot>,
 }
 
@@ -61,6 +66,7 @@ impl Vm {
             symbols: HashMap::new(),
             cpu_demand: 0.0,
             paused: false,
+            fault_plan: None,
             snapshots: HashMap::new(),
         }
     }

@@ -18,13 +18,24 @@
 //! Processing costs (parsing, hashing, diffing) are charged by the checker
 //! via [`VmiSession::charge_process`], so one ledger carries a whole
 //! per-VM check and can be split per component.
+//!
+//! **Chaos-readiness.** When the introspected VM carries a
+//! [`mc_hypervisor::FaultPlan`], the session transparently rides out
+//! transient faults with a bounded exponential-backoff retry
+//! ([`RetryPolicy`]), every backoff charged to the simulated-time ledger so
+//! the performance figures stay honest. Bulk captures go through
+//! [`VmiSession::read_va_stable`], which detects torn pages by reading
+//! twice. A per-session [deadline](VmiSession::with_deadline) bounds how
+//! much simulated time a misbehaving guest can consume.
 
 #![warn(missing_docs)]
 
 use std::collections::HashSet;
 use std::fmt;
 
-use mc_hypervisor::{AddressWidth, HvError, Hypervisor, SimDuration, Vm, VmId, PAGE_SHIFT};
+use mc_hypervisor::{
+    AddressWidth, FaultDecision, FaultState, HvError, Hypervisor, SimDuration, Vm, VmId, PAGE_SHIFT,
+};
 
 /// Introspection errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +47,29 @@ pub enum VmiError {
     VmNotFound(String),
     /// The requested symbol is not in the VM's profile.
     UnknownSymbol(String),
+    /// A transient fault persisted past the retry budget.
+    RetriesExhausted {
+        /// Virtual address of the failing read.
+        va: u64,
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+        /// The last transient error observed.
+        last: HvError,
+    },
+    /// A bulk read never produced two consecutive identical snapshots
+    /// within the retry budget — the guest is dirtying the page faster
+    /// than we can copy it.
+    TornRead {
+        /// Virtual address of the unstable read.
+        va: u64,
+    },
+    /// The session's simulated-time deadline elapsed before the read.
+    DeadlineExceeded {
+        /// Simulated time consumed by the session so far.
+        elapsed: SimDuration,
+        /// The configured deadline.
+        deadline: SimDuration,
+    },
 }
 
 impl fmt::Display for VmiError {
@@ -44,6 +78,21 @@ impl fmt::Display for VmiError {
             VmiError::Hv(e) => write!(f, "guest access failed: {e}"),
             VmiError::VmNotFound(n) => write!(f, "no VM named {n:?}"),
             VmiError::UnknownSymbol(s) => write!(f, "symbol {s:?} not in profile"),
+            VmiError::RetriesExhausted { va, attempts, last } => {
+                write!(
+                    f,
+                    "read at {va:#x} still failing after {attempts} attempts: {last}"
+                )
+            }
+            VmiError::TornRead { va } => {
+                write!(f, "read at {va:#x} unstable: guest keeps dirtying the page")
+            }
+            VmiError::DeadlineExceeded { elapsed, deadline } => {
+                write!(
+                    f,
+                    "session deadline {deadline} exceeded ({elapsed} consumed)"
+                )
+            }
         }
     }
 }
@@ -63,6 +112,71 @@ impl From<HvError> for VmiError {
     }
 }
 
+impl VmiError {
+    /// True when the error means the VM itself is gone or out of time —
+    /// conditions where continuing the scan on this VM is pointless.
+    pub fn is_fatal_to_vm(&self) -> bool {
+        matches!(
+            self,
+            VmiError::Hv(HvError::VmLost(_))
+                | VmiError::VmNotFound(_)
+                | VmiError::RetriesExhausted { .. }
+                | VmiError::DeadlineExceeded { .. }
+        )
+    }
+}
+
+/// Bounded exponential-backoff retry for transient introspection faults.
+///
+/// Attempt `k` (0-based) that fails transiently waits
+/// `backoff_base * backoff_factor^k` of simulated time before the next
+/// try; after `max_retries` retries the read surfaces
+/// [`VmiError::RetriesExhausted`]. Backoff is charged to the session
+/// ledger *unscaled* by host contention: it models the introspector
+/// sleeping, not competing for CPU.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied per subsequent retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff_base: SimDuration::from_micros(50),
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail-fast policy: no retries, no backoff.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        backoff_base: SimDuration::ZERO,
+        backoff_factor: 1.0,
+    };
+
+    /// A policy with `max_retries` retries and default backoff.
+    pub fn with_max_retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff to wait after failed attempt `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        self.backoff_base
+            .scaled(self.backoff_factor.powi(attempt.min(62) as i32))
+    }
+}
+
 /// Access statistics for one session (used by benches and tests to verify
 /// the page-granular access pattern).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -74,6 +188,12 @@ pub struct VmiStats {
     pub pages_mapped: u64,
     /// Bytes copied out of the guest.
     pub bytes_copied: u64,
+    /// Retry attempts spent riding out transient faults.
+    pub retries: u64,
+    /// Transient faults observed (each consumed a retry or ended the read).
+    pub transient_faults: u64,
+    /// Torn reads detected by [`VmiSession::read_va_stable`]'s double-read.
+    pub torn_detected: u64,
 }
 
 /// An introspection session against one guest VM.
@@ -86,11 +206,21 @@ pub struct VmiSession<'hv> {
     cost: mc_hypervisor::CostModel,
     slowdown: f64,
     elapsed: SimDuration,
+    /// Total simulated time ever charged — unlike `elapsed`, never reset by
+    /// [`VmiSession::take_elapsed`], so the deadline measures the whole
+    /// session even when the checker splits the ledger per component.
+    consumed: SimDuration,
     stats: VmiStats,
     /// Pages already mapped this session (libVMI's page cache). `None`
     /// reproduces the paper's prototype, which pays the foreign-map cost on
     /// every access (ablation ABL-5 measures the difference).
     page_cache: Option<HashSet<u64>>,
+    /// Injected-fault state, present iff the VM carries a fault plan. The
+    /// state lives in the session (not the shared `Vm`), keeping parallel
+    /// scans data-race free and deterministic per (seed, VM id).
+    fault: Option<FaultState>,
+    retry: RetryPolicy,
+    deadline: Option<SimDuration>,
 }
 
 impl fmt::Debug for VmiSession<'_> {
@@ -99,24 +229,41 @@ impl fmt::Debug for VmiSession<'_> {
             .field("vm", &self.vm.name)
             .field("slowdown", &self.slowdown)
             .field("elapsed", &self.elapsed)
+            .field("consumed", &self.consumed)
             .field("stats", &self.stats)
             .field("page_cache", &self.page_cache.as_ref().map(HashSet::len))
+            .field("faulty", &self.fault.is_some())
+            .field("retry", &self.retry)
+            .field("deadline", &self.deadline)
             .finish()
     }
 }
 
 impl<'hv> VmiSession<'hv> {
-    /// Attaches to a VM by id. Charges the attach cost.
+    /// Attaches to a VM by id. Charges the attach cost. Fails with
+    /// [`HvError::VmLost`] if the VM's fault plan lost it before any read.
     pub fn attach(hv: &'hv Hypervisor, id: VmId) -> Result<Self, VmiError> {
         let vm = hv.vm(id)?;
+        let fault = match vm.fault_plan {
+            Some(plan) => {
+                let state = FaultState::new(id, plan);
+                state.on_attach()?;
+                Some(state)
+            }
+            None => None,
+        };
         let slowdown = hv.dom0_slowdown();
         let mut s = VmiSession {
             vm,
             cost: hv.cost,
             slowdown,
             elapsed: SimDuration::ZERO,
+            consumed: SimDuration::ZERO,
             stats: VmiStats::default(),
             page_cache: None,
+            fault,
+            retry: RetryPolicy::default(),
+            deadline: None,
         };
         s.charge(SimDuration::from_nanos(s.cost.vmi_attach_ns));
         Ok(s)
@@ -128,6 +275,23 @@ impl<'hv> VmiSession<'hv> {
     /// `--enable-address-cache`; the paper's prototype runs uncached.
     pub fn with_page_cache(mut self) -> Self {
         self.page_cache = Some(HashSet::new());
+        self
+    }
+
+    /// Sets the retry policy for transient faults (default:
+    /// [`RetryPolicy::default`]; [`RetryPolicy::NONE`] fails fast).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Bounds the *total* simulated time this session may consume. Once
+    /// exceeded, every further read fails with
+    /// [`VmiError::DeadlineExceeded`]. The budget survives
+    /// [`VmiSession::take_elapsed`] — it measures the session, not one
+    /// ledger split.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -167,7 +331,65 @@ impl<'hv> VmiSession<'hv> {
 
     /// Reads guest-virtual memory into `buf`, charging per-page map +
     /// per-byte copy costs (libVMI's `vmi_read_va`).
+    ///
+    /// Transient injected faults ([`HvError::is_transient`]) are retried up
+    /// to the session's [`RetryPolicy`], each retry charging its
+    /// exponential backoff to the ledger; persistent transience surfaces
+    /// as [`VmiError::RetriesExhausted`]. Fatal faults
+    /// ([`HvError::VmLost`]) and structural errors (unmapped VAs) are
+    /// never retried.
     pub fn read_va(&mut self, va: u64, buf: &mut [u8]) -> Result<(), VmiError> {
+        let mut attempt: u32 = 0;
+        loop {
+            self.check_deadline()?;
+            match self.read_va_attempt(va, buf) {
+                Ok(()) => return Ok(()),
+                Err(VmiError::Hv(e)) if e.is_transient() => {
+                    self.stats.transient_faults += 1;
+                    if attempt >= self.retry.max_retries {
+                        return Err(VmiError::RetriesExhausted {
+                            va,
+                            attempts: attempt + 1,
+                            last: e,
+                        });
+                    }
+                    // Backoff models a sleep, not contended CPU work: flat.
+                    self.charge_flat(self.retry.backoff(attempt));
+                    self.stats.retries += 1;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One read attempt: consults the fault layer, then performs and
+    /// charges the read. Failed attempts charge one page-map worth of time
+    /// (the failed hypercall) but never touch the page cache or the
+    /// byte/page statistics, so the performance figures count only useful
+    /// work.
+    fn read_va_attempt(&mut self, va: u64, buf: &mut [u8]) -> Result<(), VmiError> {
+        let decision = match &mut self.fault {
+            Some(state) => state.on_read(va, buf.len()),
+            None => FaultDecision::Proceed {
+                torn_byte: None,
+                extra_ns: 0,
+            },
+        };
+        let torn_byte = match decision {
+            FaultDecision::Fail { error, extra_ns } => {
+                self.charge(self.cost.read_cost(1, 0));
+                self.charge_flat(SimDuration::from_nanos(extra_ns));
+                return Err(error.into());
+            }
+            FaultDecision::Proceed {
+                torn_byte,
+                extra_ns,
+            } => {
+                self.charge_flat(SimDuration::from_nanos(extra_ns));
+                torn_byte
+            }
+        };
         let pages = Vm::pages_crossed(va, buf.len() as u64);
         // With the cache enabled, only first-touch pages pay the map cost.
         let chargeable_pages = match &mut self.page_cache {
@@ -182,7 +404,43 @@ impl<'hv> VmiSession<'hv> {
         self.stats.bytes_copied += buf.len() as u64;
         self.charge(self.cost.read_cost(chargeable_pages, buf.len() as u64));
         self.vm.read_virt(va, buf)?;
+        if let Some(off) = torn_byte {
+            // A concurrent guest write landed mid-copy: one byte of the
+            // returned buffer is stale. Silent by design — only
+            // `read_va_stable`'s double-read can notice.
+            buf[off] ^= 0xFF;
+        }
         Ok(())
+    }
+
+    /// Reads guest memory like [`VmiSession::read_va`], then verifies the
+    /// snapshot is *stable* — two consecutive reads agree — before
+    /// returning it. This is how a real introspector defends against torn
+    /// pages (the guest dirtying memory between the copy's page visits).
+    ///
+    /// On a VM without a fault plan the verification read is skipped and
+    /// nothing extra is charged: the simulator's read-only borrow proves
+    /// guest memory cannot change under the scan, and skipping keeps the
+    /// baseline Fig. 7/8 cost ledger identical to the fault-free build.
+    ///
+    /// If no two consecutive snapshots agree within the retry budget the
+    /// read fails with [`VmiError::TornRead`]. Each detected tear bumps
+    /// [`VmiStats::torn_detected`].
+    pub fn read_va_stable(&mut self, va: u64, buf: &mut [u8]) -> Result<(), VmiError> {
+        self.read_va(va, buf)?;
+        if self.fault.is_none() {
+            return Ok(());
+        }
+        let mut check = vec![0u8; buf.len()];
+        for _ in 0..=self.retry.max_retries {
+            self.read_va(va, &mut check)?;
+            if check == *buf {
+                return Ok(());
+            }
+            self.stats.torn_detected += 1;
+            buf.copy_from_slice(&check);
+        }
+        Err(VmiError::TornRead { va })
     }
 
     /// Reads a guest pointer (4/8 bytes by width).
@@ -241,8 +499,38 @@ impl<'hv> VmiSession<'hv> {
         self.stats
     }
 
+    /// Total simulated time charged over the session's whole lifetime
+    /// (never reset by [`VmiSession::take_elapsed`]).
+    pub fn consumed(&self) -> SimDuration {
+        self.consumed
+    }
+
+    /// The session's retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    fn check_deadline(&self) -> Result<(), VmiError> {
+        match self.deadline {
+            Some(deadline) if self.consumed > deadline => Err(VmiError::DeadlineExceeded {
+                elapsed: self.consumed,
+                deadline,
+            }),
+            _ => Ok(()),
+        }
+    }
+
     fn charge(&mut self, base: SimDuration) {
-        self.elapsed += base.scaled(self.slowdown);
+        let scaled = base.scaled(self.slowdown);
+        self.elapsed += scaled;
+        self.consumed += scaled;
+    }
+
+    /// Charges simulated time unscaled by host contention (sleeps and
+    /// scheduler-induced delays happen in wall time regardless of load).
+    fn charge_flat(&mut self, d: SimDuration) {
+        self.elapsed += d;
+        self.consumed += d;
     }
 }
 
@@ -402,5 +690,222 @@ mod tests {
             VmiSession::attach_by_name(&hv, "nope"),
             Err(VmiError::VmNotFound(_))
         ));
+    }
+
+    use mc_hypervisor::FaultPlan;
+
+    fn faulty_host(plan: FaultPlan) -> (Hypervisor, VmId) {
+        let (mut hv, id) = host_with_vm();
+        hv.set_fault_plan(id, Some(plan)).unwrap();
+        (hv, id)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_transparently() {
+        let (hv, id) = faulty_host(FaultPlan::transient(21, 0.3));
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = [0u8; 13];
+        for _ in 0..50 {
+            s.read_va(0x8000_0000, &mut buf).unwrap();
+            assert_eq!(&buf, b"introspect me");
+        }
+        let st = s.stats();
+        assert!(st.transient_faults > 0, "plan injected nothing");
+        assert_eq!(st.retries, st.transient_faults, "every fault was retried");
+        assert_eq!(st.reads, 50, "failed attempts don't count as reads");
+    }
+
+    #[test]
+    fn retry_backoff_is_charged_to_the_ledger() {
+        let (hv, id) = faulty_host(FaultPlan::transient(21, 0.3));
+        let mut faulty = VmiSession::attach(&hv, id).unwrap();
+        let mut clean = VmiSession::attach(&hv, id).unwrap();
+        clean.fault = None; // same host/slowdown, no faults
+        let mut buf = [0u8; 64];
+        for _ in 0..50 {
+            faulty.read_va(0x8000_0000, &mut buf).unwrap();
+            clean.read_va(0x8000_0000, &mut buf).unwrap();
+        }
+        assert!(
+            faulty.elapsed() > clean.elapsed(),
+            "retries cost time: faulty {} vs clean {}",
+            faulty.elapsed(),
+            clean.elapsed()
+        );
+    }
+
+    #[test]
+    fn persistent_transience_exhausts_retries() {
+        let (hv, id) = faulty_host(FaultPlan::transient(3, 1.0));
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = [0u8; 8];
+        match s.read_va(0x8000_0000, &mut buf) {
+            Err(VmiError::RetriesExhausted { attempts, last, .. }) => {
+                assert_eq!(attempts, RetryPolicy::default().max_retries + 1);
+                assert!(last.is_transient());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(s.stats().retries == u64::from(RetryPolicy::default().max_retries));
+    }
+
+    #[test]
+    fn fail_fast_policy_does_not_retry() {
+        let (hv, id) = faulty_host(FaultPlan::transient(3, 1.0));
+        let mut s = VmiSession::attach(&hv, id)
+            .unwrap()
+            .with_retry(RetryPolicy::NONE);
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            s.read_va(0x8000_0000, &mut buf),
+            Err(VmiError::RetriesExhausted { attempts: 1, .. })
+        ));
+        assert_eq!(s.stats().retries, 0);
+    }
+
+    #[test]
+    fn vm_loss_is_fatal_not_retried() {
+        let (hv, id) = faulty_host(FaultPlan::none(1).lose_after(2));
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = [0u8; 8];
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        let err = s.read_va(0x8000_0000, &mut buf).unwrap_err();
+        assert!(matches!(err, VmiError::Hv(HvError::VmLost(_))));
+        assert!(err.is_fatal_to_vm());
+        assert_eq!(s.stats().retries, 0, "loss must not burn the retry budget");
+    }
+
+    #[test]
+    fn vm_lost_before_first_read_fails_attach() {
+        let (hv, id) = faulty_host(FaultPlan::none(1).lose_after(0));
+        assert!(matches!(
+            VmiSession::attach(&hv, id),
+            Err(VmiError::Hv(HvError::VmLost(_)))
+        ));
+    }
+
+    #[test]
+    fn paused_vm_rides_out_within_retry_budget() {
+        // Pause window (3 attempts) < default retry budget (4), so the
+        // read after the pause trigger succeeds transparently.
+        let (hv, id) = faulty_host(FaultPlan::none(1).pause_after(1, 3));
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = [0u8; 13];
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        assert_eq!(&buf, b"introspect me");
+        assert_eq!(s.stats().retries, 3);
+    }
+
+    #[test]
+    fn deadline_bounds_the_session() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id)
+            .unwrap()
+            .with_deadline(s_attach_cost(&hv));
+        let mut buf = [0u8; 8];
+        s.read_va(0x8000_0000, &mut buf).unwrap(); // pushes past the budget
+        assert!(matches!(
+            s.read_va(0x8000_0000, &mut buf),
+            Err(VmiError::DeadlineExceeded { .. })
+        ));
+    }
+
+    /// Roughly the attach cost on an otherwise idle host.
+    fn s_attach_cost(hv: &Hypervisor) -> SimDuration {
+        SimDuration::from_nanos(hv.cost.vmi_attach_ns).scaled(hv.dom0_slowdown() + 0.01)
+    }
+
+    #[test]
+    fn deadline_survives_ledger_splits() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id)
+            .unwrap()
+            .with_deadline(s_attach_cost(&hv));
+        let mut buf = [0u8; 8];
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        s.take_elapsed(); // resets `elapsed`, must not reset the budget
+        assert!(matches!(
+            s.read_va(0x8000_0000, &mut buf),
+            Err(VmiError::DeadlineExceeded { .. })
+        ));
+        assert!(s.consumed() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stable_read_recovers_the_true_bytes_under_torn_pages() {
+        let (mut hv, id) = host_with_vm();
+        let truth: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        hv.vm_mut(id)
+            .unwrap()
+            .write_virt(0x8000_1000, &truth)
+            .unwrap();
+        hv.set_fault_plan(id, Some(FaultPlan::none(5).with_torn_rate(0.4)))
+            .unwrap();
+        let mut s = VmiSession::attach(&hv, id)
+            .unwrap()
+            .with_retry(RetryPolicy::with_max_retries(16));
+        let mut tears = 0;
+        for _ in 0..30 {
+            let mut buf = vec![0u8; 4096];
+            s.read_va_stable(0x8000_1000, &mut buf).unwrap();
+            assert_eq!(buf, truth, "stable read returned torn bytes");
+            tears = s.stats().torn_detected;
+        }
+        assert!(
+            tears > 0,
+            "seed 5 @ 40% should tear at least once in 30 reads"
+        );
+    }
+
+    #[test]
+    fn hopelessly_torn_page_is_a_typed_error() {
+        let (hv, id) = faulty_host(FaultPlan::none(7).with_torn_rate(1.0));
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = vec![0u8; 4096];
+        // Every read corrupts a random byte; two snapshots agreeing would
+        // need the same offset twice in a row — seed 7 never does.
+        assert!(matches!(
+            s.read_va_stable(0x8000_0000, &mut buf),
+            Err(VmiError::TornRead { .. })
+        ));
+        assert!(s.stats().torn_detected > 0);
+    }
+
+    #[test]
+    fn small_reads_are_never_torn() {
+        let (hv, id) = faulty_host(FaultPlan::none(7).with_torn_rate(1.0));
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = [0u8; 13];
+        s.read_va_stable(0x8000_0000, &mut buf).unwrap();
+        assert_eq!(&buf, b"introspect me");
+    }
+
+    #[test]
+    fn stable_read_is_free_without_a_fault_plan() {
+        let (hv, id) = host_with_vm();
+        let mut plain = VmiSession::attach(&hv, id).unwrap();
+        let mut stable = VmiSession::attach(&hv, id).unwrap();
+        let mut a = vec![0u8; 4096];
+        let mut b = vec![0u8; 4096];
+        plain.read_va(0x8000_0000, &mut a).unwrap();
+        stable.read_va_stable(0x8000_0000, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            plain.elapsed(),
+            stable.elapsed(),
+            "verification read must not distort the baseline figures"
+        );
+        assert_eq!(plain.stats(), stable.stats());
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), SimDuration::from_micros(50));
+        assert_eq!(p.backoff(1), SimDuration::from_micros(100));
+        assert_eq!(p.backoff(3), SimDuration::from_micros(400));
+        assert_eq!(RetryPolicy::NONE.backoff(0), SimDuration::ZERO);
     }
 }

@@ -10,7 +10,9 @@
 //! ```
 
 use crossbeam::channel::unbounded;
-use modchecker::{remediate, ContinuousMonitor, MonitorConfig, MonitorEvent, ScanMode};
+use modchecker::{
+    remediate, CheckConfig, ContinuousMonitor, MonitorConfig, MonitorEvent, ScanMode,
+};
 use modchecker_repro::testbed::Testbed;
 
 fn main() {
@@ -32,9 +34,13 @@ fn main() {
         )
         .unwrap();
 
-    let monitor = ContinuousMonitor::new(MonitorConfig {
+    let mut monitor = ContinuousMonitor::new(MonitorConfig {
         modules: vec!["hal.dll".into(), "http.sys".into(), "dummy.sys".into()],
-        mode: ScanMode::Parallel,
+        check: CheckConfig {
+            mode: ScanMode::Parallel,
+            ..CheckConfig::default()
+        },
+        ..MonitorConfig::default()
     });
 
     let (tx, rx) = unbounded();
@@ -44,7 +50,7 @@ fn main() {
 
     crossbeam::scope(|s| {
         let sender = tx.clone();
-        let m = &monitor;
+        let m = &mut monitor;
         s.spawn(move |_| m.run(hv, &ids, 2, &sender));
         drop(tx);
 
@@ -64,6 +70,18 @@ fn main() {
                 MonitorEvent::Failed { round, module, error } => {
                     println!("round {round}: {module:<12} check failed: {error}");
                 }
+                MonitorEvent::Degraded { round, module, report } => {
+                    println!(
+                        "round {round}: {module:<12} degraded ({} quorum)",
+                        report.quorum
+                    );
+                }
+                MonitorEvent::VmQuarantined { round, vm_name, .. } => {
+                    println!("round {round}: circuit breaker quarantined {vm_name}");
+                }
+                MonitorEvent::VmRestored { round, vm_name } => {
+                    println!("round {round}: re-probing {vm_name}");
+                }
             }
         }
     })
@@ -76,7 +94,7 @@ fn main() {
 
     let verify = ContinuousMonitor::new(MonitorConfig {
         modules: vec![module],
-        mode: ScanMode::Sequential,
+        ..MonitorConfig::default()
     });
     let round = verify.run_round(&bed.hv, &bed.vm_ids);
     let all_clean = round.iter().all(|(_, r)| r.as_ref().unwrap().all_clean());

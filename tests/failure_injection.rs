@@ -1,9 +1,11 @@
-//! Failure injection: hostile guests must degrade into typed errors and
-//! report-level discrepancies, never panics or hangs.
+//! Failure injection: hostile guests and faulty introspection must degrade
+//! into typed errors and report-level discrepancies, never panics or hangs.
 
-use mc_hypervisor::{AddressWidth, PAGE_SIZE};
+use mc_hypervisor::{AddressWidth, FaultPlan, PAGE_SIZE};
 use mc_pe::corpus::ModuleBlueprint;
-use modchecker::{CheckError, ModChecker};
+use modchecker::{
+    CheckConfig, CheckError, ModChecker, QuorumStatus, RetryPolicy, VerdictErrorKind, VerdictStatus,
+};
 use modchecker_repro::testbed::Testbed;
 
 fn bed(n: usize) -> Testbed {
@@ -30,14 +32,19 @@ fn dkom_hidden_module_is_a_failed_comparison_and_discrepancy() {
     assert_eq!(report.errors.len(), 1);
     assert!(report.clean, "3 of 4 still a majority");
 
-    // ...and the pool check flags it with the error attached.
+    // ...and the pool check flags it with the typed error attached: a
+    // module that *should* be loaded but isn't is an integrity signal,
+    // not an availability problem.
     let pool = ModChecker::new()
         .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
         .unwrap();
     assert!(pool.any_discrepancy());
     let hidden = pool.verdicts.iter().find(|v| v.vm_name == "dom3").unwrap();
     assert!(!hidden.clean);
-    assert!(hidden.error.as_deref().unwrap_or("").contains("not loaded"));
+    assert_eq!(hidden.status, VerdictStatus::Suspect);
+    let err = hidden.error.as_ref().unwrap();
+    assert_eq!(err.kind, VerdictErrorKind::ModuleNotFound);
+    assert!(!err.kind.is_unscannable());
 }
 
 #[test]
@@ -60,11 +67,9 @@ fn smashed_pe_header_is_flagged_not_fatal() {
         .unwrap();
     let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom2").unwrap();
     assert!(!bad.clean);
-    assert!(bad
-        .error
-        .as_deref()
-        .unwrap_or("")
-        .contains("not a valid PE"));
+    let err = bad.error.as_ref().unwrap();
+    assert_eq!(err.kind, VerdictErrorKind::CaptureFailed);
+    assert!(err.detail.contains("not a valid PE"));
     // Everyone else remains clean.
     assert!(pool
         .verdicts
@@ -89,7 +94,10 @@ fn unmapped_module_page_is_flagged_not_fatal() {
         .unwrap();
     let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom4").unwrap();
     assert!(!bad.clean);
-    assert!(bad.error.is_some());
+    assert_eq!(
+        bad.error.as_ref().unwrap().kind,
+        VerdictErrorKind::CaptureFailed
+    );
 }
 
 #[test]
@@ -107,7 +115,9 @@ fn cyclic_module_list_is_flagged_not_hung() {
         .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
         .unwrap();
     let bad = pool.verdicts.iter().find(|v| v.vm_name == "dom2").unwrap();
-    assert!(bad.error.as_deref().unwrap_or("").contains("corrupt"));
+    let err = bad.error.as_ref().unwrap();
+    assert_eq!(err.kind, VerdictErrorKind::CaptureFailed);
+    assert!(err.detail.contains("corrupt"));
 }
 
 #[test]
@@ -149,4 +159,119 @@ fn whole_pool_unreadable_module_errors_cleanly() {
     assert!(pool.any_discrepancy());
     assert!(pool.verdicts.iter().all(|v| v.error.is_some()));
     assert!(pool.matrix.is_empty(), "no comparable captures at all");
+    assert_eq!(pool.scanned, 0);
+    assert_eq!(pool.quorum, QuorumStatus::Lost);
+}
+
+#[test]
+fn peer_lost_mid_scan_drops_out_of_the_vote() {
+    let mut bed = bed(5);
+    // dom4 answers its first few reads, then the VM disappears: the
+    // capture dies partway through and the peer must be excluded from the
+    // vote — an unreachable VM says nothing about the reference module.
+    bed.hv
+        .set_fault_plan(bed.vm_ids[3], Some(FaultPlan::none(11).lose_after(5)))
+        .unwrap();
+    let report = ModChecker::new()
+        .check_one(&bed.hv, bed.vm_ids[0], &bed.peers_of(0), "hal.dll")
+        .unwrap();
+    assert!(report.clean, "3 surviving peers all match");
+    assert_eq!(report.successes, 3);
+    assert_eq!(report.comparisons, 3, "the lost peer is not a failed vote");
+    assert_eq!(report.scanned, 4);
+    assert_eq!(report.quorum, QuorumStatus::Degraded);
+    assert_eq!(report.errors.len(), 1);
+    let (name, err) = &report.errors[0];
+    assert_eq!(name, "dom4");
+    assert_eq!(err.kind, VerdictErrorKind::VmUnreachable);
+    assert!(err.kind.is_unscannable());
+}
+
+#[test]
+fn reference_vm_lost_mid_scan_is_an_error() {
+    let mut bed = bed(4);
+    bed.hv
+        .set_fault_plan(bed.vm_ids[0], Some(FaultPlan::none(11).lose_after(5)))
+        .unwrap();
+    let result = ModChecker::new().check_one(&bed.hv, bed.vm_ids[0], &bed.peers_of(0), "hal.dll");
+    assert!(matches!(result, Err(CheckError::Vmi(_))));
+}
+
+#[test]
+fn paged_out_pages_are_ridden_out_by_retries() {
+    let mut bed = bed(5);
+    // Every VM sees 20% of first-touched pages "paged out" for 2 attempts
+    // — exactly the transient shape a real guest under memory pressure
+    // shows. The default 4-retry budget rides it out; nobody is flagged.
+    let plan = FaultPlan {
+        paged_out_rate: 0.2,
+        paged_out_attempts: 2,
+        ..FaultPlan::none(23)
+    };
+    bed.hv.inject_fault_plan(plan);
+    let (lists, reports) = ModChecker::new()
+        .check_all_modules(&bed.hv, &bed.vm_ids)
+        .unwrap();
+    assert!(lists.consistent());
+    assert_eq!(reports.len(), 2);
+    for (module, report) in &reports {
+        assert!(report.all_clean(), "{module} flagged under paged-out churn");
+        assert_eq!(report.quorum, QuorumStatus::Full, "{module}");
+    }
+}
+
+#[test]
+fn paged_out_without_retries_degrades_not_panics() {
+    let mut bed = bed(5);
+    let plan = FaultPlan {
+        paged_out_rate: 0.2,
+        paged_out_attempts: 2,
+        ..FaultPlan::none(23)
+    };
+    bed.hv.inject_fault_plan(plan);
+    let checker = ModChecker::with_config(CheckConfig {
+        retry: RetryPolicy::NONE,
+        ..CheckConfig::default()
+    });
+    let report = checker.check_pool(&bed.hv, &bed.vm_ids, "hal.dll").unwrap();
+    // Fail-fast capture gives up on the first paged-out page; those VMs
+    // leave the vote as unscannable and the survivors (if any) still get
+    // verdicts. Either way: a report, not a panic.
+    for v in &report.verdicts {
+        match (&v.status, &v.error) {
+            (VerdictStatus::Unscannable, Some(e)) => {
+                assert_eq!(e.kind, VerdictErrorKind::VmUnreachable);
+            }
+            // A captured VM marked unscannable only happens when the pool
+            // as a whole fell below quorum.
+            (VerdictStatus::Unscannable, None) => {
+                assert_eq!(report.quorum, QuorumStatus::Lost);
+            }
+            (_, err) => assert!(err.is_none()),
+        }
+    }
+    if report.quorum == QuorumStatus::Lost {
+        assert!(report.scanned < 2);
+    } else {
+        assert_eq!(
+            report.scanned,
+            report.verdicts.len() - report.unscannable().count()
+        );
+    }
+}
+
+#[test]
+fn same_fault_seed_yields_byte_identical_reports() {
+    let run = || {
+        let mut bed = bed(6);
+        bed.guests[2]
+            .patch_module(&mut bed.hv, "hal.dll", 0x1003, &[0xCC])
+            .unwrap();
+        bed.hv.inject_fault_plan(FaultPlan::chaos(99, 0.04));
+        let report = ModChecker::new()
+            .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+            .unwrap();
+        serde_json::to_string_pretty(&report.to_json()).unwrap()
+    };
+    assert_eq!(run(), run(), "same seed must reproduce the exact report");
 }

@@ -3,9 +3,12 @@
 
 use crossbeam::channel::unbounded;
 use mc_attacks::{worm, Technique};
-use mc_hypervisor::AddressWidth;
+use mc_hypervisor::{AddressWidth, FaultPlan};
 use mc_pe::corpus::ModuleBlueprint;
-use modchecker::{remediate, ContinuousMonitor, ModChecker, MonitorConfig, MonitorEvent, ScanMode};
+use modchecker::{
+    remediate, CheckConfig, ContinuousMonitor, HealthPolicy, ModChecker, MonitorConfig,
+    MonitorEvent, ScanMode,
+};
 use modchecker_repro::testbed::Testbed;
 
 fn blueprints() -> Vec<ModuleBlueprint> {
@@ -39,7 +42,7 @@ fn detect_remediate_verify_cycle() {
 
     let monitor = ContinuousMonitor::new(MonitorConfig {
         modules: vec!["hal.dll".into(), "tcpip.sys".into()],
-        mode: ScanMode::Sequential,
+        ..MonitorConfig::default()
     });
 
     let round = monitor.run_round(&bed.hv, &bed.vm_ids);
@@ -72,9 +75,13 @@ fn threaded_monitor_streams_events() {
         .patch_module(&mut bed.hv, "hal.dll", 0x1002, &[0x90])
         .unwrap();
 
-    let monitor = ContinuousMonitor::new(MonitorConfig {
+    let mut monitor = ContinuousMonitor::new(MonitorConfig {
         modules: vec!["hal.dll".into(), "tcpip.sys".into()],
-        mode: ScanMode::Parallel,
+        check: CheckConfig {
+            mode: ScanMode::Parallel,
+            ..CheckConfig::default()
+        },
+        ..MonitorConfig::default()
     });
     let (tx, rx) = unbounded();
     let hv = &bed.hv;
@@ -95,13 +102,55 @@ fn threaded_monitor_streams_events() {
                     assert_eq!(module, "tcpip.sys");
                     cleans += 1;
                 }
-                MonitorEvent::Failed { error, .. } => panic!("unexpected failure: {error}"),
+                other => panic!("unexpected event: {other:?}"),
             }
         }
         assert_eq!(discrepancies, 3);
         assert_eq!(cleans, 3);
     })
     .unwrap();
+}
+
+#[test]
+fn dead_vm_degrades_rounds_then_trips_the_breaker() {
+    let mut bed = Testbed::cloud_with(5, AddressWidth::W32, &blueprints());
+    // dom5 disappears for good after its first few reads.
+    bed.hv
+        .set_fault_plan(bed.vm_ids[4], Some(FaultPlan::none(3).lose_after(2)))
+        .unwrap();
+
+    let mut monitor = ContinuousMonitor::new(MonitorConfig {
+        modules: vec!["hal.dll".into()],
+        health: HealthPolicy {
+            failure_threshold: 2,
+            cooldown_rounds: 3,
+        },
+        ..MonitorConfig::default()
+    });
+    let (tx, rx) = unbounded();
+    monitor.run(&bed.hv, &bed.vm_ids, 4, &tx);
+    drop(tx);
+    let events: Vec<MonitorEvent> = rx.iter().collect();
+
+    // Rounds 0-1 degrade (dom5 unscannable, survivors still vote clean);
+    // the breaker trips at round 1 and rounds 2-3 run clean without dom5.
+    let degraded = events
+        .iter()
+        .filter(|e| matches!(e, MonitorEvent::Degraded { .. }))
+        .count();
+    let clean = events
+        .iter()
+        .filter(|e| matches!(e, MonitorEvent::Clean { .. }))
+        .count();
+    assert_eq!((degraded, clean), (2, 2));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        MonitorEvent::VmQuarantined { vm_name, consecutive_failures: 2, .. } if vm_name == "dom5"
+    )));
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, MonitorEvent::Discrepancy { .. })));
+    assert_eq!(monitor.quarantined(), vec![bed.vm_ids[4]]);
 }
 
 #[test]
