@@ -10,6 +10,7 @@
 #   4. cargo test -q         — the tier-1 test suite (root crate + deps)
 #   5. cargo test --workspace -q — every crate's unit tests
 #   6. chaos suite           — fault-injection gate (pinned seeds)
+#   7. fig_scale --smoke     — comparison-scaling gate (writes BENCH_scan.json)
 set -eu
 
 cd "$(dirname "$0")"
@@ -35,5 +36,12 @@ cargo test --workspace -q
 # deterministic and cheap.
 echo "==> chaos suite (pinned seeds, bounded cases)"
 cargo test -q --test chaos
+
+# Scaling gate: the canonical comparison path must stay sub-quadratic and
+# undercut the pairwise matrix by >= 4x at the top of the sweep. The smoke
+# sweep stops at t=16; the binary asserts both bounds itself and emits the
+# measured series as BENCH_scan.json at the repo root.
+echo "==> fig_scale --smoke (comparison scaling gate)"
+cargo run --release -q -p mc-bench --bin fig_scale -- --smoke --out BENCH_scan.json
 
 echo "ci: all green"

@@ -1,0 +1,167 @@
+//! FIG-SCALE — checker-time scaling of the two comparison strategies.
+//!
+//! Sweeps the pool size t over {2, 4, 8, 16, 32, 64} (smoke mode stops at
+//! 16) on a clean single-module cloud and runs the same scan twice per
+//! point: once with the paper's pairwise Algorithm 2 matrix (O(t²) pairs)
+//! and once with the canonical-form path (each capture normalized against
+//! its own load base once, majority by digest bucket — O(t)).
+//!
+//! Shape claims verified:
+//! * at the largest swept t the canonical checker time is at most 1/4 of
+//!   the pairwise checker time;
+//! * canonical checker time grows sub-quadratically — doubling t must
+//!   less-than-triple the checker time at every step (a quadratic curve
+//!   approaches 4× per doubling; the canonical path sits near 2×);
+//! * both strategies return identical verdicts at every point.
+//!
+//! Emits the sweep as `BENCH_scan.json` (`--out <PATH>` overrides) for
+//! downstream tooling, alongside the usual CSV block.
+
+use mc_bench::print_csv;
+use mc_hypervisor::AddressWidth;
+use mc_pe::corpus::ModuleBlueprint;
+use modchecker::{CheckConfig, CompareStrategy, ModChecker, PoolCheckReport};
+use modchecker_repro::testbed::Testbed;
+
+struct Row {
+    t: usize,
+    pairwise_checker_ms: f64,
+    canonical_checker_ms: f64,
+    pairwise_total_ms: f64,
+    canonical_total_ms: f64,
+    speedup: f64,
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{},{:.3},{:.3},{:.3},{:.3},{:.2}",
+            self.t,
+            self.pairwise_checker_ms,
+            self.canonical_checker_ms,
+            self.pairwise_total_ms,
+            self.canonical_total_ms,
+            self.speedup
+        )
+    }
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_str(key: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn scan(bed: &Testbed, t: usize, compare: CompareStrategy, module: &str) -> PoolCheckReport {
+    let checker = ModChecker::with_config(CheckConfig {
+        compare,
+        ..CheckConfig::default()
+    });
+    checker
+        .check_pool(&bed.hv, &bed.vm_ids[..t], module)
+        .expect("clean pool scan")
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let out = arg_str("--out", "BENCH_scan.json");
+    let module = "hal.dll";
+    let sweep: &[usize] = if smoke {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
+    let max_t = *sweep.last().expect("sweep nonempty");
+
+    // One clean cloud, one 16 KiB module per VM; each point slices a
+    // prefix so every t sees identical guests.
+    let blueprint = ModuleBlueprint::new(module, AddressWidth::W32, 16 * 1024);
+    let bed = Testbed::cloud_with(max_t, AddressWidth::W32, std::slice::from_ref(&blueprint));
+
+    let mut rows = Vec::new();
+    for &t in sweep {
+        let pairwise = scan(&bed, t, CompareStrategy::Pairwise, module);
+        let canonical = scan(&bed, t, CompareStrategy::Canonical, module);
+        assert!(pairwise.all_clean(), "pairwise scan flagged a clean pool");
+        assert!(canonical.all_clean(), "canonical scan flagged a clean pool");
+        for (p, c) in pairwise.verdicts.iter().zip(&canonical.verdicts) {
+            assert_eq!(p.status, c.status, "strategies disagree at t={t}");
+            assert_eq!(
+                p.successes, c.successes,
+                "vote counts disagree at t={t} for {}",
+                p.vm_name
+            );
+        }
+        let pc = pairwise.times.checker.as_millis_f64();
+        let cc = canonical.times.checker.as_millis_f64();
+        rows.push(Row {
+            t,
+            pairwise_checker_ms: pc,
+            canonical_checker_ms: cc,
+            pairwise_total_ms: pairwise.times.total().as_millis_f64(),
+            canonical_total_ms: canonical.times.total().as_millis_f64(),
+            speedup: pc / cc,
+        });
+    }
+
+    print_csv(
+        "fig_scale",
+        "vms,pairwise_checker_ms,canonical_checker_ms,pairwise_total_ms,canonical_total_ms,speedup",
+        &rows,
+    );
+
+    let json = serde_json::json!({
+        "figure": "fig_scale",
+        "module": module,
+        "smoke": smoke,
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "vms": r.t,
+            "pairwise_checker_ms": r.pairwise_checker_ms,
+            "canonical_checker_ms": r.canonical_checker_ms,
+            "pairwise_total_ms": r.pairwise_total_ms,
+            "canonical_total_ms": r.canonical_total_ms,
+            "speedup": r.speedup,
+        })).collect::<Vec<_>>(),
+    });
+    let rendered = serde_json::to_string_pretty(&json).expect("render BENCH_scan.json");
+    std::fs::write(&out, rendered + "\n").expect("write BENCH_scan.json");
+    println!("\nwrote {out}");
+
+    println!("\nFIG-SCALE shape checks:");
+    let last = rows.last().expect("rows nonempty");
+    println!(
+        "  t={}: canonical checker {:.3} ms vs pairwise {:.3} ms ({:.1}x)",
+        last.t, last.canonical_checker_ms, last.pairwise_checker_ms, last.speedup
+    );
+    assert!(
+        last.canonical_checker_ms * 4.0 <= last.pairwise_checker_ms,
+        "canonical checker at t={} must be at most 1/4 of pairwise ({:.3} ms vs {:.3} ms)",
+        last.t,
+        last.canonical_checker_ms,
+        last.pairwise_checker_ms
+    );
+
+    for pair in rows.windows(2) {
+        let ratio = pair[1].canonical_checker_ms / pair[0].canonical_checker_ms;
+        println!(
+            "  canonical growth t={} -> t={}: {ratio:.2}x per doubling",
+            pair[0].t, pair[1].t
+        );
+        assert!(
+            ratio < 3.0,
+            "canonical checker grew {ratio:.2}x when t doubled ({} -> {}) — not sub-quadratic",
+            pair[0].t,
+            pair[1].t
+        );
+    }
+
+    println!("\nFIG-SCALE reproduced: canonical comparison scales O(t), pairwise O(t^2).");
+}

@@ -67,6 +67,7 @@ modchecker — cross-VM kernel module integrity checking (ICPP 2012 reproduction
 USAGE:
   modchecker check --vms <N> --module <NAME> [--parallel] [--width64] [--static]
                    [--infect <technique>@<vm-index>] [--sha256] [--cache] [--json]
+                   [--compare pairwise|canonical]
                    [--retries <R>] [--deadline-ms <MS>] [--min-quorum <Q>]
                    [--fault-seed <SEED>] [--fault-rate <0..1>]
   modchecker analyze [--vms <N>] [--module <NAME>] [--width64] [--json]
@@ -78,7 +79,13 @@ USAGE:
   modchecker sweep-all [--vms <N>]       list-diff + content-check every module
   modchecker monitor [--vms <N>] [--rounds <R>] [--fault-seed <SEED>]
                      [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
+                     [--compare pairwise|canonical]
   modchecker techniques                  list infection techniques
+
+Comparison: --compare canonical normalizes each capture once against its own
+load base via the PE .reloc table and majority-votes by digest bucket — O(t)
+instead of the O(t²) pairwise matrix; reloc-less modules fall back to
+pairwise automatically.
 
 Chaos: --fault-seed/--fault-rate inject deterministic transient read faults
 into every VM (same seed ⇒ same faults ⇒ same report); --retries bounds the
@@ -113,12 +120,21 @@ fn fault_plan_of(args: &Args) -> Result<Option<FaultPlan>, String> {
     )))
 }
 
-/// Parses `--retries`, `--deadline-ms`, and `--min-quorum` onto a base
-/// [`modchecker::CheckConfig`].
+/// Parses `--retries`, `--deadline-ms`, `--min-quorum`, and `--compare`
+/// onto a base [`modchecker::CheckConfig`].
 fn chaos_config_of(
     args: &Args,
     mut config: modchecker::CheckConfig,
 ) -> Result<modchecker::CheckConfig, String> {
+    config.compare = match args.raw_value("compare") {
+        None | Some("pairwise") => modchecker::CompareStrategy::Pairwise,
+        Some("canonical") => modchecker::CompareStrategy::Canonical,
+        Some(other) => {
+            return Err(format!(
+                "--compare expects pairwise or canonical, got {other:?}"
+            ))
+        }
+    };
     if let Some(r) = args.value("retries")? {
         config.retry = RetryPolicy::with_max_retries(r as u32);
     }

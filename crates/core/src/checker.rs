@@ -39,12 +39,14 @@ impl ExtractedModule {
     /// Parses and pre-hashes a captured image under `algo`.
     pub fn with_algo(image: ModuleImage, algo: DigestAlgo) -> Result<Self, CheckError> {
         let parts = ModuleParts::extract(&image)?;
-        let header_hashes = parts
+        let mut header_hashes: Vec<(PartId, PartDigest)> = parts
             .parts
             .iter()
             .filter(|p| !p.is_exec_data)
             .map(|p| (p.id.clone(), digest(algo, &image.bytes[p.range.clone()])))
             .collect();
+        // Sorted by part id so pairwise comparison is a linear merge.
+        header_hashes.sort_by(|x, y| x.0.cmp(&y.0));
         Ok(ExtractedModule {
             image,
             parts,
@@ -84,31 +86,88 @@ impl PairOutcome {
     }
 }
 
+/// Reusable scratch buffers for the pairwise path. Algorithm 2 mutates both
+/// section copies in place, so each comparison needs writable working
+/// memory; keeping it in a scratch arena lets a sequential matrix sweep run
+/// allocation-free after the first pair instead of allocating two fresh
+/// buffers per pair.
+#[derive(Clone, Debug, Default)]
+pub struct PairScratch {
+    buf_a: Vec<u8>,
+    buf_b: Vec<u8>,
+}
+
+impl PairScratch {
+    /// Creates an empty arena (buffers grow to the largest section seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compares one module extracted from two VMs (the paper's per-pair unit of
 /// work). Charges hashing/diffing cost to `ledger` when provided.
+///
+/// Both captures must have been hashed under the same digest algorithm;
+/// a mismatch is a typed error (digests under different algorithms are
+/// incomparable and would otherwise flag every section).
 pub fn compare_pair(
     a: &ExtractedModule,
     b: &ExtractedModule,
+    ledger: Option<&mut VmiSession<'_>>,
+) -> Result<PairOutcome, CheckError> {
+    compare_pair_with(a, b, ledger, &mut PairScratch::new())
+}
+
+/// [`compare_pair`] with caller-provided scratch buffers, for matrix sweeps
+/// that reuse one arena across many pairs.
+pub fn compare_pair_with(
+    a: &ExtractedModule,
+    b: &ExtractedModule,
     mut ledger: Option<&mut VmiSession<'_>>,
-) -> PairOutcome {
-    debug_assert_eq!(a.algo, b.algo, "one digest algorithm per run");
+    scratch: &mut PairScratch,
+) -> Result<PairOutcome, CheckError> {
+    if a.algo != b.algo {
+        return Err(CheckError::AlgoMismatch {
+            a: a.algo,
+            b: b.algo,
+        });
+    }
+    let algo = a.algo;
     let mut mismatched = Vec::new();
     let mut slots_adjusted = 0usize;
     let mut residual_diffs = 0usize;
 
-    // Headers: cached hashes, aligned by part id. A part present on one
-    // side only (e.g. a section added by DLL injection changed the section
-    // count) is a mismatch by construction.
-    for (id, ha) in &a.header_hashes {
-        match b.header_hashes.iter().find(|(bid, _)| bid == id) {
-            Some((_, hb)) if hb == ha => {}
-            _ => mismatched.push(id.clone()),
+    // Headers: cached hashes, sorted by part id at extraction, so one
+    // linear merge aligns both sides. A part present on one side only
+    // (e.g. a section added by DLL injection changed the section count)
+    // is a mismatch by construction.
+    let ha = &a.header_hashes;
+    let hb = &b.header_hashes;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ha.len() && j < hb.len() {
+        match ha[i].0.cmp(&hb[j].0) {
+            std::cmp::Ordering::Equal => {
+                if ha[i].1 != hb[j].1 {
+                    mismatched.push(ha[i].0.clone());
+                }
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                mismatched.push(ha[i].0.clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                mismatched.push(hb[j].0.clone());
+                j += 1;
+            }
         }
     }
-    for (id, _) in &b.header_hashes {
-        if !a.header_hashes.iter().any(|(aid, _)| aid == id) {
-            mismatched.push(id.clone());
-        }
+    for (id, _) in &ha[i..] {
+        mismatched.push(id.clone());
+    }
+    for (id, _) in &hb[j..] {
+        mismatched.push(id.clone());
     }
 
     // Executable sections: adjust RVAs pairwise, then hash.
@@ -117,27 +176,29 @@ pub fn compare_pair(
             mismatched.push(PartId::SectionData(sa.name.clone()));
             continue;
         };
-        let mut bytes_a = a.image.bytes[sa.range.clone()].to_vec();
-        let mut bytes_b = b.image.bytes[sb.range.clone()].to_vec();
+        scratch.buf_a.clear();
+        scratch
+            .buf_a
+            .extend_from_slice(&a.image.bytes[sa.range.clone()]);
+        scratch.buf_b.clear();
+        scratch
+            .buf_b
+            .extend_from_slice(&b.image.bytes[sb.range.clone()]);
+        let (bytes_a, bytes_b) = (&mut scratch.buf_a, &mut scratch.buf_b);
         if let Some(ledger) = ledger.as_deref_mut() {
             let cost = *ledger.cost_model();
             // Scan both buffers once (diff), hash both.
             ledger.charge_process(cost.diff_byte_ns, (bytes_a.len() + bytes_b.len()) as u64);
             ledger.charge_process(
-                cost.hash_byte_ns * a.algo.cost_factor(),
+                cost.hash_byte_ns * algo.cost_factor(),
                 (bytes_a.len() + bytes_b.len()) as u64,
             );
         }
-        let stats = crate::rva::adjust_rvas(
-            &mut bytes_a,
-            &mut bytes_b,
-            a.image.base,
-            b.image.base,
-            a.parts.width,
-        );
+        let stats =
+            crate::rva::adjust_rvas(bytes_a, bytes_b, a.image.base, b.image.base, a.parts.width);
         slots_adjusted += stats.slots_adjusted;
         residual_diffs += stats.residual_diffs;
-        if bytes_a.len() != bytes_b.len() || digest(a.algo, &bytes_a) != digest(b.algo, &bytes_b) {
+        if bytes_a.len() != bytes_b.len() || digest(algo, bytes_a) != digest(algo, bytes_b) {
             mismatched.push(PartId::SectionData(sa.name.clone()));
         }
     }
@@ -149,12 +210,83 @@ pub fn compare_pair(
 
     mismatched.sort();
     mismatched.dedup();
-    PairOutcome {
+    Ok(PairOutcome {
         vms: (a.image.vm_name.clone(), b.image.vm_name.clone()),
         mismatched,
         slots_adjusted,
         residual_diffs,
+    })
+}
+
+/// The canonical (self-normalized) digest set of one capture.
+///
+/// Instead of reconciling relocation pairwise (Algorithm 2, O(t²) pairs),
+/// each capture is normalized *once* against its own load base via its
+/// `.reloc` table and hashed; two clean captures then have byte-equal
+/// canonical forms regardless of base, so majority voting reduces to
+/// content-addressed bucket grouping of fingerprints — O(t). Captures
+/// without a parseable `.reloc` section have no canonical form and fall
+/// back to the pairwise path (the table is in-guest metadata a rootkit can
+/// strip; stripping it costs the attacker the fast path, not detection).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalForm {
+    /// Per-part digests — header hashes plus canonical executable-section
+    /// hashes — sorted by part id. Two captures bucket together iff these
+    /// are equal; the vector is directly usable as a hash-map key.
+    pub part_digests: Vec<(PartId, PartDigest)>,
+    /// Relocation slots rewritten during normalization.
+    pub slots_normalized: usize,
+    /// Digest algorithm of every entry.
+    pub algo: DigestAlgo,
+}
+
+impl CanonicalForm {
+    /// The bucket key: the full sorted per-part digest vector.
+    pub fn fingerprint(&self) -> &[(PartId, PartDigest)] {
+        &self.part_digests
     }
+}
+
+/// Computes a capture's canonical form, or `None` when the module carries
+/// no parseable `.reloc` section (pairwise fallback). Charges parse, slot
+/// rewrite, and hash costs to `ledger` when provided — once per capture,
+/// not per pair.
+pub fn canonical_form(
+    m: &ExtractedModule,
+    ledger: Option<&mut VmiSession<'_>>,
+) -> Option<CanonicalForm> {
+    let parsed = mc_pe::parser::ParsedModule::parse_memory(&m.image.bytes).ok()?;
+    let reloc_len = parsed
+        .find_section(".reloc")
+        .map(|i| parsed.sections[i].data_range.len())?;
+    let mut bytes = m.image.bytes.clone();
+    let slots_normalized =
+        crate::rva::normalize_with_reloc_table(&mut bytes, m.image.base, &parsed)?;
+    if let Some(ledger) = ledger {
+        let cost = *ledger.cost_model();
+        let exec_len: usize = m.parts.exec_sections.iter().map(|s| s.range.len()).sum();
+        // Parse the reloc metadata, rewrite each slot, hash each canonical
+        // executable section — all linear in this one capture.
+        ledger.charge_process(cost.parse_byte_ns, reloc_len as u64);
+        ledger.charge_process(
+            cost.diff_byte_ns,
+            (slots_normalized * m.parts.width.bytes()) as u64,
+        );
+        ledger.charge_process(cost.hash_byte_ns * m.algo.cost_factor(), exec_len as u64);
+    }
+    let mut part_digests = m.header_hashes.clone();
+    for s in &m.parts.exec_sections {
+        part_digests.push((
+            PartId::SectionData(s.name.clone()),
+            digest(m.algo, &bytes[s.range.clone()]),
+        ));
+    }
+    part_digests.sort_by(|x, y| x.0.cmp(&y.0));
+    Some(CanonicalForm {
+        part_digests,
+        slots_normalized,
+        algo: m.algo,
+    })
 }
 
 #[cfg(test)]
@@ -193,7 +325,7 @@ mod tests {
         assert_ne!(ta, tb);
 
         // ...but the comparison reconciles and matches everything.
-        let out = compare_pair(&a, &b, None);
+        let out = compare_pair(&a, &b, None).unwrap();
         assert!(out.matches(), "mismatched: {:?}", out.mismatched);
         assert!(out.slots_adjusted > 0, "relocation slots were reconciled");
         assert_eq!(out.residual_diffs, 0);
@@ -213,7 +345,7 @@ mod tests {
         let _ = truth;
         let a = extract_from(&hv, guests[0].vm, "hal.dll");
         let b = extract_from(&hv, guests[1].vm, "hal.dll");
-        let out = compare_pair(&a, &b, None);
+        let out = compare_pair(&a, &b, None).unwrap();
         assert_eq!(
             out.mismatched,
             vec![PartId::SectionData(".text".into())],
@@ -227,7 +359,7 @@ mod tests {
         let (hv, guests) = two_vm_cloud(AddressWidth::W64);
         let a = extract_from(&hv, guests[0].vm, "hal.dll");
         let b = extract_from(&hv, guests[1].vm, "hal.dll");
-        let out = compare_pair(&a, &b, None);
+        let out = compare_pair(&a, &b, None).unwrap();
         assert!(out.matches(), "mismatched: {:?}", out.mismatched);
         assert!(out.slots_adjusted > 0);
     }
@@ -254,7 +386,7 @@ mod tests {
                 s.name = ".evil".into();
             }
         }
-        let out = compare_pair(&a, &b, None);
+        let out = compare_pair(&a, &b, None).unwrap();
         assert!(out
             .mismatched
             .contains(&PartId::SectionData(".text".into())));
@@ -273,7 +405,7 @@ mod tests {
         };
         let a = extract(guests[0].vm);
         let b = extract(guests[1].vm);
-        let out = compare_pair(&a, &b, None);
+        let out = compare_pair(&a, &b, None).unwrap();
         assert!(out.matches(), "mismatched: {:?}", out.mismatched);
     }
 
@@ -284,7 +416,92 @@ mod tests {
         let b = extract_from(&hv, guests[1].vm, "hal.dll");
         let mut ledger = VmiSession::attach(&hv, guests[0].vm).unwrap();
         let before = ledger.elapsed();
-        compare_pair(&a, &b, Some(&mut ledger));
+        compare_pair(&a, &b, Some(&mut ledger)).unwrap();
         assert!(ledger.elapsed() > before);
+    }
+
+    #[test]
+    fn algo_mismatch_is_a_typed_error() {
+        let (hv, guests) = two_vm_cloud(AddressWidth::W32);
+        let a = extract_from(&hv, guests[0].vm, "hal.dll");
+        let mut s = VmiSession::attach(&hv, guests[1].vm).unwrap();
+        let img = ModuleSearcher::find(&mut s, "hal.dll").unwrap();
+        let b = ExtractedModule::with_algo(img, crate::digest::DigestAlgo::Sha256).unwrap();
+        assert!(matches!(
+            compare_pair(&a, &b, None),
+            Err(CheckError::AlgoMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_hashes_are_sorted_for_the_merge() {
+        let (hv, guests) = two_vm_cloud(AddressWidth::W32);
+        let a = extract_from(&hv, guests[0].vm, "hal.dll");
+        assert!(a.header_hashes.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn scratch_arena_reuse_agrees_with_fresh_buffers() {
+        let (hv, guests) = two_vm_cloud(AddressWidth::W32);
+        let a = extract_from(&hv, guests[0].vm, "hal.dll");
+        let b = extract_from(&hv, guests[1].vm, "hal.dll");
+        let mut scratch = PairScratch::new();
+        let first = compare_pair_with(&a, &b, None, &mut scratch).unwrap();
+        let second = compare_pair_with(&a, &b, None, &mut scratch).unwrap();
+        let fresh = compare_pair(&a, &b, None).unwrap();
+        assert_eq!(first.mismatched, fresh.mismatched);
+        assert_eq!(second.mismatched, fresh.mismatched);
+        assert_eq!(second.slots_adjusted, fresh.slots_adjusted);
+    }
+
+    #[test]
+    fn clean_captures_share_a_canonical_fingerprint() {
+        let (hv, guests) = two_vm_cloud(AddressWidth::W32);
+        let a = extract_from(&hv, guests[0].vm, "hal.dll");
+        let b = extract_from(&hv, guests[1].vm, "hal.dll");
+        assert_ne!(a.image.base, b.image.base);
+        let ca = canonical_form(&a, None).expect("corpus modules carry .reloc");
+        let cb = canonical_form(&b, None).unwrap();
+        assert!(ca.slots_normalized > 0);
+        assert_eq!(
+            ca.fingerprint(),
+            cb.fingerprint(),
+            "clean captures normalize to identical digests despite distinct bases"
+        );
+    }
+
+    #[test]
+    fn tampered_capture_gets_a_distinct_canonical_fingerprint() {
+        let (mut hv, guests) = two_vm_cloud(AddressWidth::W32);
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1000 + 3, &[0xEB])
+            .unwrap();
+        let a = extract_from(&hv, guests[0].vm, "hal.dll");
+        let b = extract_from(&hv, guests[1].vm, "hal.dll");
+        let ca = canonical_form(&a, None).unwrap();
+        let cb = canonical_form(&b, None).unwrap();
+        assert_ne!(ca.fingerprint(), cb.fingerprint());
+    }
+
+    #[test]
+    fn canonical_ledger_cost_is_per_capture_not_per_pair() {
+        let (hv, guests) = two_vm_cloud(AddressWidth::W32);
+        let a = extract_from(&hv, guests[0].vm, "hal.dll");
+        let b = extract_from(&hv, guests[1].vm, "hal.dll");
+        let mut ledger = VmiSession::attach(&hv, guests[0].vm).unwrap();
+        ledger.take_elapsed();
+        canonical_form(&a, Some(&mut ledger)).unwrap();
+        canonical_form(&b, Some(&mut ledger)).unwrap();
+        let canonical_cost = ledger.take_elapsed();
+        compare_pair(&a, &b, Some(&mut ledger)).unwrap();
+        let pair_cost = ledger.take_elapsed();
+        assert!(
+            canonical_cost.as_nanos() > 0,
+            "canonical work is not free: {canonical_cost}"
+        );
+        assert!(
+            canonical_cost.as_nanos() < 2 * pair_cost.as_nanos(),
+            "two canonicalizations ({canonical_cost}) should not dwarf one pair ({pair_cost})"
+        );
     }
 }

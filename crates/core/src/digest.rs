@@ -11,7 +11,7 @@
 use std::fmt;
 
 /// Which hash fingerprints module parts.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum DigestAlgo {
     /// MD5 — the paper's choice (OpenSSL, 2012).
     #[default]

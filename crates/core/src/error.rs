@@ -5,6 +5,8 @@ use std::fmt;
 use mc_pe::PeError;
 use mc_vmi::VmiError;
 
+use crate::digest::DigestAlgo;
+
 /// Errors from a module check.
 ///
 /// A hostile guest controls everything ModChecker reads, so every
@@ -52,6 +54,14 @@ pub enum CheckError {
     },
     /// A pool check needs at least two VMs.
     PoolTooSmall(usize),
+    /// Two captures were hashed under different digest algorithms — their
+    /// digests are incomparable, so the pair cannot be voted on.
+    AlgoMismatch {
+        /// Algorithm of the left capture.
+        a: DigestAlgo,
+        /// Algorithm of the right capture.
+        b: DigestAlgo,
+    },
 }
 
 /// Cap on `SizeOfImage` we will copy out of a guest (largest real drivers
@@ -79,6 +89,9 @@ impl fmt::Display for CheckError {
             }
             CheckError::PoolTooSmall(n) => {
                 write!(f, "cross-VM comparison needs ≥ 2 VMs, got {n}")
+            }
+            CheckError::AlgoMismatch { a, b } => {
+                write!(f, "digest algorithm mismatch: {a} vs {b}")
             }
         }
     }
@@ -130,6 +143,13 @@ mod tests {
                 &["x.sys", "dom2"],
             ),
             (CheckError::PoolTooSmall(1), &["2", "1"]),
+            (
+                CheckError::AlgoMismatch {
+                    a: DigestAlgo::Md5,
+                    b: DigestAlgo::Sha256,
+                },
+                &["md5", "sha256", "mismatch"],
+            ),
         ];
         for (err, needles) in cases {
             let s = err.to_string();

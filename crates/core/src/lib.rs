@@ -75,18 +75,21 @@ pub mod report;
 pub mod rva;
 pub mod searcher;
 
-pub use checker::{compare_pair, ExtractedModule, PairOutcome};
+pub use checker::{
+    canonical_form, compare_pair, compare_pair_with, CanonicalForm, ExtractedModule, PairOutcome,
+    PairScratch,
+};
 pub use digest::{DigestAlgo, PartDigest};
 pub use error::CheckError;
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
 pub use monitor::{remediate, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent};
 pub use parts::{ModuleParts, PartId};
-pub use pool::{CheckConfig, ModChecker, ScanMode};
+pub use pool::{CacheStats, CaptureCache, CheckConfig, CompareStrategy, ModChecker, ScanMode};
 pub use report::{
     ComponentTimes, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictError,
     VerdictErrorKind, VerdictStatus, VmVerdict,
 };
 
 pub use mc_vmi::RetryPolicy;
-pub use rva::{adjust_rvas, AdjustStats};
+pub use rva::{adjust_rvas, normalize_with_reloc_table, AdjustStats};
 pub use searcher::{ModuleImage, ModuleRef, ModuleSearcher};

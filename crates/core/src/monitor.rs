@@ -16,13 +16,14 @@
 //! immediately.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
 
 use crossbeam::channel::Sender;
 
 use mc_hypervisor::{Hypervisor, VmId};
 
 use crate::error::CheckError;
-use crate::pool::{CheckConfig, ModChecker};
+use crate::pool::{CacheStats, CaptureCache, CheckConfig, ModChecker};
 use crate::report::{PoolCheckReport, QuorumStatus, VerdictStatus};
 
 /// Circuit-breaker policy for persistently unscannable VMs.
@@ -125,11 +126,30 @@ pub enum MonitorEvent {
 }
 
 /// The continuous scan loop.
-#[derive(Clone, Debug)]
+///
+/// Rounds share a [`CaptureCache`]: a module whose page write-generations
+/// did not move since the previous round is re-voted from its cached
+/// capture instead of being re-copied, so steady-state clean rounds cost
+/// O(pages probed) rather than O(module bytes · VMs). The cache sits behind
+/// a mutex because `run_round` takes `&self` (callers poll an immutable
+/// monitor); contention is nil — rounds are sequential.
+#[derive(Debug)]
 pub struct ContinuousMonitor {
     checker: ModChecker,
     config: MonitorConfig,
     health: HashMap<VmId, VmHealth>,
+    cache: Mutex<CaptureCache>,
+}
+
+impl Clone for ContinuousMonitor {
+    fn clone(&self) -> Self {
+        ContinuousMonitor {
+            checker: self.checker,
+            config: self.config.clone(),
+            health: self.health.clone(),
+            cache: Mutex::new(self.cache.lock().map(|c| c.clone()).unwrap_or_default()),
+        }
+    }
 }
 
 impl ContinuousMonitor {
@@ -139,7 +159,13 @@ impl ContinuousMonitor {
             checker: ModChecker::with_config(config.check),
             config,
             health: HashMap::new(),
+            cache: Mutex::new(CaptureCache::new()),
         }
+    }
+
+    /// Cumulative capture-cache counters across all rounds so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// VM names currently quarantined by the circuit breaker.
@@ -164,7 +190,15 @@ impl ContinuousMonitor {
         self.config
             .modules
             .iter()
-            .map(|m| (m.clone(), self.checker.check_pool(hv, vms, m)))
+            .map(|m| {
+                let result = match self.cache.lock() {
+                    Ok(mut cache) => self.checker.check_pool_with_cache(hv, vms, m, &mut cache),
+                    // Poisoned mutex (a panicking sibling thread): scan
+                    // uncached rather than propagate the panic.
+                    Err(_) => self.checker.check_pool(hv, vms, m),
+                };
+                (m.clone(), result)
+            })
             .collect()
     }
 
@@ -456,6 +490,73 @@ mod tests {
                 (5, "clean"),
             ]
         );
+    }
+
+    #[test]
+    fn steady_state_rounds_reuse_cached_captures() {
+        // A realistically sized module: the saving is the skipped per-page
+        // map+copy, so it grows with module size (the list walk is the
+        // fixed cost both paths pay).
+        let mut hv = Hypervisor::new();
+        let bps = vec![ModuleBlueprint::new(
+            "ntoskrnl.exe",
+            AddressWidth::W32,
+            96 * 1024,
+        )];
+        let guests = build_cloud_with_modules(&mut hv, 4, AddressWidth::W32, &bps).unwrap();
+        let ids: Vec<VmId> = guests.iter().map(|g| g.vm).collect();
+        let m = ContinuousMonitor::new(MonitorConfig {
+            modules: vec!["ntoskrnl.exe".into()],
+            ..MonitorConfig::default()
+        });
+        let cost = |round: &[(String, Result<PoolCheckReport, CheckError>)]| {
+            round
+                .iter()
+                .map(|(_, r)| r.as_ref().unwrap().times.searcher)
+                .fold(mc_hypervisor::SimDuration::ZERO, |acc, t| acc + t)
+        };
+        let first = m.run_round(&hv, &ids);
+        let first_cost = cost(&first);
+        assert_eq!(m.cache_stats().hits, 0);
+        assert_eq!(m.cache_stats().misses, 4);
+
+        let second = m.run_round(&hv, &ids);
+        assert!(second
+            .iter()
+            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+        assert_eq!(m.cache_stats().hits, 4);
+        let second_cost = cost(&second);
+        assert!(
+            second_cost.as_nanos() * 2 < first_cost.as_nanos(),
+            "cached round {second_cost} should undercut the cold round {first_cost}"
+        );
+    }
+
+    #[test]
+    fn remediation_invalidates_the_reverted_vms_cache_entry() {
+        let (mut hv, guests, ids) = cloud(4);
+        for id in &ids {
+            hv.vm_mut(*id).unwrap().snapshot("clean");
+        }
+        let m = monitor();
+        m.run_round(&hv, &ids); // warm the cache on the clean pool
+
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+        let round = m.run_round(&hv, &ids);
+        let report = round[0].1.as_ref().unwrap();
+        assert!(report.any_discrepancy(), "patch invalidated dom1's entry");
+
+        remediate(&mut hv, report, "clean").unwrap();
+        // The revert restores pre-patch page stamps, which differ from the
+        // cached (patched) capture's stamps — the entry must miss, not
+        // serve the infected image back.
+        let after = m.run_round(&hv, &ids);
+        assert!(after
+            .iter()
+            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+        assert!(m.cache_stats().invalidations >= 2, "patch + revert");
     }
 
     #[test]

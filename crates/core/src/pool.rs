@@ -13,13 +13,20 @@
 //! matrix) so each VM gets a verdict in one pass — what a monitoring daemon
 //! wants.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use rayon::prelude::*;
 
 use mc_hypervisor::{Hypervisor, SimDuration, VmId};
 use mc_vmi::{RetryPolicy, VmiSession};
 
-use crate::checker::{compare_pair, ExtractedModule, PairOutcome};
+use crate::checker::{
+    canonical_form, compare_pair, compare_pair_with, CanonicalForm, ExtractedModule, PairOutcome,
+    PairScratch,
+};
 use crate::error::CheckError;
+use crate::parts::PartId;
 use crate::report::{
     ComponentTimes, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictError, VerdictStatus,
     VmVerdict,
@@ -38,11 +45,30 @@ pub enum ScanMode {
     Parallel,
 }
 
+/// How cross-VM agreement is established.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CompareStrategy {
+    /// The paper's Algorithm 2: every pair of captures is diff-reconciled
+    /// and hashed — O(t²) pairs. Robust (trusts no in-guest metadata) but
+    /// quadratic in pool size.
+    #[default]
+    Pairwise,
+    /// Canonical-form comparison: each capture is normalized once against
+    /// its own load base via its `.reloc` table and hashed; verdicts come
+    /// from content-addressed bucket grouping of the fingerprints — O(t),
+    /// with pairwise Algorithm 2 retained as the fallback for reloc-less
+    /// modules and as a targeted cross-bucket diff between bucket
+    /// representatives (so the report still names disagreeing parts).
+    Canonical,
+}
+
 /// Scanner configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct CheckConfig {
     /// Traversal mode.
     pub mode: ScanMode,
+    /// Cross-VM comparison strategy (paper: pairwise; tentpole: canonical).
+    pub compare: CompareStrategy,
     /// Enable the VMI page-map cache (libVMI-style; the paper's prototype
     /// runs uncached — ablation ABL-5).
     pub page_cache: bool,
@@ -71,6 +97,7 @@ impl Default for CheckConfig {
     fn default() -> Self {
         CheckConfig {
             mode: ScanMode::default(),
+            compare: CompareStrategy::default(),
             page_cache: false,
             digest: crate::digest::DigestAlgo::default(),
             static_prepass: false,
@@ -89,8 +116,14 @@ pub struct ModChecker {
     pub config: CheckConfig,
 }
 
-/// One VM's extraction product with its component times.
-type Extraction = (Result<ExtractedModule, CheckError>, ComponentTimes, String);
+/// One VM's extraction product with its component times. The module is
+/// shared (`Arc`) so the capture cache can hand the same decoded capture to
+/// successive rounds without deep-copying image bytes.
+type Extraction = (
+    Result<Arc<ExtractedModule>, CheckError>,
+    ComponentTimes,
+    String,
+);
 
 impl ModChecker {
     /// Scanner with default (sequential) configuration.
@@ -168,8 +201,102 @@ impl ModChecker {
             cost.hash_byte_ns * self.config.digest.cost_factor(),
             header_bytes,
         );
-        let extracted = ExtractedModule::with_algo(image, self.config.digest);
+        let extracted = ExtractedModule::with_algo(image, self.config.digest).map(Arc::new);
         times.checker = session.take_elapsed();
+        (extracted, times, name)
+    }
+
+    /// [`Self::extract_one`] with a generation-guarded capture cache.
+    ///
+    /// The loaded-module list is re-walked every round (the entry itself can
+    /// move or vanish), but before re-copying the image the session probes
+    /// the module's page write-generations: stamps unchanged ⟹ content
+    /// unchanged ⟹ the cached capture (parse + digests included) is still
+    /// current. A steady-state clean round then costs the list walk plus one
+    /// cheap metadata probe per page instead of mapping and copying the
+    /// whole module.
+    fn extract_one_cached(
+        &self,
+        hv: &Hypervisor,
+        vm: VmId,
+        module: &str,
+        cache: &mut CaptureCache,
+    ) -> Extraction {
+        let mut times = ComponentTimes::default();
+        let name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
+        let mut session = match VmiSession::attach(hv, vm) {
+            Ok(s) => s,
+            Err(e) => return (Err(e.into()), times, name),
+        };
+        session = session.with_retry(self.config.retry);
+        if let Some(deadline) = self.config.deadline {
+            session = session.with_deadline(deadline);
+        }
+        if self.config.page_cache {
+            session = session.with_page_cache();
+        }
+
+        let key = (vm, module.to_string());
+        let entry = match ModuleSearcher::find_ref(&mut session, module) {
+            Ok(e) => e,
+            Err(e) => {
+                times.searcher = session.take_elapsed();
+                cache.entries.remove(&key);
+                return (Err(e), times, name);
+            }
+        };
+        let generations = session.range_generations(entry.base, entry.size).ok();
+        if let (Some(gens), Some(hit)) = (&generations, cache.entries.get(&key)) {
+            if hit.base == entry.base && hit.algo == self.config.digest && hit.generations == *gens
+            {
+                cache.stats.hits += 1;
+                times.searcher = session.take_elapsed();
+                return (Ok(Arc::clone(&hit.module)), times, name);
+            }
+            cache.stats.invalidations += 1;
+        }
+        cache.stats.misses += 1;
+
+        // Miss: full capture, same component accounting as the uncached
+        // path. The generations probed *before* the copy are stored with
+        // it — a guest write racing the copy leaves the stored stamps
+        // behind the content, which next round reads as a mismatch and a
+        // fresh capture (conservative, never stale).
+        let image = match ModuleSearcher::capture(&mut session, &entry) {
+            Ok(img) => img,
+            Err(e) => {
+                times.searcher = session.take_elapsed();
+                cache.entries.remove(&key);
+                return (Err(e), times, name);
+            }
+        };
+        times.searcher = session.take_elapsed();
+        let cost = *session.cost_model();
+        session.charge_process(cost.parse_byte_ns, image.bytes.len() as u64);
+        times.parser = session.take_elapsed();
+        let header_bytes: u64 = 4096;
+        session.charge_process(
+            cost.hash_byte_ns * self.config.digest.cost_factor(),
+            header_bytes,
+        );
+        let extracted = ExtractedModule::with_algo(image, self.config.digest).map(Arc::new);
+        times.checker = session.take_elapsed();
+        match (&extracted, generations) {
+            (Ok(m), Some(gens)) => {
+                cache.entries.insert(
+                    key,
+                    CacheEntry {
+                        base: entry.base,
+                        algo: self.config.digest,
+                        generations: gens,
+                        module: Arc::clone(m),
+                    },
+                );
+            }
+            _ => {
+                cache.entries.remove(&key);
+            }
+        }
         (extracted, times, name)
     }
 
@@ -226,8 +353,8 @@ impl ModChecker {
         let mut ledger = VmiSession::attach(hv, reference)?;
         ledger.take_elapsed(); // drop the attach charge; counted already
 
-        let compare_inputs: Vec<(Result<ExtractedModule, CheckError>, ComponentTimes, String)> =
-            extractions;
+        let compare_inputs: Vec<Extraction> = extractions;
+        let mut scratch = PairScratch::new();
         for (result, times, vm_name) in compare_inputs {
             per_vm_times.push((vm_name.clone(), times));
             match result {
@@ -235,7 +362,10 @@ impl ModChecker {
                     if self.config.static_prepass {
                         static_findings.extend(Self::static_scan(&other));
                     }
-                    outcomes.push(compare_pair(&reference_mod, &other, Some(&mut ledger)));
+                    outcomes.push(
+                        compare_pair_with(&reference_mod, &other, Some(&mut ledger), &mut scratch)
+                            .expect("one scan extracts every capture under one algorithm"),
+                    );
                 }
                 Err(e) => errors.push((vm_name, VerdictError::classify(&e))),
             }
@@ -299,7 +429,43 @@ impl ModChecker {
             return Err(CheckError::PoolTooSmall(vms.len()));
         }
         let extractions = self.extract_all(hv, vms, module);
+        self.pool_report(hv, vms, module, extractions)
+    }
 
+    /// [`Self::check_pool`] with a generation-guarded capture cache (see
+    /// [`CaptureCache`]): unchanged modules are re-voted from their cached
+    /// captures instead of being re-copied. Verdicts are identical to the
+    /// uncached scan; only the capture cost changes.
+    ///
+    /// Cached extraction runs sequentially — the cache is one mutable
+    /// structure, and on the steady-state hit path there is no capture work
+    /// left to overlap. The comparison stage still honors
+    /// [`CheckConfig::mode`].
+    pub fn check_pool_with_cache(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        module: &str,
+        cache: &mut CaptureCache,
+    ) -> Result<PoolCheckReport, CheckError> {
+        if vms.len() < 2 {
+            return Err(CheckError::PoolTooSmall(vms.len()));
+        }
+        let extractions: Vec<Extraction> = vms
+            .iter()
+            .map(|&vm| self.extract_one_cached(hv, vm, module, cache))
+            .collect();
+        self.pool_report(hv, vms, module, extractions)
+    }
+
+    /// Shared back half of the pool scan: vote, matrix, report.
+    fn pool_report(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        module: &str,
+        extractions: Vec<Extraction>,
+    ) -> Result<PoolCheckReport, CheckError> {
         let mut times = ComponentTimes::default();
         for (_, t, _) in &extractions {
             times.accumulate(t);
@@ -307,7 +473,7 @@ impl ModChecker {
         let vm_names: Vec<String> = extractions.iter().map(|(_, _, n)| n.clone()).collect();
 
         // Split successes and failures, remembering positions.
-        let mut extracted: Vec<(usize, ExtractedModule)> = Vec::new();
+        let mut extracted: Vec<(usize, Arc<ExtractedModule>)> = Vec::new();
         let mut errors: Vec<Option<VerdictError>> = vec![None; extractions.len()];
         for (i, (result, _, _)) in extractions.into_iter().enumerate() {
             match result {
@@ -336,79 +502,52 @@ impl ModChecker {
             Vec::new()
         };
 
-        // All pairs over successful extractions.
-        let pairs: Vec<(usize, usize)> = (0..extracted.len())
-            .flat_map(|i| ((i + 1)..extracted.len()).map(move |j| (i, j)))
-            .collect();
-        let matrix: Vec<(usize, usize, PairOutcome)> = match self.config.mode {
-            ScanMode::Sequential => {
-                let mut ledger = match ledger_vm {
-                    Some(vm) => {
-                        let mut l = VmiSession::attach(hv, vm)?;
-                        l.take_elapsed();
-                        Some(l)
+        // Build the comparison matrix. Canonical mode normalizes each
+        // capture once and groups by fingerprint; it degrades to the full
+        // pairwise sweep when any capture lacks a parseable `.reloc` table
+        // (the canonical path cannot vouch for a module it cannot
+        // normalize, and mixing normalized with unnormalized digests would
+        // compare incomparables).
+        let mut canonical_votes: Option<HashMap<usize, CanonicalVote>> = None;
+        let matrix: Vec<(usize, usize, PairOutcome)> =
+            if self.config.compare == CompareStrategy::Canonical {
+                match self.canonical_matrix(hv, &extracted, ledger_vm, &mut times)? {
+                    Some((m, votes)) => {
+                        canonical_votes = Some(votes);
+                        m
                     }
-                    None => None,
-                };
-                let out = pairs
-                    .iter()
-                    .map(|&(i, j)| {
-                        (
-                            extracted[i].0,
-                            extracted[j].0,
-                            compare_pair(&extracted[i].1, &extracted[j].1, ledger.as_mut()),
-                        )
-                    })
-                    .collect();
-                if let Some(l) = &mut ledger {
-                    times.checker += l.take_elapsed();
+                    None => self.pairwise_matrix(hv, &extracted, ledger_vm, &mut times)?,
                 }
-                out
-            }
-            ScanMode::Parallel => {
-                // Cost accounting in parallel mode: charge each pair on a
-                // thread-local ledger and sum (total work is what matters;
-                // wall-clock division is modeled in the report). A ledger
-                // attach can itself fail under fault injection; the
-                // comparison still runs, just uncharged — verdicts must
-                // never depend on bookkeeping.
-                let results: Vec<(usize, usize, PairOutcome, SimDuration)> = pairs
-                    .par_iter()
-                    .map(|&(i, j)| {
-                        let mut ledger = ledger_vm.and_then(|vm| VmiSession::attach(hv, vm).ok());
-                        if let Some(l) = &mut ledger {
-                            l.take_elapsed();
-                        }
-                        let o = compare_pair(&extracted[i].1, &extracted[j].1, ledger.as_mut());
-                        let t = ledger
-                            .as_mut()
-                            .map_or(SimDuration::ZERO, VmiSession::take_elapsed);
-                        (extracted[i].0, extracted[j].0, o, t)
-                    })
-                    .collect();
-                let mut out = Vec::with_capacity(results.len());
-                for (i, j, o, t) in results {
-                    times.checker += t;
-                    out.push((i, j, o));
-                }
-                out
-            }
-        };
+            } else {
+                self.pairwise_matrix(hv, &extracted, ledger_vm, &mut times)?
+            };
 
         // Per-VM verdicts: the vote runs among the scanned VMs only.
         let mut verdicts = Vec::with_capacity(vms.len());
         for (idx, vm_name) in vm_names.iter().enumerate() {
-            let mut successes = 0usize;
-            let mut suspect_parts = Vec::new();
-            for (i, j, o) in &matrix {
-                if *i == idx || *j == idx {
-                    if o.matches() {
-                        successes += 1;
-                    } else {
-                        suspect_parts.extend(o.mismatched.iter().cloned());
+            let (successes, mut suspect_parts) = match &canonical_votes {
+                // Canonical vote: a capture agrees with every other member
+                // of its bucket.
+                Some(votes) => votes
+                    .get(&idx)
+                    .map(|v| (v.successes, v.suspect_parts.clone()))
+                    .unwrap_or_default(),
+                // Pairwise vote: count this VM's matching pairs.
+                None => {
+                    let mut successes = 0usize;
+                    let mut suspect_parts = Vec::new();
+                    for (i, j, o) in &matrix {
+                        if *i == idx || *j == idx {
+                            if o.matches() {
+                                successes += 1;
+                            } else {
+                                suspect_parts.extend(o.mismatched.iter().cloned());
+                            }
+                        }
                     }
+                    (successes, suspect_parts)
                 }
-            }
+            };
             suspect_parts.sort();
             suspect_parts.dedup();
             let error = errors[idx].clone();
@@ -451,6 +590,286 @@ impl ModChecker {
             times,
             static_findings,
         })
+    }
+
+    /// The full O(t²) pairwise matrix over successful extractions (tuple
+    /// indices are positions in the original `vms` slice).
+    fn pairwise_matrix(
+        &self,
+        hv: &Hypervisor,
+        extracted: &[(usize, Arc<ExtractedModule>)],
+        ledger_vm: Option<VmId>,
+        times: &mut ComponentTimes,
+    ) -> Result<Vec<(usize, usize, PairOutcome)>, CheckError> {
+        let pairs: Vec<(usize, usize)> = (0..extracted.len())
+            .flat_map(|i| ((i + 1)..extracted.len()).map(move |j| (i, j)))
+            .collect();
+        match self.config.mode {
+            ScanMode::Sequential => {
+                let mut ledger = match ledger_vm {
+                    Some(vm) => {
+                        let mut l = VmiSession::attach(hv, vm)?;
+                        l.take_elapsed();
+                        Some(l)
+                    }
+                    None => None,
+                };
+                // One scratch arena for the whole sweep: zero per-pair
+                // allocations after the buffers reach section size.
+                let mut scratch = PairScratch::new();
+                let out = pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        (
+                            extracted[i].0,
+                            extracted[j].0,
+                            compare_pair_with(
+                                &extracted[i].1,
+                                &extracted[j].1,
+                                ledger.as_mut(),
+                                &mut scratch,
+                            )
+                            .expect("one scan extracts every capture under one algorithm"),
+                        )
+                    })
+                    .collect();
+                if let Some(l) = &mut ledger {
+                    times.checker += l.take_elapsed();
+                }
+                Ok(out)
+            }
+            ScanMode::Parallel => {
+                // Cost accounting in parallel mode: charge each pair on a
+                // thread-local ledger and sum (total work is what matters;
+                // wall-clock division is modeled in the report). A ledger
+                // attach can itself fail under fault injection; the
+                // comparison still runs, just uncharged — verdicts must
+                // never depend on bookkeeping.
+                let results: Vec<(usize, usize, PairOutcome, SimDuration)> = pairs
+                    .par_iter()
+                    .map(|&(i, j)| {
+                        let mut ledger = ledger_vm.and_then(|vm| VmiSession::attach(hv, vm).ok());
+                        if let Some(l) = &mut ledger {
+                            l.take_elapsed();
+                        }
+                        let o = compare_pair(&extracted[i].1, &extracted[j].1, ledger.as_mut())
+                            .expect("one scan extracts every capture under one algorithm");
+                        let t = ledger
+                            .as_mut()
+                            .map_or(SimDuration::ZERO, VmiSession::take_elapsed);
+                        (extracted[i].0, extracted[j].0, o, t)
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(results.len());
+                for (i, j, o, t) in results {
+                    times.checker += t;
+                    out.push((i, j, o));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// The canonical-form path: normalize+hash once per capture, bucket by
+    /// fingerprint, then run pairwise Algorithm 2 only between bucket
+    /// representatives to name the disagreeing parts. Returns `None` when
+    /// any capture has no parseable `.reloc` table (caller falls back to
+    /// the full pairwise sweep).
+    fn canonical_matrix(
+        &self,
+        hv: &Hypervisor,
+        extracted: &[(usize, Arc<ExtractedModule>)],
+        ledger_vm: Option<VmId>,
+        times: &mut ComponentTimes,
+    ) -> Result<CanonicalOutcome, CheckError> {
+        // Normalize and hash each capture once — O(t), the whole point.
+        let forms: Vec<Option<CanonicalForm>> = match self.config.mode {
+            ScanMode::Sequential => {
+                let mut ledger = match ledger_vm {
+                    Some(vm) => {
+                        let mut l = VmiSession::attach(hv, vm)?;
+                        l.take_elapsed();
+                        Some(l)
+                    }
+                    None => None,
+                };
+                let out = extracted
+                    .iter()
+                    .map(|(_, m)| canonical_form(m, ledger.as_mut()))
+                    .collect();
+                if let Some(l) = &mut ledger {
+                    times.checker += l.take_elapsed();
+                }
+                out
+            }
+            ScanMode::Parallel => {
+                let results: Vec<(Option<CanonicalForm>, SimDuration)> = extracted
+                    .par_iter()
+                    .map(|(_, m)| {
+                        let mut ledger = ledger_vm.and_then(|vm| VmiSession::attach(hv, vm).ok());
+                        if let Some(l) = &mut ledger {
+                            l.take_elapsed();
+                        }
+                        let f = canonical_form(m, ledger.as_mut());
+                        let t = ledger
+                            .as_mut()
+                            .map_or(SimDuration::ZERO, VmiSession::take_elapsed);
+                        (f, t)
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(results.len());
+                for (f, t) in results {
+                    times.checker += t;
+                    out.push(f);
+                }
+                out
+            }
+        };
+        if forms.iter().any(Option::is_none) {
+            return Ok(None);
+        }
+        let forms: Vec<CanonicalForm> = forms.into_iter().flatten().collect();
+
+        // Content-addressed bucket grouping: equal fingerprints ⟺ the
+        // captures would pairwise-match, so a member's successes are just
+        // its bucket's size minus itself. Bucket order is fixed by first
+        // member for deterministic reports.
+        let mut buckets: HashMap<&[(PartId, crate::digest::PartDigest)], Vec<usize>> =
+            HashMap::new();
+        for (pos, f) in forms.iter().enumerate() {
+            buckets.entry(f.fingerprint()).or_default().push(pos);
+        }
+        let mut groups: Vec<Vec<usize>> = buckets.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+
+        // Targeted cross-bucket diff between representatives (at most
+        // buckets², and buckets ≪ t on any realistic pool) explains which
+        // parts disagree without re-running all t² pairs.
+        let mut ledger = match ledger_vm {
+            Some(vm) => {
+                let mut l = VmiSession::attach(hv, vm)?;
+                l.take_elapsed();
+                Some(l)
+            }
+            None => None,
+        };
+        let mut scratch = PairScratch::new();
+        let mut matrix = Vec::new();
+        let mut rep_mismatch: Vec<Vec<PartId>> = vec![Vec::new(); groups.len()];
+        for gi in 0..groups.len() {
+            for gj in (gi + 1)..groups.len() {
+                let (pi, pj) = (groups[gi][0], groups[gj][0]);
+                let o = compare_pair_with(
+                    &extracted[pi].1,
+                    &extracted[pj].1,
+                    ledger.as_mut(),
+                    &mut scratch,
+                )
+                .expect("one scan extracts every capture under one algorithm");
+                if !o.matches() {
+                    rep_mismatch[gi].extend(o.mismatched.iter().cloned());
+                    rep_mismatch[gj].extend(o.mismatched.iter().cloned());
+                }
+                matrix.push((extracted[pi].0, extracted[pj].0, o));
+            }
+        }
+        if let Some(l) = &mut ledger {
+            times.checker += l.take_elapsed();
+        }
+
+        let mut votes = HashMap::new();
+        for (gi, group) in groups.iter().enumerate() {
+            let mut suspect_parts = rep_mismatch[gi].clone();
+            suspect_parts.sort();
+            suspect_parts.dedup();
+            for &pos in group {
+                votes.insert(
+                    extracted[pos].0,
+                    CanonicalVote {
+                        successes: group.len() - 1,
+                        suspect_parts: suspect_parts.clone(),
+                    },
+                );
+            }
+        }
+        Ok(Some((matrix, votes)))
+    }
+}
+
+/// One scanned VM's canonical-mode vote inputs, keyed by its position in
+/// the original `vms` slice.
+#[derive(Clone, Debug, Default)]
+struct CanonicalVote {
+    successes: usize,
+    suspect_parts: Vec<PartId>,
+}
+
+/// `canonical_matrix` result: `None` = reloc-less fallback to pairwise.
+type CanonicalOutcome = Option<(
+    Vec<(usize, usize, PairOutcome)>,
+    HashMap<usize, CanonicalVote>,
+)>;
+
+/// Hit/miss accounting for a [`CaptureCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Rounds that reused a cached capture (generations unchanged).
+    pub hits: u64,
+    /// Rounds that captured afresh (first sight or invalidated).
+    pub misses: u64,
+    /// Cached entries discarded because a page generation moved, the
+    /// module relocated, or the digest algorithm changed.
+    pub invalidations: u64,
+}
+
+/// Per-(VM, module) capture cache keyed by page write-generations.
+///
+/// An entry stores the decoded capture ([`ExtractedModule`], shared via
+/// `Arc`) together with the write-generation stamp of every page it was
+/// copied from. A later round probes the stamps (metadata-only, no page
+/// mapping) and reuses the capture iff every stamp — and the load base and
+/// digest algorithm — is unchanged; any moved generation invalidates just
+/// that (VM, module) entry. This is the incremental-rescanning half of the
+/// canonical-comparison tentpole: steady-state clean rounds cost O(pages
+/// probed), not O(module bytes · VMs).
+#[derive(Clone, Debug, Default)]
+pub struct CaptureCache {
+    entries: HashMap<(VmId, String), CacheEntry>,
+    stats: CacheStats,
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    base: u64,
+    algo: crate::digest::DigestAlgo,
+    generations: Vec<mc_hypervisor::PageGeneration>,
+    module: Arc<ExtractedModule>,
+}
+
+impl CaptureCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no captures are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached capture (counters survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -694,6 +1113,165 @@ mod tests {
         // what triggers deeper analysis.
         let flagged: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
         assert_eq!(flagged, vec!["dom1", "dom2", "dom3", "dom4", "dom5"]);
+    }
+
+    fn canonical_checker() -> ModChecker {
+        ModChecker::with_config(CheckConfig {
+            compare: CompareStrategy::Canonical,
+            ..CheckConfig::default()
+        })
+    }
+
+    #[test]
+    fn canonical_mode_agrees_with_pairwise_and_is_cheaper() {
+        let (mut hv, guests, ids) = cloud(8);
+        guests[2]
+            .patch_module(&mut hv, "hal.dll", 0x1003, &[0xCC])
+            .unwrap();
+        let pairwise = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        let canonical = canonical_checker()
+            .check_pool(&hv, &ids, "hal.dll")
+            .unwrap();
+        for (a, b) in pairwise.verdicts.iter().zip(&canonical.verdicts) {
+            assert_eq!(a.clean, b.clean, "{}", a.vm_name);
+            assert_eq!(a.successes, b.successes, "{}", a.vm_name);
+            assert_eq!(a.comparisons, b.comparisons, "{}", a.vm_name);
+            assert_eq!(a.suspect_parts, b.suspect_parts, "{}", a.vm_name);
+        }
+        // O(t) normalize+hash beats t(t−1)/2 pairwise diffs even at t=8.
+        assert!(
+            canonical.times.checker < pairwise.times.checker,
+            "canonical {} !< pairwise {}",
+            canonical.times.checker,
+            pairwise.times.checker
+        );
+        // The targeted cross-bucket diff still names the disagreeing part.
+        assert!(canonical.suspects().all(|v| v
+            .suspect_parts
+            .contains(&PartId::SectionData(".text".into()))));
+    }
+
+    #[test]
+    fn canonical_parallel_mode_agrees_with_sequential() {
+        let (mut hv, guests, ids) = cloud(6);
+        guests[4]
+            .patch_module(&mut hv, "http.sys", 0x1005, &[0x90])
+            .unwrap();
+        let seq = canonical_checker()
+            .check_pool(&hv, &ids, "http.sys")
+            .unwrap();
+        let par = ModChecker::with_config(CheckConfig {
+            mode: ScanMode::Parallel,
+            compare: CompareStrategy::Canonical,
+            ..CheckConfig::default()
+        })
+        .check_pool(&hv, &ids, "http.sys")
+        .unwrap();
+        let seq_verdicts: Vec<bool> = seq.verdicts.iter().map(|v| v.clean).collect();
+        let par_verdicts: Vec<bool> = par.verdicts.iter().map(|v| v.clean).collect();
+        assert_eq!(seq_verdicts, par_verdicts);
+        assert_eq!(
+            seq.suspects()
+                .map(|v| v.vm_name.clone())
+                .collect::<Vec<_>>(),
+            vec!["dom5"]
+        );
+    }
+
+    #[test]
+    fn canonical_clean_pool_has_one_bucket_and_empty_matrix() {
+        let (hv, _guests, ids) = cloud(5);
+        let report = canonical_checker()
+            .check_pool(&hv, &ids, "hal.dll")
+            .unwrap();
+        assert!(report.all_clean());
+        assert!(!report.any_discrepancy());
+        assert!(
+            report.matrix.is_empty(),
+            "one bucket ⇒ no representative diffs to run"
+        );
+        for v in &report.verdicts {
+            assert_eq!(v.successes, 4);
+            assert_eq!(v.comparisons, 4);
+        }
+    }
+
+    #[test]
+    fn capture_cache_hits_steady_state_and_invalidates_on_writes() {
+        let (mut hv, guests, ids) = cloud(4);
+        let checker = ModChecker::new();
+        let mut cache = CaptureCache::new();
+        assert!(cache.is_empty());
+
+        let first = checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        assert!(first.all_clean());
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.len(), 4);
+
+        // Nothing changed: every capture is reused and the capture cost
+        // collapses to the list walk plus metadata probes.
+        let second = checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        assert!(second.all_clean());
+        assert_eq!(cache.stats().hits, 4);
+        assert!(
+            second.times.searcher < first.times.searcher,
+            "cached round {} !< first round {}",
+            second.times.searcher,
+            first.times.searcher
+        );
+
+        // A guest write moves the page generation: exactly that VM's entry
+        // invalidates and the verdict flips — identically to an uncached
+        // scan.
+        guests[1]
+            .patch_module(&mut hv, "hal.dll", 0x1003, &[0xCC])
+            .unwrap();
+        let third = checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().hits, 7);
+        assert_eq!(cache.stats().misses, 5);
+        let uncached = checker.check_pool(&hv, &ids, "hal.dll").unwrap();
+        for (a, b) in third.verdicts.iter().zip(&uncached.verdicts) {
+            assert_eq!(a.clean, b.clean, "{}", a.vm_name);
+            assert_eq!(a.suspect_parts, b.suspect_parts);
+        }
+        assert_eq!(
+            third
+                .suspects()
+                .map(|v| v.vm_name.clone())
+                .collect::<Vec<_>>(),
+            vec!["dom2"]
+        );
+    }
+
+    #[test]
+    fn capture_cache_entry_drops_when_the_module_vanishes() {
+        let (mut hv, guests, ids) = cloud(3);
+        let checker = ModChecker::new();
+        let mut cache = CaptureCache::new();
+        checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        guests[0].dkom_hide(&mut hv, "hal.dll").unwrap();
+        let report = checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        assert_eq!(cache.len(), 2, "hidden module's entry is evicted");
+        assert_eq!(
+            report
+                .suspects()
+                .map(|v| v.vm_name.clone())
+                .collect::<Vec<_>>(),
+            vec!["dom1"]
+        );
     }
 
     #[test]

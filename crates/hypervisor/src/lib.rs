@@ -42,7 +42,7 @@ pub mod vm;
 
 pub use error::HvError;
 pub use fault::{FaultDecision, FaultPlan, FaultState};
-pub use mem::{GuestPhysMemory, PAGE_SHIFT, PAGE_SIZE};
+pub use mem::{GuestPhysMemory, PageGeneration, PAGE_SHIFT, PAGE_SIZE};
 pub use paging::AddressSpace;
 pub use simtime::{ContentionModel, CostModel, SimDuration};
 pub use vm::{Vm, VmId};

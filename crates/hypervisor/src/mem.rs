@@ -15,10 +15,32 @@ pub const PAGE_SHIFT: u32 = 12;
 /// Guest page/frame size in bytes.
 pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// The write-generation of one frame: which frame backs a page and the
+/// global write-counter value of the last write that touched it. Two equal
+/// `PageGeneration`s taken at different times prove the page's content did
+/// not change in between (given the counter's monotonicity across
+/// snapshot reverts — see [`GuestPhysMemory::keep_counter_at_least`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PageGeneration {
+    /// Frame number backing the page.
+    pub frame: u64,
+    /// Global write-counter value stamped by the last write to the frame
+    /// (0 = never written since allocation).
+    pub stamp: u64,
+}
+
 /// A pool of guest-physical frames.
+///
+/// Every frame carries a *write-generation stamp*: a monotonically
+/// increasing counter is bumped once per [`GuestPhysMemory::write_phys`]
+/// call and stamped onto each frame the write touches. Introspectors use
+/// the stamps to skip re-reading pages that provably did not change
+/// (incremental rescanning); the stamps cost one `u64` per 4 KiB frame.
 #[derive(Clone, Debug, Default)]
 pub struct GuestPhysMemory {
     frames: Vec<Box<[u8; PAGE_SIZE]>>,
+    stamps: Vec<u64>,
+    write_counter: u64,
 }
 
 impl GuestPhysMemory {
@@ -31,6 +53,7 @@ impl GuestPhysMemory {
     pub fn alloc_frame(&mut self) -> u64 {
         let pa = (self.frames.len() as u64) << PAGE_SHIFT;
         self.frames.push(Box::new([0u8; PAGE_SIZE]));
+        self.stamps.push(0);
         pa
     }
 
@@ -66,8 +89,14 @@ impl GuestPhysMemory {
     }
 
     /// Writes `data` starting at guest-physical `pa` (may span frames).
+    /// Bumps the write counter once and stamps every frame touched.
     pub fn write_phys(&mut self, pa: u64, data: &[u8]) -> Result<(), HvError> {
+        if data.is_empty() {
+            return Ok(());
+        }
         let frames = self.frames.len();
+        self.write_counter += 1;
+        let gen = self.write_counter;
         let mut at = pa;
         let mut done = 0usize;
         while done < data.len() {
@@ -79,10 +108,38 @@ impl GuestPhysMemory {
                 .ok_or(HvError::PhysOutOfRange { pa: at, frames })?;
             let take = (PAGE_SIZE - off).min(data.len() - done);
             frame_buf[off..off + take].copy_from_slice(&data[done..done + take]);
+            self.stamps[frame] = gen;
             done += take;
             at += take as u64;
         }
         Ok(())
+    }
+
+    /// The write-generation of the frame containing guest-physical `pa`.
+    pub fn page_generation(&self, pa: u64) -> Result<PageGeneration, HvError> {
+        let frame = (pa >> PAGE_SHIFT) as usize;
+        let stamp = *self.stamps.get(frame).ok_or(HvError::PhysOutOfRange {
+            pa,
+            frames: self.frames.len(),
+        })?;
+        Ok(PageGeneration {
+            frame: frame as u64,
+            stamp,
+        })
+    }
+
+    /// Current value of the global write counter.
+    pub fn write_counter(&self) -> u64 {
+        self.write_counter
+    }
+
+    /// Raises the write counter to at least `floor`. Snapshot revert uses
+    /// this to keep the counter monotonic across reverts: the restored
+    /// stamp vector may go backwards (it mirrors restored content), but
+    /// counter values must never be re-issued, or a stale cached stamp
+    /// could collide with a newer write.
+    pub fn keep_counter_at_least(&mut self, floor: u64) {
+        self.write_counter = self.write_counter.max(floor);
     }
 
     /// Reads a little-endian `u32` at `pa`.
@@ -167,6 +224,60 @@ mod tests {
         assert_eq!(m.read_u32(pa + 8).unwrap(), 0xDEAD_BEEF);
         m.write_u64(pa + 16, 0x0123_4567_89AB_CDEF).unwrap();
         assert_eq!(m.read_u64(pa + 16).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn write_stamps_every_frame_touched() {
+        let mut m = GuestPhysMemory::new();
+        let a = m.alloc_frame();
+        let _b = m.alloc_frame();
+        let c = m.alloc_frame();
+        assert_eq!(m.page_generation(a).unwrap().stamp, 0, "fresh frames");
+
+        // One spanning write bumps the counter once and stamps both frames.
+        m.write_phys(a + PAGE_SIZE as u64 - 2, &[1, 2, 3, 4])
+            .unwrap();
+        assert_eq!(m.write_counter(), 1);
+        assert_eq!(m.page_generation(a).unwrap().stamp, 1);
+        assert_eq!(m.page_generation(a + PAGE_SIZE as u64).unwrap().stamp, 1);
+        assert_eq!(m.page_generation(c).unwrap().stamp, 0, "untouched frame");
+
+        // A later write to one frame moves only that frame's stamp.
+        m.write_phys(c, b"x").unwrap();
+        assert_eq!(m.page_generation(c).unwrap().stamp, 2);
+        assert_eq!(m.page_generation(a).unwrap().stamp, 1);
+    }
+
+    #[test]
+    fn generation_identifies_the_backing_frame() {
+        let mut m = GuestPhysMemory::new();
+        let a = m.alloc_frame();
+        let b = m.alloc_frame();
+        assert_eq!(m.page_generation(a).unwrap().frame, 0);
+        assert_eq!(m.page_generation(b + 7).unwrap().frame, 1);
+        assert!(m.page_generation(PAGE_SIZE as u64 * 9).is_err());
+    }
+
+    #[test]
+    fn empty_write_does_not_stamp() {
+        let mut m = GuestPhysMemory::new();
+        let pa = m.alloc_frame();
+        m.write_phys(pa, &[]).unwrap();
+        assert_eq!(m.write_counter(), 0);
+        assert_eq!(m.page_generation(pa).unwrap().stamp, 0);
+    }
+
+    #[test]
+    fn counter_floor_is_monotonic() {
+        let mut m = GuestPhysMemory::new();
+        let pa = m.alloc_frame();
+        m.write_phys(pa, b"a").unwrap();
+        m.keep_counter_at_least(10);
+        assert_eq!(m.write_counter(), 10);
+        m.keep_counter_at_least(3); // lower floors never reduce it
+        assert_eq!(m.write_counter(), 10);
+        m.write_phys(pa, b"b").unwrap();
+        assert_eq!(m.page_generation(pa).unwrap().stamp, 11);
     }
 
     #[test]

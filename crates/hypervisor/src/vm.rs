@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use crate::error::HvError;
-use crate::mem::{GuestPhysMemory, PAGE_SHIFT, PAGE_SIZE};
+use crate::mem::{GuestPhysMemory, PageGeneration, PAGE_SHIFT, PAGE_SIZE};
 use crate::paging::AddressSpace;
 use mc_pe::AddressWidth;
 
@@ -161,15 +161,30 @@ impl Vm {
     }
 
     /// Reverts to a named snapshot (the paper's clean-state remediation).
+    ///
+    /// The per-frame write-generation stamps revert with the memory (they
+    /// describe its content), but the global write counter stays monotonic
+    /// — post-revert writes must never re-issue a counter value a cached
+    /// [`PageGeneration`] may still hold.
     pub fn revert(&mut self, name: &str) -> Result<(), HvError> {
         let snap = self
             .snapshots
             .get(name)
             .ok_or_else(|| HvError::SnapshotMissing(name.to_string()))?;
+        let counter_floor = self.mem.write_counter();
         self.mem = snap.mem.clone();
+        self.mem.keep_counter_at_least(counter_floor);
         self.aspace = snap.aspace;
         self.symbols = snap.symbols.clone();
         Ok(())
+    }
+
+    /// The write-generation of the page backing guest-virtual `va`: which
+    /// frame it resolves to and the stamp of the last write that touched
+    /// that frame. Metadata-only — no guest bytes are copied.
+    pub fn page_generation(&self, va: u64) -> Result<PageGeneration, HvError> {
+        let pa = self.aspace.translate(&self.mem, va)?;
+        self.mem.page_generation(pa)
     }
 
     /// Names of existing snapshots.
@@ -244,6 +259,47 @@ mod tests {
         assert_eq!(Vm::pages_crossed(0, PAGE_SIZE as u64), 1);
         assert_eq!(Vm::pages_crossed(0, PAGE_SIZE as u64 + 1), 2);
         assert_eq!(Vm::pages_crossed(PAGE_SIZE as u64 - 1, 2), 2);
+    }
+
+    #[test]
+    fn revert_keeps_the_write_counter_monotonic() {
+        let mut vm = vm32();
+        let va = 0x8000_0000u64;
+        vm.map_range(va, PAGE_SIZE as u64).unwrap();
+        vm.write_virt(va, b"clean").unwrap();
+        vm.snapshot("clean");
+        let g_clean = vm.page_generation(va).unwrap();
+
+        vm.write_virt(va, b"DIRTY").unwrap();
+        let g_dirty = vm.page_generation(va).unwrap();
+        assert_ne!(g_clean, g_dirty, "a write must move the generation");
+        let counter_before_revert = vm.mem.write_counter();
+
+        vm.revert("clean").unwrap();
+        // Stamps revert with memory (same content ⇒ same generation)...
+        assert_eq!(vm.page_generation(va).unwrap(), g_clean);
+        // ...but the counter never goes back, so the next write cannot
+        // collide with a stamp cached while the VM was dirty.
+        assert!(vm.mem.write_counter() >= counter_before_revert);
+        vm.write_virt(va, b"again").unwrap();
+        let g_again = vm.page_generation(va).unwrap();
+        assert_ne!(g_again, g_dirty);
+        assert_ne!(g_again, g_clean);
+    }
+
+    #[test]
+    fn page_generation_is_metadata_only() {
+        let mut vm = vm32();
+        let va = 0x8000_0000u64;
+        vm.map_range(va, 2 * PAGE_SIZE as u64).unwrap();
+        vm.write_virt(va + PAGE_SIZE as u64, b"second page")
+            .unwrap();
+        let g0 = vm.page_generation(va).unwrap();
+        let g1 = vm.page_generation(va + PAGE_SIZE as u64).unwrap();
+        assert_ne!(g0.frame, g1.frame);
+        assert_eq!(g0.stamp, 0, "first page never written");
+        assert!(g1.stamp > 0);
+        assert!(vm.page_generation(0xDEAD_0000).is_err(), "unmapped VA");
     }
 
     #[test]
