@@ -11,6 +11,7 @@
 #   5. cargo test --workspace -q — every crate's unit tests
 #   6. chaos suite           — fault-injection gate (pinned seeds)
 #   7. fig_scale --smoke     — comparison-scaling gate (writes BENCH_scan.json)
+#   8. observability gate    — metrics/trace export + schema validation + mc-obs clippy
 set -eu
 
 cd "$(dirname "$0")"
@@ -43,5 +44,19 @@ cargo test -q --test chaos
 # measured series as BENCH_scan.json at the repo root.
 echo "==> fig_scale --smoke (comparison scaling gate)"
 cargo run --release -q -p mc-bench --bin fig_scale -- --smoke --out BENCH_scan.json
+
+# Observability gate: a real 4-VM scan must export metrics that validate
+# against the checked-in schema and a non-empty span trace, and the
+# mc-obs crate must be clippy-clean on its own (it is the one crate every
+# layer records into, so its API surface stays warning-free).
+echo "==> observability gate (metrics export + schema + trace)"
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    check --vms 4 --module hal.dll \
+    --metrics-out target/ci-metrics.json --trace-out target/ci-trace.jsonl \
+    > /dev/null
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    validate-metrics --file target/ci-metrics.json --schema schemas/metrics-schema.json
+test -s target/ci-trace.jsonl || { echo "ci: trace export is empty" >&2; exit 1; }
+cargo clippy -q -p mc-obs --all-targets -- -D warnings
 
 echo "ci: all green"

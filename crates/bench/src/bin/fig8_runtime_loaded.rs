@@ -21,7 +21,8 @@
 use mc_bench::{knee_position, print_csv};
 use mc_hypervisor::FaultPlan;
 use mc_loadgen::{HeavyLoad, LoadProfile};
-use modchecker::ModChecker;
+use mc_obs::MetricsRegistry;
+use modchecker::{record_module_report, ModChecker};
 use modchecker_repro::testbed::Testbed;
 
 struct Row {
@@ -78,6 +79,10 @@ fn main() {
     let cores = bed.hv.host.virtual_cores as f64;
     let checker = ModChecker::new();
 
+    // Every scan in the sweep is recorded into one shared registry; the
+    // row timings are read back from the last-scan gauges, and the
+    // cumulative counters summarize the whole figure's introspection work.
+    let mut metrics = MetricsRegistry::new();
     let mut rows = Vec::new();
     for n in 2..=15usize {
         let ids: Vec<_> = bed.vm_ids[..n].to_vec();
@@ -85,6 +90,10 @@ fn main() {
         let idle = checker
             .check_one(&bed.hv, ids[0], &ids[1..], module)
             .expect("idle check");
+        record_module_report(&idle, &mut metrics);
+        let idle_total_ms = metrics
+            .gauge("scan_total_ms")
+            .expect("idle scan recorded a total gauge");
 
         let mut load = HeavyLoad::new();
         load.start(&mut bed.hv, &ids, LoadProfile::heavy())
@@ -92,6 +101,24 @@ fn main() {
         let loaded = checker
             .check_one(&bed.hv, ids[0], &ids[1..], module)
             .expect("loaded check");
+        record_module_report(&loaded, &mut metrics);
+        let row = Row {
+            n,
+            searcher_ms: metrics
+                .gauge("scan_searcher_ms")
+                .expect("loaded scan recorded a searcher gauge"),
+            parser_ms: metrics
+                .gauge("scan_parser_ms")
+                .expect("loaded scan recorded a parser gauge"),
+            checker_ms: metrics
+                .gauge("scan_checker_ms")
+                .expect("loaded scan recorded a checker gauge"),
+            total_ms: metrics
+                .gauge("scan_total_ms")
+                .expect("loaded scan recorded a total gauge"),
+            idle_total_ms,
+            faulted_total_ms: None,
+        };
         let faulted_total_ms = if fault_rate > 0.0 {
             bed.hv
                 .inject_fault_plan(FaultPlan::transient(fault_seed, fault_rate));
@@ -101,20 +128,20 @@ fn main() {
             for &id in &bed.vm_ids {
                 bed.hv.set_fault_plan(id, None).expect("clear fault plan");
             }
-            Some(faulted.times.total().as_millis_f64())
+            record_module_report(&faulted, &mut metrics);
+            Some(
+                metrics
+                    .gauge("scan_total_ms")
+                    .expect("faulted scan recorded a total gauge"),
+            )
         } else {
             None
         };
         load.stop(&mut bed.hv).expect("stop load");
 
         rows.push(Row {
-            n,
-            searcher_ms: loaded.times.searcher.as_millis_f64(),
-            parser_ms: loaded.times.parser.as_millis_f64(),
-            checker_ms: loaded.times.checker.as_millis_f64(),
-            total_ms: loaded.times.total().as_millis_f64(),
-            idle_total_ms: idle.times.total().as_millis_f64(),
             faulted_total_ms,
+            ..row
         });
     }
 
@@ -167,6 +194,21 @@ fn main() {
             "chaos overhead {worst:.3}x exceeds the bounded factor {bound:.3}x"
         );
     }
+
+    // Cross-check the cumulative counters against what the sweep ran:
+    // 14 pool sizes, two scans each (idle + loaded), plus one faulted
+    // scan per size when chaos is on — all clean verdicts.
+    let scans_per_n: u64 = if fault_rate > 0.0 { 3 } else { 2 };
+    assert_eq!(metrics.counter("scan_rounds_total"), 14 * scans_per_n);
+    assert_eq!(metrics.counter("scan_verdict_suspect_total"), 0);
+    println!(
+        "\n  registry totals: {} scans, {} VMI reads, {} pages mapped, {} retries, {} fault injections",
+        metrics.counter("scan_rounds_total"),
+        metrics.counter("vmi_reads_total"),
+        metrics.counter("vmi_pages_mapped_total"),
+        metrics.counter("vmi_retries_total"),
+        metrics.counter("hv_fault_injections_total"),
+    );
 
     println!("\nFIG-8 reproduced: nonlinear growth once loaded VMs exceed the virtual cores.");
 }

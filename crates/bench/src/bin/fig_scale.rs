@@ -20,7 +20,7 @@
 use mc_bench::print_csv;
 use mc_hypervisor::AddressWidth;
 use mc_pe::corpus::ModuleBlueprint;
-use modchecker::{CheckConfig, CompareStrategy, ModChecker, PoolCheckReport};
+use modchecker::{observe_scan, CheckConfig, CompareStrategy, ModChecker, PoolCheckReport};
 use modchecker_repro::testbed::Testbed;
 
 struct Row {
@@ -100,14 +100,42 @@ fn main() {
                 p.vm_name
             );
         }
-        let pc = pairwise.times.checker.as_millis_f64();
-        let cc = canonical.times.checker.as_millis_f64();
+        // Timings are read back through the metrics registry rather than
+        // straight off the report, so the figure exercises the same export
+        // path `--metrics-out` serves; the gauges must agree with the
+        // report they were derived from.
+        let pobs = observe_scan(&pairwise);
+        let cobs = observe_scan(&canonical);
+        let pc = pobs
+            .registry
+            .gauge("scan_checker_ms")
+            .expect("pairwise scan recorded a checker gauge");
+        let cc = cobs
+            .registry
+            .gauge("scan_checker_ms")
+            .expect("canonical scan recorded a checker gauge");
+        assert_eq!(
+            pc,
+            pairwise.times.checker.as_millis_f64(),
+            "registry gauge diverged from the report at t={t}"
+        );
+        assert_eq!(
+            cc,
+            canonical.times.checker.as_millis_f64(),
+            "registry gauge diverged from the report at t={t}"
+        );
         rows.push(Row {
             t,
             pairwise_checker_ms: pc,
             canonical_checker_ms: cc,
-            pairwise_total_ms: pairwise.times.total().as_millis_f64(),
-            canonical_total_ms: canonical.times.total().as_millis_f64(),
+            pairwise_total_ms: pobs
+                .registry
+                .gauge("scan_total_ms")
+                .expect("pairwise scan recorded a total gauge"),
+            canonical_total_ms: cobs
+                .registry
+                .gauge("scan_total_ms")
+                .expect("canonical scan recorded a total gauge"),
             speedup: pc / cc,
         });
     }

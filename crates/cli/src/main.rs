@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&mut args),
         "sweep-all" => cmd_sweep_all(&mut args),
         "monitor" => cmd_monitor(&mut args),
+        "validate-metrics" => cmd_validate_metrics(&mut args),
         "techniques" => cmd_techniques(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -70,6 +71,7 @@ USAGE:
                    [--compare pairwise|canonical]
                    [--retries <R>] [--deadline-ms <MS>] [--min-quorum <Q>]
                    [--fault-seed <SEED>] [--fault-rate <0..1>]
+                   [--metrics-out <PATH>] [--trace-out <PATH>]
   modchecker analyze [--vms <N>] [--module <NAME>] [--width64] [--json]
                      [--infect <technique>@<vm-index>] [--hide <module>@<vm-index>]
                                          single-VM static lints, no reference needed
@@ -79,8 +81,16 @@ USAGE:
   modchecker sweep-all [--vms <N>]       list-diff + content-check every module
   modchecker monitor [--vms <N>] [--rounds <R>] [--fault-seed <SEED>]
                      [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
-                     [--compare pairwise|canonical]
+                     [--compare pairwise|canonical] [--metrics-out <PATH>]
+  modchecker validate-metrics --file <PATH> --schema <PATH>
+                                         validate a metrics JSON export
   modchecker techniques                  list infection techniques
+
+Observability: --metrics-out writes the scan's metric snapshot (counters,
+gauges, histograms) as JSON; --trace-out writes the simulated-time span
+tree (capture → page_map/parse/hash per VM, plus the pool-level vote) as
+JSONL, one span per line. Both derive from the deterministic report, so the
+same seed yields byte-identical exports in sequential and parallel modes.
 
 Comparison: --compare canonical normalizes each capture once against its own
 load base via the PE .reloc table and majority-votes by digest bucket — O(t)
@@ -222,9 +232,23 @@ fn cmd_check(args: &mut Args) -> Result<(), String> {
             ..modchecker::CheckConfig::default()
         },
     )?;
+    let metrics_out = args.raw_value("metrics-out").map(str::to_string);
+    let trace_out = args.raw_value("trace-out").map(str::to_string);
     let report = ModChecker::with_config(config)
         .check_pool(&bed.hv, &bed.vm_ids, &module)
         .map_err(|e| e.to_string())?;
+
+    if metrics_out.is_some() || trace_out.is_some() {
+        let obs = modchecker::observe_scan(&report);
+        if let Some(path) = &metrics_out {
+            let text = serde_json::to_string_pretty(&obs.registry.to_json()).expect("serializable");
+            std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, obs.trace.to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
 
     if args.flag("json") {
         println!(
@@ -514,7 +538,41 @@ fn cmd_monitor(args: &mut Args) -> Result<(), String> {
             }
         }
     }
+    if let Some(path) = args.raw_value("metrics-out").map(str::to_string) {
+        let text =
+            serde_json::to_string_pretty(&monitor.metrics().to_json()).expect("serializable");
+        std::fs::write(&path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    }
     Ok(())
+}
+
+/// Validates a `--metrics-out` export against a JSON schema file — the CI
+/// gate that keeps the exporter's shape stable.
+fn cmd_validate_metrics(args: &mut Args) -> Result<(), String> {
+    let file = args
+        .raw_value("file")
+        .ok_or("--file is required")?
+        .to_string();
+    let schema_path = args
+        .raw_value("schema")
+        .ok_or("--schema is required")?
+        .to_string();
+    let doc_text = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let schema_text =
+        std::fs::read_to_string(&schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
+    let doc = serde_json::from_str(&doc_text).map_err(|e| format!("{file}: {e}"))?;
+    let schema = serde_json::from_str(&schema_text).map_err(|e| format!("{schema_path}: {e}"))?;
+    match mc_obs::schema::validate(&doc, &schema) {
+        Ok(()) => {
+            println!("{file}: valid against {schema_path}");
+            Ok(())
+        }
+        Err(errors) => Err(format!(
+            "{file}: {} schema violation(s):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        )),
+    }
 }
 
 fn cmd_techniques() -> Result<(), String> {

@@ -69,6 +69,7 @@ pub mod digest;
 pub mod error;
 pub mod listdiff;
 pub mod monitor;
+pub mod obs;
 pub mod parts;
 pub mod pool;
 pub mod report;
@@ -83,11 +84,12 @@ pub use digest::{DigestAlgo, PartDigest};
 pub use error::CheckError;
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
 pub use monitor::{remediate, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent};
+pub use obs::{observe_scan, record_module_report, record_pool_report, ScanObservation};
 pub use parts::{ModuleParts, PartId};
 pub use pool::{CacheStats, CaptureCache, CheckConfig, CompareStrategy, ModChecker, ScanMode};
 pub use report::{
     ComponentTimes, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictError,
-    VerdictErrorKind, VerdictStatus, VmVerdict,
+    VerdictErrorKind, VerdictStatus, VmScanStats, VmVerdict,
 };
 
 pub use mc_vmi::RetryPolicy;

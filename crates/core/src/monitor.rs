@@ -21,8 +21,10 @@ use std::sync::Mutex;
 use crossbeam::channel::Sender;
 
 use mc_hypervisor::{Hypervisor, VmId};
+use mc_obs::MetricsRegistry;
 
 use crate::error::CheckError;
+use crate::obs::record_pool_report;
 use crate::pool::{CacheStats, CaptureCache, CheckConfig, ModChecker};
 use crate::report::{PoolCheckReport, QuorumStatus, VerdictStatus};
 
@@ -139,6 +141,7 @@ pub struct ContinuousMonitor {
     config: MonitorConfig,
     health: HashMap<VmId, VmHealth>,
     cache: Mutex<CaptureCache>,
+    metrics: Mutex<MetricsRegistry>,
 }
 
 impl Clone for ContinuousMonitor {
@@ -148,6 +151,7 @@ impl Clone for ContinuousMonitor {
             config: self.config.clone(),
             health: self.health.clone(),
             cache: Mutex::new(self.cache.lock().map(|c| c.clone()).unwrap_or_default()),
+            metrics: Mutex::new(self.metrics.lock().map(|m| m.clone()).unwrap_or_default()),
         }
     }
 }
@@ -160,12 +164,28 @@ impl ContinuousMonitor {
             config,
             health: HashMap::new(),
             cache: Mutex::new(CaptureCache::new()),
+            metrics: Mutex::new(MetricsRegistry::new()),
         }
     }
 
     /// Cumulative capture-cache counters across all rounds so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// A snapshot of the monitor's metrics registry: every pool scan's
+    /// counters and timing gauges accumulated across rounds, plus monitor
+    /// lifecycle counters (`monitor_rounds_total`,
+    /// `monitor_quarantines_total`, `monitor_restores_total`,
+    /// `monitor_remediations_total`) and the capture-cache gauges.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.lock().map(|m| m.clone()).unwrap_or_default()
+    }
+
+    fn bump(&self, name: &str, v: u64) {
+        if let Ok(mut m) = self.metrics.lock() {
+            m.counter_add(name, v);
+        }
     }
 
     /// VM names currently quarantined by the circuit breaker.
@@ -187,7 +207,8 @@ impl ContinuousMonitor {
         hv: &Hypervisor,
         vms: &[VmId],
     ) -> Vec<(String, Result<PoolCheckReport, CheckError>)> {
-        self.config
+        let results: Vec<(String, Result<PoolCheckReport, CheckError>)> = self
+            .config
             .modules
             .iter()
             .map(|m| {
@@ -199,7 +220,46 @@ impl ContinuousMonitor {
                 };
                 (m.clone(), result)
             })
-            .collect()
+            .collect();
+
+        // Metrics snapshot per round: accumulate every successful scan's
+        // counters, refresh the host/cache gauges. Recording happens after
+        // the scans so the bookkeeping never affects verdicts or timing.
+        if let Ok(mut reg) = self.metrics.lock() {
+            reg.counter_add("monitor_rounds_total", 1);
+            for (_, result) in &results {
+                if let Ok(report) = result {
+                    record_pool_report(report, &mut reg);
+                }
+            }
+            hv.record_metrics(&mut reg);
+            if let Ok(cache) = self.cache.lock() {
+                cache.record_metrics(&mut reg);
+            }
+        }
+        results
+    }
+
+    /// Reverts the report's suspects to `snapshot` (the free [`remediate`]
+    /// function) and evicts the reverted VMs' capture-cache entries: a
+    /// reverted guest is a different memory image, and its cached captures
+    /// must not survive the revert even as invalidation candidates.
+    pub fn remediate(
+        &self,
+        hv: &mut Hypervisor,
+        report: &PoolCheckReport,
+        snapshot: &str,
+    ) -> Result<Vec<String>, mc_hypervisor::HvError> {
+        let reverted = remediate(hv, report, snapshot)?;
+        if let Ok(mut cache) = self.cache.lock() {
+            for name in &reverted {
+                if let Some(vm) = hv.vm_by_name(name) {
+                    cache.evict_vm(vm.id);
+                }
+            }
+        }
+        self.bump("monitor_remediations_total", reverted.len() as u64);
+        Ok(reverted)
     }
 
     /// Runs `rounds` rounds, emitting an event per module per round into
@@ -228,6 +288,7 @@ impl ContinuousMonitor {
                     // Cooldown just elapsed: half-open re-probe. One clean
                     // round resets the counter; one more failure re-trips.
                     h.consecutive_unscannable = threshold - 1;
+                    self.bump("monitor_restores_total", 1);
                     if events
                         .send(MonitorEvent::VmRestored {
                             round,
@@ -287,11 +348,19 @@ impl ContinuousMonitor {
                     h.consecutive_unscannable += 1;
                     if h.consecutive_unscannable >= threshold {
                         h.cooldown_left = cooldown;
+                        let consecutive_failures = h.consecutive_unscannable;
+                        // Quarantine evicts the VM's cached captures: when
+                        // it returns from cooldown it re-scans from scratch
+                        // rather than trusting pre-quarantine entries.
+                        if let Ok(mut cache) = self.cache.lock() {
+                            cache.evict_vm(vm);
+                        }
+                        self.bump("monitor_quarantines_total", 1);
                         if events
                             .send(MonitorEvent::VmQuarantined {
                                 round,
                                 vm_name: name,
-                                consecutive_failures: h.consecutive_unscannable,
+                                consecutive_failures,
                             })
                             .is_err()
                         {
@@ -557,6 +626,106 @@ mod tests {
             .iter()
             .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
         assert!(m.cache_stats().invalidations >= 2, "patch + revert");
+    }
+
+    #[test]
+    fn quarantine_evicts_cached_captures_and_rescan_is_clean_after_restore() {
+        use mc_hypervisor::FaultPlan;
+        let (mut hv, _guests, ids) = cloud(4);
+        let mut m = ContinuousMonitor::new(MonitorConfig {
+            modules: vec!["hal.dll".into(), "ndis.sys".into()],
+            health: HealthPolicy {
+                failure_threshold: 2,
+                cooldown_rounds: 2,
+            },
+            ..MonitorConfig::default()
+        });
+        let (tx, rx) = unbounded();
+        // Warm the cache on the healthy pool: 4 VMs × 2 modules.
+        m.run(&hv, &ids, 1, &tx);
+        assert_eq!(m.cache_stats().evictions, 0);
+
+        // dom4 dies; two failing rounds trip the breaker. Its two cached
+        // entries must be gone afterwards (evicted at the first fatal
+        // attach failure — the quarantine eviction then finds nothing).
+        hv.set_fault_plan(ids[3], Some(FaultPlan::none(7).lose_after(0)))
+            .unwrap();
+        m.run(&hv, &ids, 2, &tx);
+        drop(tx);
+        assert_eq!(m.cache_stats().evictions, 2, "dom4's hal.dll + ndis.sys");
+        let quarantined: Vec<String> = rx
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::VmQuarantined { vm_name, .. } => Some(vm_name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quarantined, vec!["dom4"]);
+        let metrics = m.metrics();
+        assert_eq!(metrics.counter("monitor_quarantines_total"), 1);
+        assert_eq!(metrics.counter("monitor_rounds_total"), 3);
+
+        // The guest comes back: the next scan re-captures dom4 from
+        // scratch (no stale entry to mislead it) and reads clean.
+        hv.set_fault_plan(ids[3], None).unwrap();
+        let round = m.run_round(&hv, &ids);
+        assert!(round
+            .iter()
+            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+    }
+
+    #[test]
+    fn monitor_remediate_evicts_the_reverted_vms_entries() {
+        let (mut hv, guests, ids) = cloud(4);
+        for id in &ids {
+            hv.vm_mut(*id).unwrap().snapshot("clean");
+        }
+        let m = monitor();
+        m.run_round(&hv, &ids); // warm the cache on the clean pool
+
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+        let round = m.run_round(&hv, &ids);
+        let report = round[0].1.as_ref().unwrap().clone();
+        assert!(report.any_discrepancy());
+
+        let reverted = m.remediate(&mut hv, &report, "clean").unwrap();
+        assert_eq!(reverted, vec!["dom1"]);
+        // Both of dom1's entries go — the revert rewrote the whole guest,
+        // not just the module that flagged.
+        assert_eq!(m.cache_stats().evictions, 2);
+        assert_eq!(m.metrics().counter("monitor_remediations_total"), 1);
+
+        let after = m.run_round(&hv, &ids);
+        assert!(after
+            .iter()
+            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+    }
+
+    #[test]
+    fn metrics_accumulate_across_rounds() {
+        let (hv, _guests, ids) = cloud(3);
+        let m = monitor();
+        m.run_round(&hv, &ids);
+        m.run_round(&hv, &ids);
+        let reg = m.metrics();
+        assert_eq!(reg.counter("monitor_rounds_total"), 2);
+        assert_eq!(reg.counter("scan_rounds_total"), 4, "2 rounds × 2 modules");
+        assert_eq!(
+            reg.counter("scan_verdict_clean_total"),
+            12,
+            "3 VMs × 4 scans"
+        );
+        assert!(reg.counter("vmi_reads_total") > 0);
+        assert_eq!(reg.gauge("hv_vm_count"), Some(3.0));
+        // Cache gauges reflect the cumulative stats at the last round.
+        assert_eq!(
+            reg.gauge("cache_hits"),
+            Some(6.0),
+            "round 2 hit 3 VMs × 2 modules"
+        );
+        assert_eq!(reg.gauge("cache_entries"), Some(6.0));
     }
 
     #[test]

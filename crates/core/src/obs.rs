@@ -1,0 +1,226 @@
+//! Observability glue: turns finished check reports into `mc-obs` metric
+//! samples and simulated-time trace spans.
+//!
+//! Everything here is *post-processing*: the scan itself stays free of
+//! instrumentation side channels, and the spans/metrics are derived from
+//! the deterministic numbers already carried by [`PoolCheckReport`] /
+//! [`ModuleCheckReport`]. That is what makes the exported values
+//! byte-identical between sequential and parallel runs under the same
+//! fault seed — the report is, and this module adds nothing the report
+//! does not already pin down.
+//!
+//! The span tree mirrors the paper's component pipeline: a `check_pool`
+//! root covers the whole scan; under it one `capture` span per VM nests
+//! `page_map` (Module-Searcher), `parse` (Module-Parser) and `hash`
+//! (Integrity-Checker header work); a final `vote` span carries the
+//! pool-level pairwise/canonical comparison time. By construction the
+//! root's simulated duration equals [`PoolCheckReport::times`]`.total()`
+//! and the children sum exactly to the root — no lost or double-charged
+//! simulated time.
+
+use mc_hypervisor::SimDuration;
+use mc_obs::{MetricsRegistry, TraceSpan};
+
+use crate::report::{ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictStatus};
+
+/// A pool scan rendered for export: the metrics snapshot plus the span
+/// tree. Build one with [`observe_scan`].
+#[derive(Clone, Debug)]
+pub struct ScanObservation {
+    /// Counter/gauge/histogram snapshot derived from the report.
+    pub registry: MetricsRegistry,
+    /// Simulated-time span tree rooted at `check_pool`.
+    pub trace: TraceSpan,
+}
+
+/// Derives both the metrics snapshot and the span tree from one pool
+/// report.
+pub fn observe_scan(report: &PoolCheckReport) -> ScanObservation {
+    let mut registry = MetricsRegistry::new();
+    record_pool_report(report, &mut registry);
+    ScanObservation {
+        registry,
+        trace: pool_span(report),
+    }
+}
+
+/// Builds the simulated-time span tree for one pool scan.
+///
+/// Invariants (tested): the root's `duration_ns` equals
+/// `report.times.total().as_nanos()`, and the children (per-VM `capture`
+/// spans plus the `vote` span) sum exactly to the root.
+pub fn pool_span(report: &PoolCheckReport) -> TraceSpan {
+    let mut root = mc_obs::span!("check_pool", module = report.module, quorum = report.quorum)
+        .with_duration_ns(report.times.total().as_nanos());
+    let mut capture_total = SimDuration::ZERO;
+    for vm in &report.per_vm {
+        capture_total += vm.times.total();
+        let mut capture = mc_obs::span!("capture", vm = vm.vm_name)
+            .with_duration_ns(vm.times.total().as_nanos())
+            .with_retries(vm.vmi.retries)
+            .with_faults(vm.fault_injections);
+        capture.push(
+            TraceSpan::new("page_map")
+                .with_attr("pages", &vm.vmi.pages_mapped)
+                .with_duration_ns(vm.times.searcher.as_nanos()),
+        );
+        capture.push(TraceSpan::new("parse").with_duration_ns(vm.times.parser.as_nanos()));
+        capture.push(TraceSpan::new("hash").with_duration_ns(vm.times.checker.as_nanos()));
+        root.push(capture);
+    }
+    // The vote is pool-level work: whatever checker time the per-VM
+    // captures did not account for (pairwise diffs / canonical
+    // normalization, charged to the shared ledger).
+    let vote_ns = report
+        .times
+        .total()
+        .as_nanos()
+        .saturating_sub(capture_total.as_nanos());
+    root.push(
+        TraceSpan::new("vote")
+            .with_attr("pairs", &report.matrix.len())
+            .with_duration_ns(vote_ns),
+    );
+    root
+}
+
+/// Records one pool scan into a shared registry: cumulative counters
+/// (rounds, verdicts, quorum degradations, introspection work, Algorithm 2
+/// accounting), last-scan gauges (`scan_*_ms`, pool sizes) and the per-VM
+/// capture-time histogram.
+#[allow(clippy::cast_precision_loss)]
+pub fn record_pool_report(report: &PoolCheckReport, reg: &mut MetricsRegistry) {
+    reg.counter_add("scan_rounds_total", 1);
+    match report.quorum {
+        QuorumStatus::Full => {}
+        QuorumStatus::Degraded => reg.counter_add("scan_quorum_degraded_total", 1),
+        QuorumStatus::Lost => reg.counter_add("scan_quorum_lost_total", 1),
+    }
+    for v in &report.verdicts {
+        let name = match v.status {
+            VerdictStatus::Clean => "scan_verdict_clean_total",
+            VerdictStatus::Suspect => "scan_verdict_suspect_total",
+            VerdictStatus::Unscannable => "scan_verdict_unscannable_total",
+        };
+        reg.counter_add(name, 1);
+    }
+    let (slots, residuals) = report.matrix.iter().fold((0u64, 0u64), |(s, r), o| {
+        (s + o.slots_adjusted as u64, r + o.residual_diffs as u64)
+    });
+    reg.counter_add("checker_slots_adjusted_total", slots);
+    reg.counter_add("checker_residual_diffs_total", residuals);
+    reg.counter_add("hv_fault_injections_total", report.fault_injections);
+    report.vmi.record_into(reg);
+
+    reg.gauge_set("scan_pool_vms", report.vm_names.len() as f64);
+    reg.gauge_set("scan_scanned_vms", report.scanned as f64);
+    reg.gauge_set("scan_searcher_ms", report.times.searcher.as_millis_f64());
+    reg.gauge_set("scan_parser_ms", report.times.parser.as_millis_f64());
+    reg.gauge_set("scan_checker_ms", report.times.checker.as_millis_f64());
+    reg.gauge_set("scan_total_ms", report.times.total().as_millis_f64());
+    for vm in &report.per_vm {
+        reg.observe("scan_vm_capture_ms", vm.times.total().as_millis_f64());
+    }
+}
+
+/// Records one reference-vs-peers check ([`crate::pool::ModChecker::check_one`])
+/// into a shared registry. Same metric names as the pool path where the
+/// semantics coincide, so Figure 7/8 sweeps and pool monitoring read one
+/// taxonomy.
+#[allow(clippy::cast_precision_loss)]
+pub fn record_module_report(report: &ModuleCheckReport, reg: &mut MetricsRegistry) {
+    reg.counter_add("scan_rounds_total", 1);
+    match report.quorum {
+        QuorumStatus::Full => {}
+        QuorumStatus::Degraded => reg.counter_add("scan_quorum_degraded_total", 1),
+        QuorumStatus::Lost => reg.counter_add("scan_quorum_lost_total", 1),
+    }
+    reg.counter_add(
+        if report.clean {
+            "scan_verdict_clean_total"
+        } else {
+            "scan_verdict_suspect_total"
+        },
+        1,
+    );
+    reg.counter_add("hv_fault_injections_total", report.fault_injections);
+    report.vmi.record_into(reg);
+
+    reg.gauge_set("scan_pool_vms", report.per_vm_times.len() as f64);
+    reg.gauge_set("scan_scanned_vms", report.scanned as f64);
+    reg.gauge_set("scan_searcher_ms", report.times.searcher.as_millis_f64());
+    reg.gauge_set("scan_parser_ms", report.times.parser.as_millis_f64());
+    reg.gauge_set("scan_checker_ms", report.times.checker.as_millis_f64());
+    reg.gauge_set("scan_total_ms", report.times.total().as_millis_f64());
+    for (_, t) in &report.per_vm_times {
+        reg.observe("scan_vm_capture_ms", t.total().as_millis_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ModChecker;
+    use mc_guest::build_cloud_with_modules;
+    use mc_hypervisor::{AddressWidth, Hypervisor, VmId};
+    use mc_pe::corpus::ModuleBlueprint;
+
+    fn cloud(n: usize) -> (Hypervisor, Vec<VmId>) {
+        let mut hv = Hypervisor::new();
+        let bps = vec![ModuleBlueprint::new("hal.dll", AddressWidth::W32, 8 * 1024)];
+        let guests = build_cloud_with_modules(&mut hv, n, AddressWidth::W32, &bps).unwrap();
+        let ids = guests.iter().map(|g| g.vm).collect();
+        (hv, ids)
+    }
+
+    #[test]
+    fn span_tree_accounts_for_every_simulated_nanosecond() {
+        let (hv, ids) = cloud(5);
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        let obs = observe_scan(&report);
+        assert_eq!(obs.trace.duration_ns, report.times.total().as_nanos());
+        assert_eq!(
+            obs.trace.children_total_ns(),
+            obs.trace.duration_ns,
+            "capture spans + vote must cover the root exactly"
+        );
+        assert_eq!(obs.trace.self_time_ns(), 0);
+        // One capture per VM, each internally consistent, plus the vote.
+        assert_eq!(obs.trace.children.len(), 6);
+        for c in obs.trace.children.iter().filter(|c| c.name == "capture") {
+            assert_eq!(c.children_total_ns(), c.duration_ns, "{:?}", c.attrs);
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_reflects_the_verdicts() {
+        let (hv, ids) = cloud(4);
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        let obs = observe_scan(&report);
+        let reg = &obs.registry;
+        assert_eq!(reg.counter("scan_rounds_total"), 1);
+        assert_eq!(reg.counter("scan_verdict_clean_total"), 4);
+        assert_eq!(reg.counter("scan_verdict_suspect_total"), 0);
+        assert_eq!(reg.counter("vmi_reads_total"), report.vmi.reads);
+        assert_eq!(reg.gauge("scan_pool_vms"), Some(4.0));
+        assert_eq!(
+            reg.gauge("scan_total_ms"),
+            Some(report.times.total().as_millis_f64())
+        );
+        let h = reg.histogram("scan_vm_capture_ms").unwrap();
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn module_report_records_under_the_same_taxonomy() {
+        let (hv, ids) = cloud(4);
+        let report = ModChecker::new()
+            .check_one(&hv, ids[0], &ids[1..], "hal.dll")
+            .unwrap();
+        let mut reg = MetricsRegistry::new();
+        record_module_report(&report, &mut reg);
+        assert_eq!(reg.counter("scan_verdict_clean_total"), 1);
+        assert_eq!(reg.counter("vmi_reads_total"), report.vmi.reads);
+        assert!(reg.gauge("scan_total_ms").unwrap() > 0.0);
+    }
+}

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use rayon::prelude::*;
 
 use mc_hypervisor::{Hypervisor, SimDuration, VmId};
-use mc_vmi::{RetryPolicy, VmiSession};
+use mc_vmi::{RetryPolicy, VmiError, VmiSession, VmiStats};
 
 use crate::checker::{
     canonical_form, compare_pair, compare_pair_with, CanonicalForm, ExtractedModule, PairOutcome,
@@ -29,7 +29,7 @@ use crate::error::CheckError;
 use crate::parts::PartId;
 use crate::report::{
     ComponentTimes, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictError, VerdictStatus,
-    VmVerdict,
+    VmScanStats, VmVerdict,
 };
 use crate::searcher::ModuleSearcher;
 
@@ -116,14 +116,36 @@ pub struct ModChecker {
     pub config: CheckConfig,
 }
 
-/// One VM's extraction product with its component times. The module is
-/// shared (`Arc`) so the capture cache can hand the same decoded capture to
-/// successive rounds without deep-copying image bytes.
-type Extraction = (
-    Result<Arc<ExtractedModule>, CheckError>,
-    ComponentTimes,
-    String,
-);
+/// One VM's extraction product with its component times and introspection
+/// counters. The module is shared (`Arc`) so the capture cache can hand the
+/// same decoded capture to successive rounds without deep-copying image
+/// bytes.
+struct Extraction {
+    /// The decoded capture, or why this VM produced none.
+    result: Result<Arc<ExtractedModule>, CheckError>,
+    /// Simulated time split per component.
+    times: ComponentTimes,
+    /// VM name (empty when the VM id itself was unknown).
+    vm_name: String,
+    /// Introspection counters harvested from the per-VM session.
+    vmi: VmiStats,
+    /// Anomalies the fault layer injected into the session.
+    fault_injections: u64,
+}
+
+impl Extraction {
+    /// An extraction that failed before a session existed (attach error):
+    /// no time charged, no counters.
+    fn before_session(e: VmiError, vm_name: String) -> Self {
+        Extraction {
+            result: Err(e.into()),
+            times: ComponentTimes::default(),
+            vm_name,
+            vmi: VmiStats::default(),
+            fault_injections: 0,
+        }
+    }
+}
 
 impl ModChecker {
     /// Scanner with default (sequential) configuration.
@@ -169,7 +191,7 @@ impl ModChecker {
         let name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
         let mut session = match VmiSession::attach(hv, vm) {
             Ok(s) => s,
-            Err(e) => return (Err(e.into()), times, name),
+            Err(e) => return Extraction::before_session(e, name),
         };
         session = session.with_retry(self.config.retry);
         if let Some(deadline) = self.config.deadline {
@@ -178,13 +200,20 @@ impl ModChecker {
         if self.config.page_cache {
             session = session.with_page_cache();
         }
+        let finish = |result, times, session: &VmiSession| Extraction {
+            result,
+            times,
+            vm_name: name.clone(),
+            vmi: session.stats(),
+            fault_injections: session.fault_injections(),
+        };
 
         // Module-Searcher.
         let image = match ModuleSearcher::find(&mut session, module) {
             Ok(img) => img,
             Err(e) => {
                 times.searcher = session.take_elapsed();
-                return (Err(e), times, name);
+                return finish(Err(e), times, &session);
             }
         };
         times.searcher = session.take_elapsed();
@@ -203,7 +232,7 @@ impl ModChecker {
         );
         let extracted = ExtractedModule::with_algo(image, self.config.digest).map(Arc::new);
         times.checker = session.take_elapsed();
-        (extracted, times, name)
+        finish(extracted, times, &session)
     }
 
     /// [`Self::extract_one`] with a generation-guarded capture cache.
@@ -226,7 +255,15 @@ impl ModChecker {
         let name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
         let mut session = match VmiSession::attach(hv, vm) {
             Ok(s) => s,
-            Err(e) => return (Err(e.into()), times, name),
+            Err(e) => {
+                // A dead VM's cached captures describe a guest that no
+                // longer exists; drop every module's entry, not just this
+                // one's.
+                if e.is_fatal_to_vm() {
+                    cache.evict_vm(vm);
+                }
+                return Extraction::before_session(e, name);
+            }
         };
         session = session.with_retry(self.config.retry);
         if let Some(deadline) = self.config.deadline {
@@ -235,14 +272,21 @@ impl ModChecker {
         if self.config.page_cache {
             session = session.with_page_cache();
         }
+        let finish = |result, times, session: &VmiSession| Extraction {
+            result,
+            times,
+            vm_name: name.clone(),
+            vmi: session.stats(),
+            fault_injections: session.fault_injections(),
+        };
 
         let key = (vm, module.to_string());
         let entry = match ModuleSearcher::find_ref(&mut session, module) {
             Ok(e) => e,
             Err(e) => {
                 times.searcher = session.take_elapsed();
-                cache.entries.remove(&key);
-                return (Err(e), times, name);
+                Self::drop_stale(cache, vm, &key, &e);
+                return finish(Err(e), times, &session);
             }
         };
         let generations = session.range_generations(entry.base, entry.size).ok();
@@ -251,7 +295,8 @@ impl ModChecker {
             {
                 cache.stats.hits += 1;
                 times.searcher = session.take_elapsed();
-                return (Ok(Arc::clone(&hit.module)), times, name);
+                let module = Arc::clone(&hit.module);
+                return finish(Ok(module), times, &session);
             }
             cache.stats.invalidations += 1;
         }
@@ -266,8 +311,8 @@ impl ModChecker {
             Ok(img) => img,
             Err(e) => {
                 times.searcher = session.take_elapsed();
-                cache.entries.remove(&key);
-                return (Err(e), times, name);
+                Self::drop_stale(cache, vm, &key, &e);
+                return finish(Err(e), times, &session);
             }
         };
         times.searcher = session.take_elapsed();
@@ -297,7 +342,22 @@ impl ModChecker {
                 cache.entries.remove(&key);
             }
         }
-        (extracted, times, name)
+        finish(extracted, times, &session)
+    }
+
+    /// Cache hygiene after a failed cached extraction: a failure that is
+    /// fatal to the whole VM (lost, paused out, past deadline) evicts every
+    /// module's entry for that VM — its next incarnation is a different
+    /// guest; anything else drops just the failing (VM, module) entry.
+    fn drop_stale(cache: &mut CaptureCache, vm: VmId, key: &(VmId, String), e: &CheckError) {
+        match e {
+            CheckError::Vmi(ve) if ve.is_fatal_to_vm() => {
+                cache.evict_vm(vm);
+            }
+            _ => {
+                cache.entries.remove(key);
+            }
+        }
     }
 
     /// Extracts the module from every VM (mode-dependent concurrency).
@@ -337,8 +397,11 @@ impl ModChecker {
         all.extend_from_slice(others);
         let mut extractions = self.extract_all(hv, &all, module);
 
-        let (ref_result, ref_times, ref_name) = extractions.remove(0);
-        let reference_mod = ref_result?;
+        let reference_ex = extractions.remove(0);
+        let mut vmi = reference_ex.vmi;
+        let mut fault_injections = reference_ex.fault_injections;
+        let (ref_times, ref_name) = (reference_ex.times, reference_ex.vm_name);
+        let reference_mod = reference_ex.result?;
 
         let mut per_vm_times = vec![(ref_name.clone(), ref_times)];
         let mut outcomes = Vec::new();
@@ -355,9 +418,12 @@ impl ModChecker {
 
         let compare_inputs: Vec<Extraction> = extractions;
         let mut scratch = PairScratch::new();
-        for (result, times, vm_name) in compare_inputs {
-            per_vm_times.push((vm_name.clone(), times));
-            match result {
+        for ex in compare_inputs {
+            per_vm_times.push((ex.vm_name.clone(), ex.times));
+            vmi.accumulate(&ex.vmi);
+            fault_injections += ex.fault_injections;
+            let vm_name = ex.vm_name;
+            match ex.result {
                 Ok(other) => {
                     if self.config.static_prepass {
                         static_findings.extend(Self::static_scan(&other));
@@ -407,6 +473,8 @@ impl ModChecker {
             quorum,
             times,
             per_vm_times,
+            vmi,
+            fault_injections,
             static_findings,
         })
     }
@@ -467,16 +535,27 @@ impl ModChecker {
         extractions: Vec<Extraction>,
     ) -> Result<PoolCheckReport, CheckError> {
         let mut times = ComponentTimes::default();
-        for (_, t, _) in &extractions {
-            times.accumulate(t);
+        let mut vmi = VmiStats::default();
+        let mut fault_injections = 0u64;
+        let mut per_vm = Vec::with_capacity(extractions.len());
+        for ex in &extractions {
+            times.accumulate(&ex.times);
+            vmi.accumulate(&ex.vmi);
+            fault_injections += ex.fault_injections;
+            per_vm.push(VmScanStats {
+                vm_name: ex.vm_name.clone(),
+                times: ex.times,
+                vmi: ex.vmi,
+                fault_injections: ex.fault_injections,
+            });
         }
-        let vm_names: Vec<String> = extractions.iter().map(|(_, _, n)| n.clone()).collect();
+        let vm_names: Vec<String> = extractions.iter().map(|ex| ex.vm_name.clone()).collect();
 
         // Split successes and failures, remembering positions.
         let mut extracted: Vec<(usize, Arc<ExtractedModule>)> = Vec::new();
         let mut errors: Vec<Option<VerdictError>> = vec![None; extractions.len()];
-        for (i, (result, _, _)) in extractions.into_iter().enumerate() {
-            match result {
+        for (i, ex) in extractions.into_iter().enumerate() {
+            match ex.result {
                 Ok(m) => extracted.push((i, m)),
                 Err(e) => errors[i] = Some(VerdictError::classify(&e)),
             }
@@ -588,6 +667,9 @@ impl ModChecker {
             scanned,
             quorum,
             times,
+            per_vm,
+            vmi,
+            fault_injections,
             static_findings,
         })
     }
@@ -820,6 +902,11 @@ pub struct CacheStats {
     /// Cached entries discarded because a page generation moved, the
     /// module relocated, or the digest algorithm changed.
     pub invalidations: u64,
+    /// Cached entries discarded for VM-lifecycle reasons rather than
+    /// content change: the VM was lost mid-scan, quarantined by the
+    /// monitor's circuit breaker, or reverted to a snapshot. Counted per
+    /// entry removed (a VM caching three modules evicts three).
+    pub evictions: u64,
 }
 
 /// Per-(VM, module) capture cache keyed by page write-generations.
@@ -870,6 +957,33 @@ impl CaptureCache {
     /// Drops every cached capture (counters survive).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Drops every entry belonging to one VM — called when the VM's
+    /// lifecycle invalidates its captures wholesale (lost mid-scan,
+    /// quarantined, snapshot-reverted). Returns how many entries went;
+    /// each is counted in [`CacheStats::evictions`].
+    pub fn evict_vm(&mut self, vm: VmId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(id, _), _| *id != vm);
+        let evicted = before - self.entries.len();
+        self.stats.evictions += evicted as u64;
+        evicted
+    }
+
+    /// Records the cumulative counters as gauges (`cache_*`). Gauges — not
+    /// counter adds — because the stats are already lifetime-cumulative;
+    /// re-recording each round must not double-count.
+    pub fn record_metrics(&self, reg: &mut mc_obs::MetricsRegistry) {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            let s = self.stats;
+            reg.gauge_set("cache_hits", s.hits as f64);
+            reg.gauge_set("cache_misses", s.misses as f64);
+            reg.gauge_set("cache_invalidations", s.invalidations as f64);
+            reg.gauge_set("cache_evictions", s.evictions as f64);
+            reg.gauge_set("cache_entries", self.entries.len() as f64);
+        }
     }
 }
 
@@ -1272,6 +1386,68 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec!["dom1"]
         );
+    }
+
+    #[test]
+    fn vm_loss_mid_scan_evicts_every_entry_for_that_vm() {
+        use mc_hypervisor::FaultPlan;
+        let (mut hv, _guests, ids) = cloud(3);
+        let checker = ModChecker::new();
+        let mut cache = CaptureCache::new();
+        checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        checker
+            .check_pool_with_cache(&hv, &ids, "http.sys", &mut cache)
+            .unwrap();
+        assert_eq!(cache.len(), 6, "2 modules × 3 VMs");
+        assert_eq!(cache.stats().evictions, 0);
+
+        // dom2 dies: the next scan must drop BOTH of its entries, not just
+        // the module that happened to be scanning when the loss surfaced.
+        hv.set_fault_plan(ids[1], Some(FaultPlan::none(3).lose_after(0)))
+            .unwrap();
+        let report = checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        assert_eq!(report.unscannable().count(), 1);
+        assert_eq!(cache.len(), 4, "both of dom2's entries evicted");
+        assert_eq!(cache.stats().evictions, 2);
+
+        // The VM comes back (fault plan cleared): fresh captures, clean
+        // verdicts, no stale reuse.
+        hv.set_fault_plan(ids[1], None).unwrap();
+        let again = checker
+            .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
+            .unwrap();
+        assert!(again.all_clean());
+        assert_eq!(cache.len(), 5, "hal.dll entries restored for all 3 VMs");
+    }
+
+    #[test]
+    fn pool_report_carries_per_vm_introspection_stats() {
+        let (hv, _guests, ids) = cloud(4);
+        let report = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        assert_eq!(report.per_vm.len(), 4);
+        let mut sum = mc_vmi::VmiStats::default();
+        let mut injections = 0;
+        for s in &report.per_vm {
+            assert!(s.vmi.reads > 0, "{} captured nothing", s.vm_name);
+            assert!(s.vmi.bytes_copied > 0);
+            sum.accumulate(&s.vmi);
+            injections += s.fault_injections;
+        }
+        assert_eq!(sum, report.vmi, "aggregate equals the per-VM sum");
+        assert_eq!(injections, report.fault_injections);
+        assert_eq!(report.fault_injections, 0, "no fault plan, no anomalies");
+        // Per-VM capture totals plus the pairwise (vote) time make up the
+        // whole report: no lost or double-charged simulated time.
+        let capture_total: mc_hypervisor::SimDuration = report
+            .per_vm
+            .iter()
+            .map(|s| s.times.total())
+            .fold(mc_hypervisor::SimDuration::ZERO, |acc, t| acc + t);
+        assert!(report.times.total() >= capture_total);
     }
 
     #[test]

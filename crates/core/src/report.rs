@@ -198,6 +198,25 @@ impl fmt::Display for ComponentTimes {
     }
 }
 
+/// One VM's scan-cost breakdown from a pool check: where its simulated
+/// time went and what introspection work it took. These are the span/metric
+/// inputs the observability layer (`mc-obs`) renders; they are deterministic
+/// per (fault seed, VM) and therefore identical across scan modes.
+#[derive(Clone, Debug, Default)]
+pub struct VmScanStats {
+    /// VM name.
+    pub vm_name: String,
+    /// Component time split for this VM's capture (searcher/parser/checker;
+    /// the checker share here is header hashing only — pairwise voting time
+    /// is pool-level, not per-VM).
+    pub times: ComponentTimes,
+    /// Introspection counters from this VM's session (reads, pages mapped,
+    /// retries, torn detections, stability re-reads...).
+    pub vmi: mc_vmi::VmiStats,
+    /// Anomalies the fault layer injected into this VM's session.
+    pub fault_injections: u64,
+}
+
 /// Verdict for one VM from a full pool check.
 #[derive(Clone, Debug)]
 pub struct VmVerdict {
@@ -278,6 +297,10 @@ pub struct ModuleCheckReport {
     pub times: ComponentTimes,
     /// Per-VM component times, in scan order (reference first).
     pub per_vm_times: Vec<(String, ComponentTimes)>,
+    /// Aggregate introspection counters across every per-VM session.
+    pub vmi: mc_vmi::VmiStats,
+    /// Total fault-layer anomalies injected across every per-VM session.
+    pub fault_injections: u64,
     /// Non-clean single-VM static analysis reports, one per flagged VM
     /// (populated when [`crate::pool::CheckConfig::static_prepass`] is on).
     /// Orthogonal to the vote: these findings name the infected VM even
@@ -385,6 +408,15 @@ pub struct PoolCheckReport {
     pub quorum: QuorumStatus,
     /// Aggregate component times.
     pub times: ComponentTimes,
+    /// Per-VM scan-cost breakdowns, in scan order. The sum of the per-VM
+    /// capture totals plus the pool-level voting time equals
+    /// [`PoolCheckReport::times`]`.total()` — the invariant the span tree
+    /// in `mc-obs` is built on.
+    pub per_vm: Vec<VmScanStats>,
+    /// Aggregate introspection counters across every per-VM session.
+    pub vmi: mc_vmi::VmiStats,
+    /// Total fault-layer anomalies injected across every per-VM session.
+    pub fault_injections: u64,
     /// Non-clean single-VM static analysis reports (populated when
     /// [`crate::pool::CheckConfig::static_prepass`] is on). These break
     /// worm-majority ties: the vote says "discrepancy somewhere", the
@@ -466,6 +498,20 @@ impl PoolCheckReport {
                 "parser": self.times.parser.as_millis_f64(),
                 "checker": self.times.checker.as_millis_f64(),
                 "total": self.times.total().as_millis_f64(),
+            },
+            // Introspection counters are pure functions of (fault seed, VM):
+            // every value below is identical for sequential and parallel
+            // scans — the chaos suite's byte-for-byte determinism check
+            // covers this section too.
+            "vmi": {
+                "reads": self.vmi.reads,
+                "pages_mapped": self.vmi.pages_mapped,
+                "bytes_copied": self.vmi.bytes_copied,
+                "retries": self.vmi.retries,
+                "transient_faults": self.vmi.transient_faults,
+                "torn_detected": self.vmi.torn_detected,
+                "stability_rereads": self.vmi.stability_rereads,
+                "fault_injections": self.fault_injections,
             },
         })
     }
@@ -555,6 +601,8 @@ mod tests {
             quorum: QuorumStatus::Full,
             times: ComponentTimes::default(),
             per_vm_times: vec![],
+            vmi: mc_vmi::VmiStats::default(),
+            fault_injections: 0,
             static_findings: vec![],
         };
         assert_eq!(report.suspect_parts().len(), 1);
@@ -587,6 +635,8 @@ mod tests {
             quorum: QuorumStatus::Full,
             times,
             per_vm_times: per,
+            vmi: mc_vmi::VmiStats::default(),
+            fault_injections: 0,
             static_findings: vec![],
         };
         let seq = report.simulated_wall_sequential();

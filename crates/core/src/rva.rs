@@ -37,8 +37,10 @@ pub struct AdjustStats {
     /// sides.
     pub slots_adjusted: usize,
     /// Byte differences that did *not* reconcile as relocation — tampering
-    /// (or structural divergence). Nonzero residuals always surface as hash
-    /// mismatches.
+    /// (or structural divergence). A section-length mismatch counts its
+    /// truncated tail here too: bytes past `min(len_a, len_b)` can never
+    /// reconcile, and length divergence is itself structural tampering
+    /// evidence. Nonzero residuals always surface as hash mismatches.
     pub residual_diffs: usize,
     /// Bytes scanned (min of the two section lengths).
     pub bytes_scanned: usize,
@@ -79,8 +81,13 @@ pub fn adjust_rvas(
 ) -> AdjustStats {
     let w = width.bytes();
     let len = a.len().min(b.len());
+    // Bytes past the common prefix cannot be scanned, let alone reconciled;
+    // count the whole truncated tail as residual so mismatched-length
+    // captures can never under-report.
+    let tail = a.len().max(b.len()) - len;
     let mut stats = AdjustStats {
         bytes_scanned: len,
+        residual_diffs: tail,
         ..AdjustStats::default()
     };
     // Mask RVAs to the guest word size (32-bit arithmetic wraps mod 2^32).
@@ -340,6 +347,35 @@ mod tests {
         let stats = adjust_rvas(&mut a, &mut b, 0xF712_0000, 0xF7C4_3000, AddressWidth::W32);
         assert_eq!(stats.bytes_scanned, 400);
         assert_eq!(stats.slots_adjusted, 1);
+        assert_eq!(
+            stats.residual_diffs, 200,
+            "truncated tail counts as residual"
+        );
+    }
+
+    #[test]
+    fn truncation_attack_is_residual_even_with_identical_bases() {
+        // A rootkit that shrinks a section (e.g. hooks the size field so the
+        // capture stops early) must not make the diff look clean. Identical
+        // bases used to short-circuit before counting the tail; both return
+        // paths must report it.
+        let file = sample_file();
+        let (mut a, mut b) = load_pair(&file, &[], 0xF700_0000, 0xF700_0000, AddressWidth::W32);
+        b.truncate(512);
+        let stats = adjust_rvas(&mut a, &mut b, 0xF700_0000, 0xF700_0000, AddressWidth::W32);
+        assert!(stats.identical_bases);
+        assert_eq!(
+            stats.residual_diffs, 88,
+            "600 - 512 tail bytes are residual"
+        );
+
+        // Same attack with differing bases takes the scan path: the clean
+        // common prefix contributes nothing, the tail everything.
+        let (mut a, mut b) = load_pair(&file, &[16], 0xF712_0000, 0xF7C4_3000, AddressWidth::W32);
+        a.truncate(512);
+        let stats = adjust_rvas(&mut a, &mut b, 0xF712_0000, 0xF7C4_3000, AddressWidth::W32);
+        assert_eq!(stats.slots_adjusted, 1);
+        assert_eq!(stats.residual_diffs, 88);
     }
 
     mod properties {

@@ -168,6 +168,9 @@ pub struct FaultState {
     paged_out: HashMap<u64, u32>,
     /// Pages already decided resident (first-touch decision is sticky).
     decided: HashSet<u64>,
+    /// Total anomalies injected so far: every failed attempt, torn buffer
+    /// and latency spike counts one.
+    injections: u64,
 }
 
 impl FaultState {
@@ -185,12 +188,21 @@ impl FaultState {
             pause_done: false,
             paged_out: HashMap::new(),
             decided: HashSet::new(),
+            injections: 0,
         }
     }
 
     /// The plan this state was built from.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Anomalies injected so far (failed attempts, torn buffers, latency
+    /// spikes). Deterministic per `(plan.seed, vm)` like the fault stream
+    /// itself, so it is safe to export as a metric compared across scan
+    /// modes.
+    pub fn injections(&self) -> u64 {
+        self.injections
     }
 
     /// Consulted at session attach: a VM lost before its first read cannot
@@ -205,6 +217,22 @@ impl FaultState {
     /// Decides the fate of one read attempt of `len` bytes at `va`.
     /// Deterministic given the session's prior attempt history.
     pub fn on_read(&mut self, va: u64, len: usize) -> FaultDecision {
+        let decision = self.decide(va, len);
+        match &decision {
+            FaultDecision::Proceed {
+                torn_byte,
+                extra_ns,
+            } => {
+                self.injections += u64::from(torn_byte.is_some()) + u64::from(*extra_ns > 0);
+            }
+            FaultDecision::Fail { extra_ns, .. } => {
+                self.injections += 1 + u64::from(*extra_ns > 0);
+            }
+        }
+        decision
+    }
+
+    fn decide(&mut self, va: u64, len: usize) -> FaultDecision {
         let extra_ns = if self.plan.latency_spike_rate > 0.0
             && self.rng.random_bool(self.plan.latency_spike_rate)
         {
@@ -428,6 +456,33 @@ mod tests {
             } => assert!(off < 4096),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn injections_count_every_anomaly_deterministically() {
+        let mut clean = FaultState::new(VmId(0), FaultPlan::none(1));
+        drain(&mut clean, 50, 4096);
+        assert_eq!(clean.injections(), 0);
+
+        let plan = FaultPlan::chaos(42, 0.2);
+        let mut a = FaultState::new(VmId(3), plan);
+        let decisions = drain(&mut a, 200, 4096);
+        let expected: u64 = decisions
+            .iter()
+            .map(|d| match d {
+                FaultDecision::Proceed {
+                    torn_byte,
+                    extra_ns,
+                } => u64::from(torn_byte.is_some()) + u64::from(*extra_ns > 0),
+                FaultDecision::Fail { extra_ns, .. } => 1 + u64::from(*extra_ns > 0),
+            })
+            .sum();
+        assert!(expected > 0);
+        assert_eq!(a.injections(), expected);
+
+        let mut b = FaultState::new(VmId(3), plan);
+        drain(&mut b, 200, 4096);
+        assert_eq!(a.injections(), b.injections());
     }
 
     #[test]

@@ -194,6 +194,27 @@ impl Hypervisor {
             vm.fault_plan = Some(plan);
         }
     }
+
+    /// Registers the host's point-in-time state as gauges: VM count, guest
+    /// CPU demand, the Dom0 contention slowdown, and aggregate guest-memory
+    /// figures (frames, allocated bytes, write-generation high-water mark).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn record_metrics(&self, reg: &mut mc_obs::MetricsRegistry) {
+        reg.gauge_set("hv_vm_count", self.vm_count() as f64);
+        reg.gauge_set("hv_guest_demand_cores", self.total_guest_demand());
+        reg.gauge_set("hv_dom0_slowdown", self.dom0_slowdown());
+        let (frames, bytes, generations) =
+            self.vms.iter().fold((0u64, 0u64, 0u64), |(f, b, g), vm| {
+                (
+                    f + vm.mem.frame_count() as u64,
+                    b + vm.mem.allocated_bytes() as u64,
+                    g + vm.mem.write_counter(),
+                )
+            });
+        reg.gauge_set("hv_guest_frames", frames as f64);
+        reg.gauge_set("hv_guest_allocated_bytes", bytes as f64);
+        reg.gauge_set("hv_frame_generations", generations as f64);
+    }
 }
 
 #[cfg(test)]

@@ -194,6 +194,37 @@ pub struct VmiStats {
     pub transient_faults: u64,
     /// Torn reads detected by [`VmiSession::read_va_stable`]'s double-read.
     pub torn_detected: u64,
+    /// Verification passes performed by [`VmiSession::read_va_stable`].
+    /// These re-read memory that was already copied, so they are *not*
+    /// counted in `reads`/`pages_mapped`/`bytes_copied` — overhead
+    /// attribution would otherwise double-charge every stable read.
+    pub stability_rereads: u64,
+}
+
+impl VmiStats {
+    /// Adds another session's counters into this one (used to aggregate a
+    /// pool scan's per-VM sessions into one report-level figure).
+    pub fn accumulate(&mut self, other: &VmiStats) {
+        self.reads += other.reads;
+        self.pages_mapped += other.pages_mapped;
+        self.bytes_copied += other.bytes_copied;
+        self.retries += other.retries;
+        self.transient_faults += other.transient_faults;
+        self.torn_detected += other.torn_detected;
+        self.stability_rereads += other.stability_rereads;
+    }
+
+    /// Registers the counters into a [`mc_obs::MetricsRegistry`] under the
+    /// `vmi_*_total` names the README documents.
+    pub fn record_into(&self, reg: &mut mc_obs::MetricsRegistry) {
+        reg.counter_add("vmi_reads_total", self.reads);
+        reg.counter_add("vmi_pages_mapped_total", self.pages_mapped);
+        reg.counter_add("vmi_bytes_copied_total", self.bytes_copied);
+        reg.counter_add("vmi_retries_total", self.retries);
+        reg.counter_add("vmi_transient_faults_total", self.transient_faults);
+        reg.counter_add("vmi_torn_detected_total", self.torn_detected);
+        reg.counter_add("vmi_stability_rereads_total", self.stability_rereads);
+    }
 }
 
 /// An introspection session against one guest VM.
@@ -433,7 +464,17 @@ impl<'hv> VmiSession<'hv> {
         }
         let mut check = vec![0u8; buf.len()];
         for _ in 0..=self.retry.max_retries {
+            let before = self.stats;
             self.read_va(va, &mut check)?;
+            // The verification pass re-reads bytes already copied: reclassify
+            // it under `stability_rereads` so `reads`/`pages_mapped`/
+            // `bytes_copied` keep measuring useful work only. Simulated time
+            // stays charged (the double-read really costs it), and
+            // retries/transient_faults keep accruing (those are genuine).
+            self.stats.stability_rereads += self.stats.reads - before.reads;
+            self.stats.reads = before.reads;
+            self.stats.pages_mapped = before.pages_mapped;
+            self.stats.bytes_copied = before.bytes_copied;
             if check == *buf {
                 return Ok(());
             }
@@ -530,6 +571,12 @@ impl<'hv> VmiSession<'hv> {
     /// Access statistics.
     pub fn stats(&self) -> VmiStats {
         self.stats
+    }
+
+    /// Anomalies the fault layer injected into this session (zero when the
+    /// VM carries no fault plan). See [`FaultState::injections`].
+    pub fn fault_injections(&self) -> u64 {
+        self.fault.as_ref().map_or(0, FaultState::injections)
     }
 
     /// Total simulated time charged over the session's whole lifetime
@@ -931,6 +978,58 @@ mod tests {
             "verification read must not distort the baseline figures"
         );
         assert_eq!(plain.stats(), stable.stats());
+    }
+
+    #[test]
+    fn stability_rereads_do_not_inflate_the_useful_work_counters() {
+        // Clean stable read under a (no-op) fault plan: the verification
+        // pass runs once and must land in `stability_rereads`, leaving the
+        // useful-work counters identical to a plain read.
+        let (mut hv, id) = host_with_vm();
+        hv.set_fault_plan(id, Some(FaultPlan::none(1))).unwrap();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut buf = vec![0u8; 4096];
+        s.read_va_stable(0x8000_0000, &mut buf).unwrap();
+        assert_eq!(
+            s.stats(),
+            VmiStats {
+                reads: 1,
+                pages_mapped: 1,
+                bytes_copied: 4096,
+                retries: 0,
+                transient_faults: 0,
+                torn_detected: 0,
+                stability_rereads: 1,
+            }
+        );
+
+        // Torn-then-retried reads: every successful stable read costs one
+        // verification pass plus one more per detected tear, and none of
+        // them may leak into reads/pages_mapped/bytes_copied.
+        let (mut hv, id) = host_with_vm();
+        let truth: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        hv.vm_mut(id)
+            .unwrap()
+            .write_virt(0x8000_1000, &truth)
+            .unwrap();
+        hv.set_fault_plan(id, Some(FaultPlan::none(5).with_torn_rate(0.4)))
+            .unwrap();
+        let mut s = VmiSession::attach(&hv, id)
+            .unwrap()
+            .with_retry(RetryPolicy::with_max_retries(16));
+        for _ in 0..30 {
+            let mut buf = vec![0u8; 4096];
+            s.read_va_stable(0x8000_1000, &mut buf).unwrap();
+        }
+        let st = s.stats();
+        assert!(st.torn_detected > 0, "seed 5 @ 40% must tear in 30 reads");
+        assert_eq!(st.reads, 30);
+        assert_eq!(st.pages_mapped, 30);
+        assert_eq!(st.bytes_copied, 30 * 4096);
+        assert_eq!(st.stability_rereads, 30 + st.torn_detected);
+        // One torn buffer can mismatch two consecutive comparisons, so
+        // torn_detected may exceed injections; both must be non-zero here.
+        assert!(s.fault_injections() > 0);
     }
 
     #[test]

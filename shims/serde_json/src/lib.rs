@@ -1,7 +1,9 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Provides a JSON [`Value`] tree, the [`json!`] constructor macro and
-//! [`to_string_pretty`] — the full surface the workspace's CLI uses to emit
+//! Provides a JSON [`Value`] tree, the [`json!`] constructor macro,
+//! [`to_string`] / [`to_string_pretty`] writers, a [`from_str`] parser and
+//! the accessor subset (`get`, `as_i64`, …) — the full surface the
+//! workspace's CLI and observability layer use to emit and re-read
 //! machine-readable reports. Two deliberate differences from the real crate:
 //! object keys keep insertion order (a `Vec` of pairs, not a map — stable
 //! output for tests), and the `json!` value grammar takes expressions *by
@@ -29,6 +31,88 @@ pub enum Value {
     Array(Vec<Value>),
     /// An object; pairs keep insertion order.
     Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants or a missing key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as unsigned, if this is a non-negative `Int`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64` (both `Int` and `Float`).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(elems) => Some(elems),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs (insertion order), if this is an `Object`.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 /// Conversion into [`Value`] by reference (how [`json!`] splices exprs).
@@ -156,10 +240,13 @@ macro_rules! json {
     // -- entry points --------------------------------------------------------
     (null) => { $crate::Value::Null };
     ({ $($tt:tt)* }) => {{
-        #[allow(unused_mut)]
-        let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
-            ::std::vec::Vec::new();
-        $crate::json!(@obj __obj $($tt)*);
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let __obj = {
+            let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json!(@obj __obj $($tt)*);
+            __obj
+        };
         $crate::Value::Object(__obj)
     }};
     ([ $($elem:expr),* $(,)? ]) => {
@@ -168,14 +255,29 @@ macro_rules! json {
     ($value:expr) => { $crate::to_value(&$value) };
 }
 
-/// Serialization failure. The shim's printer is total, so this is never
-/// constructed; it exists to keep `to_string_pretty`'s `Result` signature.
-#[derive(Clone, Copy, Debug)]
-pub struct Error;
+/// Serialization or parse failure. The shim's printers are total, so only
+/// [`from_str`] ever constructs one; for writers the `Result` mirrors the
+/// real API.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>, pos: usize) -> Self {
+        Error {
+            msg: format!("{} at byte {pos}", msg.into()),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization failed")
+        if self.msg.is_empty() {
+            f.write_str("JSON serialization failed")
+        } else {
+            write!(f, "JSON error: {}", self.msg)
+        }
     }
 }
 
@@ -190,6 +292,284 @@ pub fn to_string_pretty<T: ToValue + ?Sized>(value: &T) -> Result<String, Error>
     let mut out = String::new();
     write_pretty(&value.to_value(), 0, &mut out);
     Ok(out)
+}
+
+/// Prints a value as single-line compact JSON (no spaces after `,` / `:`),
+/// matching the real crate — the form the JSONL trace exporter needs.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real API.
+pub fn to_string<T: ToValue + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Array(elems) => {
+            out.push('[');
+            for (i, elem) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(elem, out);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+        scalar => write_pretty(scalar, 0, out),
+    }
+}
+
+/// Parses a JSON document. Numbers without `.` / exponent that fit an `i64`
+/// become [`Value::Int`]; everything else numeric becomes [`Value::Float`].
+///
+/// # Errors
+///
+/// Returns a message-carrying [`Error`] on malformed input or trailing
+/// non-whitespace.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(format!("expected '{lit}'"), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::parse("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(elems));
+                }
+                _ => return Err(Error::parse("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error::parse("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Run of plain bytes up to the next escape or closing quote.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse("invalid UTF-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                _ => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let esc = self
+            .peek()
+            .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+        self.pos += 1;
+        match esc {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require a trailing \uXXXX low surrogate.
+                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                        self.pos += 2;
+                        let lo = self.parse_hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(Error::parse("invalid low surrogate", self.pos));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(Error::parse("lone surrogate", self.pos));
+                    }
+                } else {
+                    hi
+                };
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::parse("invalid unicode escape", self.pos))?,
+                );
+            }
+            _ => return Err(Error::parse("invalid escape", self.pos - 1)),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+        let text =
+            std::str::from_utf8(digits).map_err(|_| Error::parse("bad \\u escape", self.pos))?;
+        let code =
+            u32::from_str_radix(text, 16).map_err(|_| Error::parse("bad \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("bad number", start))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse("bad number", start))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error::parse("bad number", start))
+        }
+    }
 }
 
 fn write_pretty(value: &Value, depth: usize, out: &mut String) {
@@ -280,7 +660,7 @@ mod tests {
             name: String,
             clean: bool,
         }
-        let verdicts = vec![
+        let verdicts = [
             Verdict {
                 name: "dom1".into(),
                 clean: true,
@@ -330,5 +710,70 @@ mod tests {
         assert_eq!(to_string_pretty(&json!(42u64)).unwrap(), "42");
         assert_eq!(to_string_pretty(&json!(42.0f64)).unwrap(), "42.0");
         assert_eq!(to_string_pretty(&json!(null)).unwrap(), "null");
+    }
+
+    #[test]
+    fn compact_writer_is_single_line() {
+        let v = json!({
+            "a": [1, 2],
+            "b": { "c": "x y", "d": null },
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":[1,2],"b":{"c":"x y","d":null}}"#
+        );
+    }
+
+    #[test]
+    fn parser_round_trips_both_print_forms() {
+        let v = json!({
+            "name": "torn\npage \"q\"",
+            "counts": [0, -3, 123456789012345i64],
+            "ratio": 0.25,
+            "whole": 42.0f64,
+            "flag": true,
+            "nothing": null,
+            "nested": { "empty": [], "obj": {} },
+        });
+        let pretty = to_string_pretty(&v).unwrap();
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+        assert_eq!(from_str(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let v = from_str(r#"{"s": "a\u0041\n\\ \ud83d\ude00"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("aA\n\\ \u{1F600}"));
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("\"lone \\ud800\"").is_err());
+    }
+
+    #[test]
+    fn accessors_select_the_expected_variants() {
+        let v = json!({
+            "i": 7u64,
+            "f": 1.5,
+            "s": "hi",
+            "b": false,
+            "arr": [1],
+            "nil": null,
+        });
+        assert_eq!(v.get("i").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("i").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("i").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("f").and_then(Value::as_u64), None);
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("arr").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+        assert!(v.get("nil").is_some_and(Value::is_null));
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.as_object().map(Vec::len), Some(6));
     }
 }
