@@ -12,6 +12,9 @@
 #   6. chaos suite           — fault-injection gate (pinned seeds)
 #   7. fig_scale --smoke     — comparison-scaling gate (writes BENCH_scan.json)
 #   8. observability gate    — metrics/trace export + schema validation + mc-obs clippy
+#   9. fleet gate            — randomized sim smoke + golden snapshots +
+#                              fig_fleet sub-linear scaling (writes BENCH_fleet.json)
+#  10. test-count floor      — the suite must never silently shrink
 set -eu
 
 cd "$(dirname "$0")"
@@ -58,5 +61,26 @@ cargo run --release -q -p modchecker-cli --bin modchecker -- \
     validate-metrics --file target/ci-metrics.json --schema schemas/metrics-schema.json
 test -s target/ci-trace.jsonl || { echo "ci: trace export is empty" >&2; exit 1; }
 cargo clippy -q -p mc-obs --all-targets -- -D warnings
+
+# Fleet gate: the randomized cloud-simulation suite (its default 200
+# seeded topologies, oracle-checked in all four compare × sharding mode
+# combinations), the byte-pinned golden snapshots, and the fig_fleet
+# scaling bench, which itself asserts that sharded makespan shrinks
+# monotonically and sub-linearly and that the report bytes never depend
+# on the shard count.
+echo "==> fleet gate (sim smoke + golden snapshots + fig_fleet scaling)"
+cargo test -q --release --test fleet_sim --test golden_fleet --test pe_fuzz
+cargo run --release -q -p mc-bench --bin fig_fleet -- --smoke --out BENCH_fleet.json
+
+# Test-count floor: the workspace suite must never silently shrink. Bump
+# the floor when tests are added; lowering it is a reviewed decision.
+TEST_FLOOR=415
+echo "==> test-count floor (>= $TEST_FLOOR)"
+TEST_COUNT=$(cargo test --workspace -q -- --list 2>/dev/null | grep -c ': test$')
+echo "    $TEST_COUNT tests listed"
+if [ "$TEST_COUNT" -lt "$TEST_FLOOR" ]; then
+    echo "ci: test count $TEST_COUNT fell below the floor of $TEST_FLOOR" >&2
+    exit 1
+fi
 
 echo "ci: all green"

@@ -1,0 +1,148 @@
+//! FIG-FLEET — fleet-scheduler makespan scaling with shard count.
+//!
+//! Builds one clean multi-pool cloud (`uniform_fleet`: pool sizes and
+//! module sizes vary deterministically, so per-pool costs are uneven),
+//! sweeps it once per shard count in {1, 2, 4, 8}, and reads the
+//! simulated makespan back through the LPT model
+//! (`simulated_fleet_wall`). Real wall-clock is useless here — CI boxes
+//! may have a single core — but the simulated-time model is exact and
+//! deterministic, which also lets this figure double as a regression
+//! gate.
+//!
+//! Shape claims verified:
+//! * every sweep serializes byte-identically regardless of shard count
+//!   (the scheduler's determinism contract);
+//! * makespan is monotonically non-increasing as shards grow;
+//! * at the maximum shard count the speedup is at least 2× yet strictly
+//!   below the shard count — LPT over *uneven* pools cannot divide
+//!   perfectly, so a super-linear or exactly-linear result would mean
+//!   the model is broken.
+//!
+//! Emits the sweep as `BENCH_fleet.json` (`--out <PATH>` overrides)
+//! alongside the usual CSV block.
+
+use mc_bench::print_csv;
+use modchecker::{simulated_fleet_wall, FleetConfig, FleetScheduler};
+use modchecker_repro::fleetgen::uniform_fleet;
+
+struct Row {
+    shards: usize,
+    wall_ms: f64,
+    speedup: f64,
+    units_per_sec: f64,
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{},{:.3},{:.2},{:.1}",
+            self.shards, self.wall_ms, self.speedup, self.units_per_sec
+        )
+    }
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_str(key: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let out = arg_str("--out", "BENCH_fleet.json");
+    let (pools, base_vms, modules) = if smoke { (6, 3, 2) } else { (12, 4, 3) };
+    let shard_sweep: &[usize] = &[1, 2, 4, 8];
+    let max_shards = *shard_sweep.last().expect("sweep nonempty");
+
+    let bed = uniform_fleet(pools, base_vms, modules, 1);
+    let mut baseline: Option<(modchecker::FleetReport, String)> = None;
+    let mut rows = Vec::new();
+    for &shards in shard_sweep {
+        let sched = FleetScheduler::new(FleetConfig {
+            shards,
+            ..FleetConfig::default()
+        });
+        let report = sched.sweep(&bed.hv, &bed.fleet);
+        assert_eq!(report.units_failed(), 0, "clean fleet sweep failed a unit");
+        assert!(report.all_clean(), "clean fleet sweep flagged a suspect");
+        let rendered = serde_json::to_string_pretty(&report.to_json()).expect("serializes");
+        let (base_report, base_rendered) =
+            baseline.get_or_insert_with(|| (report, rendered.clone()));
+        assert_eq!(
+            base_rendered, &rendered,
+            "shards={shards} changed the report bytes — determinism contract broken"
+        );
+
+        let wall = simulated_fleet_wall(base_report, shards);
+        let wall_ms = wall.as_millis_f64();
+        let sequential_ms = base_report.simulated_wall_sequential().as_millis_f64();
+        rows.push(Row {
+            shards,
+            wall_ms,
+            speedup: sequential_ms / wall_ms,
+            units_per_sec: base_report.units_total() as f64 / (wall_ms / 1000.0),
+        });
+    }
+    let (report, _) = baseline.expect("at least one sweep ran");
+
+    print_csv("fig_fleet", "shards,wall_ms,speedup,units_per_sec", &rows);
+
+    let json = serde_json::json!({
+        "figure": "fig_fleet",
+        "smoke": smoke,
+        "pools": pools,
+        "vms": report.pools.iter().map(|p| p.vm_names.len()).sum::<usize>(),
+        "units": report.units_total(),
+        "rows": rows.iter().map(|r| serde_json::json!({
+            "shards": r.shards,
+            "wall_ms": r.wall_ms,
+            "speedup": r.speedup,
+            "units_per_sec": r.units_per_sec,
+        })).collect::<Vec<_>>(),
+    });
+    let rendered = serde_json::to_string_pretty(&json).expect("render BENCH_fleet.json");
+    std::fs::write(&out, rendered + "\n").expect("write BENCH_fleet.json");
+    println!("\nwrote {out}");
+
+    println!("\nFIG-FLEET shape checks:");
+    for pair in rows.windows(2) {
+        println!(
+            "  shards {} -> {}: {:.3} ms -> {:.3} ms",
+            pair[0].shards, pair[1].shards, pair[0].wall_ms, pair[1].wall_ms
+        );
+        assert!(
+            pair[1].wall_ms <= pair[0].wall_ms,
+            "makespan increased when shards grew {} -> {}",
+            pair[0].shards,
+            pair[1].shards
+        );
+    }
+    let last = rows.last().expect("rows nonempty");
+    println!(
+        "  shards={}: speedup {:.2}x over sequential ({:.1} units/sec)",
+        last.shards, last.speedup, last.units_per_sec
+    );
+    assert!(
+        last.speedup >= 2.0,
+        "sharding {}x yielded only {:.2}x speedup",
+        last.shards,
+        last.speedup
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let linear = max_shards as f64;
+    assert!(
+        last.speedup < linear,
+        "speedup {:.2}x at {max_shards} shards is not sub-linear — LPT over uneven pools cannot divide perfectly",
+        last.speedup
+    );
+
+    println!("\nFIG-FLEET reproduced: sharded sweeps cut makespan sub-linearly, bytes unchanged.");
+}

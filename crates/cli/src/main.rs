@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "listdiff" => cmd_listdiff(&mut args),
         "sweep" => cmd_sweep(&mut args),
         "sweep-all" => cmd_sweep_all(&mut args),
+        "fleet-check" => cmd_fleet_check(&mut args),
         "monitor" => cmd_monitor(&mut args),
         "validate-metrics" => cmd_validate_metrics(&mut args),
         "techniques" => cmd_techniques(),
@@ -79,6 +80,15 @@ USAGE:
   modchecker listdiff --vms <N> [--hide <module>@<vm-index>]
   modchecker sweep [--loaded]            runtime vs pool size (Fig. 7/8 preview)
   modchecker sweep-all [--vms <N>]       list-diff + content-check every module
+  modchecker fleet-check [--pools <P>] [--vms-per-pool <M>] [--modules-per-pool <K>]
+                         [--seed <S>] [--shards <N>] [--max-inflight-per-vm <K>]
+                         [--discover] [--rounds <R>] [--compare pairwise|canonical]
+                         [--retries <R>] [--min-quorum <Q>] [--fault-seed <SEED>]
+                         [--fault-rate <0..1>] [--json] [--metrics-out <PATH>]
+                         [--trace-out <PATH>]
+                                         sharded multi-pool, multi-module sweep;
+                                         --seed builds a randomized infected fleet,
+                                         otherwise a clean uniform one
   modchecker monitor [--vms <N>] [--rounds <R>] [--fault-seed <SEED>]
                      [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
                      [--compare pairwise|canonical] [--metrics-out <PATH>]
@@ -426,14 +436,103 @@ fn cmd_sweep_all(args: &mut Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     print!("{lists}");
     println!("content checks over {} consensus module(s):", reports.len());
-    for (module, report) in &reports {
-        let verdict = if report.all_clean() {
-            "clean".to_string()
-        } else {
-            let suspects: Vec<String> = report.suspects().map(|v| v.vm_name.clone()).collect();
-            format!("DISCREPANCY {suspects:?}")
-        };
-        println!("  {module:<16} {verdict}  ({})", report.times);
+    for (module, result) in &reports {
+        match result {
+            Ok(report) => {
+                let verdict = if report.all_clean() {
+                    "clean".to_string()
+                } else {
+                    let suspects: Vec<String> =
+                        report.suspects().map(|v| v.vm_name.clone()).collect();
+                    format!("DISCREPANCY {suspects:?}")
+                };
+                println!("  {module:<16} {verdict}  ({})", report.times);
+            }
+            Err(e) => println!("  {module:<16} CHECK FAILED: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fleet_check(args: &mut Args) -> Result<(), String> {
+    let pools = args.value("pools")?.unwrap_or(3);
+    let vms = args.value("vms-per-pool")?.unwrap_or(4);
+    let modules = args.value("modules-per-pool")?.unwrap_or(2);
+    let shards = args.value("shards")?.unwrap_or(1).max(1);
+    let inflight = args.value("max-inflight-per-vm")?.unwrap_or(1).max(1);
+    let rounds = args.value("rounds")?.unwrap_or(1).max(1);
+    if pools < 1 {
+        return Err("--pools must be at least 1".into());
+    }
+    if vms < 2 {
+        return Err("--vms-per-pool must be at least 2".into());
+    }
+
+    // --seed builds the randomized infected topology the simulation suite
+    // uses; without it the fleet is a clean uniform cloud.
+    let mut bed = match args.value("seed")? {
+        Some(s) => modchecker_repro::fleetgen::random_fleet(s as u64),
+        None => modchecker_repro::fleetgen::uniform_fleet(pools, vms, modules, 1),
+    };
+    if let Some(plan) = fault_plan_of(args)? {
+        bed.hv.inject_fault_plan(plan);
+    }
+    let fleet = if args.flag("discover") {
+        let ids: Vec<_> = bed.fleet.pools.iter().flat_map(|p| p.vms.clone()).collect();
+        modchecker::Fleet::discover(&bed.hv, &ids)
+    } else {
+        bed.fleet
+    };
+
+    let check = chaos_config_of(args, modchecker::CheckConfig::default())?;
+    let sched = modchecker::FleetScheduler::new(modchecker::FleetConfig {
+        check,
+        shards,
+        max_inflight_per_vm: inflight,
+    });
+    let monitor = ContinuousMonitor::new(MonitorConfig {
+        check,
+        ..MonitorConfig::default()
+    });
+    let mut last = None;
+    for round in 0..rounds {
+        let report = monitor.run_fleet_round(&bed.hv, &sched, &fleet);
+        if rounds > 1 {
+            println!(
+                "round {round}: {} unit(s), {} failed, {} suspect pair(s)",
+                report.units_total(),
+                report.units_failed(),
+                report.suspects().len()
+            );
+        }
+        last = Some(report);
+    }
+    let report = last.expect("rounds >= 1");
+
+    if args.raw_value("metrics-out").is_some() || args.raw_value("trace-out").is_some() {
+        let obs = modchecker::observe_fleet(&report);
+        if let Some(path) = args.raw_value("metrics-out").map(str::to_string) {
+            let text = serde_json::to_string_pretty(&obs.registry.to_json()).expect("serializable");
+            std::fs::write(&path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        if let Some(path) = args.raw_value("trace-out").map(str::to_string) {
+            std::fs::write(&path, obs.trace.to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json()).expect("serializable")
+        );
+    } else {
+        print!("{report}");
+        println!(
+            "simulated wall: {} sequential, {} at {shards} shard(s)",
+            report.simulated_wall_sequential(),
+            modchecker::simulated_fleet_wall(&report, shards)
+        );
     }
     Ok(())
 }

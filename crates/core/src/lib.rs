@@ -74,6 +74,7 @@ pub mod parts;
 pub mod pool;
 pub mod report;
 pub mod rva;
+pub mod sched;
 pub mod searcher;
 
 pub use checker::{
@@ -84,13 +85,20 @@ pub use digest::{DigestAlgo, PartDigest};
 pub use error::CheckError;
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
 pub use monitor::{remediate, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent};
-pub use obs::{observe_scan, record_module_report, record_pool_report, ScanObservation};
-pub use parts::{ModuleParts, PartId};
-pub use pool::{CacheStats, CaptureCache, CheckConfig, CompareStrategy, ModChecker, ScanMode};
-pub use report::{
-    ComponentTimes, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictError,
-    VerdictErrorKind, VerdictStatus, VmScanStats, VmVerdict,
+pub use obs::{
+    fleet_span, observe_fleet, observe_scan, record_fleet_report, record_module_report,
+    record_pool_report, ScanObservation,
 };
+pub use parts::{ModuleParts, PartId};
+pub use pool::{
+    CacheStats, CaptureCache, CheckConfig, CompareStrategy, ModChecker, ModuleResults, ScanMode,
+};
+pub use report::{
+    ComponentTimes, FleetPoolReport, FleetReport, FleetUnitReport, ModuleCheckReport,
+    PoolCheckReport, QuorumStatus, VerdictError, VerdictErrorKind, VerdictStatus, VmScanStats,
+    VmVerdict,
+};
+pub use sched::{simulated_fleet_wall, Fleet, FleetConfig, FleetScheduler, PoolSpec};
 
 pub use mc_vmi::RetryPolicy;
 pub use rva::{adjust_rvas, normalize_with_reloc_table, AdjustStats};

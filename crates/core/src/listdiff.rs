@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use mc_hypervisor::{Hypervisor, VmId};
+use mc_hypervisor::{Hypervisor, SimDuration, VmId};
 use mc_vmi::VmiSession;
 
 use crate::error::CheckError;
@@ -87,6 +87,12 @@ pub struct ListDiffReport {
     /// Module names loaded on a majority of VMs (the pool's consensus
     /// module set) — the natural input for a full-pool content sweep.
     pub consensus_modules: Vec<String>,
+    /// Largest advertised `SizeOfImage` per module name (lowercased),
+    /// across every VM that reported it. The fleet scheduler uses this to
+    /// order work units by expected capture cost.
+    pub module_sizes: BTreeMap<String, u64>,
+    /// Total simulated introspection time spent walking the lists.
+    pub elapsed: SimDuration,
 }
 
 impl ListDiffReport {
@@ -131,21 +137,38 @@ impl ListDiff {
             return Err(CheckError::PoolTooSmall(vms.len()));
         }
         let mut listings = Vec::with_capacity(vms.len());
+        let mut module_sizes: BTreeMap<String, u64> = BTreeMap::new();
+        let mut elapsed = SimDuration::ZERO;
         for &vm in vms {
             let vm_name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
-            match VmiSession::attach(hv, vm)
-                .map_err(CheckError::from)
-                .and_then(|mut s| ModuleSearcher::list_modules(&mut s))
-            {
-                Ok(modules) => listings.push(VmListing {
-                    vm_name,
-                    modules: modules.iter().map(|m| m.name.to_lowercase()).collect(),
-                    error: None,
-                }),
+            match VmiSession::attach(hv, vm) {
+                Ok(mut session) => {
+                    let walked = ModuleSearcher::list_modules(&mut session);
+                    elapsed += session.elapsed();
+                    match walked {
+                        Ok(modules) => {
+                            for m in &modules {
+                                let name = m.name.to_lowercase();
+                                let size = module_sizes.entry(name).or_insert(0);
+                                *size = (*size).max(m.size);
+                            }
+                            listings.push(VmListing {
+                                vm_name,
+                                modules: modules.iter().map(|m| m.name.to_lowercase()).collect(),
+                                error: None,
+                            });
+                        }
+                        Err(e) => listings.push(VmListing {
+                            vm_name,
+                            modules: Vec::new(),
+                            error: Some(e.to_string()),
+                        }),
+                    }
+                }
                 Err(e) => listings.push(VmListing {
                     vm_name,
                     modules: Vec::new(),
-                    error: Some(e.to_string()),
+                    error: Some(CheckError::from(e).to_string()),
                 }),
             }
         }
@@ -187,10 +210,16 @@ impl ListDiff {
             }
         }
 
+        // Keep only consensus names in the size map: that is the set the
+        // scheduler expands into work units.
+        module_sizes.retain(|name, _| consensus_modules.iter().any(|m| m == name));
+
         Ok(ListDiffReport {
             listings,
             anomalies,
             consensus_modules,
+            module_sizes,
+            elapsed,
         })
     }
 }
@@ -286,6 +315,29 @@ mod tests {
         assert!(report.listings[1].error.is_some());
         // Consensus computed over the two readable VMs.
         assert_eq!(report.consensus_modules.len(), 3);
+    }
+
+    #[test]
+    fn sizes_and_elapsed_ride_along_for_the_scheduler() {
+        let (hv, _guests, ids) = cloud(3);
+        let report = ListDiff::scan(&hv, &ids).unwrap();
+        assert!(report.elapsed > SimDuration::ZERO);
+        assert_eq!(report.module_sizes.len(), 3);
+        assert!(
+            report.module_sizes.values().all(|&s| s >= 8 * 1024),
+            "{:?}",
+            report.module_sizes
+        );
+        // Non-consensus names are pruned from the size map.
+        let (mut hv2, mut guests2, ids2) = cloud(4);
+        let implant = ModuleBlueprint::new("rootkit.sys", AddressWidth::W32, 8 * 1024)
+            .build()
+            .unwrap();
+        guests2[1]
+            .load(&mut hv2, "rootkit.sys", &implant, 0xF7F0_0000)
+            .unwrap();
+        let report2 = ListDiff::scan(&hv2, &ids2).unwrap();
+        assert!(!report2.module_sizes.contains_key("rootkit.sys"));
     }
 
     #[test]

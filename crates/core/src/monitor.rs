@@ -240,6 +240,32 @@ impl ContinuousMonitor {
         results
     }
 
+    /// Runs one *fleet* round: one full sweep of every pool in `fleet` by
+    /// the given scheduler. The scheduler owns the per-pool capture caches
+    /// and suspect history (so hot modules dispatch first next round);
+    /// the monitor contributes the metrics ledger — `fleet_*` series plus
+    /// every unit's pool-scan counters — under its own
+    /// `monitor_rounds_total` lifecycle.
+    pub fn run_fleet_round(
+        &self,
+        hv: &Hypervisor,
+        sched: &crate::sched::FleetScheduler,
+        fleet: &crate::sched::Fleet,
+    ) -> crate::report::FleetReport {
+        let report = sched.sweep(hv, fleet);
+        if let Ok(mut reg) = self.metrics.lock() {
+            reg.counter_add("monitor_rounds_total", 1);
+            crate::obs::record_fleet_report(&report, &mut reg);
+            for unit in report.units() {
+                if let Ok(r) = &unit.result {
+                    record_pool_report(r, &mut reg);
+                }
+            }
+            hv.record_metrics(&mut reg);
+        }
+        report
+    }
+
     /// Reverts the report's suspects to `snapshot` (the free [`remediate`]
     /// function) and evicts the reverted VMs' capture-cache entries: a
     /// reverted guest is a different memory image, and its cached captures

@@ -21,7 +21,7 @@
 use mc_hypervisor::SimDuration;
 use mc_obs::{MetricsRegistry, TraceSpan};
 
-use crate::report::{ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictStatus};
+use crate::report::{FleetReport, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictStatus};
 
 /// A pool scan rendered for export: the metrics snapshot plus the span
 /// tree. Build one with [`observe_scan`].
@@ -123,6 +123,93 @@ pub fn record_pool_report(report: &PoolCheckReport, reg: &mut MetricsRegistry) {
     }
 }
 
+/// Derives the metrics snapshot and the `fleet → pool → unit` span tree
+/// from one fleet sweep. Per-unit pool metrics are folded into the same
+/// registry (canonical order, so the export is execution-order
+/// independent just like the report itself).
+pub fn observe_fleet(report: &FleetReport) -> ScanObservation {
+    let mut registry = MetricsRegistry::new();
+    record_fleet_report(report, &mut registry);
+    for unit in report.units() {
+        if let Ok(r) = &unit.result {
+            record_pool_report(r, &mut registry);
+        }
+    }
+    ScanObservation {
+        registry,
+        trace: fleet_span(report),
+    }
+}
+
+/// Records one fleet sweep into a shared registry under the `fleet_*`
+/// taxonomy: cumulative counters (sweeps, units by outcome, pools,
+/// unassigned VMs), last-sweep gauges and the per-unit duration histogram.
+#[allow(clippy::cast_precision_loss)]
+pub fn record_fleet_report(report: &FleetReport, reg: &mut MetricsRegistry) {
+    reg.counter_add("fleet_sweeps_total", 1);
+    reg.counter_add("fleet_pools_total", report.pools.len() as u64);
+    reg.counter_add("fleet_units_total", report.units_total() as u64);
+    reg.counter_add("fleet_units_failed_total", report.units_failed() as u64);
+    let (clean, suspect) = report
+        .units()
+        .fold((0u64, 0u64), |(c, s), u| match &u.result {
+            Ok(r) if r.suspects().next().is_none() => (c + 1, s),
+            Ok(_) => (c, s + 1),
+            Err(_) => (c, s),
+        });
+    reg.counter_add("fleet_units_clean_total", clean);
+    reg.counter_add("fleet_units_suspect_total", suspect);
+    reg.counter_add("fleet_unassigned_vms_total", report.unassigned.len() as u64);
+
+    reg.gauge_set("fleet_pools", report.pools.len() as f64);
+    reg.gauge_set("fleet_units", report.units_total() as f64);
+    reg.gauge_set(
+        "fleet_vms",
+        report.pools.iter().map(|p| p.vm_names.len()).sum::<usize>() as f64,
+    );
+    reg.gauge_set(
+        "fleet_wall_ms",
+        report.simulated_wall_sequential().as_millis_f64(),
+    );
+    for unit in report.units() {
+        reg.observe("fleet_unit_ms", unit.duration().as_millis_f64());
+    }
+}
+
+/// Builds the `fleet → pool → unit` span tree for one sweep.
+///
+/// Invariants (tested): the root's duration equals
+/// [`FleetReport::simulated_wall_sequential`], each `pool` span equals its
+/// `listdiff` child plus its `unit` children exactly, and the pool spans
+/// sum exactly to the root — the same no-lost-nanoseconds discipline as
+/// [`pool_span`], one layer up.
+pub fn fleet_span(report: &FleetReport) -> TraceSpan {
+    let mut root = mc_obs::span!(
+        "fleet",
+        pools = report.pools.len(),
+        units = report.units_total()
+    )
+    .with_duration_ns(report.simulated_wall_sequential().as_nanos());
+    for pool in &report.pools {
+        let mut pspan =
+            mc_obs::span!("pool", name = pool.pool).with_duration_ns(pool.duration().as_nanos());
+        let list_elapsed = pool.lists.as_ref().map_or(SimDuration::ZERO, |l| l.elapsed);
+        pspan.push(
+            TraceSpan::new("listdiff")
+                .with_attr("vms", &pool.vm_names.len())
+                .with_duration_ns(list_elapsed.as_nanos()),
+        );
+        for unit in &pool.units {
+            pspan.push(
+                mc_obs::span!("unit", module = unit.module, priority = unit.priority)
+                    .with_duration_ns(unit.duration().as_nanos()),
+            );
+        }
+        root.push(pspan);
+    }
+    root
+}
+
 /// Records one reference-vs-peers check ([`crate::pool::ModChecker::check_one`])
 /// into a shared registry. Same metric names as the pool path where the
 /// semantics coincide, so Figure 7/8 sweeps and pool monitoring read one
@@ -209,6 +296,78 @@ mod tests {
         );
         let h = reg.histogram("scan_vm_capture_ms").unwrap();
         assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn fleet_span_tree_sums_exactly_at_every_level() {
+        use crate::sched::{Fleet, FleetConfig, FleetScheduler, PoolSpec};
+        let mut hv = Hypervisor::new();
+        let mut pools = Vec::new();
+        for p in 0..2 {
+            let bps = vec![
+                ModuleBlueprint::new(&format!("fp{p}a.sys"), AddressWidth::W32, 8 * 1024),
+                ModuleBlueprint::new(&format!("fp{p}b.sys"), AddressWidth::W32, 4 * 1024),
+            ];
+            let mut vms = Vec::new();
+            for i in 0..3 {
+                let vm = hv
+                    .create_vm(&format!("f{p}dom{i}"), AddressWidth::W32)
+                    .unwrap();
+                let files: Vec<(String, mc_pe::PeFile)> = bps
+                    .iter()
+                    .map(|b| (b.name.clone(), b.build().unwrap()))
+                    .collect();
+                mc_guest::GuestOs::install_with_modules(
+                    &mut hv,
+                    vm,
+                    &files,
+                    (p * 10 + i + 1) as u64,
+                )
+                .unwrap();
+                vms.push(vm);
+            }
+            pools.push(PoolSpec {
+                name: format!("pool{p}"),
+                vms,
+            });
+        }
+        let fleet = Fleet::from_pools(pools);
+        let sched = FleetScheduler::new(FleetConfig::default());
+        let report = sched.sweep(&hv, &fleet);
+        let obs = observe_fleet(&report);
+
+        let root = &obs.trace;
+        assert_eq!(root.name, "fleet");
+        assert_eq!(
+            root.duration_ns,
+            report.simulated_wall_sequential().as_nanos()
+        );
+        assert_eq!(root.children_total_ns(), root.duration_ns);
+        assert_eq!(root.self_time_ns(), 0, "no unattributed fleet time");
+        assert_eq!(root.children.len(), 2);
+        for (pspan, pool) in root.children.iter().zip(&report.pools) {
+            assert_eq!(pspan.name, "pool");
+            assert_eq!(pspan.duration_ns, pool.duration().as_nanos());
+            assert_eq!(pspan.children_total_ns(), pspan.duration_ns);
+            // listdiff + one span per unit.
+            assert_eq!(pspan.children.len(), 1 + pool.units.len());
+            assert_eq!(pspan.children[0].name, "listdiff");
+        }
+
+        let reg = &obs.registry;
+        assert_eq!(reg.counter("fleet_sweeps_total"), 1);
+        assert_eq!(reg.counter("fleet_units_total"), 4);
+        assert_eq!(reg.counter("fleet_units_clean_total"), 4);
+        assert_eq!(reg.counter("fleet_units_failed_total"), 0);
+        assert_eq!(reg.gauge("fleet_pools"), Some(2.0));
+        assert_eq!(reg.gauge("fleet_vms"), Some(6.0));
+        assert_eq!(
+            reg.gauge("fleet_wall_ms"),
+            Some(report.simulated_wall_sequential().as_millis_f64())
+        );
+        assert_eq!(reg.histogram("fleet_unit_ms").unwrap().count(), 4);
+        // The per-unit pool reports fold into the same registry.
+        assert_eq!(reg.counter("scan_rounds_total"), 4);
     }
 
     #[test]

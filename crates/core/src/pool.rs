@@ -987,26 +987,31 @@ impl CaptureCache {
     }
 }
 
+/// Per-module sweep outcomes: `(module name, result)` in consensus order.
+/// One module's failure is its own entry, never the sweep's.
+pub type ModuleResults = Vec<(String, Result<crate::report::PoolCheckReport, CheckError>)>;
+
 impl ModChecker {
     /// Whole-pool sweep (extension EXT-2): cross-compare the module *lists*
     /// first ([`crate::listdiff::ListDiff`]), then content-check every
     /// consensus module across the pool. Returns the list report plus one
-    /// content report per consensus module, in name order.
+    /// per-module result, in name order.
+    ///
+    /// One module's [`CheckError`] no longer aborts the sweep: each module
+    /// carries its own `Result`, so an unscannable module among clean ones
+    /// costs exactly that module. The fleet scheduler
+    /// ([`crate::sched::FleetScheduler`]) inherits this isolation — only
+    /// the initial list scan is still a sweep-fatal error (there is no
+    /// work to enumerate without it).
     pub fn check_all_modules(
         &self,
         hv: &Hypervisor,
         vms: &[VmId],
-    ) -> Result<
-        (
-            crate::listdiff::ListDiffReport,
-            Vec<(String, crate::report::PoolCheckReport)>,
-        ),
-        CheckError,
-    > {
+    ) -> Result<(crate::listdiff::ListDiffReport, ModuleResults), CheckError> {
         let lists = crate::listdiff::ListDiff::scan(hv, vms)?;
         let mut reports = Vec::with_capacity(lists.consensus_modules.len());
         for module in &lists.consensus_modules {
-            reports.push((module.clone(), self.check_pool(hv, vms, module)?));
+            reports.push((module.clone(), self.check_pool(hv, vms, module)));
         }
         Ok((lists, reports))
     }
@@ -1196,8 +1201,10 @@ mod tests {
         // ...and both consensus modules get content reports: http.sys
         // flags dom5, hal.dll flags dom2 (capture error counts against it).
         assert_eq!(reports.len(), 2);
-        let by_name: std::collections::HashMap<&str, &crate::report::PoolCheckReport> =
-            reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
+        let by_name: std::collections::HashMap<&str, &crate::report::PoolCheckReport> = reports
+            .iter()
+            .map(|(n, r)| (n.as_str(), r.as_ref().expect(n)))
+            .collect();
         let http_suspects: Vec<&str> = by_name["http.sys"]
             .suspects()
             .map(|v| v.vm_name.as_str())
@@ -1208,6 +1215,40 @@ mod tests {
             .map(|v| v.vm_name.as_str())
             .collect();
         assert_eq!(hal_suspects, vec!["dom2"]);
+    }
+
+    #[test]
+    fn one_failing_module_no_longer_aborts_the_sweep() {
+        // Regression for the sweep-abort bug: check_all_modules used to
+        // `?` each module's result, so one module whose check goes
+        // sideways lost every other module's verdict. Wreck http.sys's
+        // in-memory PE header on *every* VM — every capture of it fails
+        // structurally, the unit yields no usable vote — and assert the
+        // sweep still delivers full reports for the other modules.
+        let (mut hv, guests, ids) = cloud(3);
+        for g in &guests {
+            g.patch_module(&mut hv, "http.sys", 0, &[0u8, 0u8]).unwrap();
+        }
+        let (lists, reports) = ModChecker::new().check_all_modules(&hv, &ids).unwrap();
+        assert!(lists.consensus_modules.contains(&"http.sys".to_string()));
+        assert_eq!(reports.len(), lists.consensus_modules.len());
+        let mut saw_bad = false;
+        for (name, result) in &reports {
+            if name == "http.sys" {
+                // Carried per-module: a no-vote report (or its own error),
+                // never a sweep abort.
+                saw_bad = true;
+                if let Ok(r) = result {
+                    assert!(!r.all_clean(), "a header-wrecked module cannot be clean");
+                    assert_eq!(r.scanned, 0);
+                }
+            } else {
+                let report = result.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert!(report.all_clean(), "{name}");
+                assert_eq!(report.quorum, QuorumStatus::Full, "{name}");
+            }
+        }
+        assert!(saw_bad);
     }
 
     #[test]

@@ -554,6 +554,236 @@ impl fmt::Display for PoolCheckReport {
     }
 }
 
+/// One `(pool, module)` work unit's outcome inside a fleet sweep.
+///
+/// The unit either produced a full [`PoolCheckReport`] or failed as a
+/// whole with a [`CheckError`] — failures are isolated per unit, never
+/// aborting the sweep (the scheduler inherits the repaired
+/// [`crate::pool::ModChecker::check_all_modules`] semantics).
+#[derive(Clone, Debug)]
+pub struct FleetUnitReport {
+    /// Owning pool's name.
+    pub pool: String,
+    /// Module checked.
+    pub module: String,
+    /// Dispatch rank within the pool (0 = first). Priority order is
+    /// deterministic: previously-suspect modules first, then by size
+    /// descending, then by name.
+    pub priority: usize,
+    /// True when the unit was boosted because the module was a suspect in
+    /// an earlier sweep by the same scheduler.
+    pub hot: bool,
+    /// The unit's result: a pool report, or the error that sank it.
+    pub result: Result<PoolCheckReport, CheckError>,
+}
+
+impl FleetUnitReport {
+    /// Simulated time the unit consumed (zero for failed units — a failed
+    /// unit never produced a timing ledger).
+    pub fn duration(&self) -> SimDuration {
+        self.result
+            .as_ref()
+            .map_or(SimDuration::ZERO, |r| r.times.total())
+    }
+}
+
+/// One pool's slice of a fleet sweep: the list scan that seeded the work
+/// units plus every unit's outcome, in priority order.
+#[derive(Clone, Debug)]
+pub struct FleetPoolReport {
+    /// Pool name (image identity).
+    pub pool: String,
+    /// Member VM names, pool order.
+    pub vm_names: Vec<String>,
+    /// The cross-VM list scan that produced the consensus module set
+    /// (`None` when the scan itself failed, e.g. a one-VM pool).
+    pub lists: Option<crate::listdiff::ListDiffReport>,
+    /// Why the list scan failed, when it did.
+    pub list_error: Option<String>,
+    /// Per-unit outcomes, dispatch (priority) order.
+    pub units: Vec<FleetUnitReport>,
+}
+
+impl FleetPoolReport {
+    /// Simulated time this pool consumed: the list walk plus every unit.
+    pub fn duration(&self) -> SimDuration {
+        let list = self.lists.as_ref().map_or(SimDuration::ZERO, |l| l.elapsed);
+        self.units.iter().fold(list, |acc, u| acc + u.duration())
+    }
+}
+
+/// A whole fleet sweep: every pool's list scan and unit outcomes, plus the
+/// VMs that could not be assigned to any pool.
+///
+/// Everything in here — and in [`FleetReport::to_json`] — is a pure
+/// function of (cloud state, fault seed, check config). Shard count and
+/// in-flight bounds only reorder execution, so a fixed `--fault-seed`
+/// yields byte-identical JSON for sequential, parallel and sharded runs;
+/// the golden tests pin exactly that.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-pool results, fleet pool order.
+    pub pools: Vec<FleetPoolReport>,
+    /// VMs left out of every pool, as `(vm_name, reason)`.
+    pub unassigned: Vec<(String, String)>,
+}
+
+impl FleetReport {
+    /// Every unit across every pool, canonical order.
+    pub fn units(&self) -> impl Iterator<Item = &FleetUnitReport> {
+        self.pools.iter().flat_map(|p| p.units.iter())
+    }
+
+    /// Total number of work units executed.
+    pub fn units_total(&self) -> usize {
+        self.pools.iter().map(|p| p.units.len()).sum()
+    }
+
+    /// Units that failed as a whole (a [`CheckError`], not a suspect
+    /// verdict).
+    pub fn units_failed(&self) -> usize {
+        self.units().filter(|u| u.result.is_err()).count()
+    }
+
+    /// Every suspect as `(pool, module, vm)`, sorted.
+    pub fn suspects(&self) -> Vec<(String, String, String)> {
+        let mut out: Vec<(String, String, String)> = self
+            .units()
+            .filter_map(|u| u.result.as_ref().ok().map(|r| (u, r)))
+            .flat_map(|(u, r)| {
+                r.suspects()
+                    .map(move |v| (u.pool.clone(), u.module.clone(), v.vm_name.clone()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// True when no unit failed and no VM anywhere is a suspect.
+    pub fn all_clean(&self) -> bool {
+        self.units_failed() == 0
+            && self.units().all(|u| {
+                u.result
+                    .as_ref()
+                    .is_ok_and(|r| r.suspects().next().is_none())
+            })
+    }
+
+    /// Simulated wall-clock of a fully sequential sweep: every list walk
+    /// and every unit back to back. The sharded makespan model lives in
+    /// [`crate::sched::simulated_fleet_wall`].
+    pub fn simulated_wall_sequential(&self) -> SimDuration {
+        self.pools
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration())
+    }
+
+    /// Machine-readable form (stable key order). Deliberately excludes
+    /// anything execution-dependent — no shard count, no cache stats —
+    /// so runs differing only in `--shards`/`--max-inflight-per-vm`
+    /// serialize byte-identically.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "pools": self
+                .pools
+                .iter()
+                .map(|p| {
+                    serde_json::json!({
+                        "pool": p.pool,
+                        "vms": p.vm_names,
+                        "list_error": p.list_error,
+                        "consistent": p.lists.as_ref().map(crate::listdiff::ListDiffReport::consistent),
+                        "consensus_modules": p
+                            .lists
+                            .as_ref()
+                            .map(|l| l.consensus_modules.clone())
+                            .unwrap_or_default(),
+                        "anomalies": p
+                            .lists
+                            .as_ref()
+                            .map(|l| {
+                                l.anomalies
+                                    .iter()
+                                    .map(std::string::ToString::to_string)
+                                    .collect::<Vec<_>>()
+                            })
+                            .unwrap_or_default(),
+                        "units": p
+                            .units
+                            .iter()
+                            .map(|u| {
+                                serde_json::json!({
+                                    "module": u.module,
+                                    "priority": u.priority,
+                                    "hot": u.hot,
+                                    "error": u.result.as_ref().err().map(std::string::ToString::to_string),
+                                    "report": u.result.as_ref().ok().map(PoolCheckReport::to_json),
+                                })
+                            })
+                            .collect::<Vec<_>>(),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "unassigned": self
+                .unassigned
+                .iter()
+                .map(|(vm, reason)| serde_json::json!({ "vm": vm, "reason": reason }))
+                .collect::<Vec<_>>(),
+            "units_total": self.units_total(),
+            "units_failed": self.units_failed(),
+            "all_clean": self.all_clean(),
+            "suspects": self
+                .suspects()
+                .iter()
+                .map(|(p, m, v)| serde_json::json!([p, m, v]))
+                .collect::<Vec<_>>(),
+            "simulated_wall_sequential_ms": self.simulated_wall_sequential().as_millis_f64(),
+        })
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet sweep: {} pool(s), {} unit(s), {} failed, {}",
+            self.pools.len(),
+            self.units_total(),
+            self.units_failed(),
+            if self.all_clean() {
+                "all clean"
+            } else {
+                "SUSPECTS"
+            }
+        )?;
+        for p in &self.pools {
+            let consensus = p.lists.as_ref().map_or(0, |l| l.consensus_modules.len());
+            writeln!(
+                f,
+                "  pool {}: {} VM(s), {} consensus module(s), {} unit(s)",
+                p.pool,
+                p.vm_names.len(),
+                consensus,
+                p.units.len()
+            )?;
+            if let Some(e) = &p.list_error {
+                writeln!(f, "    list scan failed: {e}")?;
+            }
+        }
+        for (pool, module, vm) in self.suspects() {
+            writeln!(f, "  SUSPECT {vm} ({pool}/{module})")?;
+        }
+        for (vm, reason) in &self.unassigned {
+            writeln!(f, "  unassigned {vm}: {reason}")?;
+        }
+        writeln!(
+            f,
+            "  simulated sequential wall: {}",
+            self.simulated_wall_sequential()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,7 +54,8 @@ fn main() {
 
     println!("content checks over the consensus module set:");
     let mut patched_seen = false;
-    for (module, report) in &reports {
+    for (module, result) in &reports {
+        let report = result.as_ref().expect("per-module checks succeed here");
         let verdict = if report.all_clean() {
             "clean".into()
         } else {

@@ -1,0 +1,266 @@
+//! Deterministic fleet-topology generators for tests and benches.
+//!
+//! Two builders over the same [`FleetBed`] shape:
+//!
+//! * [`uniform_fleet`] — a clean, mildly heterogeneous multi-pool cloud
+//!   (pool sizes and module sizes vary deterministically with the pool
+//!   index) for benches and CLI demos.
+//! * [`random_fleet`] — a seeded random topology *with ground truth*: pool
+//!   count and sizes, per-pool module sets, infection placement (code
+//!   patches and DKOM hiding) and fault plans (lost VMs, transient read
+//!   noise), constrained so majority voting provably identifies exactly
+//!   the infected set. The returned [`FleetTruth`] is the oracle the
+//!   `fleet_sim` property suite checks every sweep against.
+//!
+//! ## Why the constraints are what they are
+//!
+//! For one `(pool, module)` unit over a pool of `n` VMs with `l` lost,
+//! `d` DKOM-hidden and `i` distinctly-patched VMs, the checker scans
+//! `scanned = n − l − d` captures and every scanned VM votes over
+//! `scanned − 1` comparisons:
+//!
+//! * a clean VM stays clean iff `(scanned − i − 1) · 2 > scanned − 1`,
+//!   i.e. `scanned ≥ 2i + 2` — the generator caps `i` at
+//!   `(scanned − 2) / 2`;
+//! * a DKOM-hidden module stays in the pool's consensus list iff it is
+//!   present on a strict majority of readable listings:
+//!   `(s − d) · 2 > s` for `s = n − l` readable VMs — with `d ≤ 1` the
+//!   generator requires `s ≥ 4`;
+//! * quorum is `Full` iff `l = 0` and `d = 0`, else `Degraded` (the
+//!   constraints keep `scanned ≥ 2`, so `Lost` never occurs).
+
+use mc_guest::GuestOs;
+use mc_hypervisor::{AddressWidth, FaultPlan, Hypervisor};
+use mc_pe::corpus::ModuleBlueprint;
+use mc_pe::PeFile;
+use modchecker::sched::{Fleet, PoolSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Ground truth for a generated fleet: what a correct sweep must find.
+#[derive(Clone, Debug, Default)]
+pub struct FleetTruth {
+    /// Every infected `(pool, module, vm)` — code-patched or DKOM-hidden.
+    /// Exactly these must be flagged `Suspect`; nothing else may be.
+    pub infected: Vec<(String, String, String)>,
+    /// `(pool, vm)` pairs lost before the sweep: `Unscannable` in every
+    /// unit of their pool and unreadable in its list scan.
+    pub lost: Vec<(String, String)>,
+    /// `(pool, module)` units whose quorum must degrade (a lost VM in the
+    /// pool or a DKOM victim for the module). All other units are `Full`.
+    pub degraded: Vec<(String, String)>,
+    /// Expected consensus module names per pool, sorted.
+    pub consensus: Vec<(String, Vec<String>)>,
+}
+
+/// A generated fleet: hypervisor, pool topology, per-pool guests, truth.
+#[derive(Debug)]
+pub struct FleetBed {
+    /// The host.
+    pub hv: Hypervisor,
+    /// Explicit pool topology (generation order).
+    pub fleet: Fleet,
+    /// Guests per pool, pool order.
+    pub guests: Vec<Vec<GuestOs>>,
+    /// The oracle.
+    pub truth: FleetTruth,
+}
+
+fn build_pool(
+    hv: &mut Hypervisor,
+    pool_idx: usize,
+    vm_count: usize,
+    modules: &[(String, usize)],
+    seed: u64,
+) -> (PoolSpec, Vec<GuestOs>) {
+    let files: Vec<(String, PeFile)> = modules
+        .iter()
+        .map(|(name, text)| {
+            let pe = ModuleBlueprint::new(name, AddressWidth::W32, *text)
+                .build()
+                .expect("blueprint builds");
+            (name.clone(), pe)
+        })
+        .collect();
+    let mut vms = Vec::with_capacity(vm_count);
+    let mut guests = Vec::with_capacity(vm_count);
+    for i in 0..vm_count {
+        let vm = hv
+            .create_vm(&format!("p{pool_idx}dom{i}"), AddressWidth::W32)
+            .expect("unique VM names per pool");
+        let g = GuestOs::install_with_modules(
+            hv,
+            vm,
+            &files,
+            seed.wrapping_mul(1000)
+                .wrapping_add((pool_idx * 100 + i + 1) as u64),
+        )
+        .expect("guest installs");
+        vms.push(vm);
+        guests.push(g);
+    }
+    (
+        PoolSpec {
+            name: format!("pool{pool_idx}"),
+            vms,
+        },
+        guests,
+    )
+}
+
+/// A clean multi-pool fleet with deterministic heterogeneity: pool `p`
+/// has `base_vms + (p mod 3)` VMs and module `m` of pool `p` has a
+/// `(8 + 4·((m + p) mod 3))` KiB text section. The cost spread is what
+/// makes `fig_fleet`'s LPT speedup sub-linear (equal pools would divide
+/// perfectly).
+pub fn uniform_fleet(
+    pools: usize,
+    base_vms: usize,
+    modules_per_pool: usize,
+    seed: u64,
+) -> FleetBed {
+    let mut hv = Hypervisor::new();
+    let mut specs = Vec::with_capacity(pools);
+    let mut guests = Vec::with_capacity(pools);
+    let mut consensus = Vec::with_capacity(pools);
+    for p in 0..pools {
+        let modules: Vec<(String, usize)> = (0..modules_per_pool)
+            .map(|m| (format!("p{p}m{m}.sys"), (8 + 4 * ((m + p) % 3)) * 1024))
+            .collect();
+        let (spec, pool_guests) = build_pool(&mut hv, p, base_vms.max(2) + p % 3, &modules, seed);
+        let mut names: Vec<String> = modules.iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        consensus.push((spec.name.clone(), names));
+        specs.push(spec);
+        guests.push(pool_guests);
+    }
+    FleetBed {
+        hv,
+        fleet: Fleet::from_pools(specs),
+        guests,
+        truth: FleetTruth {
+            consensus,
+            ..FleetTruth::default()
+        },
+    }
+}
+
+/// A seeded random fleet topology with ground truth (see the module docs
+/// for the constraint system). The same seed always yields the same
+/// cloud, byte for byte — reproduce any `fleet_sim` failure by rerunning
+/// its printed seed.
+#[allow(clippy::too_many_lines)]
+pub fn random_fleet(seed: u64) -> FleetBed {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7));
+    let mut hv = Hypervisor::new();
+    let mut truth = FleetTruth::default();
+    let mut specs = Vec::new();
+    let mut all_guests = Vec::new();
+
+    let pool_count = rng.random_range(1..=3usize);
+    for p in 0..pool_count {
+        // Pool sizes 2–16, biased small so 200 cases stay fast.
+        let n = if rng.random_bool(0.2) {
+            rng.random_range(7..=16usize)
+        } else {
+            rng.random_range(2..=6usize)
+        };
+        let module_count = rng.random_range(1..=3usize);
+        let modules: Vec<(String, usize)> = (0..module_count)
+            .map(|m| {
+                (
+                    format!("p{p}m{m}.sys"),
+                    (2 + rng.random_range(0..=6usize)) * 1024,
+                )
+            })
+            .collect();
+        let (spec, guests) = build_pool(&mut hv, p, n, &modules, seed);
+        let pool_name = spec.name.clone();
+
+        // Lose at most one VM, and only in pools big enough that every
+        // downstream constraint still has room (readable s = n − 1 ≥ 3).
+        let lost_idx: Option<usize> = if n >= 4 && rng.random_bool(0.3) {
+            Some(rng.random_range(0..n))
+        } else {
+            None
+        };
+        let readable = n - usize::from(lost_idx.is_some());
+
+        for (module, text) in &modules {
+            let mut victims: Vec<usize> = (0..n).filter(|i| Some(*i) != lost_idx).collect();
+            // DKOM-hide on one victim: needs a strict majority of readable
+            // listings to still carry the module (readable ≥ 4 gives
+            // margin) and costs one scanned VM.
+            let dkom = readable >= 4 && rng.random_bool(0.25);
+            if dkom {
+                let v = victims.remove(rng.random_range(0..victims.len()));
+                guests[v]
+                    .dkom_hide(&mut hv, module)
+                    .expect("dkom target exists");
+                truth
+                    .infected
+                    .push((pool_name.clone(), module.clone(), format!("p{p}dom{v}")));
+            }
+            let scanned = readable - usize::from(dkom);
+            // Distinct patches: capped so clean VMs keep a strict majority
+            // (scanned ≥ 2i + 2).
+            let i_max = scanned.saturating_sub(2) / 2;
+            let patches = if i_max > 0 && rng.random_bool(0.5) {
+                rng.random_range(1..=i_max.min(2))
+            } else {
+                0
+            };
+            for k in 0..patches {
+                let v = victims.remove(rng.random_range(0..victims.len()));
+                // Inside .text (RVA 0x1000..), even offset, VM-distinct
+                // bytes so no two infected captures match each other.
+                let offset = 0x1000 + 2 * rng.random_range(0..((text - 8) / 2) as u64);
+                #[allow(clippy::cast_possible_truncation)]
+                let bytes = [0xD1, p as u8, v as u8, 0x5E ^ k as u8];
+                guests[v]
+                    .patch_module(&mut hv, module, offset, &bytes)
+                    .expect("patch target exists");
+                truth
+                    .infected
+                    .push((pool_name.clone(), module.clone(), format!("p{p}dom{v}")));
+            }
+            if lost_idx.is_some() || dkom {
+                truth.degraded.push((pool_name.clone(), module.clone()));
+            }
+        }
+
+        // Fault plans: the lost VM dies at first touch; surviving VMs may
+        // see transient read noise, quiet enough for a 6-retry budget to
+        // ride out deterministically.
+        let noisy = rng.random_bool(0.4);
+        for (i, g) in guests.iter().enumerate() {
+            if Some(i) == lost_idx {
+                hv.set_fault_plan(g.vm, Some(FaultPlan::none(seed ^ 0xDEAD).lose_after(0)))
+                    .expect("vm exists");
+                truth.lost.push((pool_name.clone(), format!("p{p}dom{i}")));
+            } else if noisy {
+                hv.set_fault_plan(
+                    g.vm,
+                    Some(FaultPlan::transient(seed.wrapping_add(p as u64), 0.02)),
+                )
+                .expect("vm exists");
+            }
+        }
+
+        let mut names: Vec<String> = modules.iter().map(|(m, _)| m.clone()).collect();
+        names.sort();
+        truth.consensus.push((pool_name, names));
+        specs.push(spec);
+        all_guests.push(guests);
+    }
+
+    truth.infected.sort();
+    truth.lost.sort();
+    truth.degraded.sort();
+    FleetBed {
+        hv,
+        fleet: Fleet::from_pools(specs),
+        guests: all_guests,
+        truth,
+    }
+}

@@ -18,4 +18,5 @@ pub use mc_pe as pe;
 pub use mc_vmi as vmi;
 pub use modchecker as core;
 
+pub mod fleetgen;
 pub mod testbed;

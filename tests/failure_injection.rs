@@ -214,7 +214,8 @@ fn paged_out_pages_are_ridden_out_by_retries() {
         .unwrap();
     assert!(lists.consistent());
     assert_eq!(reports.len(), 2);
-    for (module, report) in &reports {
+    for (module, result) in &reports {
+        let report = result.as_ref().unwrap_or_else(|e| panic!("{module}: {e}"));
         assert!(report.all_clean(), "{module} flagged under paged-out churn");
         assert_eq!(report.quorum, QuorumStatus::Full, "{module}");
     }

@@ -1,0 +1,161 @@
+//! Randomized cloud-simulation property suite for the fleet scheduler.
+//!
+//! Each seeded case generates a random fleet topology *with ground truth*
+//! ([`modchecker_repro::fleetgen::random_fleet`]): pool count and sizes,
+//! module sets, infection placement (code patches, DKOM hiding) and fault
+//! plans (lost VMs, transient read noise). The oracle then holds in all
+//! four execution-mode combinations (pairwise/canonical × sequential/
+//! sharded):
+//!
+//! * every infected `(VM, module)` is flagged `Suspect`;
+//! * no clean VM is flagged anywhere;
+//! * per-unit quorum degradation matches the fault plan exactly;
+//! * lost VMs are `Unscannable`, never suspects;
+//! * within one compare strategy, sharded and sequential sweeps serialize
+//!   to byte-identical `FleetReport` JSON.
+//!
+//! Every assertion message carries the reproducing seed. Case count
+//! defaults to 200 (the CI smoke floor) and is overridable via
+//! `FLEET_SIM_CASES`.
+
+use modchecker::{
+    CheckConfig, CompareStrategy, FleetConfig, FleetReport, FleetScheduler, QuorumStatus,
+    RetryPolicy, VerdictStatus,
+};
+use modchecker_repro::fleetgen::{random_fleet, FleetBed};
+
+fn case_count() -> u64 {
+    std::env::var("FLEET_SIM_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+/// A 6-retry budget makes the generator's 2% transient noise statistically
+/// invisible (loss probability ~1e-12 per read), so the oracle never has
+/// to model retry exhaustion.
+fn config(compare: CompareStrategy) -> CheckConfig {
+    CheckConfig {
+        compare,
+        retry: RetryPolicy::with_max_retries(6),
+        ..CheckConfig::default()
+    }
+}
+
+fn run_mode(
+    bed: &FleetBed,
+    compare: CompareStrategy,
+    shards: usize,
+    inflight: usize,
+) -> FleetReport {
+    let sched = FleetScheduler::new(FleetConfig {
+        check: config(compare),
+        shards,
+        max_inflight_per_vm: inflight,
+    });
+    sched.sweep(&bed.hv, &bed.fleet)
+}
+
+fn assert_oracle(seed: u64, mode: &str, bed: &FleetBed, report: &FleetReport) {
+    let ctx = format!("seed {seed}, mode {mode}");
+    assert_eq!(
+        report.units_failed(),
+        0,
+        "no unit may fail as a whole ({ctx})"
+    );
+    // The flagged set is exactly the infected set: every infected
+    // (pool, module, vm) flagged, no clean VM flagged.
+    assert_eq!(
+        report.suspects(),
+        bed.truth.infected,
+        "flagged set != infected set ({ctx})"
+    );
+
+    assert_eq!(report.pools.len(), bed.truth.consensus.len(), "{ctx}");
+    for (pool, (truth_pool, truth_modules)) in report.pools.iter().zip(&bed.truth.consensus) {
+        assert_eq!(&pool.pool, truth_pool, "pool order ({ctx})");
+        let lists = pool
+            .lists
+            .as_ref()
+            .unwrap_or_else(|| panic!("{truth_pool}: list scan failed ({ctx})"));
+        let mut consensus = lists.consensus_modules.clone();
+        consensus.sort();
+        assert_eq!(
+            &consensus, truth_modules,
+            "consensus module set ({truth_pool}, {ctx})"
+        );
+        assert_eq!(
+            pool.units.len(),
+            truth_modules.len(),
+            "one unit per consensus module ({truth_pool}, {ctx})"
+        );
+
+        for unit in &pool.units {
+            let r = unit
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{truth_pool}/{}: {e} ({ctx})", unit.module));
+            let expected_quorum = if bed
+                .truth
+                .degraded
+                .contains(&(pool.pool.clone(), unit.module.clone()))
+            {
+                QuorumStatus::Degraded
+            } else {
+                QuorumStatus::Full
+            };
+            assert_eq!(
+                r.quorum, expected_quorum,
+                "quorum ({truth_pool}/{}, {ctx})",
+                unit.module
+            );
+            for v in &r.verdicts {
+                let lost = bed
+                    .truth
+                    .lost
+                    .contains(&(pool.pool.clone(), v.vm_name.clone()));
+                if lost {
+                    assert_eq!(
+                        v.status,
+                        VerdictStatus::Unscannable,
+                        "lost VM must be unscannable, not voted on ({truth_pool}/{}/{}, {ctx})",
+                        unit.module,
+                        v.vm_name
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn render(report: &FleetReport) -> String {
+    serde_json::to_string_pretty(&report.to_json()).expect("report serializes")
+}
+
+#[test]
+fn randomized_fleets_match_the_oracle_in_all_four_modes() {
+    let cases = case_count();
+    for seed in 0..cases {
+        let bed = random_fleet(seed);
+        let pairwise_seq = run_mode(&bed, CompareStrategy::Pairwise, 1, 1);
+        assert_oracle(seed, "pairwise/sequential", &bed, &pairwise_seq);
+        let pairwise_sharded = run_mode(&bed, CompareStrategy::Pairwise, 8, 4);
+        assert_oracle(seed, "pairwise/sharded", &bed, &pairwise_sharded);
+        let canonical_seq = run_mode(&bed, CompareStrategy::Canonical, 1, 1);
+        assert_oracle(seed, "canonical/sequential", &bed, &canonical_seq);
+        let canonical_sharded = run_mode(&bed, CompareStrategy::Canonical, 8, 4);
+        assert_oracle(seed, "canonical/sharded", &bed, &canonical_sharded);
+
+        // Execution mode must not change a byte of the report.
+        assert_eq!(
+            render(&pairwise_seq),
+            render(&pairwise_sharded),
+            "pairwise sweep not shard-invariant (seed {seed})"
+        );
+        assert_eq!(
+            render(&canonical_seq),
+            render(&canonical_sharded),
+            "canonical sweep not shard-invariant (seed {seed})"
+        );
+    }
+}

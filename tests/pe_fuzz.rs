@@ -1,0 +1,245 @@
+//! Fuzz-style robustness tests for the PE parse and canonical-form paths.
+//!
+//! A seeded mutator corrupts corpus images three ways — truncation, bit
+//! flips in the header region, and bogus `.reloc` contents — and asserts
+//! the invariants the checker relies on:
+//!
+//! * `ParsedModule::parse_memory` / `parse_file` never panic on garbage:
+//!   every mutant yields `Ok` or a typed `PeError`;
+//! * `ExtractedModule::new` / `canonical_form` never panic on a mutated
+//!   capture;
+//! * a mutant planted *inside a VM* never earns a clean verdict from a
+//!   pool scan with three clean voters, under either compare strategy,
+//!   while the clean VMs all stay clean.
+//!
+//! Every assertion message carries the reproducing seed.
+
+use modchecker::{
+    canonical_form, CheckConfig, CompareStrategy, ExtractedModule, ModChecker, ModuleSearcher,
+    VerdictStatus,
+};
+use modchecker_repro::testbed::Testbed;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mc_pe::parser::ParsedModule;
+use mc_vmi::VmiSession;
+
+const MODULE: &str = "http.sys";
+
+fn cases(default: u64) -> u64 {
+    std::env::var("PE_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One random corruption of `base`: truncation, header-region bit flips,
+/// or garbage written over the `.reloc` payload (when the clean parse can
+/// locate one — otherwise more bit flips).
+fn mutate(rng: &mut StdRng, base: &[u8]) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    match rng.random_range(0..3u32) {
+        0 => bytes.truncate(rng.random_range(0..bytes.len())),
+        1 => {
+            for _ in 0..rng.random_range(1..=8usize) {
+                let off = rng.random_range(0..bytes.len().min(0x600) as u64) as usize;
+                bytes[off] ^= 1 << rng.random_range(0..8u32);
+            }
+        }
+        _ => {
+            let reloc = ParsedModule::parse_memory(base).ok().and_then(|p| {
+                p.find_section(".reloc")
+                    .map(|i| p.sections[i].data_range.clone())
+            });
+            match reloc {
+                Some(range) if !range.is_empty() => {
+                    for off in range {
+                        bytes[off] = rng.random_range(0..=u64::from(u8::MAX)) as u8;
+                    }
+                }
+                _ => {
+                    let off = rng.random_range(0..bytes.len() as u64) as usize;
+                    bytes[off] ^= 0xFF;
+                }
+            }
+        }
+    }
+    bytes
+}
+
+/// A real capture of [`MODULE`] from the first VM of a small clean cloud;
+/// the memory-layout bytes the fuzz cases mutate.
+fn clean_capture() -> modchecker::ModuleImage {
+    let bed = Testbed::cloud(2);
+    let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[0]).expect("clean VM attaches");
+    ModuleSearcher::find(&mut session, MODULE).expect("corpus module present")
+}
+
+#[test]
+fn mutated_images_never_panic_the_parser() {
+    let image = clean_capture();
+    let mut survivors = 0u64;
+    for seed in 0..cases(300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mutant = mutate(&mut rng, &image.bytes);
+        // `Ok` or a typed error are both fine; reaching the next iteration
+        // is the assertion — a panic here is the bug.
+        if ParsedModule::parse_memory(&mutant).is_ok() {
+            survivors += 1;
+        }
+        let _ = ParsedModule::parse_file(&mutant);
+    }
+    // The mutator must actually exercise the accepting paths too, or the
+    // suite degenerates into feeding the parser pure noise.
+    assert!(
+        survivors > 0,
+        "no mutant survived parsing — mutator too hot"
+    );
+}
+
+#[test]
+fn mutated_captures_never_panic_extraction_or_canonical_form() {
+    let image = clean_capture();
+    let mut canonicalized = 0u64;
+    for seed in 0..cases(300) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let mut capture = image.clone();
+        capture.bytes = mutate(&mut rng, &image.bytes);
+        match ExtractedModule::new(capture) {
+            Err(_) => {} // typed rejection is the expected common case
+            Ok(m) => {
+                if canonical_form(&m, None).is_some() {
+                    canonicalized += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        canonicalized > 0,
+        "no mutant reached canonical form — mutator too hot"
+    );
+}
+
+/// Integrity-covered byte ranges of the module on `vm`: headers, the
+/// section-header table, and executable section data — the places where a
+/// corruption *must* cost the VM its clean verdict.
+fn covered_ranges(image: &modchecker::ModuleImage) -> Vec<std::ops::Range<usize>> {
+    let parsed = ParsedModule::parse_memory(&image.bytes).expect("clean capture parses");
+    let mut ranges = vec![parsed.dos_range.clone(), parsed.nt_range.clone()];
+    for s in &parsed.sections {
+        ranges.push(s.header_range.clone());
+        if s.is_executable() {
+            ranges.push(s.data_range.clone());
+        }
+    }
+    ranges.retain(|r| !r.is_empty());
+    ranges
+}
+
+fn scan(bed: &Testbed, compare: CompareStrategy) -> modchecker::PoolCheckReport {
+    ModChecker::with_config(CheckConfig {
+        compare,
+        ..CheckConfig::default()
+    })
+    .check_pool(&bed.hv, &bed.vm_ids, MODULE)
+    .expect("pool scan completes on a garbage capture")
+}
+
+#[test]
+fn planted_garbage_never_earns_a_clean_verdict() {
+    for seed in 0..cases(12) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        // Three clean voters plus one victim: the smallest pool where the
+        // majority math still protects the clean VMs (scanned >= 2i + 2).
+        let mut bed = Testbed::cloud(4);
+        let victim = rng.random_range(0..4u64) as usize;
+        let image = {
+            let mut session =
+                VmiSession::attach(&bed.hv, bed.vm_ids[victim]).expect("victim attaches");
+            ModuleSearcher::find(&mut session, MODULE).expect("module present")
+        };
+        let ranges = covered_ranges(&image);
+        let range = &ranges[rng.random_range(0..ranges.len() as u64) as usize];
+        let offset = range.start + rng.random_range(0..range.len() as u64) as usize;
+        // XOR with a nonzero byte guarantees the write actually lands.
+        let garbage = [image.bytes[offset] ^ rng.random_range(1..=u64::from(u8::MAX)) as u8];
+        bed.guests[victim]
+            .patch_module(&mut bed.hv, MODULE, offset as u64, &garbage)
+            .expect("patch lands in the module image");
+
+        let victim_name = bed
+            .hv
+            .vm(bed.vm_ids[victim])
+            .expect("victim exists")
+            .name
+            .clone();
+        for compare in [CompareStrategy::Pairwise, CompareStrategy::Canonical] {
+            let report = scan(&bed, compare);
+            for v in &report.verdicts {
+                if v.vm_name == victim_name {
+                    assert_ne!(
+                        v.status,
+                        VerdictStatus::Clean,
+                        "garbage at offset {offset:#x} earned a clean verdict \
+                         (seed {seed}, {compare:?})"
+                    );
+                } else {
+                    assert_eq!(
+                        v.status,
+                        VerdictStatus::Clean,
+                        "clean VM {} flagged next to a garbage capture (seed {seed}, {compare:?})",
+                        v.vm_name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bogus_reloc_payload_never_breaks_the_scan_or_the_clean_vms() {
+    for seed in 0..cases(8) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xBEEF));
+        let mut bed = Testbed::cloud(4);
+        let victim = rng.random_range(0..4u64) as usize;
+        let image = {
+            let mut session =
+                VmiSession::attach(&bed.hv, bed.vm_ids[victim]).expect("victim attaches");
+            ModuleSearcher::find(&mut session, MODULE).expect("module present")
+        };
+        let parsed = ParsedModule::parse_memory(&image.bytes).expect("clean capture parses");
+        let range = parsed
+            .find_section(".reloc")
+            .map(|i| parsed.sections[i].data_range.clone())
+            .expect("corpus module carries .reloc");
+        let garbage: Vec<u8> = (0..range.len())
+            .map(|_| rng.random_range(0..=u64::from(u8::MAX)) as u8)
+            .collect();
+        bed.guests[victim]
+            .patch_module(&mut bed.hv, MODULE, range.start as u64, &garbage)
+            .expect("patch lands in .reloc");
+
+        // `.reloc` payload is guest metadata, not integrity-covered: the
+        // canonical path may normalize differently or fall back to
+        // pairwise, but the scan must complete and the three clean VMs
+        // must stay clean under both strategies.
+        let victim_name = bed
+            .hv
+            .vm(bed.vm_ids[victim])
+            .expect("victim exists")
+            .name
+            .clone();
+        for compare in [CompareStrategy::Pairwise, CompareStrategy::Canonical] {
+            let report = scan(&bed, compare);
+            for v in report.verdicts.iter().filter(|v| v.vm_name != victim_name) {
+                assert_eq!(
+                    v.status,
+                    VerdictStatus::Clean,
+                    "clean VM {} flagged by a bogus .reloc payload (seed {seed}, {compare:?})",
+                    v.vm_name
+                );
+            }
+        }
+    }
+}
