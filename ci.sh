@@ -14,7 +14,9 @@
 #   8. observability gate    — metrics/trace export + schema validation + mc-obs clippy
 #   9. fleet gate            — randomized sim smoke + golden snapshots +
 #                              fig_fleet sub-linear scaling (writes BENCH_fleet.json)
-#  10. test-count floor      — the suite must never silently shrink
+#  10. static-analysis gate  — sweep-vs-CFG differential suite + analyzer
+#                              metric exports validated against the schema
+#  11. test-count floor      — the suite must never silently shrink
 set -eu
 
 cd "$(dirname "$0")"
@@ -72,9 +74,30 @@ echo "==> fleet gate (sim smoke + golden snapshots + fig_fleet scaling)"
 cargo test -q --release --test fleet_sim --test golden_fleet --test pe_fuzz
 cargo run --release -q -p mc-bench --bin fig_fleet -- --smoke --out BENCH_fleet.json
 
+# Static-analysis gate: the differential sweep-vs-CFG suite (clean corpus
+# silent in both modes, every attack row holds), then the CLI path end to
+# end — the vote-invisible IAT pivot must be statically flagged, and both
+# analyzer metric exports (analyze --metrics-out and the fleet pre-pass,
+# which carry the analysis_* series) must validate against the schema.
+echo "==> static-analysis gate (cfg suite + analyzer exports + schema)"
+cargo test -q --release --test cfg_analysis
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    analyze --vms 3 --infect iat-pivot@1 \
+    --metrics-out target/ci-analyze-metrics.json \
+    | grep -q 'flagged VMs:' || { echo "ci: iat-pivot not statically flagged" >&2; exit 1; }
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    validate-metrics --file target/ci-analyze-metrics.json --schema schemas/metrics-schema.json
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    fleet-check --seed 11 --compare canonical --static-prepass \
+    --metrics-out target/ci-prepass-metrics.json > /dev/null
+grep -q '"analysis_flagged_vms_total"' target/ci-prepass-metrics.json \
+    || { echo "ci: pre-pass export is missing the analysis_* series" >&2; exit 1; }
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    validate-metrics --file target/ci-prepass-metrics.json --schema schemas/metrics-schema.json
+
 # Test-count floor: the workspace suite must never silently shrink. Bump
 # the floor when tests are added; lowering it is a reviewed decision.
-TEST_FLOOR=415
+TEST_FLOOR=447
 echo "==> test-count floor (>= $TEST_FLOOR)"
 TEST_COUNT=$(cargo test --workspace -q -- --list 2>/dev/null | grep -c ': test$')
 echo "    $TEST_COUNT tests listed"

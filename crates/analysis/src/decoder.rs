@@ -42,6 +42,18 @@ pub enum Kind {
     },
     /// `RET`/`RETF`/`IRET` family.
     Ret,
+    /// `FF /2` (`CALL rm`) or `FF /4` (`JMP rm`): control transfer through
+    /// a register or memory operand. `call` distinguishes the two (a call
+    /// falls through, a jump does not). `slot` is the buffer offset of the
+    /// 4-byte displacement for the `[disp32]` addressing form (`FF 15` /
+    /// `FF 25`) — the form that reads a pointer table such as the IAT —
+    /// and `None` for every other operand shape.
+    IndirectBranch {
+        /// `CALL rm` (true) vs `JMP rm` (false).
+        call: bool,
+        /// Offset of the `disp32` bytes for the `[disp32]` form.
+        slot: Option<usize>,
+    },
     /// Any other successfully length-decoded instruction.
     Other,
     /// Opcode outside the implemented maps; length is 1 byte (resync).
@@ -176,7 +188,7 @@ pub fn decode(buf: &[u8], offset: usize, mode: Mode) -> Option<Instruction> {
         return Some(unknown(buf.len() - offset));
     };
     let len = end - offset;
-    let kind = classify(buf, offset, len, opcode, opsize16);
+    let kind = classify(buf, offset, len, opcode, opsize16, at);
     Some(Instruction { offset, len, kind })
 }
 
@@ -251,11 +263,32 @@ fn finish(
 }
 
 /// Classifies a one-byte-map instruction once its length is known.
-fn classify(buf: &[u8], offset: usize, len: usize, opcode: u8, opsize16: bool) -> Kind {
+/// `modrm_at` is the buffer offset of the ModRM byte (the byte after the
+/// opcode), needed to resolve the `FF` group's reg-field selector.
+fn classify(
+    buf: &[u8],
+    offset: usize,
+    len: usize,
+    opcode: u8,
+    opsize16: bool,
+    modrm_at: usize,
+) -> Kind {
     match opcode {
         0x70..=0x7F | 0xE0..=0xE3 | 0xEB => rel_branch(buf, offset, len, opcode, false, opsize16),
         0xE8 | 0xE9 => rel_branch(buf, offset, len, opcode, true, opsize16),
         0xC2 | 0xC3 | 0xCA | 0xCB | 0xCF => Kind::Ret,
+        0xFF => match buf.get(modrm_at).map(|m| (m >> 3) & 7) {
+            Some(reg @ (2 | 4)) => {
+                let m = buf[modrm_at];
+                // `[disp32]` form: mod=0, rm=5 — no SIB, disp follows ModRM.
+                let slot = (m >> 6 == 0 && m & 7 == 5).then_some(modrm_at + 1);
+                Kind::IndirectBranch {
+                    call: reg == 2,
+                    slot,
+                }
+            }
+            _ => Kind::Other,
+        },
         _ => Kind::Other,
     }
 }
@@ -549,6 +582,59 @@ mod tests {
                 opcode: 0x84,
                 target: 6 + 0x100,
                 rel32: true
+            }
+        );
+    }
+
+    #[test]
+    fn ff_group_indirect_branches_classify() {
+        // CALL [abs32] — the corpus's canonical import-call encoding: the
+        // disp32 slot starts right after the ModRM byte.
+        let i = one(&[0xFF, 0x15, 0x10, 0x20, 0x00, 0x00], Mode::Bits32);
+        assert_eq!(i.len, 6);
+        assert_eq!(
+            i.kind,
+            Kind::IndirectBranch {
+                call: true,
+                slot: Some(2)
+            }
+        );
+        // JMP [abs32] — the IAT-pivot trampoline form.
+        let i = one(&[0xFF, 0x25, 0, 0, 0, 0], Mode::Bits32);
+        assert_eq!(
+            i.kind,
+            Kind::IndirectBranch {
+                call: false,
+                slot: Some(2)
+            }
+        );
+        // CALL EAX — register operand, no readable slot.
+        let i = one(&[0xFF, 0xD0], Mode::Bits32);
+        assert_eq!(
+            i.kind,
+            Kind::IndirectBranch {
+                call: true,
+                slot: None
+            }
+        );
+        // JMP [EAX+8] — memory operand but not [disp32].
+        let i = one(&[0xFF, 0x60, 0x08], Mode::Bits32);
+        assert_eq!(
+            i.kind,
+            Kind::IndirectBranch {
+                call: false,
+                slot: None
+            }
+        );
+        // FF /0 (INC rm) stays Other.
+        assert_eq!(one(&[0xFF, 0xC0], Mode::Bits32).kind, Kind::Other);
+        // With an operand-size prefix the slot shifts by the prefix byte.
+        let i = one(&[0x66, 0xFF, 0x15, 0, 0, 0, 0], Mode::Bits32);
+        assert_eq!(
+            i.kind,
+            Kind::IndirectBranch {
+                call: true,
+                slot: Some(3)
             }
         );
     }

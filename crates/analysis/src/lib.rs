@@ -11,7 +11,7 @@
 //!   signal.
 //! * **Single-tenant hosts.** A lone VM has no peer to diff against.
 //!
-//! The engine runs five lints over one captured image (or, for L5, one
+//! The engine runs nine lints over one captured image (or, for L5, one
 //! guest's loaded-module list):
 //!
 //! | Lint | Name               | Catches                                      |
@@ -21,23 +21,30 @@
 //! | L3   | cave-payload       | non-zero bytes in inter-function opcode caves / section slack |
 //! | L4   | pe-structure       | DOS-stub tampering, unexpected imports, section-table lies |
 //! | L5   | module-list        | unlinked-but-resident `LDR_DATA_TABLE_ENTRY` (DKOM), list asymmetry |
+//! | L6   | indirect-transfer  | IAT slots diverging from the import name table — the pointer an indirect `CALL [disp32]` actually reads (IAT-pivot hooks) |
+//! | L7   | unreachable-code   | non-zero executable bytes outside every function span and unreachable from all CFG roots (injected payload) |
+//! | L8   | hidden-transfer    | CFG-reachable `rel32` transfers the linear sweep never decodes (junk-byte anti-disassembly) |
+//! | L9   | overlapping-decode | two reachable instructions sharing bytes at different offsets (opcode aliasing) |
 //!
-//! L1–L3 are built on the crate's own x86 length decoder ([`decoder`]);
-//! L4 is pure PE-shape checking; L5 walks guest memory through a read-only
+//! L1–L3 are built on the crate's own x86 length decoder ([`decoder`]),
+//! and L6–L9 on the recursive-descent CFG ([`cfg`]) layered above it;
+//! L4/L6 are PE-shape checking; L5 walks guest memory through a read-only
 //! [`mc_vmi::VmiSession`]. Known blind spots are documented in
 //! `DESIGN.md` §4 (EXT-4): single-opcode substitutions below decoder
-//! resolution (EXP-B1) and IAT data hooks remain cross-VM-only detections.
+//! resolution (EXP-B1) remain cross-VM-only detections. (IAT data hooks,
+//! formerly in that list, are now caught by L6.)
 
 use std::fmt;
 
 use mc_pe::PeError;
 use mc_vmi::{VmiError, VmiSession};
 
+pub mod cfg;
 pub mod decoder;
 mod lints;
 mod list;
 
-/// The five lint families.
+/// The nine lint families.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Lint {
     /// L1: control-flow redirection at a module entry point.
@@ -50,10 +57,22 @@ pub enum Lint {
     PeStructure,
     /// L5: loaded-module-list structural invariant violation.
     ModuleList,
+    /// L6: IAT slot disagrees with the import name table — the pointer an
+    /// indirect transfer actually dispatches through has been replaced.
+    IndirectTransfer,
+    /// L7: executable bytes outside every function span and unreachable
+    /// from every CFG root.
+    UnreachableCode,
+    /// L8: a CFG-reachable `rel32` transfer at an offset the linear sweep
+    /// never decodes (sweep-vs-CFG disagreement).
+    HiddenTransfer,
+    /// L9: two CFG-reachable instructions decode the same bytes at
+    /// different offsets.
+    OverlappingDecode,
 }
 
 impl Lint {
-    /// Short code (`L1`..`L5`).
+    /// Short code (`L1`..`L9`).
     pub fn code(self) -> &'static str {
         match self {
             Lint::EntryRedirect => "L1",
@@ -61,6 +80,10 @@ impl Lint {
             Lint::CavePayload => "L3",
             Lint::PeStructure => "L4",
             Lint::ModuleList => "L5",
+            Lint::IndirectTransfer => "L6",
+            Lint::UnreachableCode => "L7",
+            Lint::HiddenTransfer => "L8",
+            Lint::OverlappingDecode => "L9",
         }
     }
 
@@ -72,6 +95,10 @@ impl Lint {
             Lint::CavePayload => "cave-payload",
             Lint::PeStructure => "pe-structure",
             Lint::ModuleList => "module-list",
+            Lint::IndirectTransfer => "indirect-transfer",
+            Lint::UnreachableCode => "unreachable-code",
+            Lint::HiddenTransfer => "hidden-transfer",
+            Lint::OverlappingDecode => "overlapping-decode",
         }
     }
 }
@@ -216,6 +243,14 @@ pub struct AnalyzerConfig {
     /// guests are 32-bit XP SP2, where the sweep is exact. L1, L4 and L5
     /// run regardless of width.
     pub sweep_64bit: bool,
+    /// Run the CFG-powered lints (L6–L9). On by default. L6 (import-table
+    /// integrity, decode-free) and L7 (unreachable executable bytes,
+    /// anchored on function spans and CFG reachability) are width-agnostic
+    /// and run on 64-bit images too — this is what closes the former
+    /// x86-64 coverage gap. L8/L9 compare against the linear sweep and so
+    /// share `sweep_64bit`'s gating. Turning this off yields the
+    /// sweep-only engine (L1–L5) for differential testing.
+    pub cfg_lints: bool,
 }
 
 impl Default for AnalyzerConfig {
@@ -224,6 +259,7 @@ impl Default for AnalyzerConfig {
             import_allowlist: vec!["ntoskrnl.exe".to_string(), "hal.dll".to_string()],
             max_diagnostics: 64,
             sweep_64bit: false,
+            cfg_lints: true,
         }
     }
 }
@@ -388,8 +424,14 @@ mod tests {
                 if width == AddressWidth::W32 {
                     assert!(report.instructions_decoded > 100, "the sweep really ran");
                 } else {
-                    // L2/L3 sweeps are opt-in on x86-64 (see AnalyzerConfig).
-                    assert_eq!(report.instructions_decoded, 0);
+                    // L2/L3 sweeps stay opt-in on x86-64, but the CFG
+                    // traversal (L6/L7) still covers the image: exported
+                    // modules get decoded streams, and the unreachable-code
+                    // scan always walks the executable bytes.
+                    assert!(report.bytes_scanned > 0, "the CFG lints really ran");
+                    if !bp.exports.is_empty() {
+                        assert!(report.instructions_decoded > 0, "exports seed the CFG");
+                    }
                 }
             }
             let mut s = mc_vmi::VmiSession::attach(&hv, guests[0].vm).unwrap();

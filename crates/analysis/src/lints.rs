@@ -9,11 +9,17 @@
 //! absolute indirect operands rather than `rel32` branches — so a bare
 //! `E8`/`E9` is itself reportable, which is exactly the inline-hook
 //! trampoline idiom (paper §V.B.2, Figure 5).
+//!
+//! The CFG lints L6–L9 (see [`crate::cfg`]) close the sweep's classic
+//! blind spots: hooks routed through pointer tables the sweep treats as
+//! data (L6), payload the attacker never links into file order (L7), and
+//! streams deliberately desynchronized from file order (L8/L9).
 
-use mc_pe::consts::{DOS_HEADER_SIZE, DOS_STUB_MESSAGE};
+use mc_pe::consts::{DIR_IMPORT, DOS_HEADER_SIZE, DOS_STUB_MESSAGE};
 use mc_pe::parser::{ParsedModule, SectionView};
 use mc_pe::AddressWidth;
 
+use crate::cfg::{Cfg, SectionCfg};
 use crate::decoder::{decode, Kind, Mode, Sweep};
 use crate::{AnalyzerConfig, Confidence, Diagnostic, Lint, Severity};
 
@@ -60,6 +66,29 @@ pub(crate) fn run(
         lint_section_slack(p, sec, base, image, &mut out);
     }
     lint_pe_structure(p, base, image, cfg, &mut out);
+
+    // The CFG lints. L6 is decode-free and L7 anchors on function spans +
+    // reachability, so both are sound on either width; L8/L9 compare the
+    // CFG against the linear sweep and share its gating.
+    if cfg.cfg_lints {
+        let graph = Cfg::build(p, base, image, mode);
+        stats.instructions += graph.instructions;
+        lint_import_integrity(p, base, image, &mut out);
+        for scfg in &graph.sections {
+            let sec = &p.sections[scfg.section];
+            let Some(data) = image.get(sec.data_range.clone()) else {
+                continue;
+            };
+            if !sweep {
+                stats.bytes += data.len();
+            }
+            lint_unreachable_code(sec, data, base, scfg, &mut out);
+            if sweep {
+                lint_hidden_transfers(p, sec, scfg, base, &mut out);
+                lint_overlapping_decodes(sec, scfg, base, &mut out);
+            }
+        }
+    }
     (out, stats)
 }
 
@@ -395,6 +424,278 @@ fn lint_pe_structure(
                     last.name, p.size_of_image
                 ),
             });
+        }
+    }
+}
+
+/// L6 — import-table integrity, decode-free. The loader in this profile
+/// never rebinds imports: the IAT (`FirstThunk` array) must stay
+/// byte-identical to the import name table (`OriginalFirstThunk` array) in
+/// memory, so any divergent slot is a planted pointer — the address an
+/// indirect `CALL`/`JMP [disp32]` through that slot actually dispatches to.
+fn lint_import_integrity(p: &ParsedModule, base: u64, image: &[u8], out: &mut Vec<Diagnostic>) {
+    const DESC_SIZE: usize = 20;
+    const DESC_NAME: usize = 12;
+    const DESC_FIRST_THUNK: usize = 16;
+    const MAX_DESCRIPTORS: usize = 64;
+    const MAX_THUNKS: usize = 4096;
+
+    let Some((dir_rva, _)) = p.data_directory(image, DIR_IMPORT) else {
+        return;
+    };
+    if dir_rva == 0 {
+        return;
+    }
+    let Some(dir_off) = p.rva_to_offset(dir_rva) else {
+        return;
+    };
+    let thunk = p.width.bytes();
+    for i in 0..MAX_DESCRIPTORS {
+        let at = dir_off + i * DESC_SIZE;
+        let Some(name_rva) = read_u32_at(image, at + DESC_NAME) else {
+            return;
+        };
+        if name_rva == 0 {
+            return; // null terminator descriptor
+        }
+        let dll = import_dll_name(p, image, name_rva).unwrap_or_else(|| format!("descriptor {i}"));
+        let (Some(oft_rva), Some(ft_rva)) = (
+            read_u32_at(image, at),
+            read_u32_at(image, at + DESC_FIRST_THUNK),
+        ) else {
+            return;
+        };
+        if oft_rva == 0 || ft_rva == 0 {
+            continue; // legacy single-array layout: nothing to cross-check
+        }
+        let (Some(oft_off), Some(ft_off)) = (p.rva_to_offset(oft_rva), p.rva_to_offset(ft_rva))
+        else {
+            continue;
+        };
+        for j in 0..MAX_THUNKS {
+            let expected = read_thunk(image, oft_off + j * thunk, p.width);
+            let actual = read_thunk(image, ft_off + j * thunk, p.width);
+            let (Some(expected), Some(actual)) = (expected, actual) else {
+                break;
+            };
+            if expected == 0 || actual == 0 {
+                if expected != actual {
+                    out.push(Diagnostic {
+                        lint: Lint::IndirectTransfer,
+                        severity: Severity::Critical,
+                        confidence: Confidence::High,
+                        va: base + u64::from(ft_rva) + (j * thunk) as u64,
+                        detail: format!(
+                            "IAT for '{dll}' terminates at a different slot than its \
+                             import name table — thunk array length forged"
+                        ),
+                    });
+                }
+                break;
+            }
+            if actual != expected {
+                out.push(Diagnostic {
+                    lint: Lint::IndirectTransfer,
+                    severity: Severity::Critical,
+                    confidence: Confidence::High,
+                    va: base + u64::from(ft_rva) + (j * thunk) as u64,
+                    detail: format!(
+                        "IAT slot {j} for '{dll}' holds {actual:#x} where the import name \
+                         table expects {expected:#x}{} — pointer-table hook: every indirect \
+                         transfer through this slot dispatches to the planted address",
+                        describe_iat_target(p, base, actual)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Where a diverted IAT slot value actually points, for the L6 detail.
+/// The value may be an RVA (file layout / unrelocated) or an absolute VA.
+fn describe_iat_target(p: &ParsedModule, base: u64, value: u64) -> String {
+    let rva = if value >= base && value - base < u64::from(p.size_of_image) {
+        value - base
+    } else if value < u64::from(p.size_of_image) {
+        value
+    } else {
+        return ", resolving outside the module image".to_string();
+    };
+    match p.sections.iter().find(|s| {
+        rva >= u64::from(s.virtual_address)
+            && rva < u64::from(s.virtual_address) + s.data_range.len() as u64
+    }) {
+        Some(s) if s.is_executable() => format!(", redirected into section {}", s.name),
+        Some(s) => format!(", redirected into non-executable section {}", s.name),
+        None => ", resolving into the headers".to_string(),
+    }
+}
+
+/// Null-terminated ASCII DLL name at `name_rva`, bounds-checked.
+fn import_dll_name(p: &ParsedModule, image: &[u8], name_rva: u32) -> Option<String> {
+    const MAX_NAME: usize = 256;
+    let off = p.rva_to_offset(name_rva)?;
+    let bytes = image.get(off..image.len().min(off + MAX_NAME))?;
+    let len = bytes.iter().position(|&b| b == 0)?;
+    let name = std::str::from_utf8(&bytes[..len]).ok()?;
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+fn read_u32_at(image: &[u8], off: usize) -> Option<u32> {
+    image
+        .get(off..off + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn read_thunk(image: &[u8], off: usize, width: AddressWidth) -> Option<u64> {
+    match width {
+        AddressWidth::W32 => read_u32_at(image, off).map(u64::from),
+        AddressWidth::W64 => image
+            .get(off..off + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap())),
+    }
+}
+
+/// L7 — non-zero executable bytes that are outside every function span
+/// *and* unreachable from every CFG root. Subsumes L3's cave heuristic:
+/// the cave lint needs the sweep to find the `RET`s, whereas this works
+/// from raw byte patterns plus reachability, on either width.
+fn lint_unreachable_code(
+    sec: &SectionView,
+    data: &[u8],
+    base: u64,
+    scfg: &SectionCfg,
+    out: &mut Vec<Diagnostic>,
+) {
+    const MAX_REGIONS: usize = 4;
+
+    // Covered intervals: function spans plus every reachable instruction.
+    let mut intervals: Vec<(usize, usize)> = scfg.function_spans.clone();
+    intervals.extend(scfg.insns.iter().map(|(&off, &(len, _))| (off, off + len)));
+    intervals.sort_unstable();
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in intervals {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+
+    merged.push((data.len(), data.len()));
+    let mut reported = 0usize;
+    let mut cursor = 0usize;
+    for (gap_end, next_cursor) in merged {
+        let gap = &data[cursor.min(data.len())..gap_end.min(data.len())];
+        let mut at = 0usize;
+        while at < gap.len() && reported < MAX_REGIONS {
+            if gap[at] == 0 {
+                at += 1;
+                continue;
+            }
+            let run_len = gap[at..].iter().take_while(|&&b| b != 0).count();
+            let va = base + u64::from(sec.virtual_address) + (cursor + at) as u64;
+            out.push(Diagnostic {
+                lint: Lint::UnreachableCode,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va,
+                detail: format!(
+                    "{run_len} non-zero byte(s) in section {} outside every function span \
+                     and unreachable from all CFG roots — injected code",
+                    sec.name
+                ),
+            });
+            reported += 1;
+            at += run_len;
+        }
+        cursor = next_cursor.max(cursor);
+        if reported >= MAX_REGIONS {
+            break;
+        }
+    }
+}
+
+/// L8 — sweep-vs-CFG disagreement on control flow: a `rel32` transfer the
+/// CFG proves reachable but the linear sweep never decodes at that offset.
+/// This is the junk-byte anti-disassembly signature: the attacker hides
+/// the transfer inside the operand bytes of a sweep-visible instruction.
+fn lint_hidden_transfers(
+    p: &ParsedModule,
+    sec: &SectionView,
+    scfg: &SectionCfg,
+    base: u64,
+    out: &mut Vec<Diagnostic>,
+) {
+    let sec_va = u64::from(sec.virtual_address);
+    for (&off, (_, kind)) in &scfg.insns {
+        let Kind::RelBranch {
+            opcode,
+            target,
+            rel32: true,
+        } = *kind
+        else {
+            continue;
+        };
+        if scfg.sweep_boundaries.contains(&off) {
+            continue;
+        }
+        let target_rva = sec_va as i64 + target;
+        let target_va = (base as i64 + target_rva) as u64;
+        let escapes = target_rva < 0 || target_rva >= i64::from(p.size_of_image);
+        out.push(Diagnostic {
+            lint: Lint::HiddenTransfer,
+            severity: Severity::Critical,
+            confidence: Confidence::High,
+            va: base + sec_va + off as u64,
+            detail: format!(
+                "{} rel32 to {target_va:#x}{} is reachable through the CFG but never \
+                 decoded by the linear sweep — anti-disassembly junk insertion",
+                branch_mnemonic(opcode),
+                if escapes {
+                    " (outside the module image)"
+                } else {
+                    ""
+                }
+            ),
+        });
+    }
+}
+
+/// L9 — two CFG-reachable instructions decoding the same bytes at
+/// different offsets: deliberate opcode aliasing. Clean code, even with
+/// multiple entry points, always converges on one instruction stream.
+fn lint_overlapping_decodes(
+    sec: &SectionView,
+    scfg: &SectionCfg,
+    base: u64,
+    out: &mut Vec<Diagnostic>,
+) {
+    const MAX_OVERLAPS: usize = 8;
+
+    let sec_va = u64::from(sec.virtual_address);
+    let mut max_end = 0usize;
+    let mut owner = (0usize, 0usize); // (offset, len) of the instruction reaching max_end
+    let mut reported = 0usize;
+    for (&off, &(len, _)) in &scfg.insns {
+        if off < max_end && reported < MAX_OVERLAPS {
+            out.push(Diagnostic {
+                lint: Lint::OverlappingDecode,
+                severity: Severity::Critical,
+                confidence: Confidence::High,
+                va: base + sec_va + off as u64,
+                detail: format!(
+                    "reachable instruction at {:#x} begins inside the {}-byte reachable \
+                     instruction at {:#x} — overlapping decode (opcode aliasing)",
+                    base + sec_va + off as u64,
+                    owner.1,
+                    base + sec_va + owner.0 as u64,
+                ),
+            });
+            reported += 1;
+        }
+        if off + len > max_end {
+            max_end = off + len;
+            owner = (off, len);
         }
     }
 }

@@ -1,0 +1,63 @@
+//! Shared machinery for the anti-disassembly ("evasive") attacks.
+//!
+//! [`JumpOverJunk`](crate::jump_over_junk::JumpOverJunk) and
+//! [`OverlappingDecode`](crate::overlapping_decode::OverlappingDecode) both
+//! need a patch window inside a generated function whose bytes they can
+//! rewrite so that the *linear sweep* still decodes cleanly — no unknown
+//! opcodes, no visible `rel32`, resynchronized before the function's
+//! epilogue. That takes a window aligned on clean sweep boundaries at both
+//! ends, clear of relocation slots (the guest loader rewrites those at
+//! load time and would corrupt the crafted encoding).
+
+use mc_analysis::decoder::{Mode, Sweep};
+use mc_pe::codegen::FunctionInfo;
+use mc_pe::AddressWidth;
+
+/// Decoder mode for a module width.
+pub(crate) fn mode_of(width: AddressWidth) -> Mode {
+    match width {
+        AddressWidth::W32 => Mode::Bits32,
+        AddressWidth::W64 => Mode::Bits64,
+    }
+}
+
+/// Finds `[start, end)` inside `f`'s body suitable for an evasive patch:
+///
+/// * both `start` and `end` are clean-sweep instruction boundaries, so the
+///   sweep enters and leaves the patch in sync with the original stream;
+/// * `start >= entry + 6` (the prologue stays intact — no L1 bait) and
+///   `end` is at or before the epilogue;
+/// * `end - start >= min_len`;
+/// * no relocation slot (`slot_len` bytes each) intersects the window.
+pub(crate) fn find_patch_window(
+    text: &[u8],
+    f: FunctionInfo,
+    reloc_offsets: &[u32],
+    slot_len: usize,
+    min_len: usize,
+    mode: Mode,
+) -> Option<(usize, usize)> {
+    let body_start = f.entry as usize + 6;
+    let body_end = (f.entry + f.len) as usize - 4;
+    let boundaries: Vec<usize> = Sweep::new(text, mode)
+        .map(|i| i.offset)
+        .filter(|&o| o >= body_start && o <= body_end)
+        .collect();
+    for (i, &start) in boundaries.iter().enumerate() {
+        let Some(end) = boundaries[i..]
+            .iter()
+            .copied()
+            .find(|&b| b >= start + min_len)
+        else {
+            continue;
+        };
+        let clashes = reloc_offsets.iter().any(|&r| {
+            let r = r as usize;
+            r < end && r + slot_len > start
+        });
+        if !clashes {
+            return Some((start, end));
+        }
+    }
+    None
+}

@@ -7,13 +7,16 @@
 //! content-hash: after import resolution the table holds absolute addresses
 //! into other modules, which differ across VMs in ways Algorithm 2 cannot
 //! reconcile (the referenced modules' bases, not this module's). The
-//! technique is therefore **invisible to ModChecker by design** — the same
-//! boundary the paper draws by checking "headers and read-only executable
-//! contents". Detecting IAT hooks needs semantic pointer validation (à la
-//! LKIM's function-pointer checks, discussed in the paper's related work).
+//! technique is therefore **invisible to the cross-VM vote by design** —
+//! the same boundary the paper draws by checking "headers and read-only
+//! executable contents".
 //!
-//! The test below pins this: the hook does *not* flag, and the DESIGN.md /
-//! README limitation notes cite it.
+//! The vote boundary still holds, but the gap is now closed from another
+//! direction: the L6 import-integrity lint cross-checks the IAT against
+//! its `OriginalFirstThunk` name table inside a single capture — exactly
+//! the semantic pointer validation (à la LKIM's function-pointer checks)
+//! the original limitation note called for. The tests below pin both
+//! halves: the hook does *not* flag in the vote, and L6 names it.
 
 use mc_guest::GuestOs;
 use mc_hypervisor::Hypervisor;
@@ -87,6 +90,35 @@ mod tests {
             report.all_clean(),
             "IAT hook unexpectedly detected — the scope boundary moved"
         );
+    }
+
+    #[test]
+    fn in_memory_iat_hook_trips_the_l6_lint() {
+        use mc_analysis::{Analyzer, Lint};
+
+        let mut hv = Hypervisor::new();
+        let bp = ModuleBlueprint::new("dummy.sys", AddressWidth::W32, 12 * 1024)
+            .with_imports(&[("ntoskrnl.exe", &["IoCreateDevice", "IoDeleteDevice"])]);
+        let guests = build_cloud_with_modules(&mut hv, 2, AddressWidth::W32, &[bp]).unwrap();
+        hook_first_iat_slot(&mut hv, &guests[0], "dummy.sys", 0xDEAD_F000).unwrap();
+
+        let capture = |vm| {
+            let mut s = mc_vmi::VmiSession::attach(&hv, vm).unwrap();
+            modchecker::ModuleSearcher::find(&mut s, "dummy.sys").unwrap()
+        };
+        let hooked = capture(guests[0].vm);
+        let report = Analyzer::new()
+            .analyze_image(&hooked.vm_name, "dummy.sys", hooked.base, &hooked.bytes)
+            .unwrap();
+        assert!(
+            report.has(Lint::IndirectTransfer),
+            "L6 must name the diverted slot:\n{report}"
+        );
+        let clean = capture(guests[1].vm);
+        let peer = Analyzer::new()
+            .analyze_image(&clean.vm_name, "dummy.sys", clean.base, &clean.bytes)
+            .unwrap();
+        assert!(peer.is_clean(), "untouched peer flagged:\n{peer}");
     }
 
     #[test]

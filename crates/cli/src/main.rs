@@ -75,7 +75,9 @@ USAGE:
                    [--metrics-out <PATH>] [--trace-out <PATH>]
   modchecker analyze [--vms <N>] [--module <NAME>] [--width64] [--json]
                      [--infect <technique>@<vm-index>] [--hide <module>@<vm-index>]
-                                         single-VM static lints, no reference needed
+                     [--metrics-out <PATH>]
+                                         single-VM static lints (CFG, L1–L9),
+                                         no reference needed
   modchecker list-modules [--vms <N>] [--width64]
   modchecker listdiff --vms <N> [--hide <module>@<vm-index>]
   modchecker sweep [--loaded]            runtime vs pool size (Fig. 7/8 preview)
@@ -85,7 +87,7 @@ USAGE:
                          [--discover] [--rounds <R>] [--compare pairwise|canonical]
                          [--retries <R>] [--min-quorum <Q>] [--fault-seed <SEED>]
                          [--fault-rate <0..1>] [--json] [--metrics-out <PATH>]
-                         [--trace-out <PATH>]
+                         [--trace-out <PATH>] [--static-prepass]
                                          sharded multi-pool, multi-module sweep;
                                          --seed builds a randomized infected fleet,
                                          otherwise a clean uniform one
@@ -112,7 +114,13 @@ into every VM (same seed ⇒ same faults ⇒ same report); --retries bounds the
 per-read retry budget, --deadline-ms the per-VM simulated capture time, and
 --min-quorum how many captured VMs the majority vote needs to carry weight.
 
-Techniques: opcode-replacement, inline-hook, stub-modification, dll-hook";
+Static pre-pass: fleet-check --static-prepass (and check --static) runs the
+CFG analyzer (lints L1–L9) once per content bucket on top of the canonical
+vote, catching vote-invisible tampering such as the IAT pivot; analyze
+--metrics-out exports the analyzer's counters.
+
+Techniques: opcode-replacement, inline-hook, stub-modification, dll-hook,
+jump-over-junk, iat-pivot, overlapping-decode";
 
 /// Parses the shared chaos flags into an optional [`FaultPlan`] covering
 /// every VM. Injection engages when either `--fault-seed` or
@@ -173,6 +181,9 @@ fn parse_technique(s: &str) -> Result<Technique, String> {
         "inline-hook" => Ok(Technique::InlineHook),
         "stub-modification" => Ok(Technique::StubModification),
         "dll-hook" => Ok(Technique::DllHook),
+        "jump-over-junk" => Ok(Technique::JumpOverJunk),
+        "iat-pivot" => Ok(Technique::IatPivot),
+        "overlapping-decode" => Ok(Technique::OverlappingDecode),
         other => Err(format!(
             "unknown technique {other:?} (see `modchecker techniques`)"
         )),
@@ -352,6 +363,26 @@ fn cmd_analyze(args: &mut Args) -> Result<(), String> {
     flagged.sort_unstable();
     flagged.dedup();
 
+    if let Some(path) = args.raw_value("metrics-out").map(str::to_string) {
+        let mut reg = mc_obs::MetricsRegistry::new();
+        reg.counter_add("analysis_runs_total", reports.len() as u64);
+        reg.counter_add("analysis_flagged_vms_total", flagged.len() as u64);
+        reg.counter_add(
+            "analysis_findings_total",
+            reports.iter().map(|r| r.diagnostics.len() as u64).sum(),
+        );
+        reg.counter_add(
+            "analysis_instructions_decoded_total",
+            reports.iter().map(|r| r.instructions_decoded as u64).sum(),
+        );
+        reg.counter_add(
+            "analysis_bytes_scanned_total",
+            reports.iter().map(|r| r.bytes_scanned as u64).sum(),
+        );
+        let text = serde_json::to_string_pretty(&reg.to_json()).expect("serializable");
+        std::fs::write(&path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
     if args.flag("json") {
         let json = serde_json::json!({
             "flagged_vms": flagged,
@@ -484,7 +515,8 @@ fn cmd_fleet_check(args: &mut Args) -> Result<(), String> {
         bed.fleet
     };
 
-    let check = chaos_config_of(args, modchecker::CheckConfig::default())?;
+    let mut check = chaos_config_of(args, modchecker::CheckConfig::default())?;
+    check.static_prepass = args.flag("static-prepass");
     let sched = modchecker::FleetScheduler::new(modchecker::FleetConfig {
         check,
         shards,
@@ -510,7 +542,12 @@ fn cmd_fleet_check(args: &mut Args) -> Result<(), String> {
     let report = last.expect("rounds >= 1");
 
     if args.raw_value("metrics-out").is_some() || args.raw_value("trace-out").is_some() {
-        let obs = modchecker::observe_fleet(&report);
+        let mut obs = modchecker::observe_fleet(&report);
+        if args.flag("static-prepass") {
+            let stats = sched.analysis_stats();
+            obs.registry.gauge_set("analysis_runs", stats.runs as f64);
+            obs.registry.gauge_set("analysis_hits", stats.hits as f64);
+        }
         if let Some(path) = args.raw_value("metrics-out").map(str::to_string) {
             let text = serde_json::to_string_pretty(&obs.registry.to_json()).expect("serializable");
             std::fs::write(&path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
@@ -679,13 +716,16 @@ fn cmd_techniques() -> Result<(), String> {
         "{:<22} {:<16} {:<10} paper-reported mismatches",
         "technique", "target", "static"
     );
-    for t in Technique::ALL {
+    for t in Technique::COMPLETE {
         let inf = t.infection();
         let flag = match t {
             Technique::OpcodeReplacement => "opcode-replacement",
             Technique::InlineHook => "inline-hook",
             Technique::StubModification => "stub-modification",
             Technique::DllHook => "dll-hook",
+            Technique::JumpOverJunk => "jump-over-junk",
+            Technique::IatPivot => "iat-pivot",
+            Technique::OverlappingDecode => "overlapping-decode",
         };
         let expect: Vec<String> = inf
             .expected_mismatches()

@@ -91,7 +91,8 @@ pub use obs::{
 };
 pub use parts::{ModuleParts, PartId};
 pub use pool::{
-    CacheStats, CaptureCache, CheckConfig, CompareStrategy, ModChecker, ModuleResults, ScanMode,
+    AnalysisCache, AnalysisCacheStats, CacheStats, CaptureCache, CheckConfig, CompareStrategy,
+    ModChecker, ModuleResults, ScanMode,
 };
 pub use report::{
     ComponentTimes, FleetPoolReport, FleetReport, FleetUnitReport, ModuleCheckReport,

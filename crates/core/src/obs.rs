@@ -81,6 +81,17 @@ pub fn pool_span(report: &PoolCheckReport) -> TraceSpan {
             .with_attr("pairs", &report.matrix.len())
             .with_duration_ns(vote_ns),
     );
+    // The static pre-pass charges no simulated time (it reuses captured
+    // bytes; determinism demands the times stay execution-independent), so
+    // its span is zero-duration evidence — emitted only when it found
+    // something, keeping clean-scan trees identical to pre-pass-off runs.
+    if !report.static_findings.is_empty() {
+        root.push(
+            TraceSpan::new("static_analysis")
+                .with_attr("flagged_vms", &report.statically_flagged_vms().len())
+                .with_duration_ns(0),
+        );
+    }
     root
 }
 
@@ -110,6 +121,18 @@ pub fn record_pool_report(report: &PoolCheckReport, reg: &mut MetricsRegistry) {
     reg.counter_add("checker_slots_adjusted_total", slots);
     reg.counter_add("checker_residual_diffs_total", residuals);
     reg.counter_add("hv_fault_injections_total", report.fault_injections);
+    reg.counter_add(
+        "analysis_flagged_vms_total",
+        report.static_findings.len() as u64,
+    );
+    reg.counter_add(
+        "analysis_findings_total",
+        report
+            .static_findings
+            .iter()
+            .map(|r| r.diagnostics.len() as u64)
+            .sum(),
+    );
     report.vmi.record_into(reg);
 
     reg.gauge_set("scan_pool_vms", report.vm_names.len() as f64);
@@ -296,6 +319,40 @@ mod tests {
         );
         let h = reg.histogram("scan_vm_capture_ms").unwrap();
         assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn static_findings_surface_as_a_zero_cost_span_and_counters() {
+        let mut hv = Hypervisor::new();
+        let bps = vec![ModuleBlueprint::new("hal.dll", AddressWidth::W32, 8 * 1024)];
+        let guests = build_cloud_with_modules(&mut hv, 4, AddressWidth::W32, &bps).unwrap();
+        let ids: Vec<VmId> = guests.iter().map(|g| g.vm).collect();
+        guests[1]
+            .patch_module(&mut hv, "hal.dll", 0x1000, &[0xE9, 0x10, 0x00, 0x00, 0x00])
+            .unwrap();
+        let report = ModChecker::with_config(crate::pool::CheckConfig {
+            static_prepass: true,
+            ..crate::pool::CheckConfig::default()
+        })
+        .check_pool(&hv, &ids, "hal.dll")
+        .unwrap();
+        assert!(!report.static_findings.is_empty());
+        let obs = observe_scan(&report);
+        // The pre-pass span is evidence, not time: the nanosecond audit
+        // still balances exactly.
+        assert_eq!(obs.trace.children_total_ns(), obs.trace.duration_ns);
+        let span = obs
+            .trace
+            .children
+            .iter()
+            .find(|c| c.name == "static_analysis")
+            .expect("findings must surface in the trace");
+        assert_eq!(span.duration_ns, 0);
+        assert_eq!(
+            obs.registry.counter("analysis_flagged_vms_total"),
+            report.static_findings.len() as u64
+        );
+        assert!(obs.registry.counter("analysis_findings_total") > 0);
     }
 
     #[test]

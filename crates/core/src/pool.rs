@@ -25,6 +25,7 @@ use crate::checker::{
     canonical_form, compare_pair, compare_pair_with, CanonicalForm, ExtractedModule, PairOutcome,
     PairScratch,
 };
+use crate::digest::PartDigest;
 use crate::error::CheckError;
 use crate::parts::PartId;
 use crate::report::{
@@ -497,7 +498,7 @@ impl ModChecker {
             return Err(CheckError::PoolTooSmall(vms.len()));
         }
         let extractions = self.extract_all(hv, vms, module);
-        self.pool_report(hv, vms, module, extractions)
+        self.pool_report(hv, vms, module, extractions, None)
     }
 
     /// [`Self::check_pool`] with a generation-guarded capture cache (see
@@ -523,7 +524,33 @@ impl ModChecker {
             .iter()
             .map(|&vm| self.extract_one_cached(hv, vm, module, cache))
             .collect();
-        self.pool_report(hv, vms, module, extractions)
+        self.pool_report(hv, vms, module, extractions, None)
+    }
+
+    /// [`Self::check_pool_with_cache`] plus a shared [`AnalysisCache`] for
+    /// the static pre-pass: in canonical mode the lint engine runs once per
+    /// fingerprint bucket (subdivided by import-table content, the one
+    /// region the fingerprint does not cover) instead of once per VM, and
+    /// identical buckets across rounds reuse the cached verdict outright.
+    /// Findings are replicated to every bucket member with the VM identity
+    /// and diagnostic addresses rebased, so the report is indistinguishable
+    /// from a per-VM pass on any clean-or-infected pool.
+    pub fn check_pool_with_caches(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        module: &str,
+        cache: &mut CaptureCache,
+        analysis: &mut AnalysisCache,
+    ) -> Result<PoolCheckReport, CheckError> {
+        if vms.len() < 2 {
+            return Err(CheckError::PoolTooSmall(vms.len()));
+        }
+        let extractions: Vec<Extraction> = vms
+            .iter()
+            .map(|&vm| self.extract_one_cached(hv, vm, module, cache))
+            .collect();
+        self.pool_report(hv, vms, module, extractions, Some(analysis))
     }
 
     /// Shared back half of the pool scan: vote, matrix, report.
@@ -533,6 +560,7 @@ impl ModChecker {
         vms: &[VmId],
         module: &str,
         extractions: Vec<Extraction>,
+        analysis_cache: Option<&mut AnalysisCache>,
     ) -> Result<PoolCheckReport, CheckError> {
         let mut times = ComponentTimes::default();
         let mut vmi = VmiStats::default();
@@ -572,14 +600,6 @@ impl ModChecker {
         // against a VM that is actually reachable; with nothing extracted
         // there are no pairs and no ledger to keep.
         let ledger_vm = extracted.first().map(|(_, m)| m.image.vm);
-        let static_findings: Vec<mc_analysis::AnalysisReport> = if self.config.static_prepass {
-            extracted
-                .iter()
-                .filter_map(|(_, m)| Self::static_scan(m))
-                .collect()
-        } else {
-            Vec::new()
-        };
 
         // Build the comparison matrix. Canonical mode normalizes each
         // capture once and groups by fingerprint; it degrades to the full
@@ -588,11 +608,13 @@ impl ModChecker {
         // normalize, and mixing normalized with unnormalized digests would
         // compare incomparables).
         let mut canonical_votes: Option<HashMap<usize, CanonicalVote>> = None;
+        let mut canonical_groups: Option<Vec<(Fingerprint, Vec<usize>)>> = None;
         let matrix: Vec<(usize, usize, PairOutcome)> =
             if self.config.compare == CompareStrategy::Canonical {
                 match self.canonical_matrix(hv, &extracted, ledger_vm, &mut times)? {
-                    Some((m, votes)) => {
+                    Some((m, votes, groups)) => {
                         canonical_votes = Some(votes);
+                        canonical_groups = Some(groups);
                         m
                     }
                     None => self.pairwise_matrix(hv, &extracted, ledger_vm, &mut times)?,
@@ -600,6 +622,24 @@ impl ModChecker {
             } else {
                 self.pairwise_matrix(hv, &extracted, ledger_vm, &mut times)?
             };
+
+        // Static pre-pass. The canonical bucket structure lets the lint
+        // engine run once per distinct content, not once per VM; without it
+        // (pairwise strategy, reloc-less fallback, or no cache offered) the
+        // scan degrades gracefully to the per-VM pass.
+        let static_findings: Vec<mc_analysis::AnalysisReport> = if self.config.static_prepass {
+            match (&canonical_groups, analysis_cache) {
+                (Some(groups), Some(cache)) => {
+                    Self::bucketed_static_scan(&extracted, groups, cache)
+                }
+                _ => extracted
+                    .iter()
+                    .filter_map(|(_, m)| Self::static_scan(m))
+                    .collect(),
+            }
+        } else {
+            Vec::new()
+        };
 
         // Per-VM verdicts: the vote runs among the scanned VMs only.
         let mut verdicts = Vec::with_capacity(vms.len());
@@ -816,8 +856,7 @@ impl ModChecker {
         // captures would pairwise-match, so a member's successes are just
         // its bucket's size minus itself. Bucket order is fixed by first
         // member for deterministic reports.
-        let mut buckets: HashMap<&[(PartId, crate::digest::PartDigest)], Vec<usize>> =
-            HashMap::new();
+        let mut buckets: HashMap<&[(PartId, PartDigest)], Vec<usize>> = HashMap::new();
         for (pos, f) in forms.iter().enumerate() {
             buckets.entry(f.fingerprint()).or_default().push(pos);
         }
@@ -874,8 +913,84 @@ impl ModChecker {
                 );
             }
         }
-        Ok(Some((matrix, votes)))
+        let keyed_groups = groups
+            .into_iter()
+            .map(|g| (forms[g[0]].fingerprint().to_vec(), g))
+            .collect();
+        Ok(Some((matrix, votes, keyed_groups)))
     }
+
+    /// The per-bucket static pre-pass: one analyzer run per distinct
+    /// module content, replicated to every VM carrying that content.
+    ///
+    /// The canonical fingerprint covers headers and reloc-normalized
+    /// executable data — everything the lints decode *except* the import
+    /// tables, so each fingerprint bucket is subdivided by an FNV-1a digest
+    /// of the raw `.idata` bytes (an IAT-pivoted VM must not share its
+    /// clean peers' verdict). Each subgroup's first member in scan order is
+    /// analyzed (or its cached verdict reused); findings are cloned to the
+    /// other members with `vm_name` swapped and every diagnostic address
+    /// shifted by the member's load-base delta. Detail strings keep the
+    /// representative's addresses — they are prose, not machine keys.
+    fn bucketed_static_scan(
+        extracted: &[(usize, Arc<ExtractedModule>)],
+        groups: &[(Fingerprint, Vec<usize>)],
+        cache: &mut AnalysisCache,
+    ) -> Vec<mc_analysis::AnalysisReport> {
+        let mut slotted: Vec<(usize, mc_analysis::AnalysisReport)> = Vec::new();
+        for (fingerprint, group) in groups {
+            // Subdivide by import-table content, preserving member order.
+            let mut subgroups: Vec<(u64, Vec<usize>)> = Vec::new();
+            for &pos in group {
+                let aux = import_table_digest(&extracted[pos].1);
+                match subgroups.iter_mut().find(|(a, _)| *a == aux) {
+                    Some((_, members)) => members.push(pos),
+                    None => subgroups.push((aux, vec![pos])),
+                }
+            }
+            for (aux, members) in subgroups {
+                let rep = &extracted[members[0]].1;
+                let rep_base = rep.image.base;
+                let verdict = cache.lookup_or_run(fingerprint, aux, || {
+                    Self::static_scan(rep).map(|r| (rep_base, r))
+                });
+                let Some((analyzed_base, report)) = verdict else {
+                    continue;
+                };
+                for &pos in &members {
+                    let m = &extracted[pos].1;
+                    let mut replica = report.clone();
+                    replica.vm_name = m.image.vm_name.clone();
+                    let shift = m.image.base.wrapping_sub(*analyzed_base);
+                    for d in &mut replica.diagnostics {
+                        d.va = d.va.wrapping_add(shift);
+                    }
+                    slotted.push((pos, replica));
+                }
+            }
+        }
+        // Emit in scan order, as the per-VM pass would.
+        slotted.sort_by_key(|(pos, _)| *pos);
+        slotted.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// FNV-1a over a capture's raw `.idata` bytes — the analyzer input the
+/// canonical fingerprint deliberately excludes (initialized data is outside
+/// the vote's hash scope). A module without an import section digests to
+/// the FNV offset basis, which is fine: all such captures in one bucket
+/// genuinely share every analyzer input.
+fn import_table_digest(m: &ExtractedModule) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    if let Ok(parsed) = mc_pe::parser::ParsedModule::parse_memory(&m.image.bytes) {
+        if let Some(idx) = parsed.find_section(".idata") {
+            for &b in &m.image.bytes[parsed.sections[idx].data_range.clone()] {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
 }
 
 /// One scanned VM's canonical-mode vote inputs, keyed by its position in
@@ -886,11 +1001,96 @@ struct CanonicalVote {
     suspect_parts: Vec<PartId>,
 }
 
+/// A canonical fingerprint, owned: the bucket key the analysis cache and
+/// the per-bucket static pre-pass share with the O(t) vote.
+type Fingerprint = Vec<(PartId, PartDigest)>;
+
 /// `canonical_matrix` result: `None` = reloc-less fallback to pairwise.
+/// The third element is the bucket structure — fingerprint plus member
+/// positions (into `extracted`), ordered by first member.
 type CanonicalOutcome = Option<(
     Vec<(usize, usize, PairOutcome)>,
     HashMap<usize, CanonicalVote>,
+    Vec<(Fingerprint, Vec<usize>)>,
 )>;
+
+/// Run/hit accounting for an [`AnalysisCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisCacheStats {
+    /// Analyzer invocations — one per distinct (fingerprint, import-table)
+    /// content ever seen by this cache.
+    pub runs: u64,
+    /// Bucket verdicts served from the cache without running the analyzer.
+    pub hits: u64,
+}
+
+/// Per-content static analysis cache for the canonical-mode pre-pass.
+///
+/// Keyed by (canonical fingerprint, import-table digest): together these
+/// cover every input the lint engine reads, so two captures with equal keys
+/// provably yield the same findings up to the load-base shift applied at
+/// replication time. The cache is shared across rounds (the fleet scheduler
+/// keeps one per pool), making the steady-state cost of the static pre-pass
+/// zero analyzer runs per sweep.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisCache {
+    /// `None` = analyzed and clean (or unparseable); `Some((base, report))`
+    /// = findings as seen from a capture loaded at `base`.
+    entries: HashMap<(Fingerprint, u64), Option<(u64, mc_analysis::AnalysisReport)>>,
+    stats: AnalysisCacheStats,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative run/hit counters.
+    pub fn stats(&self) -> AnalysisCacheStats {
+        self.stats
+    }
+
+    /// Number of distinct contents ever analyzed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the cached verdict for `(fingerprint, aux)`, running `scan`
+    /// (and counting a run) only on first sight.
+    fn lookup_or_run(
+        &mut self,
+        fingerprint: &Fingerprint,
+        aux: u64,
+        scan: impl FnOnce() -> Option<(u64, mc_analysis::AnalysisReport)>,
+    ) -> &Option<(u64, mc_analysis::AnalysisReport)> {
+        let key = (fingerprint.clone(), aux);
+        if self.entries.contains_key(&key) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.runs += 1;
+            self.entries.insert(key.clone(), scan());
+        }
+        &self.entries[&key]
+    }
+
+    /// Records the cumulative counters as gauges (`analysis_*`). Gauges for
+    /// the same reason as [`CaptureCache::record_metrics`]: the stats are
+    /// lifetime-cumulative and must not double-count on re-export.
+    pub fn record_metrics(&self, reg: &mut mc_obs::MetricsRegistry) {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            reg.gauge_set("analysis_runs", self.stats.runs as f64);
+            reg.gauge_set("analysis_hits", self.stats.hits as f64);
+            reg.gauge_set("analysis_entries", self.entries.len() as f64);
+        }
+    }
+}
 
 /// Hit/miss accounting for a [`CaptureCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -1516,5 +1716,109 @@ mod tests {
         // Without the pre-pass the same scan attaches nothing.
         let plain = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
         assert!(plain.static_findings.is_empty());
+    }
+
+    #[test]
+    fn bucketed_prepass_matches_the_per_vm_pass_and_amortizes_runs() {
+        // Canonical mode + pre-pass: the bucket walk must name the same VMs
+        // with the same evidence as the per-VM pass while invoking the lint
+        // engine once per content bucket, not once per capture.
+        let (mut hv, guests, ids) = cloud(5);
+        for g in guests.iter().take(3) {
+            g.patch_module(&mut hv, "hal.dll", 0x1000, &[0xE9, 0x10, 0x00, 0x00, 0x00])
+                .unwrap();
+        }
+        let per_vm = ModChecker::with_config(CheckConfig {
+            static_prepass: true,
+            ..CheckConfig::default()
+        })
+        .check_pool(&hv, &ids, "hal.dll")
+        .unwrap();
+
+        let checker = ModChecker::with_config(CheckConfig {
+            compare: CompareStrategy::Canonical,
+            static_prepass: true,
+            ..CheckConfig::default()
+        });
+        let mut capture = CaptureCache::new();
+        let mut analysis = AnalysisCache::new();
+        let bucketed = checker
+            .check_pool_with_caches(&hv, &ids, "hal.dll", &mut capture, &mut analysis)
+            .unwrap();
+        assert_eq!(
+            bucketed.statically_flagged_vms(),
+            vec!["dom1", "dom2", "dom3"]
+        );
+        assert_eq!(per_vm.static_findings.len(), bucketed.static_findings.len());
+        for (a, b) in per_vm.static_findings.iter().zip(&bucketed.static_findings) {
+            assert_eq!(a.vm_name, b.vm_name);
+            let lints = |r: &mc_analysis::AnalysisReport| -> Vec<(&'static str, u64)> {
+                r.diagnostics
+                    .iter()
+                    .map(|d| (d.lint.code(), d.va))
+                    .collect()
+            };
+            assert_eq!(
+                lints(a),
+                lints(b),
+                "{}: replicated evidence diverged",
+                a.vm_name
+            );
+        }
+        // Two content buckets (three identically hooked, two clean) — the
+        // analyzer ran twice for five captures.
+        assert_eq!(analysis.stats().runs, 2);
+        assert_eq!(analysis.len(), 2);
+
+        // Round two: every verdict is served from the cache.
+        let again = checker
+            .check_pool_with_caches(&hv, &ids, "hal.dll", &mut capture, &mut analysis)
+            .unwrap();
+        assert_eq!(again.statically_flagged_vms(), vec!["dom1", "dom2", "dom3"]);
+        assert_eq!(analysis.stats().runs, 2, "steady state: zero new runs");
+        assert_eq!(analysis.stats().hits, 2);
+    }
+
+    #[test]
+    fn vote_invisible_import_divergence_still_splits_analysis_buckets() {
+        // The canonical fingerprint deliberately excludes `.idata` (the
+        // paper hashes headers and code, not initialized data), so an
+        // IAT-pivoted capture lands in the same bucket as its clean peers.
+        // The analysis cache must key on the import-table content too — a
+        // shared fingerprint alone must never let a tampered IAT inherit a
+        // clean verdict.
+        let mut hv = Hypervisor::new();
+        let width = AddressWidth::W32;
+        let bps = vec![ModuleBlueprint::new("dummy.sys", width, 12 * 1024)
+            .with_imports(&[("ntoskrnl.exe", &["IoCreateDevice", "IoDeleteDevice"])])];
+        let guests = build_cloud_with_modules(&mut hv, 3, width, &bps).unwrap();
+        let ids: Vec<VmId> = guests.iter().map(|g| g.vm).collect();
+
+        // Locate the in-memory `.idata` payload and flip one byte on dom1.
+        let mut session = VmiSession::attach(&hv, ids[0]).unwrap();
+        let image = ModuleSearcher::find(&mut session, "dummy.sys").unwrap();
+        let parsed = mc_pe::parser::ParsedModule::parse_memory(&image.bytes).unwrap();
+        let idx = parsed.find_section(".idata").unwrap();
+        let rva = parsed.sections[idx].data_range.start as u64;
+        drop(session);
+        guests[0]
+            .patch_module(&mut hv, "dummy.sys", rva, &[0xA5])
+            .unwrap();
+
+        let checker = ModChecker::with_config(CheckConfig {
+            compare: CompareStrategy::Canonical,
+            static_prepass: true,
+            ..CheckConfig::default()
+        });
+        let mut capture = CaptureCache::new();
+        let mut analysis = AnalysisCache::new();
+        let report = checker
+            .check_pool_with_caches(&hv, &ids, "dummy.sys", &mut capture, &mut analysis)
+            .unwrap();
+        // The vote cannot see the divergence (one bucket, all clean)…
+        assert!(report.all_clean(), "import data is vote-invisible");
+        // …but the pre-pass analyzed the divergent capture on its own.
+        assert_eq!(analysis.stats().runs, 2, "aux digest split the bucket");
+        assert_eq!(analysis.len(), 2);
     }
 }

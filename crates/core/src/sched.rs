@@ -40,7 +40,9 @@ use mc_vmi::VmiSession;
 
 use crate::error::CheckError;
 use crate::listdiff::{ListDiff, ListDiffReport};
-use crate::pool::{CacheStats, CaptureCache, CheckConfig, ModChecker};
+use crate::pool::{
+    AnalysisCache, AnalysisCacheStats, CacheStats, CaptureCache, CheckConfig, ModChecker,
+};
 use crate::report::{FleetPoolReport, FleetReport, FleetUnitReport, PoolCheckReport};
 use crate::searcher::ModuleSearcher;
 
@@ -186,6 +188,7 @@ pub struct FleetScheduler {
     checker: ModChecker,
     config: FleetConfig,
     caches: Mutex<HashMap<String, Arc<Mutex<CaptureCache>>>>,
+    analysis_caches: Mutex<HashMap<String, Arc<Mutex<AnalysisCache>>>>,
     history: Mutex<HashSet<(String, String)>>,
 }
 
@@ -196,6 +199,7 @@ impl FleetScheduler {
             checker: ModChecker::with_config(config.check),
             config,
             caches: Mutex::new(HashMap::new()),
+            analysis_caches: Mutex::new(HashMap::new()),
             history: Mutex::new(HashSet::new()),
         }
     }
@@ -233,6 +237,24 @@ impl FleetScheduler {
         total
     }
 
+    /// Aggregated static-analysis cache statistics across every pool cache.
+    /// `runs` counts real lint-engine invocations: the per-bucket pre-pass
+    /// acceptance bound ("≤ one run per content bucket per unit") is pinned
+    /// against this.
+    pub fn analysis_stats(&self) -> AnalysisCacheStats {
+        let mut total = AnalysisCacheStats::default();
+        if let Ok(caches) = self.analysis_caches.lock() {
+            for cache in caches.values() {
+                if let Ok(c) = cache.lock() {
+                    let s = c.stats();
+                    total.runs += s.runs;
+                    total.hits += s.hits;
+                }
+            }
+        }
+        total
+    }
+
     fn cache_handle(&self, pool: &str) -> Arc<Mutex<CaptureCache>> {
         self.caches.lock().map_or_else(
             |_| Arc::new(Mutex::new(CaptureCache::new())),
@@ -240,6 +262,18 @@ impl FleetScheduler {
                 caches
                     .entry(pool.to_string())
                     .or_insert_with(|| Arc::new(Mutex::new(CaptureCache::new())))
+                    .clone()
+            },
+        )
+    }
+
+    fn analysis_cache_handle(&self, pool: &str) -> Arc<Mutex<AnalysisCache>> {
+        self.analysis_caches.lock().map_or_else(
+            |_| Arc::new(Mutex::new(AnalysisCache::new())),
+            |mut caches| {
+                caches
+                    .entry(pool.to_string())
+                    .or_insert_with(|| Arc::new(Mutex::new(AnalysisCache::new())))
                     .clone()
             },
         )
@@ -308,6 +342,11 @@ impl FleetScheduler {
             .iter()
             .map(|p| self.cache_handle(&p.name))
             .collect();
+        let analysis_handles: Vec<Arc<Mutex<AnalysisCache>>> = fleet
+            .pools
+            .iter()
+            .map(|p| self.analysis_cache_handle(&p.name))
+            .collect();
         let batch = self.config.max_inflight_per_vm.max(1);
         // `(pool index, unit index, result)` — the slot coordinates phase 5
         // assembles by.
@@ -322,7 +361,15 @@ impl FleetScheduler {
                     for (bi, chunk) in units.chunks(batch).enumerate() {
                         let reports: Vec<Result<PoolCheckReport, CheckError>> = chunk
                             .par_iter()
-                            .map(|u| self.run_unit(hv, pool, &cache_handles[pi], &u.module))
+                            .map(|u| {
+                                self.run_unit(
+                                    hv,
+                                    pool,
+                                    &cache_handles[pi],
+                                    &analysis_handles[pi],
+                                    &u.module,
+                                )
+                            })
                             .collect();
                         for (ci, report) in reports.into_iter().enumerate() {
                             out.push((pi, bi * batch + ci, report));
@@ -404,8 +451,16 @@ impl FleetScheduler {
         hv: &Hypervisor,
         pool: &PoolSpec,
         cache: &Arc<Mutex<CaptureCache>>,
+        analysis: &Arc<Mutex<AnalysisCache>>,
         module: &str,
     ) -> Result<PoolCheckReport, CheckError> {
+        if self.config.check.static_prepass {
+            if let (Ok(mut c), Ok(mut a)) = (cache.lock(), analysis.lock()) {
+                return self
+                    .checker
+                    .check_pool_with_caches(hv, &pool.vms, module, &mut c, &mut a);
+            }
+        }
         match cache.lock() {
             Ok(mut c) => self
                 .checker
@@ -599,6 +654,72 @@ mod tests {
         let sequential = render(1, 1);
         assert_eq!(sequential, render(4, 2), "shards must not change bytes");
         assert_eq!(sequential, render(8, 4), "shards must not change bytes");
+    }
+
+    #[test]
+    fn static_prepass_amortizes_analysis_runs_across_sweeps() {
+        let (mut hv, guests, fleet) = fleet_bed(2, 4, 2);
+        // A hook-style rel32 patch on one VM: the pre-pass must flag it,
+        // and its bucket split adds exactly one extra analyzer run.
+        guests[0][1]
+            .patch_module(&mut hv, "p0m0.sys", 0x1000, &[0xE9, 0x10, 0x00, 0x00, 0x00])
+            .unwrap();
+        let sched = FleetScheduler::new(FleetConfig {
+            check: CheckConfig {
+                compare: crate::pool::CompareStrategy::Canonical,
+                static_prepass: true,
+                ..CheckConfig::default()
+            },
+            ..FleetConfig::default()
+        });
+        let report = sched.sweep(&hv, &fleet);
+        assert_eq!(report.units_failed(), 0);
+        let flagged: Vec<(&str, Vec<&str>)> = report
+            .pools
+            .iter()
+            .flat_map(|p| &p.units)
+            .filter_map(|u| u.result.as_ref().ok())
+            .filter(|r| !r.static_findings.is_empty())
+            .map(|r| (r.module.as_str(), r.statically_flagged_vms()))
+            .collect();
+        assert_eq!(flagged, vec![("p0m0.sys", vec!["p0dom1"])]);
+
+        // Per-bucket bound: every clean (pool, module) unit is one content
+        // bucket = one run; the hooked unit splits into two. 4 units total.
+        let first = sched.analysis_stats();
+        assert_eq!(first.runs, 5, "4 clean buckets + 1 split");
+
+        // A second sweep over unchanged content is served entirely from
+        // the per-pool caches: zero new analyzer runs.
+        let again = sched.sweep(&hv, &fleet);
+        assert_eq!(again.units_failed(), 0);
+        let second = sched.analysis_stats();
+        assert_eq!(second.runs, first.runs, "steady state re-runs nothing");
+        assert!(second.hits > first.hits);
+    }
+
+    #[test]
+    fn static_prepass_keeps_sharded_sweeps_byte_identical() {
+        let (mut hv, guests, fleet) = fleet_bed(3, 3, 2);
+        guests[1][0]
+            .patch_module(&mut hv, "p1m1.sys", 0x1000, &[0xE9, 0x10, 0x00, 0x00, 0x00])
+            .unwrap();
+        let render = |shards: usize, inflight: usize| {
+            let sched = FleetScheduler::new(FleetConfig {
+                check: CheckConfig {
+                    compare: crate::pool::CompareStrategy::Canonical,
+                    static_prepass: true,
+                    ..CheckConfig::default()
+                },
+                shards,
+                max_inflight_per_vm: inflight,
+            });
+            serde_json::to_string_pretty(&sched.sweep(&hv, &fleet).to_json()).unwrap()
+        };
+        let sequential = render(1, 1);
+        assert!(sequential.contains("statically_flagged"));
+        assert_eq!(sequential, render(4, 2), "prepass must not change bytes");
+        assert_eq!(sequential, render(8, 4), "prepass must not change bytes");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! * quorum is `Full` iff `l = 0` and `d = 0`, else `Degraded` (the
 //!   constraints keep `scanned ≥ 2`, so `Lost` never occurs).
 
+use mc_attacks::Technique;
 use mc_guest::GuestOs;
 use mc_hypervisor::{AddressWidth, FaultPlan, Hypervisor};
 use mc_pe::corpus::ModuleBlueprint;
@@ -40,9 +41,15 @@ use rand::{RngExt, SeedableRng};
 /// Ground truth for a generated fleet: what a correct sweep must find.
 #[derive(Clone, Debug, Default)]
 pub struct FleetTruth {
-    /// Every infected `(pool, module, vm)` — code-patched or DKOM-hidden.
-    /// Exactly these must be flagged `Suspect`; nothing else may be.
+    /// Every infected `(pool, module, vm)` — code-patched, DKOM-hidden or
+    /// carrying a vote-visible evasive infection. Exactly these must be
+    /// flagged `Suspect`; nothing else may be.
     pub infected: Vec<(String, String, String)>,
+    /// Vote-*invisible* infections `(pool, module, vm)`: the IAT pivot
+    /// rewrites only `.idata`, which the paper's hash deliberately skips,
+    /// so the vote must stay clean — only the static pre-pass (lint L6)
+    /// can name these VMs.
+    pub stealth: Vec<(String, String, String)>,
     /// `(pool, vm)` pairs lost before the sweep: `Unscannable` in every
     /// unit of their pool and unreadable in its list scan.
     pub lost: Vec<(String, String)>,
@@ -66,14 +73,9 @@ pub struct FleetBed {
     pub truth: FleetTruth,
 }
 
-fn build_pool(
-    hv: &mut Hypervisor,
-    pool_idx: usize,
-    vm_count: usize,
-    modules: &[(String, usize)],
-    seed: u64,
-) -> (PoolSpec, Vec<GuestOs>) {
-    let files: Vec<(String, PeFile)> = modules
+/// Builds blueprint module files from `(name, text size)` pairs.
+fn blueprint_files(modules: &[(String, usize)]) -> Vec<(String, PeFile)> {
+    modules
         .iter()
         .map(|(name, text)| {
             let pe = ModuleBlueprint::new(name, AddressWidth::W32, *text)
@@ -81,17 +83,41 @@ fn build_pool(
                 .expect("blueprint builds");
             (name.clone(), pe)
         })
-        .collect();
+        .collect()
+}
+
+/// Installs `files` on `vm_count` fresh VMs. `overrides` replaces one
+/// named module's file for one VM index — how a file-level (pre-load)
+/// infection lands on exactly its victim while every peer gets the clean
+/// build.
+fn build_pool(
+    hv: &mut Hypervisor,
+    pool_idx: usize,
+    vm_count: usize,
+    files: &[(String, PeFile)],
+    overrides: &[(usize, String, PeFile)],
+    seed: u64,
+) -> (PoolSpec, Vec<GuestOs>) {
     let mut vms = Vec::with_capacity(vm_count);
     let mut guests = Vec::with_capacity(vm_count);
     for i in 0..vm_count {
         let vm = hv
             .create_vm(&format!("p{pool_idx}dom{i}"), AddressWidth::W32)
             .expect("unique VM names per pool");
+        let vm_files: Vec<(String, PeFile)> = files
+            .iter()
+            .map(|(name, pe)| {
+                let file = overrides
+                    .iter()
+                    .find(|(v, n, _)| *v == i && n == name)
+                    .map_or(pe, |(_, _, f)| f);
+                (name.clone(), file.clone())
+            })
+            .collect();
         let g = GuestOs::install_with_modules(
             hv,
             vm,
-            &files,
+            &vm_files,
             seed.wrapping_mul(1000)
                 .wrapping_add((pool_idx * 100 + i + 1) as u64),
         )
@@ -127,7 +153,9 @@ pub fn uniform_fleet(
         let modules: Vec<(String, usize)> = (0..modules_per_pool)
             .map(|m| (format!("p{p}m{m}.sys"), (8 + 4 * ((m + p) % 3)) * 1024))
             .collect();
-        let (spec, pool_guests) = build_pool(&mut hv, p, base_vms.max(2) + p % 3, &modules, seed);
+        let files = blueprint_files(&modules);
+        let (spec, pool_guests) =
+            build_pool(&mut hv, p, base_vms.max(2) + p % 3, &files, &[], seed);
         let mut names: Vec<String> = modules.iter().map(|(n, _)| n.clone()).collect();
         names.sort();
         consensus.push((spec.name.clone(), names));
@@ -174,17 +202,66 @@ pub fn random_fleet(seed: u64) -> FleetBed {
                 )
             })
             .collect();
-        let (spec, guests) = build_pool(&mut hv, p, n, &modules, seed);
-        let pool_name = spec.name.clone();
-
         // Lose at most one VM, and only in pools big enough that every
         // downstream constraint still has room (readable s = n − 1 ≥ 3).
+        // Drawn *before* the build: the evasive tier infects module files,
+        // so victims must be known at install time.
         let lost_idx: Option<usize> = if n >= 4 && rng.random_bool(0.3) {
             Some(rng.random_range(0..n))
         } else {
             None
         };
         let readable = n - usize::from(lost_idx.is_some());
+
+        // Evasive tier: one extra module per pool may carry a file-level
+        // anti-disassembly infection on one surviving VM. The vote-visible
+        // techniques (hidden-jump, overlapping-decode) patch `.text`, so
+        // they are one distinct infection (i = 1) needing `scanned ≥ 4`;
+        // the IAT pivot rewrites only `.idata` and must stay vote-clean.
+        let evasive: Option<(Technique, usize)> = if readable >= 4 && rng.random_bool(0.35) {
+            let tech = Technique::EVASIVE[rng.random_range(0..Technique::EVASIVE.len())];
+            let candidates: Vec<usize> = (0..n).filter(|i| Some(*i) != lost_idx).collect();
+            let victim = candidates[rng.random_range(0..candidates.len())];
+            Some((tech, victim))
+        } else {
+            None
+        };
+
+        let mut files = blueprint_files(&modules);
+        let mut overrides = Vec::new();
+        let evs_name = format!("p{p}evs.sys");
+        if let Some((tech, victim)) = evasive {
+            let art = ModuleBlueprint::new(&evs_name, AddressWidth::W32, 16 * 1024)
+                .with_exports(&["EvsAlpha", "EvsBeta"])
+                .with_imports(&[("ntoskrnl.exe", &["IoCreateDevice", "IoDeleteDevice"])])
+                .generate();
+            let clean = art.build().expect("evasive blueprint builds");
+            let infected = tech
+                .infection()
+                .infect(&art)
+                .expect("evasive infection applies to the blueprint");
+            files.push((evs_name.clone(), clean));
+            overrides.push((victim, evs_name.clone(), infected));
+        }
+
+        let (spec, guests) = build_pool(&mut hv, p, n, &files, &overrides, seed);
+        let pool_name = spec.name.clone();
+
+        if let Some((tech, victim)) = evasive {
+            let vm = format!("p{p}dom{victim}");
+            if tech == Technique::IatPivot {
+                truth
+                    .stealth
+                    .push((pool_name.clone(), evs_name.clone(), vm));
+            } else {
+                truth
+                    .infected
+                    .push((pool_name.clone(), evs_name.clone(), vm));
+            }
+            if lost_idx.is_some() {
+                truth.degraded.push((pool_name.clone(), evs_name.clone()));
+            }
+        }
 
         for (module, text) in &modules {
             let mut victims: Vec<usize> = (0..n).filter(|i| Some(*i) != lost_idx).collect();
@@ -248,6 +325,9 @@ pub fn random_fleet(seed: u64) -> FleetBed {
         }
 
         let mut names: Vec<String> = modules.iter().map(|(m, _)| m.clone()).collect();
+        if evasive.is_some() {
+            names.push(evs_name);
+        }
         names.sort();
         truth.consensus.push((pool_name, names));
         specs.push(spec);
@@ -255,6 +335,7 @@ pub fn random_fleet(seed: u64) -> FleetBed {
     }
 
     truth.infected.sort();
+    truth.stealth.sort();
     truth.lost.sort();
     truth.degraded.sort();
     FleetBed {
@@ -262,5 +343,30 @@ pub fn random_fleet(seed: u64) -> FleetBed {
         fleet: Fleet::from_pools(specs),
         guests: all_guests,
         truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_evasive_technique_applies_to_the_evs_blueprint() {
+        // `random_fleet` unwraps `infect()` on this exact blueprint for a
+        // randomly drawn technique; if any technique cannot find a suitable
+        // site in it, some seed would panic mid-generation.
+        for p in 0..3 {
+            let art = ModuleBlueprint::new(&format!("p{p}evs.sys"), AddressWidth::W32, 16 * 1024)
+                .with_exports(&["EvsAlpha", "EvsBeta"])
+                .with_imports(&[("ntoskrnl.exe", &["IoCreateDevice", "IoDeleteDevice"])])
+                .generate();
+            let clean = art.build().expect("clean build");
+            for tech in Technique::EVASIVE {
+                let infected = tech.infection().infect(&art).unwrap_or_else(|e| {
+                    panic!("{tech} found no site in p{p}evs.sys: {e}");
+                });
+                assert_ne!(clean.bytes(), infected.bytes(), "{tech}");
+            }
+        }
     }
 }

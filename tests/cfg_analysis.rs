@@ -1,0 +1,167 @@
+//! Differential sweep-vs-CFG static analysis suite.
+//!
+//! The CFG engine's whole claim is a *strict detection upgrade*: zero new
+//! false positives on clean images, plus coverage of the anti-disassembly
+//! tier the linear sweep provably cannot see. This suite pins both halves:
+//!
+//! * the full clean corpus is silent under sweep-only mode (`cfg_lints:
+//!   false`) AND under the default CFG mode, on both pointer widths;
+//! * every file-level technique appears in one attack × expected-lints
+//!   table, with an explicit "does the sweep alone catch it?" column —
+//!   the three evasive attacks are asserted *undetected* by sweep-only
+//!   L1–L5 and *detected* by the declared CFG lint.
+
+use mc_analysis::{Analyzer, AnalyzerConfig};
+use mc_attacks::Technique;
+use mc_hypervisor::AddressWidth;
+use mc_pe::corpus::standard_corpus;
+use mc_vmi::VmiSession;
+use modchecker::ModuleSearcher;
+use modchecker_repro::testbed::Testbed;
+
+/// Sweep-only configuration: the engine exactly as it was before the CFG.
+fn sweep_only() -> AnalyzerConfig {
+    AnalyzerConfig {
+        cfg_lints: false,
+        ..AnalyzerConfig::default()
+    }
+}
+
+fn analyze(
+    bed: &Testbed,
+    vm: usize,
+    module: &str,
+    config: AnalyzerConfig,
+) -> mc_analysis::AnalysisReport {
+    let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[vm]).unwrap();
+    let image = ModuleSearcher::find(&mut session, module).unwrap();
+    Analyzer::with_config(config)
+        .analyze_image(&image.vm_name, module, image.base, &image.bytes)
+        .unwrap()
+}
+
+#[test]
+fn clean_corpus_is_silent_under_both_modes() {
+    for width in [AddressWidth::W32, AddressWidth::W64] {
+        let bed = Testbed::cloud_with(1, width, &standard_corpus(width));
+        let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[0]).unwrap();
+        let names: Vec<String> = ModuleSearcher::list_modules(&mut session)
+            .unwrap()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        drop(session);
+        assert!(names.len() >= 10, "standard corpus loads 11 modules");
+        for name in names {
+            for (label, config) in [
+                ("sweep-only", sweep_only()),
+                ("cfg", AnalyzerConfig::default()),
+            ] {
+                let report = analyze(&bed, 0, &name, config);
+                assert!(
+                    report.is_clean(),
+                    "clean {name} ({width:?}) flagged in {label} mode:\n{report}"
+                );
+            }
+        }
+    }
+}
+
+/// Regression for the former x86-64 gap: a clean 64-bit image must produce
+/// zero findings with the CFG lints on by default (they now provide the
+/// coverage the opt-in sweep declined), and a *hooked* 64-bit import table
+/// must no longer hide behind the width.
+#[test]
+fn clean_64bit_images_produce_zero_findings() {
+    let width = AddressWidth::W64;
+    let bed = Testbed::cloud_with(2, width, &standard_corpus(width));
+    for module in ["ntoskrnl.exe", "hal.dll", "dummy.sys", "ntfs.sys"] {
+        let report = analyze(&bed, 0, module, AnalyzerConfig::default());
+        assert!(report.is_clean(), "clean W64 {module} flagged:\n{report}");
+        assert!(report.bytes_scanned > 0, "the CFG lints really scanned");
+    }
+}
+
+/// One row per file-level technique: which lints must fire under the full
+/// engine, and whether the sweep-only engine sees anything at all.
+const TABLE: [(Technique, &[&str], bool); 7] = [
+    (Technique::OpcodeReplacement, &[], false), // below static resolution
+    (Technique::InlineHook, &["L1", "L2", "L3"], true),
+    (Technique::StubModification, &["L4"], true),
+    (Technique::DllHook, &["L4"], true),
+    (Technique::JumpOverJunk, &["L8"], false),
+    (Technique::IatPivot, &["L6"], false),
+    (Technique::OverlappingDecode, &["L9"], false),
+];
+
+#[test]
+fn every_technique_has_a_row_in_the_table() {
+    for t in Technique::COMPLETE {
+        assert!(
+            TABLE.iter().any(|&(rt, _, _)| rt == t),
+            "{t} missing from the coverage table"
+        );
+    }
+    assert_eq!(TABLE.len(), Technique::COMPLETE.len());
+}
+
+#[test]
+fn attack_by_lint_coverage_table_holds() {
+    for (technique, expected_lints, sweep_catches) in TABLE {
+        let infection = technique.infection();
+        let target = infection.target_module().to_string();
+        let (bed, _) = Testbed::infected_cloud(2, technique, &[0]).unwrap();
+
+        // Full engine: exactly the declared lints (at least) fire on the
+        // victim, never on the clean peer.
+        let infected = analyze(&bed, 0, &target, AnalyzerConfig::default());
+        let peer = analyze(&bed, 1, &target, AnalyzerConfig::default());
+        assert!(peer.is_clean(), "{technique}: clean peer flagged:\n{peer}");
+        for code in expected_lints {
+            assert!(
+                infected.diagnostics.iter().any(|d| d.lint.code() == *code),
+                "{technique}: expected {code} to fire:\n{infected}"
+            );
+        }
+        if expected_lints.is_empty() {
+            assert!(
+                infected.is_clean(),
+                "{technique} is declared below static resolution:\n{infected}"
+            );
+        }
+
+        // Sweep-only engine: the evasive tier must be *provably missed*.
+        let sweep_report = analyze(&bed, 0, &target, sweep_only());
+        if sweep_catches {
+            assert!(
+                !sweep_report.is_clean(),
+                "{technique}: the sweep alone should already catch this"
+            );
+        } else {
+            assert!(
+                sweep_report.is_clean(),
+                "{technique}: sweep-only L1–L5 unexpectedly fired — the attack \
+                 is not actually evasive:\n{sweep_report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn declared_detectability_matches_the_table() {
+    // The `statically_detectable()` markers (which fleetgen's ground-truth
+    // oracle consumes) must agree with the table's expected-lints column.
+    for (technique, expected_lints, _) in TABLE {
+        let declared = technique.infection().statically_detectable();
+        match declared {
+            None => assert!(expected_lints.is_empty(), "{technique}"),
+            Some(codes) => {
+                let mut declared: Vec<&str> = codes.split('+').collect();
+                declared.sort_unstable();
+                let mut expected = expected_lints.to_vec();
+                expected.sort_unstable();
+                assert_eq!(declared, expected, "{technique}");
+            }
+        }
+    }
+}

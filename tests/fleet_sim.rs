@@ -5,12 +5,17 @@
 //! module sets, infection placement (code patches, DKOM hiding) and fault
 //! plans (lost VMs, transient read noise). The oracle then holds in all
 //! four execution-mode combinations (pairwise/canonical × sequential/
-//! sharded):
+//! sharded), plus a fifth mode layering the per-bucket static pre-pass on
+//! canonical comparison:
 //!
 //! * every infected `(VM, module)` is flagged `Suspect`;
-//! * no clean VM is flagged anywhere;
+//! * no clean VM is flagged anywhere — in particular the vote-invisible
+//!   IAT pivot stays vote-clean in *every* mode;
 //! * per-unit quorum degradation matches the fault plan exactly;
 //! * lost VMs are `Unscannable`, never suspects;
+//! * under the pre-pass, every stealth (IAT-pivot) victim is statically
+//!   flagged, nothing outside `infected ∪ stealth` ever is, and the
+//!   analyzer ran at most once per content bucket per unit;
 //! * within one compare strategy, sharded and sequential sweeps serialize
 //!   to byte-identical `FleetReport` JSON.
 //!
@@ -128,6 +133,69 @@ fn assert_oracle(seed: u64, mode: &str, bed: &FleetBed, report: &FleetReport) {
     }
 }
 
+/// Canonical comparison with the per-bucket static pre-pass on top.
+/// Returns the scheduler too so the caller can audit `analysis_runs`.
+fn run_prepass_mode(
+    bed: &FleetBed,
+    shards: usize,
+    inflight: usize,
+) -> (FleetScheduler, FleetReport) {
+    let sched = FleetScheduler::new(FleetConfig {
+        check: CheckConfig {
+            static_prepass: true,
+            ..config(CompareStrategy::Canonical)
+        },
+        shards,
+        max_inflight_per_vm: inflight,
+    });
+    let report = sched.sweep(&bed.hv, &bed.fleet);
+    (sched, report)
+}
+
+/// Pre-pass-specific oracle: stealth victims are exactly the extra VMs the
+/// static pass may name, and the per-bucket cache bounds analyzer work.
+fn assert_prepass_oracle(seed: u64, bed: &FleetBed, sched: &FleetScheduler, report: &FleetReport) {
+    let ctx = format!("seed {seed}, mode canonical+prepass");
+    let mut flagged: Vec<(String, String, String)> = Vec::new();
+    let mut run_budget = 0u64;
+    for pool in &report.pools {
+        for unit in &pool.units {
+            let Ok(r) = &unit.result else { continue };
+            for vm in r.statically_flagged_vms() {
+                flagged.push((pool.pool.clone(), unit.module.clone(), vm.to_string()));
+            }
+            // One run for the clean bucket, plus at most one per infected
+            // or stealth capture of this unit (each distinct content).
+            let extra = bed
+                .truth
+                .infected
+                .iter()
+                .chain(&bed.truth.stealth)
+                .filter(|(p, m, _)| p == &pool.pool && m == &unit.module)
+                .count() as u64;
+            run_budget += 1 + extra;
+        }
+    }
+    flagged.sort();
+    for s in &bed.truth.stealth {
+        assert!(
+            flagged.contains(s),
+            "stealth victim not statically flagged: {s:?} ({ctx})\nflagged: {flagged:?}"
+        );
+    }
+    for f in &flagged {
+        assert!(
+            bed.truth.infected.contains(f) || bed.truth.stealth.contains(f),
+            "clean VM statically flagged: {f:?} ({ctx})"
+        );
+    }
+    let runs = sched.analysis_stats().runs;
+    assert!(
+        runs <= run_budget,
+        "analyzer ran {runs} times, bucket bound is {run_budget} ({ctx})"
+    );
+}
+
 fn render(report: &FleetReport) -> String {
     serde_json::to_string_pretty(&report.to_json()).expect("report serializes")
 }
@@ -146,6 +214,16 @@ fn randomized_fleets_match_the_oracle_in_all_four_modes() {
         let canonical_sharded = run_mode(&bed, CompareStrategy::Canonical, 8, 4);
         assert_oracle(seed, "canonical/sharded", &bed, &canonical_sharded);
 
+        // Fifth mode: canonical comparison + per-bucket static pre-pass.
+        // The vote oracle is unchanged (the IAT pivot stays vote-clean);
+        // the pre-pass oracle adds the stealth and run-bound checks.
+        let (prepass_sched, prepass_seq) = run_prepass_mode(&bed, 1, 1);
+        assert_oracle(seed, "canonical+prepass/sequential", &bed, &prepass_seq);
+        assert_prepass_oracle(seed, &bed, &prepass_sched, &prepass_seq);
+        let (sharded_sched, prepass_sharded) = run_prepass_mode(&bed, 8, 4);
+        assert_oracle(seed, "canonical+prepass/sharded", &bed, &prepass_sharded);
+        assert_prepass_oracle(seed, &bed, &sharded_sched, &prepass_sharded);
+
         // Execution mode must not change a byte of the report.
         assert_eq!(
             render(&pairwise_seq),
@@ -156,6 +234,11 @@ fn randomized_fleets_match_the_oracle_in_all_four_modes() {
             render(&canonical_seq),
             render(&canonical_sharded),
             "canonical sweep not shard-invariant (seed {seed})"
+        );
+        assert_eq!(
+            render(&prepass_seq),
+            render(&prepass_sharded),
+            "prepass sweep not shard-invariant (seed {seed})"
         );
     }
 }

@@ -10,10 +10,15 @@
 //!   capture;
 //! * a mutant planted *inside a VM* never earns a clean verdict from a
 //!   pool scan with three clean voters, under either compare strategy,
-//!   while the clean VMs all stay clean.
+//!   while the clean VMs all stay clean;
+//! * the static lint engine (sweep + CFG) never panics on a mutant, stays
+//!   silent on the clean capture, and garbage planted in data sections
+//!   never *removes* the hook findings from an infected image.
 //!
 //! Every assertion message carries the reproducing seed.
 
+use mc_analysis::Analyzer;
+use mc_attacks::Technique;
 use modchecker::{
     canonical_form, CheckConfig, CompareStrategy, ExtractedModule, ModChecker, ModuleSearcher,
     VerdictStatus,
@@ -119,6 +124,82 @@ fn mutated_captures_never_panic_extraction_or_canonical_form() {
         canonicalized > 0,
         "no mutant reached canonical form — mutator too hot"
     );
+}
+
+#[test]
+fn mutated_images_never_panic_the_analyzer() {
+    // The full engine — linear sweep plus recursive-descent CFG — must
+    // treat every mutant as data: `Ok` (possibly with findings) or a typed
+    // error, never a panic, never a finding on the unmutated capture.
+    let image = clean_capture();
+    let clean = Analyzer::new()
+        .analyze_image(&image.vm_name, MODULE, image.base, &image.bytes)
+        .expect("clean capture analyzes");
+    assert!(clean.is_clean(), "fuzz baseline must be silent:\n{clean}");
+    let mut analyzed = 0u64;
+    for seed in 0..cases(300) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA11A);
+        let mutant = mutate(&mut rng, &image.bytes);
+        if Analyzer::new()
+            .analyze_image(&image.vm_name, MODULE, image.base, &mutant)
+            .is_ok()
+        {
+            analyzed += 1;
+        }
+    }
+    assert!(
+        analyzed > 0,
+        "no mutant reached the lint engine — mutator too hot"
+    );
+}
+
+#[test]
+fn planted_garbage_never_downgrades_hook_findings() {
+    // Anti-forensics angle: an attacker who already planted an inline hook
+    // scribbles junk elsewhere in the image hoping to crash or confuse the
+    // analyzer out of its L1–L3 verdict. Garbage in non-executable section
+    // data must never remove the hook triad.
+    let (bed, _) = Testbed::infected_cloud(2, Technique::InlineHook, &[0]).expect("infects");
+    let target = Technique::InlineHook
+        .infection()
+        .target_module()
+        .to_string();
+    let image = {
+        let mut session = VmiSession::attach(&bed.hv, bed.vm_ids[0]).expect("victim attaches");
+        ModuleSearcher::find(&mut session, &target).expect("module present")
+    };
+    let parsed = ParsedModule::parse_memory(&image.bytes).expect("hooked capture parses");
+    // Inert data only: `.reloc` and `.idata` are analyzer *inputs* (CFG
+    // roots, L6), so corrupting them legitimately changes the evidence.
+    let data_ranges: Vec<std::ops::Range<usize>> = parsed
+        .sections
+        .iter()
+        .filter(|s| s.name == ".data" || s.name == ".rdata")
+        .map(|s| s.data_range.clone())
+        .filter(|r| !r.is_empty())
+        .collect();
+    assert!(
+        !data_ranges.is_empty(),
+        "corpus module carries data sections"
+    );
+    for seed in 0..cases(40) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5EED).wrapping_add(3));
+        let mut bytes = image.bytes.clone();
+        let range = &data_ranges[rng.random_range(0..data_ranges.len() as u64) as usize];
+        for _ in 0..rng.random_range(1..=64u64) {
+            let off = range.start + rng.random_range(0..range.len() as u64) as usize;
+            bytes[off] = rng.random_range(0..=u64::from(u8::MAX)) as u8;
+        }
+        let report = Analyzer::new()
+            .analyze_image(&image.vm_name, &target, image.base, &bytes)
+            .expect("garbage in data sections must not abort analysis");
+        for code in ["L1", "L2", "L3"] {
+            assert!(
+                report.diagnostics.iter().any(|d| d.lint.code() == code),
+                "garbage erased {code} (seed {seed}):\n{report}"
+            );
+        }
+    }
 }
 
 /// Integrity-covered byte ranges of the module on `vm`: headers, the
