@@ -16,7 +16,10 @@
 #                              fig_fleet sub-linear scaling (writes BENCH_fleet.json)
 #  10. static-analysis gate  — sweep-vs-CFG differential suite + analyzer
 #                              metric exports validated against the schema
-#  11. test-count floor      — the suite must never silently shrink
+#  11. serve gate            — attestation-daemon sim suite + goldens +
+#                              fig_serve fault sweep (writes BENCH_serve.json)
+#  12. exit-code gate        — fleet-check's typed exit status contract
+#  13. test-count floor      — the suite must never silently shrink
 set -eu
 
 cd "$(dirname "$0")"
@@ -87,17 +90,49 @@ cargo run --release -q -p modchecker-cli --bin modchecker -- \
     | grep -q 'flagged VMs:' || { echo "ci: iat-pivot not statically flagged" >&2; exit 1; }
 cargo run --release -q -p modchecker-cli --bin modchecker -- \
     validate-metrics --file target/ci-analyze-metrics.json --schema schemas/metrics-schema.json
+# Seed 11 is an infected fleet, so fleet-check's typed exit status is 2
+# ("integrity findings") — anything else is a regression in either the
+# detector or the exit-code contract.
+rc=0
 cargo run --release -q -p modchecker-cli --bin modchecker -- \
     fleet-check --seed 11 --compare canonical --static-prepass \
-    --metrics-out target/ci-prepass-metrics.json > /dev/null
+    --metrics-out target/ci-prepass-metrics.json > /dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "ci: infected fleet-check exited $rc, want 2" >&2; exit 1; }
 grep -q '"analysis_flagged_vms_total"' target/ci-prepass-metrics.json \
     || { echo "ci: pre-pass export is missing the analysis_* series" >&2; exit 1; }
 cargo run --release -q -p modchecker-cli --bin modchecker -- \
     validate-metrics --file target/ci-prepass-metrics.json --schema schemas/metrics-schema.json
 
+# Serve gate: the attestation daemon's robustness contract. The 120-seed
+# simulation suite (typed outcome for every query, deadlines honored,
+# bounded queue, quarantine routing, byte-identity across worker layouts),
+# the pinned ServeReport goldens, the fig_serve fault-rate sweep (which
+# itself asserts bounded p99 staleness and no silent drops, writing
+# BENCH_serve.json), and the serve_* metrics/trace exports validated
+# against the schema.
+echo "==> serve gate (sim suite + goldens + fig_serve + serve_* exports)"
+cargo test -q --release --test serve_sim --test golden_serve
+cargo run --release -q -p mc-bench --bin fig_serve -- --smoke --out BENCH_serve.json
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    serve --queries 200 --metrics-out target/ci-serve-metrics.json \
+    --trace-out target/ci-serve-trace.jsonl > /dev/null
+grep -q '"serve_queries_total"' target/ci-serve-metrics.json \
+    || { echo "ci: serve export is missing the serve_* series" >&2; exit 1; }
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    validate-metrics --file target/ci-serve-metrics.json --schema schemas/metrics-schema.json
+test -s target/ci-serve-trace.jsonl || { echo "ci: serve trace export is empty" >&2; exit 1; }
+
+# Exit-code gate: fleet-check's typed exit status is API. A clean uniform
+# fleet must exit 0; the infected seed-11 case (exit 2) is asserted in the
+# static-analysis gate above.
+echo "==> fleet-check exit-code gate"
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    fleet-check --pools 2 > /dev/null \
+    || { echo "ci: clean fleet-check did not exit 0" >&2; exit 1; }
+
 # Test-count floor: the workspace suite must never silently shrink. Bump
 # the floor when tests are added; lowering it is a reviewed decision.
-TEST_FLOOR=447
+TEST_FLOOR=468
 echo "==> test-count floor (>= $TEST_FLOOR)"
 TEST_COUNT=$(cargo test --workspace -q -- --list 2>/dev/null | grep -c ': test$')
 echo "    $TEST_COUNT tests listed"

@@ -37,25 +37,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `fleet-check` reports integrity through its exit code (see USAGE);
+    // every other command is plain success/failure.
     let result = match command.as_str() {
-        "check" => cmd_check(&mut args),
-        "analyze" => cmd_analyze(&mut args),
-        "list-modules" => cmd_list_modules(&mut args),
-        "listdiff" => cmd_listdiff(&mut args),
-        "sweep" => cmd_sweep(&mut args),
-        "sweep-all" => cmd_sweep_all(&mut args),
+        "check" => cmd_check(&mut args).map(|()| ExitCode::SUCCESS),
+        "analyze" => cmd_analyze(&mut args).map(|()| ExitCode::SUCCESS),
+        "list-modules" => cmd_list_modules(&mut args).map(|()| ExitCode::SUCCESS),
+        "listdiff" => cmd_listdiff(&mut args).map(|()| ExitCode::SUCCESS),
+        "sweep" => cmd_sweep(&mut args).map(|()| ExitCode::SUCCESS),
+        "sweep-all" => cmd_sweep_all(&mut args).map(|()| ExitCode::SUCCESS),
         "fleet-check" => cmd_fleet_check(&mut args),
-        "monitor" => cmd_monitor(&mut args),
-        "validate-metrics" => cmd_validate_metrics(&mut args),
-        "techniques" => cmd_techniques(),
+        "serve" => cmd_serve(&mut args).map(|()| ExitCode::SUCCESS),
+        "monitor" => cmd_monitor(&mut args).map(|()| ExitCode::SUCCESS),
+        "validate-metrics" => cmd_validate_metrics(&mut args).map(|()| ExitCode::SUCCESS),
+        "techniques" => cmd_techniques().map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -91,6 +94,18 @@ USAGE:
                                          sharded multi-pool, multi-module sweep;
                                          --seed builds a randomized infected fleet,
                                          otherwise a clean uniform one
+  modchecker serve [--pools <P>] [--vms-per-pool <M>] [--modules-per-pool <K>]
+                   [--seed <S>] [--queries <N>] [--load-seed <S>] [--tenants <T>]
+                   [--mean-gap-us <US>] [--burst-prob <0..1>] [--unknown-rate <0..1>]
+                   [--deadline-min-ms <MS>] [--deadline-max-ms <MS>]
+                   [--queue-capacity <Q>] [--quota-rate <QPS>] [--quota-burst <B>]
+                   [--refresh-ms <MS>] [--freshness-ms <MS>]
+                   [--shards <N>] [--max-inflight-per-vm <K>]
+                   [--fault-seed <SEED>] [--fault-rate <0..1>]
+                   [--json] [--metrics-out <PATH>] [--trace-out <PATH>]
+                                         attestation daemon over a seeded query
+                                         stream: admission quotas, bounded queue,
+                                         degraded answers under faults
   modchecker monitor [--vms <N>] [--rounds <R>] [--fault-seed <SEED>]
                      [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
                      [--compare pairwise|canonical] [--metrics-out <PATH>]
@@ -113,6 +128,18 @@ Chaos: --fault-seed/--fault-rate inject deterministic transient read faults
 into every VM (same seed ⇒ same faults ⇒ same report); --retries bounds the
 per-read retry budget, --deadline-ms the per-VM simulated capture time, and
 --min-quorum how many captured VMs the majority vote needs to carry weight.
+
+Exit codes: fleet-check exits 0 when every unit is clean, 2 when any VM is a
+vote suspect or statically flagged, 3 when there are no findings but the fleet
+cannot vouch for itself (a unit failed or lost its scan quorum), and 1 on
+usage or internal errors. Other commands exit 0/1.
+
+Serving: serve builds the fleet (same --pools/--seed knobs as fleet-check),
+generates a seeded open-loop query stream, and runs the attestation daemon:
+per-tenant token-bucket quotas, a bounded admission queue with typed
+rejections, health-based routing around quarantined VMs, and degraded
+(stale/unscannable) answers when fresh state cannot be had within the
+deadline. Same seeds ⇒ byte-identical report, regardless of --shards.
 
 Static pre-pass: fleet-check --static-prepass (and check --static) runs the
 CFG analyzer (lints L1–L9) once per content bucket on top of the canonical
@@ -485,7 +512,7 @@ fn cmd_sweep_all(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fleet_check(args: &mut Args) -> Result<(), String> {
+fn cmd_fleet_check(args: &mut Args) -> Result<ExitCode, String> {
     let pools = args.value("pools")?.unwrap_or(3);
     let vms = args.value("vms-per-pool")?.unwrap_or(4);
     let modules = args.value("modules-per-pool")?.unwrap_or(2);
@@ -570,6 +597,149 @@ fn cmd_fleet_check(args: &mut Args) -> Result<(), String> {
             report.simulated_wall_sequential(),
             modchecker::simulated_fleet_wall(&report, shards)
         );
+    }
+
+    // Typed exit status so automation reads the verdict without parsing
+    // output: 2 = integrity findings (vote suspects or statically flagged
+    // VMs), 3 = no findings but the fleet cannot vouch for itself (a unit
+    // failed outright or lost its scan quorum), 0 = clean.
+    let flagged = report
+        .units()
+        .any(|u| matches!(&u.result, Ok(r) if !r.static_findings.is_empty()));
+    let unvouched = report.units().any(|u| match &u.result {
+        Ok(r) => r.quorum == modchecker::QuorumStatus::Lost,
+        Err(_) => true,
+    }) || report
+        .pools
+        .iter()
+        .any(|p| p.vm_names.len() >= 2 && p.units.is_empty());
+    if !report.suspects().is_empty() || flagged {
+        Ok(ExitCode::from(2))
+    } else if unvouched {
+        Ok(ExitCode::from(3))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Parses a float-valued `--name value` option with a default.
+fn float_value(args: &Args, name: &str, default: f64) -> Result<f64, String> {
+    match args.raw_value(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+/// `serve`: run the attestation daemon over a seeded open-loop query
+/// stream and report every query's typed outcome.
+fn cmd_serve(args: &mut Args) -> Result<(), String> {
+    let pools = args.value("pools")?.unwrap_or(2).max(1);
+    let vms = args.value("vms-per-pool")?.unwrap_or(4);
+    let modules = args.value("modules-per-pool")?.unwrap_or(2).max(1);
+    let shards = args.value("shards")?.unwrap_or(1).max(1);
+    let inflight = args.value("max-inflight-per-vm")?.unwrap_or(1).max(1);
+    if vms < 2 {
+        return Err("--vms-per-pool must be at least 2".into());
+    }
+    let mut bed = match args.value("seed")? {
+        Some(s) => modchecker_repro::fleetgen::random_fleet(s as u64),
+        None => modchecker_repro::fleetgen::uniform_fleet(pools, vms, modules, 1),
+    };
+    if let Some(plan) = fault_plan_of(args)? {
+        bed.hv.inject_fault_plan(plan);
+    }
+    let fleet = bed.fleet;
+
+    // Query targets come from what the guests actually load; the daemon
+    // re-derives its own catalog from committed sweeps and is the one
+    // that says UnknownTarget.
+    let mut catalog = Vec::new();
+    for pool in &fleet.pools {
+        let Some(&vm) = pool.vms.first() else {
+            continue;
+        };
+        let mut session = VmiSession::attach(&bed.hv, vm).map_err(|e| e.to_string())?;
+        for m in ModuleSearcher::list_modules(&mut session).map_err(|e| e.to_string())? {
+            catalog.push((pool.name.clone(), m.name));
+        }
+    }
+    if catalog.is_empty() {
+        return Err("fleet has no scannable modules".into());
+    }
+
+    let defaults = mc_loadgen::QueryProfile::default();
+    let profile = mc_loadgen::QueryProfile {
+        seed: args.value("load-seed")?.map_or(defaults.seed, |s| s as u64),
+        queries: args.value("queries")?.unwrap_or(400),
+        mean_gap: args
+            .value("mean-gap-us")?
+            .map_or(defaults.mean_gap, |us| SimDuration::from_micros(us as u64)),
+        burst_prob: float_value(args, "burst-prob", defaults.burst_prob)?,
+        tenants: args.value("tenants")?.unwrap_or(defaults.tenants).max(1),
+        deadline_min: args
+            .value("deadline-min-ms")?
+            .map_or(defaults.deadline_min, |ms| {
+                SimDuration::from_millis(ms as u64)
+            }),
+        deadline_max: args
+            .value("deadline-max-ms")?
+            .map_or(defaults.deadline_max, |ms| {
+                SimDuration::from_millis(ms as u64)
+            }),
+        unknown_rate: float_value(args, "unknown-rate", defaults.unknown_rate)?,
+    };
+    let queries = mc_loadgen::generate(&profile, &catalog);
+
+    let check = chaos_config_of(args, modchecker::CheckConfig::default())?;
+    let serve_defaults = modchecker::ServeConfig::default();
+    let config = modchecker::ServeConfig {
+        fleet: modchecker::FleetConfig {
+            check,
+            shards,
+            max_inflight_per_vm: inflight,
+        },
+        queue_capacity: args
+            .value("queue-capacity")?
+            .unwrap_or(serve_defaults.queue_capacity),
+        quota: modchecker::QuotaPolicy {
+            rate_per_sec: float_value(args, "quota-rate", serve_defaults.quota.rate_per_sec)?,
+            burst: float_value(args, "quota-burst", serve_defaults.quota.burst)?,
+        },
+        refresh_interval: args
+            .value("refresh-ms")?
+            .map_or(serve_defaults.refresh_interval, |ms| {
+                SimDuration::from_millis(ms as u64)
+            }),
+        freshness_window: args
+            .value("freshness-ms")?
+            .map_or(serve_defaults.freshness_window, |ms| {
+                SimDuration::from_millis(ms as u64)
+            }),
+        ..serve_defaults
+    };
+    let report = modchecker::AttestServer::new(config).run(&bed.hv, &fleet, &queries);
+
+    if args.raw_value("metrics-out").is_some() || args.raw_value("trace-out").is_some() {
+        let obs = modchecker::observe_serve(&report);
+        if let Some(path) = args.raw_value("metrics-out").map(str::to_string) {
+            let text = serde_json::to_string_pretty(&obs.registry.to_json()).expect("serializable");
+            std::fs::write(&path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        if let Some(path) = args.raw_value("trace-out").map(str::to_string) {
+            std::fs::write(&path, obs.trace.to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json()).expect("serializable")
+        );
+    } else {
+        print!("{report}");
     }
     Ok(())
 }

@@ -76,6 +76,7 @@ pub mod report;
 pub mod rva;
 pub mod sched;
 pub mod searcher;
+pub mod serve;
 
 pub use checker::{
     canonical_form, compare_pair, compare_pair_with, CanonicalForm, ExtractedModule, PairOutcome,
@@ -86,8 +87,8 @@ pub use error::CheckError;
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
 pub use monitor::{remediate, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent};
 pub use obs::{
-    fleet_span, observe_fleet, observe_scan, record_fleet_report, record_module_report,
-    record_pool_report, ScanObservation,
+    fleet_span, observe_fleet, observe_scan, observe_serve, record_fleet_report,
+    record_module_report, record_pool_report, record_serve_report, serve_span, ScanObservation,
 };
 pub use parts::{ModuleParts, PartId};
 pub use pool::{
@@ -100,6 +101,10 @@ pub use report::{
     VmVerdict,
 };
 pub use sched::{simulated_fleet_wall, Fleet, FleetConfig, FleetScheduler, PoolSpec};
+pub use serve::{
+    AttestQuery, AttestServer, Confidence, Disposition, QuotaPolicy, Rejected, ServeConfig,
+    ServeReport, ServedQuery, TenantStats, UnitVerdict,
+};
 
 pub use mc_vmi::RetryPolicy;
 pub use rva::{adjust_rvas, normalize_with_reloc_table, AdjustStats};

@@ -701,6 +701,90 @@ mod tests {
     }
 
     #[test]
+    fn infection_landing_during_quarantine_is_caught_at_the_half_open_probe() {
+        // The full breaker lifecycle against a *changing* guest: warm →
+        // quarantine (evicting the VM's cached captures) → infection lands
+        // while the VM sits out → half-open re-probe. The re-probe must
+        // flag the infection — if the pre-quarantine clean capture had
+        // survived the eviction, the scan would resurrect it and read
+        // clean, exactly the stale-answer bug this lifecycle exists to
+        // prevent.
+        use mc_hypervisor::FaultPlan;
+        let (mut hv, guests, ids) = cloud(4);
+        let mut m = ContinuousMonitor::new(MonitorConfig {
+            modules: vec!["hal.dll".into()],
+            health: HealthPolicy {
+                failure_threshold: 2,
+                cooldown_rounds: 2,
+            },
+            ..MonitorConfig::default()
+        });
+        let (tx, rx) = unbounded();
+
+        // Warm the cache on the healthy pool: one entry per VM.
+        m.run(&hv, &ids, 1, &tx);
+        assert_eq!(m.cache_stats().evictions, 0);
+        assert_eq!(m.cache_stats().misses, 4);
+
+        // dom4 drops off the bus; two failing rounds trip the breaker and
+        // its cached capture is evicted (fatal attach failure at round 0,
+        // so the quarantine eviction finds nothing further).
+        hv.set_fault_plan(ids[3], Some(FaultPlan::none(7).lose_after(0)))
+            .unwrap();
+        m.run(&hv, &ids, 2, &tx);
+        assert_eq!(m.cache_stats().evictions, 1, "dom4's hal.dll entry");
+        assert_eq!(m.metrics().counter("monitor_quarantines_total"), 1);
+        assert_eq!(m.quarantined(), vec![ids[3]]);
+
+        // While dom4 sits out its cooldown, the infection lands and the
+        // guest comes back reachable.
+        guests[3]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+        hv.set_fault_plan(ids[3], None).unwrap();
+
+        // Cooldown (2 rounds) elapses, then the half-open re-probe scans
+        // dom4 from scratch and must name it — fresh bytes, not the
+        // evicted clean capture.
+        m.run(&hv, &ids, 3, &tx);
+        drop(tx);
+        assert_eq!(m.metrics().counter("monitor_restores_total"), 1);
+        assert!(
+            m.quarantined().is_empty(),
+            "probe succeeded: fully restored"
+        );
+
+        let events: Vec<MonitorEvent> = rx.iter().collect();
+        let lifecycle: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::VmQuarantined { vm_name, .. } => {
+                    Some(format!("quarantine {vm_name}"))
+                }
+                MonitorEvent::VmRestored { vm_name, .. } => Some(format!("restore {vm_name}")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifecycle, vec!["quarantine dom4", "restore dom4"]);
+        let suspects: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Discrepancy { report, .. } => Some(report),
+                _ => None,
+            })
+            .flat_map(|r| r.suspects().map(|v| v.vm_name.clone()))
+            .collect();
+        assert_eq!(
+            suspects,
+            vec!["dom4"],
+            "the half-open probe must surface the quarantine-era infection"
+        );
+        // A suspect verdict is still a *successful* probe: the breaker
+        // counts unscannable rounds, not bad content.
+        assert_eq!(m.metrics().counter("monitor_quarantines_total"), 1);
+    }
+
+    #[test]
     fn monitor_remediate_evicts_the_reverted_vms_entries() {
         let (mut hv, guests, ids) = cloud(4);
         for id in &ids {

@@ -22,6 +22,7 @@ use mc_hypervisor::SimDuration;
 use mc_obs::{MetricsRegistry, TraceSpan};
 
 use crate::report::{FleetReport, ModuleCheckReport, PoolCheckReport, QuorumStatus, VerdictStatus};
+use crate::serve::{Confidence, Disposition, Rejected, ServeReport};
 
 /// A pool scan rendered for export: the metrics snapshot plus the span
 /// tree. Build one with [`observe_scan`].
@@ -267,6 +268,99 @@ pub fn record_module_report(report: &ModuleCheckReport, reg: &mut MetricsRegistr
     }
 }
 
+/// Derives the metrics snapshot and the serve span tree from one daemon
+/// run.
+pub fn observe_serve(report: &ServeReport) -> ScanObservation {
+    let mut registry = MetricsRegistry::new();
+    record_serve_report(report, &mut registry);
+    ScanObservation {
+        registry,
+        trace: serve_span(report),
+    }
+}
+
+/// Records one daemon run into a shared registry under the `serve_*`
+/// taxonomy: every query lands in exactly one counter (answered by
+/// confidence tier, or rejected by typed reason — the no-silent-drop
+/// invariant rendered as arithmetic), plus last-run gauges and the
+/// answer-latency / staleness histograms.
+#[allow(clippy::cast_precision_loss)]
+pub fn record_serve_report(report: &ServeReport, reg: &mut MetricsRegistry) {
+    reg.counter_add("serve_queries_total", report.queries.len() as u64);
+    for (tier, name) in [
+        (Confidence::Fresh, "serve_answered_fresh_total"),
+        (Confidence::Stale, "serve_answered_stale_total"),
+        (Confidence::Unscannable, "serve_answered_unscannable_total"),
+    ] {
+        reg.counter_add(name, report.answered_at(tier) as u64);
+    }
+    for (why, name) in [
+        (Rejected::QuotaExceeded, "serve_rejected_quota_total"),
+        (Rejected::QueueFull, "serve_rejected_queue_full_total"),
+        (Rejected::DeadlineExpired, "serve_rejected_expired_total"),
+        (Rejected::UnknownTarget, "serve_rejected_unknown_total"),
+    ] {
+        reg.counter_add(name, report.rejected_for(why) as u64);
+    }
+    reg.counter_add("serve_rescans_total", report.rescans as u64);
+    reg.counter_add("serve_rescan_failures_total", report.rescan_failures as u64);
+    reg.counter_add("serve_sweeps_total", report.sweeps_committed as u64);
+    reg.counter_add(
+        "serve_quarantined_vms_total",
+        report.quarantined_vms.len() as u64,
+    );
+
+    let ms = |d: Option<SimDuration>| d.map_or(0.0, SimDuration::as_millis_f64);
+    reg.gauge_set("serve_p50_latency_ms", ms(report.latency_percentile(50.0)));
+    reg.gauge_set("serve_p99_latency_ms", ms(report.latency_percentile(99.0)));
+    reg.gauge_set(
+        "serve_p99_staleness_ms",
+        ms(report.staleness_percentile(99.0)),
+    );
+    reg.gauge_set("serve_max_queue_depth", report.max_queue_depth as f64);
+    reg.gauge_set("serve_qps", report.answered_per_sec());
+    for q in &report.queries {
+        if let Disposition::Answered {
+            staleness, verdict, ..
+        } = &q.disposition
+        {
+            reg.observe("serve_answer_latency_ms", q.latency.as_millis_f64());
+            if verdict.is_some() {
+                reg.observe("serve_staleness_ms", staleness.as_millis_f64());
+            }
+        }
+    }
+}
+
+/// Builds the two-plane span tree for one daemon run.
+///
+/// Invariants (tested): the root's duration is the run's total busy time
+/// and the `refresh` + `service` children sum to it exactly — the same
+/// no-lost-nanoseconds discipline as [`pool_span`], applied to the event
+/// loop's two planes instead of a scan pipeline. The idle gap up to the
+/// run horizon is an attribute, not span time: idleness is not work.
+pub fn serve_span(report: &ServeReport) -> TraceSpan {
+    let busy = report.service_busy + report.refresh_busy;
+    let mut root = mc_obs::span!(
+        "serve",
+        queries = report.queries.len(),
+        horizon_ms = report.horizon.as_millis_f64()
+    )
+    .with_duration_ns(busy.as_nanos());
+    root.push(
+        TraceSpan::new("refresh")
+            .with_attr("sweeps", &report.sweeps_committed)
+            .with_duration_ns(report.refresh_busy.as_nanos()),
+    );
+    root.push(
+        TraceSpan::new("service")
+            .with_attr("answered", &report.answered())
+            .with_attr("rescans", &report.rescans)
+            .with_duration_ns(report.service_busy.as_nanos()),
+    );
+    root
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +519,59 @@ mod tests {
         assert_eq!(reg.histogram("fleet_unit_ms").unwrap().count(), 4);
         // The per-unit pool reports fold into the same registry.
         assert_eq!(reg.counter("scan_rounds_total"), 4);
+    }
+
+    #[test]
+    fn serve_observation_accounts_for_every_query_and_nanosecond() {
+        use crate::sched::{Fleet, PoolSpec};
+        use crate::serve::{AttestQuery, AttestServer, ServeConfig};
+
+        let mut hv = Hypervisor::new();
+        let bps = vec![ModuleBlueprint::new("hal.dll", AddressWidth::W32, 8 * 1024)];
+        let guests = build_cloud_with_modules(&mut hv, 3, AddressWidth::W32, &bps).unwrap();
+        let fleet = Fleet::from_pools(vec![PoolSpec {
+            name: "pool0".to_string(),
+            vms: guests.iter().map(|g| g.vm).collect(),
+        }]);
+        let queries: Vec<AttestQuery> = (0..6)
+            .map(|i| AttestQuery {
+                at: SimDuration::from_millis(30 + 5 * i),
+                tenant: format!("tenant{}", i % 2),
+                pool: if i == 5 { "nopool" } else { "pool0" }.to_string(),
+                module: "hal.dll".to_string(),
+                deadline: SimDuration::from_millis(200),
+            })
+            .collect();
+        let report = AttestServer::new(ServeConfig::default()).run(&hv, &fleet, &queries);
+        assert!(report.answered() > 0 && report.rejected() > 0);
+
+        let obs = observe_serve(&report);
+        let reg = &obs.registry;
+        // Conservation: answered tiers + typed rejections == queries.
+        let answered = reg.counter("serve_answered_fresh_total")
+            + reg.counter("serve_answered_stale_total")
+            + reg.counter("serve_answered_unscannable_total");
+        let rejected = reg.counter("serve_rejected_quota_total")
+            + reg.counter("serve_rejected_queue_full_total")
+            + reg.counter("serve_rejected_expired_total")
+            + reg.counter("serve_rejected_unknown_total");
+        assert_eq!(answered + rejected, reg.counter("serve_queries_total"));
+        assert_eq!(answered, report.answered() as u64);
+        assert_eq!(
+            reg.histogram("serve_answer_latency_ms").unwrap().count(),
+            report.answered() as u64
+        );
+        assert!(reg.gauge("serve_qps").unwrap() > 0.0);
+
+        let root = &obs.trace;
+        assert_eq!(root.name, "serve");
+        assert_eq!(
+            root.duration_ns,
+            (report.service_busy + report.refresh_busy).as_nanos()
+        );
+        assert_eq!(root.children_total_ns(), root.duration_ns);
+        assert_eq!(root.self_time_ns(), 0, "refresh + service cover the run");
+        assert_eq!(root.children.len(), 2);
     }
 
     #[test]

@@ -743,7 +743,8 @@ mod tests {
         // ...and a VM that is unreachable at list time.
         let dead = hv.create_vm("dead", AddressWidth::W32).unwrap();
         let _g2 = GuestOs::install_with_modules(&mut hv, dead, &blueprints("r", 1), 98).unwrap();
-        hv.set_fault_plan(dead, Some(FaultPlan::none(1).lose_after(0)));
+        hv.set_fault_plan(dead, Some(FaultPlan::none(1).lose_after(0)))
+            .unwrap();
         let mut all_vms: Vec<VmId> = fleet.pools[0].vms.clone();
         all_vms.push(lone);
         all_vms.push(dead);

@@ -17,11 +17,17 @@
 //!   deterministic noise; because introspection is agentless, the model is
 //!   — correctly — independent of ModChecker's memory accesses, except for
 //!   the monitor's own constant network trickle.
+//!
+//! A third generator, [`queries`], is ours rather than the paper's: a
+//! seeded open-loop stream of attestation queries that drives the
+//! `mc-serve` daemon's admission-control and backpressure paths.
 
 #![warn(missing_docs)]
 
 pub mod heavyload;
 pub mod monitor;
+pub mod queries;
 
 pub use heavyload::{HeavyLoad, LoadProfile};
 pub use monitor::{ResourceMonitor, ResourceSample, Timeline, Window};
+pub use queries::{generate, QueryProfile};

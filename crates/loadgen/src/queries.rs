@@ -1,0 +1,206 @@
+//! Seeded open-loop attestation load: the arrival process for the
+//! `mc-serve` daemon.
+//!
+//! *Open-loop* means arrivals are generated up front, independent of how
+//! fast the daemon answers — the generator never waits for a response, so
+//! overload actually overloads (a closed-loop generator would politely
+//! self-throttle and hide every backpressure path this load exists to
+//! exercise). The process is fully determined by [`QueryProfile::seed`]:
+//! the same profile and catalog produce the same `Vec<AttestQuery>`
+//! byte-for-byte, which is what makes the serve goldens and the
+//! cross-worker determinism suite possible.
+//!
+//! The arrival process is deliberately bursty — a two-mode gap draw
+//! (short "burst" gaps with probability [`QueryProfile::burst_prob`],
+//! longer spread gaps otherwise) rather than a memoryless stream —
+//! because admission control is only interesting when queues actually
+//! form. Tenants are drawn with a square-law bias toward low indices, so
+//! `tenant0` is the noisy neighbor that exercises per-tenant quotas.
+
+use mc_hypervisor::SimDuration;
+use modchecker::serve::AttestQuery;
+use rand::{rngs::StdRng, RngCore, RngExt, SeedableRng};
+
+/// Shape of one synthetic attestation workload.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryProfile {
+    /// Stream seed; everything below is deterministic given it.
+    pub seed: u64,
+    /// Number of queries to emit.
+    pub queries: usize,
+    /// Mean gap of the *spread* mode; burst-mode gaps are ~10× shorter.
+    pub mean_gap: SimDuration,
+    /// Probability a gap is a burst gap (queues form inside bursts).
+    pub burst_prob: f64,
+    /// Distinct tenants (`tenant0` … `tenant{n-1}`), drawn with a
+    /// square-law bias toward `tenant0`.
+    pub tenants: usize,
+    /// Deadline range, drawn uniformly per query.
+    pub deadline_min: SimDuration,
+    /// Upper deadline bound (inclusive).
+    pub deadline_max: SimDuration,
+    /// Probability a query asks for a module the fleet does not have
+    /// (exercises the typed `UnknownTarget` rejection).
+    pub unknown_rate: f64,
+}
+
+impl Default for QueryProfile {
+    fn default() -> Self {
+        QueryProfile {
+            seed: 42,
+            queries: 200,
+            mean_gap: SimDuration::from_micros(500),
+            burst_prob: 0.25,
+            tenants: 3,
+            deadline_min: SimDuration::from_millis(1),
+            deadline_max: SimDuration::from_millis(5),
+            unknown_rate: 0.02,
+        }
+    }
+}
+
+/// Generates the arrival stream against a `(pool, module)` catalog.
+/// Arrivals are time-ordered; targets are drawn uniformly from the
+/// catalog (unknown-module probes keep the drawn pool, so they pass the
+/// pool gate and die at the module gate). Panics if the catalog is
+/// empty — a workload against nothing is a caller bug.
+pub fn generate(profile: &QueryProfile, catalog: &[(String, String)]) -> Vec<AttestQuery> {
+    assert!(!catalog.is_empty(), "query generation needs a catalog");
+    let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x5E2F_E0AD_D15C_0B8Bu64);
+    let tenants = profile.tenants.max(1);
+    let (dmin, dmax) = (
+        profile.deadline_min.as_nanos(),
+        profile
+            .deadline_max
+            .as_nanos()
+            .max(profile.deadline_min.as_nanos()),
+    );
+    let mut at = SimDuration::ZERO;
+    let mut out = Vec::with_capacity(profile.queries);
+    for _ in 0..profile.queries {
+        // Two-mode gap: bursts pack queries ~10× tighter than the spread
+        // mode, whose width is 2× the mean (uniform over [0, 2·mean]).
+        let unit = uniform_unit(&mut rng);
+        let gap = if rng.random_bool(profile.burst_prob.clamp(0.0, 1.0)) {
+            profile.mean_gap.scaled(0.1 * unit)
+        } else {
+            profile.mean_gap.scaled(2.0 * unit)
+        };
+        at += gap;
+        // Square-law tenant bias: tenant0 is the heaviest talker.
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let tenant = ((uniform_unit(&mut rng).powi(2)) * tenants as f64) as usize;
+        let (pool, module) = &catalog[rng.random_range(0..catalog.len())];
+        let module = if rng.random_bool(profile.unknown_rate.clamp(0.0, 1.0)) {
+            format!("ghost-{module}")
+        } else {
+            module.clone()
+        };
+        out.push(AttestQuery {
+            at,
+            tenant: format!("tenant{}", tenant.min(tenants - 1)),
+            pool: pool.clone(),
+            module,
+            deadline: SimDuration::from_nanos(rng.random_range(dmin..=dmax)),
+        });
+    }
+    out
+}
+
+/// Uniform draw in `[0, 1)` from 53 mantissa bits.
+#[allow(clippy::cast_precision_loss)]
+fn uniform_unit<R: RngCore>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Vec<(String, String)> {
+        vec![
+            ("pool0".to_string(), "p0m0.sys".to_string()),
+            ("pool0".to_string(), "p0m1.sys".to_string()),
+            ("pool1".to_string(), "p1m0.sys".to_string()),
+        ]
+    }
+
+    #[test]
+    fn same_profile_reproduces_the_stream_exactly() {
+        let p = QueryProfile::default();
+        assert_eq!(generate(&p, &catalog()), generate(&p, &catalog()));
+        let other = QueryProfile { seed: 43, ..p };
+        assert_ne!(generate(&p, &catalog()), generate(&other, &catalog()));
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_deadlines_in_range() {
+        let p = QueryProfile::default();
+        let stream = generate(&p, &catalog());
+        assert_eq!(stream.len(), p.queries);
+        let mut last = SimDuration::ZERO;
+        for q in &stream {
+            assert!(q.at >= last, "arrival times are monotone");
+            last = q.at;
+            assert!(q.deadline >= p.deadline_min && q.deadline <= p.deadline_max);
+            assert!(catalog().iter().any(|(pool, _)| pool == &q.pool));
+        }
+    }
+
+    #[test]
+    fn tenant_bias_makes_tenant0_the_noisy_neighbor() {
+        let p = QueryProfile {
+            queries: 600,
+            ..QueryProfile::default()
+        };
+        let stream = generate(&p, &catalog());
+        let count = |t: &str| stream.iter().filter(|q| q.tenant == t).count();
+        let (t0, t2) = (count("tenant0"), count("tenant2"));
+        assert!(t0 > t2, "square-law bias: {t0} vs {t2}");
+        assert!(t2 > 0, "every tenant appears");
+    }
+
+    #[test]
+    fn unknown_rate_produces_ghost_modules() {
+        let none = QueryProfile {
+            unknown_rate: 0.0,
+            ..QueryProfile::default()
+        };
+        assert!(generate(&none, &catalog())
+            .iter()
+            .all(|q| !q.module.starts_with("ghost-")));
+        let all = QueryProfile {
+            unknown_rate: 1.0,
+            ..QueryProfile::default()
+        };
+        assert!(generate(&all, &catalog())
+            .iter()
+            .all(|q| q.module.starts_with("ghost-")));
+    }
+
+    #[test]
+    fn bursts_pack_arrivals_tighter_than_the_spread_mode() {
+        let p = QueryProfile {
+            queries: 500,
+            ..QueryProfile::default()
+        };
+        let stream = generate(&p, &catalog());
+        let gaps: Vec<u64> = stream
+            .windows(2)
+            .map(|w| (w[1].at - w[0].at).as_nanos())
+            .collect();
+        let tight = gaps
+            .iter()
+            .filter(|&&g| g < p.mean_gap.as_nanos() / 10)
+            .count();
+        assert!(
+            tight * 10 >= gaps.len(),
+            "expected ≥10% burst gaps, got {tight}/{}",
+            gaps.len()
+        );
+    }
+}

@@ -36,6 +36,7 @@ use std::fmt;
 use mc_hypervisor::{
     AddressWidth, FaultDecision, FaultState, HvError, Hypervisor, SimDuration, Vm, VmId, PAGE_SHIFT,
 };
+use rand::SeedableRng;
 
 /// Introspection errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -134,6 +135,14 @@ impl VmiError {
 /// [`VmiError::RetriesExhausted`]. Backoff is charged to the session
 /// ledger *unscaled* by host contention: it models the introspector
 /// sleeping, not competing for CPU.
+///
+/// With `jitter > 0` each wait is additionally scaled by a uniform draw
+/// from `[1 − jitter/2, 1 + jitter/2]`, desynchronizing the retry storm
+/// when many VMs fault in the same round. The draws come from a per-VM
+/// stream seeded by the VM's id (see [`VmiSession::attach`]), so each
+/// VM's schedule is distinct yet fully deterministic — sequential and
+/// parallel scans stay byte-identical. `jitter: 0.0` (the default) takes
+/// no draw at all, reproducing the unjittered schedule exactly.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RetryPolicy {
     /// Retries after the initial attempt (0 = fail fast).
@@ -142,6 +151,9 @@ pub struct RetryPolicy {
     pub backoff_base: SimDuration,
     /// Multiplier applied per subsequent retry.
     pub backoff_factor: f64,
+    /// Width of the uniform jitter band around each backoff, as a
+    /// fraction of the wait (clamped to `[0, 1]`; `0.4` means ±20%).
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -150,6 +162,7 @@ impl Default for RetryPolicy {
             max_retries: 4,
             backoff_base: SimDuration::from_micros(50),
             backoff_factor: 2.0,
+            jitter: 0.0,
         }
     }
 }
@@ -160,6 +173,7 @@ impl RetryPolicy {
         max_retries: 0,
         backoff_base: SimDuration::ZERO,
         backoff_factor: 1.0,
+        jitter: 0.0,
     };
 
     /// A policy with `max_retries` retries and default backoff.
@@ -170,10 +184,33 @@ impl RetryPolicy {
         }
     }
 
-    /// Backoff to wait after failed attempt `attempt` (0-based).
+    /// The same policy with a jitter band of `jitter` (clamped to
+    /// `[0, 1]`).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Backoff to wait after failed attempt `attempt` (0-based), without
+    /// jitter.
     pub fn backoff(&self, attempt: u32) -> SimDuration {
         self.backoff_base
             .scaled(self.backoff_factor.powi(attempt.min(62) as i32))
+    }
+
+    /// Backoff with the policy's jitter applied from `rng`. With
+    /// `jitter == 0` no draw is taken — the stream, and therefore every
+    /// downstream schedule, is untouched.
+    pub fn jittered_backoff<R: rand::RngCore>(&self, attempt: u32, rng: &mut R) -> SimDuration {
+        let base = self.backoff(attempt);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        // 53 uniform mantissa bits give a uniform float in [0, 1).
+        #[allow(clippy::cast_precision_loss)]
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let band = self.jitter.clamp(0.0, 1.0);
+        base.scaled(1.0 + band * (unit - 0.5))
     }
 }
 
@@ -251,6 +288,10 @@ pub struct VmiSession<'hv> {
     /// scans data-race free and deterministic per (seed, VM id).
     fault: Option<FaultState>,
     retry: RetryPolicy,
+    /// Per-VM jitter stream for [`RetryPolicy::jittered_backoff`]: seeded
+    /// from the VM id at attach, so every VM desynchronizes differently
+    /// while sequential and parallel scans stay byte-identical.
+    jitter_rng: rand::rngs::StdRng,
     deadline: Option<SimDuration>,
 }
 
@@ -294,6 +335,9 @@ impl<'hv> VmiSession<'hv> {
             page_cache: None,
             fault,
             retry: RetryPolicy::default(),
+            jitter_rng: rand::rngs::StdRng::seed_from_u64(
+                0x6A17_7E12_u64 ^ (u64::from(id.0) << 17),
+            ),
             deadline: None,
         };
         s.charge(SimDuration::from_nanos(s.cost.vmi_attach_ns));
@@ -385,7 +429,8 @@ impl<'hv> VmiSession<'hv> {
                         });
                     }
                     // Backoff models a sleep, not contended CPU work: flat.
-                    self.charge_flat(self.retry.backoff(attempt));
+                    let wait = self.retry.jittered_backoff(attempt, &mut self.jitter_rng);
+                    self.charge_flat(wait);
                     self.stats.retries += 1;
                     attempt += 1;
                 }
@@ -1100,5 +1145,39 @@ mod tests {
         assert_eq!(p.backoff(1), SimDuration::from_micros(100));
         assert_eq!(p.backoff(3), SimDuration::from_micros(400));
         assert_eq!(RetryPolicy::NONE.backoff(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_seeded_and_off_by_default() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let p = RetryPolicy::default().with_jitter(0.4);
+        // Same seed, same schedule — twice over.
+        let schedule = |seed: u64| -> Vec<SimDuration> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..4).map(|k| p.jittered_backoff(k, &mut rng)).collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "deterministic per stream");
+        assert_ne!(schedule(7), schedule(8), "distinct across streams");
+        // Every wait stays inside the ±jitter/2 band around the pure
+        // exponential value.
+        let mut rng = StdRng::seed_from_u64(9);
+        for k in 0..6 {
+            let pure = p.backoff(k).as_nanos() as f64;
+            let jittered = p.jittered_backoff(k, &mut rng).as_nanos() as f64;
+            assert!(
+                (jittered - pure).abs() <= pure * 0.2 + 1.0,
+                "attempt {k}: {jittered} vs {pure}"
+            );
+        }
+        // jitter == 0 takes no draw: the stream is untouched and the
+        // schedule is exactly the unjittered one.
+        let plain = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for k in 0..4 {
+            assert_eq!(plain.jittered_backoff(k, &mut a), plain.backoff(k));
+        }
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64(), "no hidden draws at jitter 0");
     }
 }

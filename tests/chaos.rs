@@ -211,6 +211,67 @@ fn same_seed_reproduces_the_report_byte_for_byte() {
     assert_eq!(run(ScanMode::Sequential), run(ScanMode::Parallel));
 }
 
+#[test]
+fn retry_jitter_shifts_schedules_per_vm_without_touching_verdicts() {
+    // Backoff jitter decorrelates retry storms: each VM draws its waits
+    // from its own seeded stream, so schedules are *distinct* across VMs
+    // yet fully *deterministic* — same seed, same report, regardless of
+    // scan mode.
+    let run = |mode: ScanMode, jitter: f64| {
+        let mut bed = bed(6);
+        bed.hv.inject_fault_plan(FaultPlan::transient(0xBEEF, 0.05));
+        ModChecker::with_config(CheckConfig {
+            mode,
+            retry: RetryPolicy::with_max_retries(6).with_jitter(jitter),
+            ..CheckConfig::default()
+        })
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .unwrap()
+    };
+    let render =
+        |r: &modchecker::PoolCheckReport| serde_json::to_string_pretty(&r.to_json()).unwrap();
+
+    let on = run(ScanMode::Sequential, 0.5);
+    // Deterministic: the jittered run reproduces byte-for-byte, and the
+    // per-VM streams don't care how the scan was scheduled.
+    assert_eq!(render(&on), render(&run(ScanMode::Sequential, 0.5)));
+    assert_eq!(render(&on), render(&run(ScanMode::Parallel, 0.5)));
+
+    // Jitter moves timing only: verdicts and quorum match the unjittered
+    // run exactly.
+    let off = run(ScanMode::Sequential, 0.0);
+    assert_eq!(on.quorum, off.quorum);
+    for (a, b) in on.verdicts.iter().zip(&off.verdicts) {
+        assert_eq!(a.vm_name, b.vm_name);
+        assert_eq!(a.status, b.status);
+    }
+
+    // Distinct schedules: among the VMs that actually retried, the time
+    // the jitter added differs VM to VM — per-VM streams, not one shared
+    // wobble.
+    let deltas: Vec<i128> = on
+        .per_vm
+        .iter()
+        .zip(&off.per_vm)
+        .filter(|(a, _)| a.vmi.retries > 0)
+        .map(|(a, b)| {
+            i128::from(a.times.total().as_nanos()) - i128::from(b.times.total().as_nanos())
+        })
+        .collect();
+    assert!(
+        deltas.len() >= 2,
+        "fault plan produced too few retrying VMs to compare"
+    );
+    assert!(
+        deltas.iter().any(|&d| d != 0),
+        "jitter 0.5 never changed a retrying VM's schedule"
+    );
+    assert!(
+        deltas.windows(2).any(|w| w[0] != w[1]),
+        "all retrying VMs shifted identically — jitter stream is not per-VM"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
