@@ -18,8 +18,12 @@
 #                              metric exports validated against the schema
 #  11. serve gate            — attestation-daemon sim suite + goldens +
 #                              fig_serve fault sweep (writes BENCH_serve.json)
-#  12. exit-code gate        — fleet-check's typed exit status contract
-#  13. test-count floor      — the suite must never silently shrink
+#  12. capture gate          — fast-path equivalence suite + fig_capture,
+#                              which asserts the >= 4x steady-state capture
+#                              speedup and fast-path on/off verdict
+#                              byte-identity (writes BENCH_capture.json)
+#  13. exit-code gate        — fleet-check's typed exit status contract
+#  14. test-count floor      — the suite must never silently shrink
 set -eu
 
 cd "$(dirname "$0")"
@@ -122,6 +126,17 @@ cargo run --release -q -p modchecker-cli --bin modchecker -- \
     validate-metrics --file target/ci-serve-metrics.json --schema schemas/metrics-schema.json
 test -s target/ci-serve-trace.jsonl || { echo "ci: serve trace export is empty" >&2; exit 1; }
 
+# Capture gate: the fast-path equivalence suite (translate-cache walk
+# accounting, tree-root/flat-digest grouping identity across the attack
+# corpus, torn/paged-out fault plans, leaf-locality property), then
+# fig_capture, which itself asserts the >= 4x steady-state capture
+# speedup at t=16 and that reports are byte-identical with the fast path
+# on and off (simulated times and VMI counters stripped), writing
+# BENCH_capture.json.
+echo "==> capture gate (equivalence suite + fig_capture fast-path bench)"
+cargo test -q --release --test capture_fastpath
+cargo run --release -q -p mc-bench --bin fig_capture -- --smoke --out BENCH_capture.json
+
 # Exit-code gate: fleet-check's typed exit status is API. A clean uniform
 # fleet must exit 0; the infected seed-11 case (exit 2) is asserted in the
 # static-analysis gate above.
@@ -132,7 +147,7 @@ cargo run --release -q -p modchecker-cli --bin modchecker -- \
 
 # Test-count floor: the workspace suite must never silently shrink. Bump
 # the floor when tests are added; lowering it is a reviewed decision.
-TEST_FLOOR=468
+TEST_FLOOR=497
 echo "==> test-count floor (>= $TEST_FLOOR)"
 TEST_COUNT=$(cargo test --workspace -q -- --list 2>/dev/null | grep -c ': test$')
 echo "    $TEST_COUNT tests listed"

@@ -72,7 +72,7 @@ modchecker — cross-VM kernel module integrity checking (ICPP 2012 reproduction
 USAGE:
   modchecker check --vms <N> --module <NAME> [--parallel] [--width64] [--static]
                    [--infect <technique>@<vm-index>] [--sha256] [--cache] [--json]
-                   [--compare pairwise|canonical]
+                   [--compare pairwise|canonical] [--no-fast-capture]
                    [--retries <R>] [--deadline-ms <MS>] [--min-quorum <Q>]
                    [--fault-seed <SEED>] [--fault-rate <0..1>]
                    [--metrics-out <PATH>] [--trace-out <PATH>]
@@ -88,6 +88,7 @@ USAGE:
   modchecker fleet-check [--pools <P>] [--vms-per-pool <M>] [--modules-per-pool <K>]
                          [--seed <S>] [--shards <N>] [--max-inflight-per-vm <K>]
                          [--discover] [--rounds <R>] [--compare pairwise|canonical]
+                         [--no-fast-capture]
                          [--retries <R>] [--min-quorum <Q>] [--fault-seed <SEED>]
                          [--fault-rate <0..1>] [--json] [--metrics-out <PATH>]
                          [--trace-out <PATH>] [--static-prepass]
@@ -108,7 +109,8 @@ USAGE:
                                          degraded answers under faults
   modchecker monitor [--vms <N>] [--rounds <R>] [--fault-seed <SEED>]
                      [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
-                     [--compare pairwise|canonical] [--metrics-out <PATH>]
+                     [--compare pairwise|canonical] [--no-fast-capture]
+                     [--metrics-out <PATH>]
   modchecker validate-metrics --file <PATH> --schema <PATH>
                                          validate a metrics JSON export
   modchecker techniques                  list infection techniques
@@ -123,6 +125,11 @@ Comparison: --compare canonical normalizes each capture once against its own
 load base via the PE .reloc table and majority-votes by digest bucket — O(t)
 instead of the O(t²) pairwise matrix; reloc-less modules fall back to
 pairwise automatically.
+
+Capture: the scatter-gather fast path (per-session translate cache, one
+batched copy per physical run, leaf-level cache refreshes) is on by default;
+--no-fast-capture restores the paper's page-by-page loop for ablation —
+verdicts are byte-identical either way.
 
 Chaos: --fault-seed/--fault-rate inject deterministic transient read faults
 into every VM (same seed ⇒ same faults ⇒ same report); --retries bounds the
@@ -199,6 +206,9 @@ fn chaos_config_of(
     if let Some(q) = args.value("min-quorum")? {
         config.min_quorum = q;
     }
+    // The fast path is the default; the flag is the ablation switch back
+    // to the paper's page-by-page capture loop.
+    config.fast_capture = !args.flag("no-fast-capture");
     Ok(config)
 }
 

@@ -1,0 +1,197 @@
+//! Capture arena — recycled backing storage for module captures.
+//!
+//! A pool scan captures the same modules round after round; allocating a
+//! fresh multi-page `Vec<u8>` per capture (and another deep copy per
+//! canonical normalization) churns the allocator for buffers whose sizes
+//! repeat exactly. [`CaptureArena`] keeps retired buffers on a free list
+//! and hands them back out best-fit: a steady-state scan reaches a fixed
+//! point where every capture reuses a previous round's allocation.
+//!
+//! Lifetime rules (DESIGN.md §14):
+//!
+//! * The arena never aliases: [`CaptureArena::acquire`] transfers
+//!   ownership out, [`CaptureArena::release`] transfers it back. A buffer
+//!   is either *in the arena* or *owned by exactly one capture* — the
+//!   borrow checker enforces what a bump-pointer arena would need unsafe
+//!   code for.
+//! * Shared captures ([`std::sync::Arc`]) are reclaimed opportunistically:
+//!   [`CaptureArena::reclaim`] recovers the backing buffer only when the
+//!   caller held the last reference, else the buffer stays alive with its
+//!   remaining holders and nothing is recycled (never a copy, never a
+//!   dangling slice).
+//! * The free list is bounded ([`CaptureArena::MAX_RETAINED`]) so one
+//!   burst of oversized modules cannot pin memory forever.
+
+use std::sync::Arc;
+
+use crate::checker::ExtractedModule;
+
+/// Recycled-buffer statistics (exported as `capture_arena_*` gauges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers handed out that needed a fresh heap allocation.
+    pub allocs: u64,
+    /// Buffers handed out from the free list (no allocation).
+    pub reuses: u64,
+    /// Total bytes of capacity returned to the free list over time.
+    pub recycled_bytes: u64,
+}
+
+/// A bounded free list of capture buffers (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct CaptureArena {
+    free: Vec<Vec<u8>>,
+    stats: ArenaStats,
+}
+
+impl CaptureArena {
+    /// Free-list bound: retiring a buffer past this many drops it.
+    pub const MAX_RETAINED: usize = 64;
+
+    /// An empty arena.
+    pub fn new() -> Self {
+        CaptureArena::default()
+    }
+
+    /// Hands out a zeroed buffer of exactly `len` bytes, reusing the
+    /// best-fitting retired buffer (smallest capacity that holds `len`)
+    /// when one exists.
+    pub fn acquire(&mut self, len: usize) -> Vec<u8> {
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0);
+                self.stats.reuses += 1;
+                buf
+            }
+            None => {
+                self.stats.allocs += 1;
+                vec![0u8; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list (dropped if the list is full).
+    pub fn release(&mut self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || self.free.len() >= Self::MAX_RETAINED {
+            return;
+        }
+        self.stats.recycled_bytes += buf.capacity() as u64;
+        self.free.push(buf);
+    }
+
+    /// Recovers the image buffer out of a shared capture if `module` was
+    /// its last reference; otherwise the capture (and its buffer) live on
+    /// with the other holders and nothing happens.
+    pub fn reclaim(&mut self, module: Arc<ExtractedModule>) {
+        if let Ok(owned) = Arc::try_unwrap(module) {
+            self.release(owned.image.bytes);
+        }
+    }
+
+    /// Buffers currently parked on the free list.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocation/reuse counters.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_allocates_then_reuses() {
+        let mut a = CaptureArena::new();
+        let b1 = a.acquire(4096);
+        assert_eq!(a.stats().allocs, 1);
+        a.release(b1);
+        let b2 = a.acquire(4096);
+        assert_eq!(a.stats().reuses, 1);
+        assert_eq!(b2.len(), 4096);
+        assert!(
+            b2.iter().all(|&x| x == 0),
+            "reused buffers come back zeroed"
+        );
+    }
+
+    #[test]
+    fn best_fit_prefers_the_tightest_buffer() {
+        let mut a = CaptureArena::new();
+        a.release(vec![1u8; 16 * 1024]);
+        a.release(vec![1u8; 4 * 1024]);
+        let b = a.acquire(3 * 1024);
+        assert_eq!(b.capacity(), 4 * 1024, "tightest fit wins");
+        assert_eq!(a.retained(), 1);
+    }
+
+    #[test]
+    fn too_small_buffers_are_not_reused() {
+        let mut a = CaptureArena::new();
+        a.release(vec![1u8; 1024]);
+        let b = a.acquire(8 * 1024);
+        assert_eq!(a.stats().allocs, 1);
+        assert_eq!(b.len(), 8 * 1024);
+        assert_eq!(a.retained(), 1, "the small buffer stays parked");
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut a = CaptureArena::new();
+        for _ in 0..(CaptureArena::MAX_RETAINED + 10) {
+            a.release(vec![0u8; 64]);
+        }
+        assert_eq!(a.retained(), CaptureArena::MAX_RETAINED);
+    }
+
+    #[test]
+    fn reclaim_recovers_only_sole_ownership() {
+        use crate::digest::DigestAlgo;
+        use crate::parts::ModuleParts;
+        use crate::searcher::ModuleImage;
+        use mc_hypervisor::VmId;
+
+        let module = |bytes: Vec<u8>| {
+            Arc::new(ExtractedModule {
+                image: ModuleImage {
+                    vm: VmId(0),
+                    vm_name: "dom0".into(),
+                    name: "m".into(),
+                    base: 0,
+                    bytes,
+                },
+                parts: ModuleParts {
+                    parts: Vec::new(),
+                    exec_sections: Vec::new(),
+                    image_len: 2048,
+                    width: mc_pe::AddressWidth::W32,
+                },
+                header_hashes: Vec::new(),
+                algo: DigestAlgo::Md5,
+            })
+        };
+
+        let mut a = CaptureArena::new();
+        // Sole owner: buffer comes back.
+        a.reclaim(module(vec![0u8; 2048]));
+        assert_eq!(a.retained(), 1);
+        // Shared: the other holder keeps it alive, nothing recycled.
+        let shared = module(vec![0u8; 2048]);
+        let keep = Arc::clone(&shared);
+        a.reclaim(shared);
+        assert_eq!(a.retained(), 1);
+        assert_eq!(keep.image.bytes.len(), 2048);
+    }
+}

@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod checker;
 pub mod digest;
 pub mod error;
@@ -77,7 +78,9 @@ pub mod rva;
 pub mod sched;
 pub mod searcher;
 pub mod serve;
+pub mod treehash;
 
+pub use arena::{ArenaStats, CaptureArena};
 pub use checker::{
     canonical_form, compare_pair, compare_pair_with, CanonicalForm, ExtractedModule, PairOutcome,
     PairScratch,
@@ -109,3 +112,4 @@ pub use serve::{
 pub use mc_vmi::RetryPolicy;
 pub use rva::{adjust_rvas, normalize_with_reloc_table, AdjustStats};
 pub use searcher::{ModuleImage, ModuleRef, ModuleSearcher};
+pub use treehash::TreeHash;

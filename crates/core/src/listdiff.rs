@@ -131,8 +131,21 @@ impl std::fmt::Display for ListDiffReport {
 pub struct ListDiff;
 
 impl ListDiff {
-    /// Walks every VM's loaded-module list and cross-compares the sets.
+    /// Walks every VM's loaded-module list and cross-compares the sets,
+    /// with the capture fast path on (the default everywhere else).
     pub fn scan(hv: &Hypervisor, vms: &[VmId]) -> Result<ListDiffReport, CheckError> {
+        Self::scan_with(hv, vms, true)
+    }
+
+    /// [`Self::scan`] with explicit fast-path control: `fast` enables the
+    /// per-session translate cache and scatter-gather entry reads for each
+    /// list walk. Listings are identical either way — only the simulated
+    /// walk cost moves.
+    pub fn scan_with(
+        hv: &Hypervisor,
+        vms: &[VmId],
+        fast: bool,
+    ) -> Result<ListDiffReport, CheckError> {
         if vms.len() < 2 {
             return Err(CheckError::PoolTooSmall(vms.len()));
         }
@@ -143,6 +156,9 @@ impl ListDiff {
             let vm_name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
             match VmiSession::attach(hv, vm) {
                 Ok(mut session) => {
+                    if fast {
+                        session = session.with_fast_capture();
+                    }
                     let walked = ModuleSearcher::list_modules(&mut session);
                     elapsed += session.elapsed();
                     match walked {

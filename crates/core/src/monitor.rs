@@ -621,14 +621,18 @@ mod tests {
             .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
         assert_eq!(m.cache_stats().hits, 4);
         let second_cost = cost(&second);
+        // The capture fast path compressed the cold round itself (one
+        // scatter-gather read per module), so the cached round's relative
+        // win is smaller than in the legacy loop — but reuse must still
+        // strictly undercut re-copying the images.
         assert!(
-            second_cost.as_nanos() * 2 < first_cost.as_nanos(),
+            second_cost < first_cost,
             "cached round {second_cost} should undercut the cold round {first_cost}"
         );
     }
 
     #[test]
-    fn remediation_invalidates_the_reverted_vms_cache_entry() {
+    fn remediation_refreshes_the_reverted_vms_cache_entry() {
         let (mut hv, guests, ids) = cloud(4);
         for id in &ids {
             hv.vm_mut(*id).unwrap().snapshot("clean");
@@ -645,13 +649,14 @@ mod tests {
 
         remediate(&mut hv, report, "clean").unwrap();
         // The revert restores pre-patch page stamps, which differ from the
-        // cached (patched) capture's stamps — the entry must miss, not
-        // serve the infected image back.
+        // cached (patched) capture's stamps — the moved pages must be
+        // re-read (leaf-level refresh), never served back infected.
         let after = m.run_round(&hv, &ids);
         assert!(after
             .iter()
             .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
-        assert!(m.cache_stats().invalidations >= 2, "patch + revert");
+        assert!(m.cache_stats().partial_hits >= 2, "patch + revert");
+        assert_eq!(m.cache_stats().invalidations, 0, "shape never changed");
     }
 
     #[test]

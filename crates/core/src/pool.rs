@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use mc_hypervisor::{Hypervisor, SimDuration, VmId};
+use mc_hypervisor::{Hypervisor, SimDuration, VmId, PAGE_SIZE};
 use mc_vmi::{RetryPolicy, VmiError, VmiSession, VmiStats};
 
 use crate::checker::{
@@ -92,6 +92,12 @@ pub struct CheckConfig {
     /// [`QuorumStatus::Lost`] and marks every surviving verdict
     /// [`VerdictStatus::Unscannable`].
     pub min_quorum: usize,
+    /// Capture fast path (DESIGN.md §14): per-session translate caching
+    /// plus scatter-gather stable reads for module captures and list
+    /// walks. On by default — verdicts are byte-identical either way
+    /// (the equivalence suite pins this); `false` restores the paper's
+    /// page-by-page capture loop for ablation.
+    pub fast_capture: bool,
 }
 
 impl Default for CheckConfig {
@@ -106,6 +112,7 @@ impl Default for CheckConfig {
             deadline: None,
             // Pairwise voting needs at least two captures to compare.
             min_quorum: 2,
+            fast_capture: true,
         }
     }
 }
@@ -201,6 +208,9 @@ impl ModChecker {
         if self.config.page_cache {
             session = session.with_page_cache();
         }
+        if self.config.fast_capture {
+            session = session.with_fast_capture();
+        }
         let finish = |result, times, session: &VmiSession| Extraction {
             result,
             times,
@@ -273,6 +283,9 @@ impl ModChecker {
         if self.config.page_cache {
             session = session.with_page_cache();
         }
+        if self.config.fast_capture {
+            session = session.with_fast_capture();
+        }
         let finish = |result, times, session: &VmiSession| Extraction {
             result,
             times,
@@ -291,15 +304,118 @@ impl ModChecker {
             }
         };
         let generations = session.range_generations(entry.base, entry.size).ok();
-        if let (Some(gens), Some(hit)) = (&generations, cache.entries.get(&key)) {
-            if hit.base == entry.base && hit.algo == self.config.digest && hit.generations == *gens
-            {
+
+        // Probe outcome, decided under an immutable borrow of the entry:
+        // `Full` — every stamp (and base/algo) unchanged, reuse as-is;
+        // `Partial` — same module shape (base, algo, page count, byte
+        // length) but some stamps moved: refresh exactly those pages;
+        // anything else is a stale entry and a full recapture.
+        enum Probe {
+            Full,
+            Partial(Vec<usize>),
+            Stale,
+            Cold,
+        }
+        let probe = match (&generations, cache.entries.get(&key)) {
+            (Some(gens), Some(hit)) if hit.base == entry.base && hit.algo == self.config.digest => {
+                if hit.generations == *gens {
+                    Probe::Full
+                } else if hit.generations.len() == gens.len()
+                    && hit.module.image.bytes.len() == entry.size as usize
+                {
+                    let dirty: Vec<usize> = gens
+                        .iter()
+                        .zip(&hit.generations)
+                        .enumerate()
+                        .filter(|(_, (now, then))| now != then)
+                        .map(|(i, _)| i)
+                        .collect();
+                    Probe::Partial(dirty)
+                } else {
+                    Probe::Stale
+                }
+            }
+            (_, Some(_)) => Probe::Stale,
+            (_, None) => Probe::Cold,
+        };
+
+        match probe {
+            Probe::Full => {
+                let hit = &cache.entries[&key];
                 cache.stats.hits += 1;
                 times.searcher = session.take_elapsed();
                 let module = Arc::clone(&hit.module);
                 return finish(Ok(module), times, &session);
             }
-            cache.stats.invalidations += 1;
+            Probe::Partial(dirty) => {
+                // Leaf-level refresh: re-read and re-stamp only the pages
+                // whose write-generation moved; every other page's bytes
+                // and tree leaf are reused verbatim. The rebuilt capture
+                // replaces the entry — a refresh is exactly as current as
+                // a fresh capture (the stamps were probed before the
+                // copy, same conservative race story as the miss path).
+                cache.stats.partial_hits += 1;
+                let hit = cache.entries.remove(&key).expect("probed above");
+                let gens = generations.expect("partial hits require stamps");
+                let mut bytes = cache.arena.acquire(hit.module.image.bytes.len());
+                bytes.copy_from_slice(&hit.module.image.bytes);
+                if let Err(e) =
+                    ModuleSearcher::refresh_pages(&mut session, entry.base, &mut bytes, &dirty)
+                {
+                    cache.arena.release(bytes);
+                    times.searcher = session.take_elapsed();
+                    Self::drop_stale(cache, vm, &key, &e);
+                    return finish(Err(e), times, &session);
+                }
+                times.searcher = session.take_elapsed();
+
+                let page_span = |idx: usize| (bytes.len() - idx * PAGE_SIZE).min(PAGE_SIZE);
+                let dirty_bytes: u64 = dirty.iter().map(|&i| page_span(i) as u64).sum();
+                let cost = *session.cost_model();
+                session.charge_process(cost.parse_byte_ns, dirty_bytes);
+                times.parser = session.take_elapsed();
+                // Headers live in page 0; their digests only move when it
+                // does. Leaf re-digests are cache bookkeeping, uncharged —
+                // the miss path never charges tree construction either.
+                if dirty.contains(&0) {
+                    session
+                        .charge_process(cost.hash_byte_ns * self.config.digest.cost_factor(), 4096);
+                }
+                let mut tree = hit.tree.clone();
+                for &i in &dirty {
+                    tree.update_leaf(i, &bytes[i * PAGE_SIZE..i * PAGE_SIZE + page_span(i)]);
+                }
+                cache.stats.pages_refreshed += dirty.len() as u64;
+                cache.stats.pages_reused += (tree.leaf_count() - dirty.len()) as u64;
+
+                let image = crate::searcher::ModuleImage {
+                    vm: hit.module.image.vm,
+                    vm_name: hit.module.image.vm_name.clone(),
+                    name: hit.module.image.name.clone(),
+                    base: entry.base,
+                    bytes,
+                };
+                let extracted = ExtractedModule::with_algo(image, self.config.digest).map(Arc::new);
+                times.checker = session.take_elapsed();
+                if let Ok(m) = &extracted {
+                    cache.entries.insert(
+                        key,
+                        CacheEntry {
+                            base: entry.base,
+                            algo: self.config.digest,
+                            generations: gens,
+                            tree,
+                            module: Arc::clone(m),
+                        },
+                    );
+                }
+                // The superseded capture's buffer comes back to the arena
+                // if this round held the last reference.
+                cache.arena.reclaim(hit.module);
+                return finish(extracted, times, &session);
+            }
+            Probe::Stale => cache.stats.invalidations += 1,
+            Probe::Cold => {}
         }
         cache.stats.misses += 1;
 
@@ -308,7 +424,8 @@ impl ModChecker {
         // it — a guest write racing the copy leaves the stored stamps
         // behind the content, which next round reads as a mismatch and a
         // fresh capture (conservative, never stale).
-        let image = match ModuleSearcher::capture(&mut session, &entry) {
+        let image = match ModuleSearcher::capture_with(&mut session, &entry, Some(&mut cache.arena))
+        {
             Ok(img) => img,
             Err(e) => {
                 times.searcher = session.take_elapsed();
@@ -325,22 +442,29 @@ impl ModChecker {
             cost.hash_byte_ns * self.config.digest.cost_factor(),
             header_bytes,
         );
+        let tree = crate::treehash::TreeHash::build(self.config.digest, &image.bytes);
         let extracted = ExtractedModule::with_algo(image, self.config.digest).map(Arc::new);
         times.checker = session.take_elapsed();
         match (&extracted, generations) {
             (Ok(m), Some(gens)) => {
-                cache.entries.insert(
+                let old = cache.entries.insert(
                     key,
                     CacheEntry {
                         base: entry.base,
                         algo: self.config.digest,
                         generations: gens,
+                        tree,
                         module: Arc::clone(m),
                     },
                 );
+                if let Some(old) = old {
+                    cache.arena.reclaim(old.module);
+                }
             }
             _ => {
-                cache.entries.remove(&key);
+                if let Some(old) = cache.entries.remove(&key) {
+                    cache.arena.reclaim(old.module);
+                }
             }
         }
         finish(extracted, times, &session)
@@ -1097,10 +1221,21 @@ impl AnalysisCache {
 pub struct CacheStats {
     /// Rounds that reused a cached capture (generations unchanged).
     pub hits: u64,
+    /// Rounds that refreshed only the pages whose write-generation moved
+    /// and reused every other leaf of the cached capture (leaf-level
+    /// partial invalidation, DESIGN.md §14).
+    pub partial_hits: u64,
+    /// Pages re-read and re-digested by partial hits.
+    pub pages_refreshed: u64,
+    /// Pages whose cached bytes and tree leaves were reused by partial
+    /// hits without touching guest memory.
+    pub pages_reused: u64,
     /// Rounds that captured afresh (first sight or invalidated).
     pub misses: u64,
-    /// Cached entries discarded because a page generation moved, the
-    /// module relocated, or the digest algorithm changed.
+    /// Cached entries discarded wholesale: the module relocated, resized,
+    /// the digest algorithm changed, or the stamp probe itself failed —
+    /// shapes the leaf-level refresh cannot bridge. (A moved generation
+    /// alone is a partial hit, not an invalidation.)
     pub invalidations: u64,
     /// Cached entries discarded for VM-lifecycle reasons rather than
     /// content change: the VM was lost mid-scan, quarantined by the
@@ -1123,6 +1258,10 @@ pub struct CacheStats {
 pub struct CaptureCache {
     entries: HashMap<(VmId, String), CacheEntry>,
     stats: CacheStats,
+    /// Recycled backing storage for captures and partial refreshes: a
+    /// steady-state sweep stops allocating once every module size has
+    /// passed through once.
+    arena: crate::arena::CaptureArena,
 }
 
 #[derive(Clone, Debug)]
@@ -1130,6 +1269,10 @@ struct CacheEntry {
     base: u64,
     algo: crate::digest::DigestAlgo,
     generations: Vec<mc_hypervisor::PageGeneration>,
+    /// Page-granular digest tree over the cached bytes, maintained
+    /// incrementally: a partial hit re-digests exactly the refreshed
+    /// leaves. Leaves line up one-to-one with `generations`.
+    tree: crate::treehash::TreeHash,
     module: Arc<ExtractedModule>,
 }
 
@@ -1142,6 +1285,21 @@ impl CaptureCache {
     /// Cumulative hit/miss/invalidation counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Allocation/reuse counters of the cache's capture arena.
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.arena.stats()
+    }
+
+    /// The incremental tree root of one cached capture — `None` when no
+    /// entry exists. Equal roots ⟺ equal flat digests (the equivalence
+    /// suite pins this), so tests can audit the incrementally-maintained
+    /// tree against a from-scratch rebuild.
+    pub fn tree_root(&self, vm: VmId, module: &str) -> Option<crate::digest::PartDigest> {
+        self.entries
+            .get(&(vm, module.to_string()))
+            .map(|e| e.tree.root())
     }
 
     /// Number of live entries.
@@ -1179,10 +1337,17 @@ impl CaptureCache {
         {
             let s = self.stats;
             reg.gauge_set("cache_hits", s.hits as f64);
+            reg.gauge_set("cache_partial_hits", s.partial_hits as f64);
+            reg.gauge_set("cache_pages_refreshed", s.pages_refreshed as f64);
+            reg.gauge_set("cache_pages_reused", s.pages_reused as f64);
             reg.gauge_set("cache_misses", s.misses as f64);
             reg.gauge_set("cache_invalidations", s.invalidations as f64);
             reg.gauge_set("cache_evictions", s.evictions as f64);
             reg.gauge_set("cache_entries", self.entries.len() as f64);
+            let a = self.arena.stats();
+            reg.gauge_set("capture_arena_allocs", a.allocs as f64);
+            reg.gauge_set("capture_arena_reuses", a.reuses as f64);
+            reg.gauge_set("capture_arena_recycled_bytes", a.recycled_bytes as f64);
         }
     }
 }
@@ -1208,7 +1373,7 @@ impl ModChecker {
         hv: &Hypervisor,
         vms: &[VmId],
     ) -> Result<(crate::listdiff::ListDiffReport, ModuleResults), CheckError> {
-        let lists = crate::listdiff::ListDiff::scan(hv, vms)?;
+        let lists = crate::listdiff::ListDiff::scan_with(hv, vms, self.config.fast_capture)?;
         let mut reports = Vec::with_capacity(lists.consensus_modules.len());
         for module in &lists.consensus_modules {
             reports.push((module.clone(), self.check_pool(hv, vms, module)));
@@ -1366,10 +1531,19 @@ mod tests {
         guests[1]
             .patch_module(&mut hv, "hal.dll", 0x1006, &[0x90])
             .unwrap();
-        let uncached = ModChecker::new().check_pool(&hv, &ids, "hal.dll").unwrap();
+        // ABL-5 isolates the libVMI-style page-map cache, so both sides run
+        // the legacy capture loop (the fast path's translate cache subsumes
+        // the page cache and would flatten the comparison).
+        let uncached = ModChecker::with_config(CheckConfig {
+            fast_capture: false,
+            ..CheckConfig::default()
+        })
+        .check_pool(&hv, &ids, "hal.dll")
+        .unwrap();
         let cached = ModChecker::with_config(CheckConfig {
             mode: ScanMode::Sequential,
             page_cache: true,
+            fast_capture: false,
             ..CheckConfig::default()
         })
         .check_pool(&hv, &ids, "hal.dll")
@@ -1580,18 +1754,24 @@ mod tests {
             first.times.searcher
         );
 
-        // A guest write moves the page generation: exactly that VM's entry
-        // invalidates and the verdict flips — identically to an uncached
-        // scan.
+        // A guest write moves one page's generation: exactly that VM's
+        // entry takes the leaf-level refresh (one page re-read, the other
+        // leaves reused) and the verdict flips — identically to an
+        // uncached scan. Nothing is invalidated wholesale.
         guests[1]
             .patch_module(&mut hv, "hal.dll", 0x1003, &[0xCC])
             .unwrap();
         let third = checker
             .check_pool_with_cache(&hv, &ids, "hal.dll", &mut cache)
             .unwrap();
-        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().partial_hits, 1);
         assert_eq!(cache.stats().hits, 7);
-        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(cache.stats().misses, 4);
+        // The one-byte patch dirtied exactly one page; every other leaf of
+        // the in-memory image (7 pages after section alignment) was reused.
+        assert_eq!(cache.stats().pages_refreshed, 1);
+        assert_eq!(cache.stats().pages_reused, 6);
         let uncached = checker.check_pool(&hv, &ids, "hal.dll").unwrap();
         for (a, b) in third.verdicts.iter().zip(&uncached.verdicts) {
             assert_eq!(a.clean, b.clean, "{}", a.vm_name);

@@ -507,6 +507,9 @@ impl PoolCheckReport {
                 "reads": self.vmi.reads,
                 "pages_mapped": self.vmi.pages_mapped,
                 "bytes_copied": self.vmi.bytes_copied,
+                "page_walks": self.vmi.page_walks,
+                "translate_cache_hits": self.vmi.translate_cache_hits,
+                "vectored_reads": self.vmi.vectored_reads,
                 "retries": self.vmi.retries,
                 "transient_faults": self.vmi.transient_faults,
                 "torn_detected": self.vmi.torn_detected,

@@ -287,7 +287,7 @@ impl FleetScheduler {
         let listings: Vec<Result<ListDiffReport, CheckError>> = fleet
             .pools
             .par_iter()
-            .map(|p| ListDiff::scan(hv, &p.vms))
+            .map(|p| ListDiff::scan_with(hv, &p.vms, self.config.check.fast_capture))
             .collect();
 
         // Phase 2: expand consensus modules into prioritized units.

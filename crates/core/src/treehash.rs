@@ -1,0 +1,192 @@
+//! Incremental tree hashing — a page-granular Merkle layer over
+//! [`DigestAlgo`].
+//!
+//! Every capture is chopped into [`PAGE_SIZE`] leaves; each leaf is
+//! digested independently and the root is the digest of the concatenated
+//! leaf digests. The payoff is incrementality: the leaves line up
+//! one-to-one with the hypervisor's per-frame write-generation stamps
+//! (PR 3), so when a rescan proves that only page `i` moved, the cache
+//! re-reads and re-digests *one leaf* and recombines the root, instead of
+//! re-hashing the whole image.
+//!
+//! Two invariants the equivalence suite pins:
+//!
+//! * **Flat-hash equivalence.** Two images have equal roots iff their
+//!   flat `digest(algo, bytes)` values are equal (collision-freeness of
+//!   the underlying hash assumed, as the paper itself does). Roots can
+//!   therefore feed any grouping the flat digest fed — fingerprint
+//!   buckets, cache keys — without changing a single verdict.
+//! * **Leaf locality.** A single-byte mutation flips exactly the
+//!   containing leaf (and hence the root); every other leaf digest is
+//!   untouched. This is what makes generation-keyed partial invalidation
+//!   sound: unmoved generation ⟹ unmoved bytes ⟹ reusable leaf.
+
+use mc_hypervisor::PAGE_SIZE;
+
+use crate::digest::{digest, DigestAlgo, PartDigest};
+
+/// Page-granular Merkle tree over one captured image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeHash {
+    algo: DigestAlgo,
+    /// Total image length in bytes (the last leaf may be short).
+    len: usize,
+    /// One digest per [`PAGE_SIZE`] chunk, in page order.
+    leaves: Vec<PartDigest>,
+}
+
+impl TreeHash {
+    /// Digests every page of `bytes` and builds the tree.
+    pub fn build(algo: DigestAlgo, bytes: &[u8]) -> Self {
+        let leaves = if bytes.is_empty() {
+            Vec::new()
+        } else {
+            bytes.chunks(PAGE_SIZE).map(|c| digest(algo, c)).collect()
+        };
+        TreeHash {
+            algo,
+            len: bytes.len(),
+            leaves,
+        }
+    }
+
+    /// The digest algorithm the leaves were produced with.
+    pub fn algo(&self) -> DigestAlgo {
+        self.algo
+    }
+
+    /// Number of leaves (pages).
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Image length this tree covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a tree over an empty image.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The leaf digests, in page order.
+    pub fn leaves(&self) -> &[PartDigest] {
+        &self.leaves
+    }
+
+    /// Re-digests leaf `idx` from the page's current bytes (the caller
+    /// passes exactly the chunk `bytes[idx*PAGE_SIZE..]` would cover).
+    ///
+    /// # Panics
+    /// If `idx` is out of range or `page` is not the length the leaf
+    /// covers — both are caller logic errors, not data-dependent states.
+    pub fn update_leaf(&mut self, idx: usize, page: &[u8]) {
+        let expected = (self.len - idx * PAGE_SIZE).min(PAGE_SIZE);
+        assert_eq!(
+            page.len(),
+            expected,
+            "leaf {idx} covers {expected} bytes, got {}",
+            page.len()
+        );
+        self.leaves[idx] = digest(self.algo, page);
+    }
+
+    /// The root: digest of the concatenated leaf digests (length-prefixed
+    /// by construction — `len` is mixed in so a truncated image with
+    /// identical whole leaves cannot collide with its prefix).
+    pub fn root(&self) -> PartDigest {
+        let mut pre = Vec::with_capacity(8 + self.leaves.len() * 64);
+        pre.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for leaf in &self.leaves {
+            pre.extend_from_slice(leaf.to_hex().as_bytes());
+        }
+        digest(self.algo, &pre)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 253) as u8).collect()
+    }
+
+    #[test]
+    fn build_covers_every_page_including_a_short_tail() {
+        let bytes = image(3 * PAGE_SIZE + 100);
+        let t = TreeHash::build(DigestAlgo::Md5, &bytes);
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.len(), bytes.len());
+        assert_eq!(
+            t.leaves()[3],
+            digest(DigestAlgo::Md5, &bytes[3 * PAGE_SIZE..])
+        );
+    }
+
+    #[test]
+    fn equal_bytes_equal_roots_both_algos() {
+        for algo in [DigestAlgo::Md5, DigestAlgo::Sha256] {
+            let a = TreeHash::build(algo, &image(2 * PAGE_SIZE));
+            let b = TreeHash::build(algo, &image(2 * PAGE_SIZE));
+            assert_eq!(a.root(), b.root());
+        }
+    }
+
+    #[test]
+    fn single_byte_mutation_flips_exactly_the_containing_leaf() {
+        let mut bytes = image(4 * PAGE_SIZE);
+        let clean = TreeHash::build(DigestAlgo::Md5, &bytes);
+        bytes[2 * PAGE_SIZE + 17] ^= 0xFF;
+        let dirty = TreeHash::build(DigestAlgo::Md5, &bytes);
+        for (i, (a, b)) in clean.leaves().iter().zip(dirty.leaves()).enumerate() {
+            if i == 2 {
+                assert_ne!(a, b, "containing leaf must flip");
+            } else {
+                assert_eq!(a, b, "leaf {i} must not flip");
+            }
+        }
+        assert_ne!(clean.root(), dirty.root());
+    }
+
+    #[test]
+    fn update_leaf_reaches_the_full_rebuild_state() {
+        let mut bytes = image(3 * PAGE_SIZE);
+        let mut t = TreeHash::build(DigestAlgo::Sha256, &bytes);
+        bytes[PAGE_SIZE + 5] = 0xAA;
+        t.update_leaf(1, &bytes[PAGE_SIZE..2 * PAGE_SIZE]);
+        let rebuilt = TreeHash::build(DigestAlgo::Sha256, &bytes);
+        assert_eq!(t, rebuilt);
+        assert_eq!(t.root(), rebuilt.root());
+    }
+
+    #[test]
+    fn truncation_changes_the_root_even_with_identical_leaves() {
+        // A one-leaf image vs the same bytes plus an empty... the shorter
+        // image shares every whole leaf with the longer one's prefix; the
+        // length prefix must still split the roots.
+        let long = image(2 * PAGE_SIZE);
+        let t_long = TreeHash::build(DigestAlgo::Md5, &long);
+        let t_short = TreeHash::build(DigestAlgo::Md5, &long[..PAGE_SIZE]);
+        assert_eq!(t_long.leaves()[0], t_short.leaves()[0]);
+        assert_ne!(t_long.root(), t_short.root());
+    }
+
+    #[test]
+    fn empty_image_has_a_stable_root() {
+        let a = TreeHash::build(DigestAlgo::Md5, &[]);
+        let b = TreeHash::build(DigestAlgo::Md5, &[]);
+        assert_eq!(a.leaf_count(), 0);
+        assert!(a.is_empty());
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf 1 covers")]
+    fn update_leaf_rejects_wrong_chunk_length() {
+        let bytes = image(2 * PAGE_SIZE);
+        let mut t = TreeHash::build(DigestAlgo::Md5, &bytes);
+        t.update_leaf(1, &bytes[..100]);
+    }
+}

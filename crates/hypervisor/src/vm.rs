@@ -81,6 +81,13 @@ impl Vm {
         self.aspace.map_range_alloc(&mut self.mem, va, len)
     }
 
+    /// Walks the page tables once: guest-virtual `va` → guest-physical
+    /// address. Introspectors use this to build per-session translate
+    /// caches (a [`Vm`] borrowed immutably cannot remap under them).
+    pub fn translate(&self, va: u64) -> Result<u64, HvError> {
+        self.aspace.translate(&self.mem, va)
+    }
+
     /// Reads guest-virtual memory into `buf`, walking the page tables for
     /// every page crossed. Fails on any unmapped page.
     pub fn read_virt(&self, va: u64, buf: &mut [u8]) -> Result<(), HvError> {

@@ -30,7 +30,7 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use mc_hypervisor::{
@@ -225,6 +225,21 @@ pub struct VmiStats {
     pub pages_mapped: u64,
     /// Bytes copied out of the guest.
     pub bytes_copied: u64,
+    /// Page-table walks charged to the ledger. On the legacy path every
+    /// chargeable page is a walk (translation is bundled into
+    /// [`mc_hypervisor::CostModel::read_cost`]); on the fast path
+    /// ([`VmiSession::with_fast_capture`]) only translate-cache *misses*
+    /// walk, so this counter is how tests prove header parsing stopped
+    /// paying a walk per field.
+    pub page_walks: u64,
+    /// Translations answered by the per-session translate cache instead of
+    /// a page-table walk (fast path only; free of simulated time).
+    pub translate_cache_hits: u64,
+    /// Scatter-gather calls ([`VmiSession::read_va_vectored`] and its
+    /// stable variant). Each one plans all its requests against the
+    /// translate cache and charges one foreign-map per contiguous
+    /// physical run.
+    pub vectored_reads: u64,
     /// Retry attempts spent riding out transient faults.
     pub retries: u64,
     /// Transient faults observed (each consumed a retry or ended the read).
@@ -245,6 +260,9 @@ impl VmiStats {
         self.reads += other.reads;
         self.pages_mapped += other.pages_mapped;
         self.bytes_copied += other.bytes_copied;
+        self.page_walks += other.page_walks;
+        self.translate_cache_hits += other.translate_cache_hits;
+        self.vectored_reads += other.vectored_reads;
         self.retries += other.retries;
         self.transient_faults += other.transient_faults;
         self.torn_detected += other.torn_detected;
@@ -257,11 +275,41 @@ impl VmiStats {
         reg.counter_add("vmi_reads_total", self.reads);
         reg.counter_add("vmi_pages_mapped_total", self.pages_mapped);
         reg.counter_add("vmi_bytes_copied_total", self.bytes_copied);
+        reg.counter_add("vmi_page_walks_total", self.page_walks);
+        reg.counter_add("vmi_translate_cache_hits_total", self.translate_cache_hits);
+        reg.counter_add("vmi_vectored_reads_total", self.vectored_reads);
         reg.counter_add("vmi_retries_total", self.retries);
         reg.counter_add("vmi_transient_faults_total", self.transient_faults);
         reg.counter_add("vmi_torn_detected_total", self.torn_detected);
         reg.counter_add("vmi_stability_rereads_total", self.stability_rereads);
     }
+}
+
+/// One request of a scatter-gather read: fill `buf` from guest-virtual
+/// `va`. Build a slice of these and hand it to
+/// [`VmiSession::read_va_vectored`] so the session can plan every page
+/// walk and foreign map for the whole batch at once.
+#[derive(Debug)]
+pub struct VectoredRead<'a> {
+    /// Guest-virtual address to read from.
+    pub va: u64,
+    /// Destination buffer; its length is the read length.
+    pub buf: &'a mut [u8],
+}
+
+/// Per-session fast-path state (see [`VmiSession::with_fast_capture`]).
+///
+/// Caching VA→PA translations for the lifetime of a session is sound
+/// because the session borrows the [`Vm`] immutably: guest page tables
+/// cannot be remapped under it. The `mapped` set plays the role of the
+/// legacy page cache, but map charges are per contiguous *physical* run
+/// on vectored reads, not per page.
+#[derive(Debug, Default)]
+struct FastPathState {
+    /// Page-aligned guest VA → guest PA of the backing frame.
+    translate: HashMap<u64, u64>,
+    /// Page-aligned guest VAs already foreign-mapped this session.
+    mapped: HashSet<u64>,
 }
 
 /// An introspection session against one guest VM.
@@ -283,6 +331,10 @@ pub struct VmiSession<'hv> {
     /// reproduces the paper's prototype, which pays the foreign-map cost on
     /// every access (ablation ABL-5 measures the difference).
     page_cache: Option<HashSet<u64>>,
+    /// Scatter-gather fast path: translate cache + run-batched foreign
+    /// maps. `None` (the default) keeps the legacy bundled
+    /// `read_cost(pages, bytes)` ledger for ablation and goldens.
+    fast: Option<FastPathState>,
     /// Injected-fault state, present iff the VM carries a fault plan. The
     /// state lives in the session (not the shared `Vm`), keeping parallel
     /// scans data-race free and deterministic per (seed, VM id).
@@ -304,6 +356,7 @@ impl fmt::Debug for VmiSession<'_> {
             .field("consumed", &self.consumed)
             .field("stats", &self.stats)
             .field("page_cache", &self.page_cache.as_ref().map(HashSet::len))
+            .field("fast", &self.fast.is_some())
             .field("faulty", &self.fault.is_some())
             .field("retry", &self.retry)
             .field("deadline", &self.deadline)
@@ -333,6 +386,7 @@ impl<'hv> VmiSession<'hv> {
             consumed: SimDuration::ZERO,
             stats: VmiStats::default(),
             page_cache: None,
+            fast: None,
             fault,
             retry: RetryPolicy::default(),
             jitter_rng: rand::rngs::StdRng::seed_from_u64(
@@ -351,6 +405,24 @@ impl<'hv> VmiSession<'hv> {
     pub fn with_page_cache(mut self) -> Self {
         self.page_cache = Some(HashSet::new());
         self
+    }
+
+    /// Enables the capture fast path: a per-session translate cache (one
+    /// page-table walk per distinct page, ever), first-touch foreign maps,
+    /// and scatter-gather planning for [`VmiSession::read_va_vectored`]
+    /// that charges one map per contiguous *physical* run. The ledger
+    /// splits [`mc_hypervisor::CostModel::translate_ns`] (per walk) from
+    /// [`mc_hypervisor::CostModel::page_map_ns`] (per run) instead of
+    /// bundling both per page, so the win shows up in simulated time.
+    /// Off by default — the legacy ledger is the ablation baseline.
+    pub fn with_fast_capture(mut self) -> Self {
+        self.fast = Some(FastPathState::default());
+        self
+    }
+
+    /// True when [`VmiSession::with_fast_capture`] is enabled.
+    pub fn fast_capture(&self) -> bool {
+        self.fast.is_some()
     }
 
     /// Sets the retry policy for transient faults (default:
@@ -466,19 +538,31 @@ impl<'hv> VmiSession<'hv> {
                 torn_byte
             }
         };
-        let pages = Vm::pages_crossed(va, buf.len() as u64);
-        // With the cache enabled, only first-touch pages pay the map cost.
-        let chargeable_pages = match &mut self.page_cache {
-            None => pages,
-            Some(cache) => {
-                let first = va >> PAGE_SHIFT;
-                (0..pages).filter(|i| cache.insert(first + i)).count() as u64
-            }
-        };
-        self.stats.reads += 1;
-        self.stats.pages_mapped += chargeable_pages;
-        self.stats.bytes_copied += buf.len() as u64;
-        self.charge(self.cost.read_cost(chargeable_pages, buf.len() as u64));
+        if self.fast.is_some() {
+            // Fast path: translate via the session cache (walks charged
+            // per miss), map first-touch pages per contiguous physical
+            // run, then pay per-byte copy only.
+            let pages = Self::page_vas(va, buf.len() as u64);
+            self.fast_plan_pages(&pages)?;
+            self.stats.reads += 1;
+            self.stats.bytes_copied += buf.len() as u64;
+            self.charge(self.cost.read_cost(0, buf.len() as u64));
+        } else {
+            let pages = Vm::pages_crossed(va, buf.len() as u64);
+            // With the cache enabled, only first-touch pages pay the map cost.
+            let chargeable_pages = match &mut self.page_cache {
+                None => pages,
+                Some(cache) => {
+                    let first = va >> PAGE_SHIFT;
+                    (0..pages).filter(|i| cache.insert(first + i)).count() as u64
+                }
+            };
+            self.stats.reads += 1;
+            self.stats.pages_mapped += chargeable_pages;
+            self.stats.bytes_copied += buf.len() as u64;
+            self.stats.page_walks += chargeable_pages;
+            self.charge(self.cost.read_cost(chargeable_pages, buf.len() as u64));
+        }
         self.vm.read_virt(va, buf)?;
         if let Some(off) = torn_byte {
             // A concurrent guest write landed mid-copy: one byte of the
@@ -486,6 +570,68 @@ impl<'hv> VmiSession<'hv> {
             // `read_va_stable`'s double-read can notice.
             buf[off] ^= 0xFF;
         }
+        Ok(())
+    }
+
+    /// Page-aligned VAs of every page a `len`-byte read at `va` crosses.
+    fn page_vas(va: u64, len: u64) -> Vec<u64> {
+        let pages = Vm::pages_crossed(va, len);
+        let first = va & !((1u64 << PAGE_SHIFT) - 1);
+        (0..pages).map(|i| first + (i << PAGE_SHIFT)).collect()
+    }
+
+    /// Fast-path planning for a sorted, deduplicated list of page-aligned
+    /// VAs: resolves each through the translate cache (charging one
+    /// page-table walk per miss), then charges one foreign map per
+    /// contiguous physical run of not-yet-mapped pages. The `mapped` set
+    /// is only updated once every translation has succeeded, so a hostile
+    /// unmapped VA cannot leave charged-for state behind.
+    fn fast_plan_pages(&mut self, page_vas: &[u64]) -> Result<(), VmiError> {
+        let vm = self.vm;
+        let (walks, hits, new_pages) = {
+            let fast = self.fast.as_mut().expect("fast path enabled");
+            let mut walks = 0u64;
+            let mut hits = 0u64;
+            let mut resolved = Vec::with_capacity(page_vas.len());
+            for &pva in page_vas {
+                match fast.translate.get(&pva).copied() {
+                    Some(pa) => {
+                        hits += 1;
+                        resolved.push((pva, pa));
+                    }
+                    None => {
+                        let pa = vm.translate(pva)?;
+                        fast.translate.insert(pva, pa);
+                        walks += 1;
+                        resolved.push((pva, pa));
+                    }
+                }
+            }
+            let new_pages: Vec<(u64, u64)> = resolved
+                .into_iter()
+                .filter(|&(pva, _)| fast.mapped.insert(pva))
+                .collect();
+            (walks, hits, new_pages)
+        };
+        // Contiguous physical runs among the newly mapped pages: virtually
+        // consecutive *and* physically adjacent pages share one
+        // `xc_map_foreign_range`-style call.
+        let page = 1u64 << PAGE_SHIFT;
+        let mut runs = 0u64;
+        let mut prev: Option<(u64, u64)> = None;
+        for &(pva, pa) in &new_pages {
+            let contiguous = prev.is_some_and(|(pva0, pa0)| pva == pva0 + page && pa == pa0 + page);
+            if !contiguous {
+                runs += 1;
+            }
+            prev = Some((pva, pa));
+        }
+        self.stats.page_walks += walks;
+        self.stats.translate_cache_hits += hits;
+        self.stats.pages_mapped += new_pages.len() as u64;
+        self.charge(SimDuration::from_nanos(
+            walks * self.cost.translate_ns + runs * self.cost.page_map_ns,
+        ));
         Ok(())
     }
 
@@ -520,6 +666,9 @@ impl<'hv> VmiSession<'hv> {
             self.stats.reads = before.reads;
             self.stats.pages_mapped = before.pages_mapped;
             self.stats.bytes_copied = before.bytes_copied;
+            self.stats.page_walks = before.page_walks;
+            self.stats.translate_cache_hits = before.translate_cache_hits;
+            self.stats.vectored_reads = before.vectored_reads;
             if check == *buf {
                 return Ok(());
             }
@@ -527,6 +676,165 @@ impl<'hv> VmiSession<'hv> {
             buf.copy_from_slice(&check);
         }
         Err(VmiError::TornRead { va })
+    }
+
+    /// Scatter-gather read: fills every request in `requests`, planning
+    /// the whole batch at once. All requested pages are resolved through
+    /// the session translate cache (one page-table walk per distinct
+    /// never-seen page), newly touched pages are foreign-mapped once per
+    /// contiguous physical run, and the per-byte copy cost covers the
+    /// total. This replaces dozens of `read_va`/`read_u32` round-trips
+    /// with one plan — the capture fast path.
+    ///
+    /// Requires [`VmiSession::with_fast_capture`]; without it the call
+    /// degrades to a sequential `read_va` loop so callers can stay
+    /// path-agnostic. The fault layer is consulted once per attempt (the
+    /// batch is one hypercall-sized operation, not dozens), and transient
+    /// faults retry the whole batch under the session [`RetryPolicy`].
+    pub fn read_va_vectored(&mut self, requests: &mut [VectoredRead<'_>]) -> Result<(), VmiError> {
+        if requests.is_empty() {
+            return Ok(());
+        }
+        if self.fast.is_none() {
+            for r in requests.iter_mut() {
+                self.read_va(r.va, r.buf)?;
+            }
+            return Ok(());
+        }
+        let first_va = requests.iter().map(|r| r.va).min().unwrap_or(0);
+        let mut attempt: u32 = 0;
+        loop {
+            self.check_deadline()?;
+            match self.read_va_vectored_attempt(requests) {
+                Ok(()) => return Ok(()),
+                Err(VmiError::Hv(e)) if e.is_transient() => {
+                    self.stats.transient_faults += 1;
+                    if attempt >= self.retry.max_retries {
+                        return Err(VmiError::RetriesExhausted {
+                            va: first_va,
+                            attempts: attempt + 1,
+                            last: e,
+                        });
+                    }
+                    let wait = self.retry.jittered_backoff(attempt, &mut self.jitter_rng);
+                    self.charge_flat(wait);
+                    self.stats.retries += 1;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One scatter-gather attempt: one fault-layer consultation for the
+    /// whole batch, then plan + copy. A torn-byte injection lands in the
+    /// request whose buffer covers the torn offset of the concatenated
+    /// batch, mirroring the single-read behavior.
+    fn read_va_vectored_attempt(
+        &mut self,
+        requests: &mut [VectoredRead<'_>],
+    ) -> Result<(), VmiError> {
+        let total: usize = requests.iter().map(|r| r.buf.len()).sum();
+        let first_va = requests.iter().map(|r| r.va).min().unwrap_or(0);
+        let decision = match &mut self.fault {
+            Some(state) => state.on_read(first_va, total),
+            None => FaultDecision::Proceed {
+                torn_byte: None,
+                extra_ns: 0,
+            },
+        };
+        let torn_byte = match decision {
+            FaultDecision::Fail { error, extra_ns } => {
+                self.charge(self.cost.read_cost(1, 0));
+                self.charge_flat(SimDuration::from_nanos(extra_ns));
+                return Err(error.into());
+            }
+            FaultDecision::Proceed {
+                torn_byte,
+                extra_ns,
+            } => {
+                self.charge_flat(SimDuration::from_nanos(extra_ns));
+                torn_byte
+            }
+        };
+        let mut pages = Vec::new();
+        for r in requests.iter() {
+            pages.extend(Self::page_vas(r.va, r.buf.len() as u64));
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        self.fast_plan_pages(&pages)?;
+        self.stats.reads += requests.len() as u64;
+        self.stats.vectored_reads += 1;
+        self.stats.bytes_copied += total as u64;
+        self.charge(self.cost.read_cost(0, total as u64));
+        for r in requests.iter_mut() {
+            self.vm.read_virt(r.va, r.buf)?;
+        }
+        if let Some(mut off) = torn_byte {
+            for r in requests.iter_mut() {
+                if off < r.buf.len() {
+                    r.buf[off] ^= 0xFF;
+                    break;
+                }
+                off -= r.buf.len();
+            }
+        }
+        Ok(())
+    }
+
+    /// Scatter-gather equivalent of [`VmiSession::read_va_stable`]: reads
+    /// the batch, then (only on VMs carrying a fault plan) re-reads and
+    /// compares until two consecutive snapshots of every request agree.
+    /// Verification passes are reclassified under
+    /// [`VmiStats::stability_rereads`] exactly like the scalar variant,
+    /// so the useful-work counters stay honest.
+    pub fn read_va_vectored_stable(
+        &mut self,
+        requests: &mut [VectoredRead<'_>],
+    ) -> Result<(), VmiError> {
+        self.read_va_vectored(requests)?;
+        if self.fault.is_none() || requests.is_empty() {
+            return Ok(());
+        }
+        let mut check: Vec<Vec<u8>> = requests.iter().map(|r| vec![0u8; r.buf.len()]).collect();
+        let mut torn_va = requests.first().map_or(0, |r| r.va);
+        for _ in 0..=self.retry.max_retries {
+            let before = self.stats;
+            {
+                let mut verify: Vec<VectoredRead<'_>> = requests
+                    .iter()
+                    .zip(check.iter_mut())
+                    .map(|(r, c)| VectoredRead {
+                        va: r.va,
+                        buf: c.as_mut_slice(),
+                    })
+                    .collect();
+                self.read_va_vectored(&mut verify)?;
+            }
+            self.stats.stability_rereads += self.stats.reads - before.reads;
+            self.stats.reads = before.reads;
+            self.stats.pages_mapped = before.pages_mapped;
+            self.stats.bytes_copied = before.bytes_copied;
+            self.stats.page_walks = before.page_walks;
+            self.stats.translate_cache_hits = before.translate_cache_hits;
+            self.stats.vectored_reads = before.vectored_reads;
+            let mismatch = requests
+                .iter()
+                .zip(check.iter())
+                .position(|(r, c)| r.buf != c.as_slice());
+            match mismatch {
+                None => return Ok(()),
+                Some(i) => {
+                    self.stats.torn_detected += 1;
+                    torn_va = requests[i].va;
+                    for (r, c) in requests.iter_mut().zip(check.iter()) {
+                        r.buf.copy_from_slice(c);
+                    }
+                }
+            }
+        }
+        Err(VmiError::TornRead { va: torn_va })
     }
 
     /// Reads a guest pointer (4/8 bytes by width).
@@ -572,6 +880,32 @@ impl<'hv> VmiSession<'hv> {
     /// deadline does.
     pub fn page_generation(&mut self, va: u64) -> Result<mc_hypervisor::PageGeneration, VmiError> {
         self.check_deadline()?;
+        if self.fast.is_some() {
+            // Fast sessions answer repeat probes from the translate cache
+            // (free), and a probe that misses warms the cache for the
+            // capture that usually follows it.
+            let pva = va & !((1u64 << PAGE_SHIFT) - 1);
+            let vm = self.vm;
+            let (pa, hit) = {
+                let fast = self.fast.as_mut().expect("fast path enabled");
+                match fast.translate.get(&pva).copied() {
+                    Some(pa) => (pa, true),
+                    None => {
+                        let pa = vm.translate(pva)?;
+                        fast.translate.insert(pva, pa);
+                        (pa, false)
+                    }
+                }
+            };
+            if hit {
+                self.stats.translate_cache_hits += 1;
+            } else {
+                self.stats.page_walks += 1;
+                self.charge(SimDuration::from_nanos(self.cost.translate_ns));
+            }
+            return Ok(vm.mem.page_generation(pa)?);
+        }
+        self.stats.page_walks += 1;
         self.charge(SimDuration::from_nanos(self.cost.translate_ns));
         Ok(self.vm.page_generation(va)?)
     }
@@ -1041,6 +1375,9 @@ mod tests {
                 reads: 1,
                 pages_mapped: 1,
                 bytes_copied: 4096,
+                page_walks: 1,
+                translate_cache_hits: 0,
+                vectored_reads: 0,
                 retries: 0,
                 transient_faults: 0,
                 torn_detected: 0,
@@ -1179,5 +1516,189 @@ mod tests {
         }
         use rand::RngCore;
         assert_eq!(a.next_u64(), b.next_u64(), "no hidden draws at jitter 0");
+    }
+
+    #[test]
+    fn fast_scalar_reads_walk_each_page_once() {
+        let (hv, id) = host_with_vm();
+        // Legacy: every header-field-sized read pays a full walk + map.
+        let mut legacy = VmiSession::attach(&hv, id).unwrap();
+        let mut b = [0u8; 4];
+        for i in 0..8 {
+            legacy.read_va(0x8000_0000 + i * 4, &mut b).unwrap();
+        }
+        assert_eq!(legacy.stats().page_walks, 8);
+        assert_eq!(legacy.stats().translate_cache_hits, 0);
+
+        // Fast: one walk for the page, every later field is a cache hit.
+        let mut fast = VmiSession::attach(&hv, id).unwrap().with_fast_capture();
+        for i in 0..8 {
+            fast.read_va(0x8000_0000 + i * 4, &mut b).unwrap();
+        }
+        let st = fast.stats();
+        assert_eq!(st.page_walks, 1, "one walk for one distinct page");
+        assert_eq!(st.translate_cache_hits, 7);
+        assert_eq!(st.pages_mapped, 1, "mapped once, first touch");
+        assert!(
+            fast.elapsed() < legacy.elapsed(),
+            "fast {} vs legacy {}",
+            fast.elapsed(),
+            legacy.elapsed()
+        );
+    }
+
+    #[test]
+    fn vectored_read_batches_walks_and_maps() {
+        let (mut hv, id) = host_with_vm();
+        let truth: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 249) as u8).collect();
+        hv.vm_mut(id)
+            .unwrap()
+            .write_virt(0x8000_0000, &truth)
+            .unwrap();
+
+        // Legacy loop: 3 reads, 3 walks, 3 maps.
+        let mut legacy = VmiSession::attach(&hv, id).unwrap();
+        let mut bufs = vec![vec![0u8; PAGE_SIZE]; 3];
+        for (i, b) in bufs.iter_mut().enumerate() {
+            legacy
+                .read_va(0x8000_0000 + (i * PAGE_SIZE) as u64, b)
+                .unwrap();
+        }
+
+        // Vectored: one plan — 3 walks, but one contiguous physical run.
+        let mut fast = VmiSession::attach(&hv, id).unwrap().with_fast_capture();
+        let mut vbufs = vec![vec![0u8; PAGE_SIZE]; 3];
+        let mut reqs: Vec<VectoredRead<'_>> = vbufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| VectoredRead {
+                va: 0x8000_0000 + (i * PAGE_SIZE) as u64,
+                buf: b.as_mut_slice(),
+            })
+            .collect();
+        fast.read_va_vectored(&mut reqs).unwrap();
+        drop(reqs);
+        assert_eq!(vbufs.concat(), truth);
+        assert_eq!(bufs.concat(), truth);
+        let st = fast.stats();
+        assert_eq!(st.vectored_reads, 1);
+        assert_eq!(st.reads, 3, "each request is a logical read");
+        assert_eq!(st.page_walks, 3);
+        assert_eq!(st.pages_mapped, 3);
+        assert_eq!(st.bytes_copied, 3 * PAGE_SIZE as u64);
+        assert!(
+            fast.elapsed() < legacy.elapsed(),
+            "run-batched maps must beat per-page maps: fast {} vs legacy {}",
+            fast.elapsed(),
+            legacy.elapsed()
+        );
+    }
+
+    #[test]
+    fn vectored_read_without_fast_capture_degrades_to_scalar() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        let mut a = [0u8; 6];
+        let mut b = [0u8; 7];
+        let mut reqs = [
+            VectoredRead {
+                va: 0x8000_0000,
+                buf: &mut a,
+            },
+            VectoredRead {
+                va: 0x8000_0006,
+                buf: &mut b,
+            },
+        ];
+        s.read_va_vectored(&mut reqs).unwrap();
+        drop(reqs);
+        assert_eq!(&a, b"intros");
+        assert_eq!(&b, b"pect me");
+        assert_eq!(s.stats().vectored_reads, 0, "legacy path takes no credit");
+        assert_eq!(s.stats().reads, 2);
+    }
+
+    #[test]
+    fn vectored_read_of_unmapped_page_is_typed_error() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap().with_fast_capture();
+        let mut good = [0u8; 8];
+        let mut bad = [0u8; 8];
+        let mut reqs = [
+            VectoredRead {
+                va: 0x8000_0000,
+                buf: &mut good,
+            },
+            VectoredRead {
+                va: 0xDEAD_0000,
+                buf: &mut bad,
+            },
+        ];
+        assert!(matches!(
+            s.read_va_vectored(&mut reqs),
+            Err(VmiError::Hv(HvError::UnmappedVa(_)))
+        ));
+        drop(reqs);
+        assert_eq!(s.stats().pages_mapped, 0, "failed plan maps nothing");
+    }
+
+    #[test]
+    fn vectored_stable_recovers_truth_under_torn_pages() {
+        let (mut hv, id) = host_with_vm();
+        let truth: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        hv.vm_mut(id)
+            .unwrap()
+            .write_virt(0x8000_1000, &truth)
+            .unwrap();
+        hv.set_fault_plan(id, Some(FaultPlan::none(5).with_torn_rate(0.4)))
+            .unwrap();
+        let mut s = VmiSession::attach(&hv, id)
+            .unwrap()
+            .with_fast_capture()
+            .with_retry(RetryPolicy::with_max_retries(16));
+        let mut tears = 0;
+        for _ in 0..30 {
+            let (mut lo, mut hi) = ([0u8; 2048], [0u8; 2048]);
+            let mut reqs = [
+                VectoredRead {
+                    va: 0x8000_1000,
+                    buf: &mut lo,
+                },
+                VectoredRead {
+                    va: 0x8000_1800,
+                    buf: &mut hi,
+                },
+            ];
+            s.read_va_vectored_stable(&mut reqs).unwrap();
+            drop(reqs);
+            assert_eq!(&lo[..], &truth[..2048], "stable batch returned torn bytes");
+            assert_eq!(&hi[..], &truth[2048..], "stable batch returned torn bytes");
+            tears = s.stats().torn_detected;
+        }
+        assert!(tears > 0, "seed 5 @ 40% should tear in 30 batches");
+        let st = s.stats();
+        assert_eq!(st.reads, 60, "verification passes reclassified");
+        assert_eq!(st.vectored_reads, 30);
+        assert_eq!(st.bytes_copied, 30 * 4096);
+        assert!(st.stability_rereads >= 60);
+    }
+
+    #[test]
+    fn generation_probe_warms_the_translate_cache() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap().with_fast_capture();
+        s.page_generation(0x8000_0000).unwrap();
+        assert_eq!(s.stats().page_walks, 1);
+        // The capture that follows the probe re-uses its walk.
+        let mut buf = [0u8; 64];
+        s.read_va(0x8000_0000, &mut buf).unwrap();
+        let st = s.stats();
+        assert_eq!(st.page_walks, 1, "probe already walked this page");
+        assert_eq!(st.translate_cache_hits, 1);
+        // Repeat probes are free.
+        let before = s.elapsed();
+        s.page_generation(0x8000_0000).unwrap();
+        assert_eq!(s.elapsed(), before, "cached probe charges nothing");
+        assert_eq!(s.stats().translate_cache_hits, 2);
     }
 }

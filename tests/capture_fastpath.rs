@@ -1,0 +1,363 @@
+//! Capture fast-path equivalence suite (DESIGN.md §14).
+//!
+//! The fast path — per-session translate caching, scatter-gather stable
+//! reads, arena-backed buffers, and generation-keyed leaf refreshes — is
+//! a pure performance layer: it must never move a verdict. This suite
+//! pins that claim from four directions:
+//!
+//! 1. **Header reads ride the translate cache.** `read_ptr` / `read_u16`
+//!    / `read_u32` against the same page cost one page-table walk total
+//!    on a fast session (satellite regression for `VmiStats.page_walks`).
+//! 2. **Tree roots group exactly like flat digests** across the §V.B
+//!    attack corpus and the evasive techniques — equal root ⟺ equal flat
+//!    hash, so roots can feed any grouping the flat digest fed.
+//! 3. **Fault plans don't break equivalence.** Torn-page and paged-out
+//!    injection change *when* bytes arrive, never *which* bytes: reports
+//!    stay byte-identical across fast-path on/off (simulated times and
+//!    VMI counters stripped — those are supposed to move).
+//! 4. **Leaf locality** (property): a single-byte mutation flips exactly
+//!    the containing leaf, which is what makes generation-keyed partial
+//!    invalidation sound.
+
+use mc_attacks::Technique;
+use mc_hypervisor::{AddressWidth, FaultPlan, PAGE_SIZE};
+use mc_pe::corpus::ModuleBlueprint;
+use mc_vmi::VmiSession;
+use modchecker::{
+    digest::digest, CaptureCache, CheckConfig, ModChecker, ModuleSearcher, PoolCheckReport,
+    TreeHash,
+};
+use modchecker_repro::testbed::Testbed;
+use proptest::prelude::*;
+
+fn bed(n: usize) -> Testbed {
+    let w = AddressWidth::W32;
+    Testbed::cloud_with(
+        n,
+        w,
+        &[
+            ModuleBlueprint::new("hal.dll", w, 16 * 1024),
+            ModuleBlueprint::new("ndis.sys", w, 12 * 1024),
+        ],
+    )
+}
+
+fn checker(fast: bool) -> ModChecker {
+    ModChecker::with_config(CheckConfig {
+        fast_capture: fast,
+        ..CheckConfig::default()
+    })
+}
+
+/// Report JSON minus the fields the fast path is allowed to move.
+fn verdict_bytes(report: &PoolCheckReport) -> String {
+    let mut v = report.to_json();
+    if let serde_json::Value::Object(ref mut obj) = v {
+        obj.retain(|(k, _)| k != "times_ms" && k != "vmi");
+    }
+    serde_json::to_string_pretty(&v).expect("report serializes")
+}
+
+// ---------------------------------------------------------------------
+// 1. Satellite: header-word reads through the translate cache.
+// ---------------------------------------------------------------------
+
+#[test]
+fn header_word_reads_share_one_translate_walk_per_page() {
+    let bed = bed(2);
+    let module = bed.guests[0].find_module("hal.dll").expect("hal.dll");
+
+    // Fast session: the first touch of the header page walks the page
+    // tables once; every later read_ptr/read_u16/read_u32 on that page is
+    // a translate-cache hit.
+    let mut fast = VmiSession::attach(&bed.hv, bed.vm_ids[0])
+        .expect("attach")
+        .with_fast_capture();
+    fast.read_u16(module.base).expect("e_magic");
+    let e_lfanew = u64::from(fast.read_u32(module.base + 0x3c).expect("e_lfanew"));
+    fast.read_u32(module.base + e_lfanew).expect("PE sig");
+    fast.read_ptr(module.base + 8).expect("header word");
+    let fs = fast.stats();
+    assert_eq!(
+        fs.page_walks, 1,
+        "four header reads on one page must cost exactly one walk"
+    );
+    assert_eq!(fs.translate_cache_hits, 3, "the other three reads hit");
+
+    // Legacy session: the paper's prototype re-translates per access.
+    let mut legacy = VmiSession::attach(&bed.hv, bed.vm_ids[0]).expect("attach");
+    legacy.read_u16(module.base).expect("e_magic");
+    legacy.read_u32(module.base + 0x3c).expect("e_lfanew");
+    legacy.read_ptr(module.base + 8).expect("header word");
+    let ls = legacy.stats();
+    assert_eq!(ls.page_walks, 3, "legacy pays one walk per header read");
+    assert_eq!(ls.translate_cache_hits, 0);
+    assert_eq!(ls.vectored_reads, 0);
+}
+
+// ---------------------------------------------------------------------
+// 2. Tree roots group exactly like flat digests across the corpus.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tree_roots_group_exactly_like_flat_digests_across_the_attack_corpus() {
+    let techniques = [
+        Technique::OpcodeReplacement,
+        Technique::InlineHook,
+        Technique::StubModification,
+        Technique::DllHook,
+        Technique::JumpOverJunk,
+        Technique::IatPivot,
+        Technique::OverlappingDecode,
+    ];
+    let algo = CheckConfig::default().digest;
+    for tech in techniques {
+        let infection = tech.infection();
+        let target = infection.target_module();
+        let (bed, _expected) =
+            Testbed::infected_cloud(5, tech, &[1]).expect("infected cloud builds");
+        let captures: Vec<Vec<u8>> = bed
+            .vm_ids
+            .iter()
+            .map(|&vm| {
+                let mut session = VmiSession::attach(&bed.hv, vm)
+                    .expect("attach")
+                    .with_fast_capture();
+                ModuleSearcher::find(&mut session, target)
+                    .expect("capture")
+                    .bytes
+            })
+            .collect();
+        let flats: Vec<String> = captures.iter().map(|b| digest(algo, b).to_hex()).collect();
+        let roots: Vec<String> = captures
+            .iter()
+            .map(|b| TreeHash::build(algo, b).root().to_hex())
+            .collect();
+        // The victim must actually differ from the herd, or the test
+        // proves nothing.
+        assert_ne!(flats[0], flats[1], "{tech:?}: infection left no trace");
+        for i in 0..captures.len() {
+            for j in 0..captures.len() {
+                assert_eq!(
+                    flats[i] == flats[j],
+                    roots[i] == roots[j],
+                    "{tech:?}: flat/root grouping diverged between dom{} and dom{}",
+                    i + 1,
+                    j + 1
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Fault plans: torn + paged-out, fast path on/off byte-identity.
+// ---------------------------------------------------------------------
+
+#[test]
+fn verdicts_are_byte_identical_across_fast_path_under_torn_and_paged_out_faults() {
+    // Rates are chosen so *both* paths fully ride the faults out: the
+    // legacy page loop draws a fault decision per page (plus a stable
+    // re-read per page), so hot rates can exhaust its retry budget and
+    // fail a capture the batched path completes — an honest degradation
+    // difference, but not what this test pins. At these rates every
+    // capture succeeds on both paths and the reports must be identical.
+    let mut plan = FaultPlan::none(4242);
+    plan.torn_rate = 0.08;
+    plan.paged_out_rate = 0.08;
+    plan.paged_out_attempts = 2;
+
+    // One real infection under recoverable fault load: both paths must
+    // converge on the same bytes, flag the same victim, and render the
+    // same report.
+    let mut bed = bed(6);
+    bed.guests[3]
+        .patch_module(&mut bed.hv, "hal.dll", 0x1007, &[0xCC])
+        .expect("patch");
+    bed.hv.inject_fault_plan(plan);
+
+    let legacy = checker(false)
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .expect("legacy scan");
+    let fast = checker(true)
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .expect("fast scan");
+    assert_eq!(
+        verdict_bytes(&legacy),
+        verdict_bytes(&fast),
+        "fault injection broke fast-path verdict identity"
+    );
+    let suspects: Vec<&str> = fast.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(suspects, vec!["dom4"]);
+    assert_eq!(fast.scanned, 6, "faults must be ridden out, not eaten");
+    // The stable scatter-gather read must have detected (and healed) torn
+    // pages rather than letting them masquerade as integrity mismatches.
+    assert!(fast.vmi.vectored_reads > 0);
+    assert_eq!(legacy.vmi.vectored_reads, 0);
+}
+
+#[test]
+fn cached_rescans_keep_equivalence_under_fault_load() {
+    // The partial-refresh path reads single pages under the same fault
+    // plans the full capture rides out; its verdicts must match a fresh
+    // uncached scan's exactly.
+    let mut plan = FaultPlan::none(99);
+    plan.torn_rate = 0.15;
+    plan.paged_out_rate = 0.15;
+    let mut bed = bed(5);
+    let fast = checker(true);
+    let mut cache = CaptureCache::new();
+    fast.check_pool_with_cache(&bed.hv, &bed.vm_ids, "hal.dll", &mut cache)
+        .expect("warmup");
+
+    bed.guests[2]
+        .patch_module(&mut bed.hv, "hal.dll", 0x2011, &[0x90, 0x90])
+        .expect("patch");
+    bed.hv.inject_fault_plan(plan);
+
+    let cached = fast
+        .check_pool_with_cache(&bed.hv, &bed.vm_ids, "hal.dll", &mut cache)
+        .expect("cached rescan");
+    let uncached = fast
+        .check_pool(&bed.hv, &bed.vm_ids, "hal.dll")
+        .expect("uncached rescan");
+    assert_eq!(
+        verdict_bytes(&cached),
+        verdict_bytes(&uncached),
+        "partial refresh diverged from a fresh capture under faults"
+    );
+    let suspects: Vec<&str> = cached.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(suspects, vec!["dom3"]);
+    assert!(
+        cache.stats().partial_hits >= 1,
+        "the victim's rescan should have taken the leaf-refresh path"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 4. Incremental tree == full rebuild after partial refreshes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn partially_refreshed_trees_match_a_full_rebuild() {
+    let mut bed = bed(4);
+    let fast = checker(true);
+    let mut cache = CaptureCache::new();
+    fast.check_pool_with_cache(&bed.hv, &bed.vm_ids, "hal.dll", &mut cache)
+        .expect("warmup");
+
+    // Dirty a middle page on one VM, then rescan: dom2's entry is
+    // leaf-refreshed in place (same shape, one moved generation).
+    bed.guests[1]
+        .patch_module(&mut bed.hv, "hal.dll", 2 * PAGE_SIZE as u64 + 5, &[0xAB])
+        .expect("patch");
+    let report = fast
+        .check_pool_with_cache(&bed.hv, &bed.vm_ids, "hal.dll", &mut cache)
+        .expect("rescan");
+    let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(suspects, vec!["dom2"]);
+    let stats = cache.stats();
+    assert!(stats.partial_hits >= 1, "moved generation → partial hit");
+    assert_eq!(stats.invalidations, 0, "shape never changed");
+
+    // Every cached tree — including the incrementally-updated one — must
+    // equal a tree rebuilt from scratch over the module's current bytes.
+    let algo = CheckConfig::default().digest;
+    for (i, &vm) in bed.vm_ids.iter().enumerate() {
+        let mut session = VmiSession::attach(&bed.hv, vm)
+            .expect("attach")
+            .with_fast_capture();
+        let image = ModuleSearcher::find(&mut session, "hal.dll").expect("capture");
+        let rebuilt = TreeHash::build(algo, &image.bytes).root();
+        let cached_root = cache
+            .tree_root(vm, "hal.dll")
+            .expect("entry survives a partial refresh");
+        assert_eq!(
+            cached_root.to_hex(),
+            rebuilt.to_hex(),
+            "dom{}: incremental tree drifted from a full rebuild",
+            i + 1
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Whole-pool byte-identity, fast path on vs off.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pool_reports_are_byte_identical_with_fast_capture_on_and_off() {
+    // Clean pool and an infected pool, both rendered with the fast path
+    // on and off: stripped of times and VMI counters, the JSON must be
+    // byte-for-byte identical.
+    for infect in [false, true] {
+        let mut bed = bed(6);
+        if infect {
+            bed.guests[4]
+                .patch_module(&mut bed.hv, "ndis.sys", 0x1040, &[0xEB, 0xFE])
+                .expect("patch");
+        }
+        let legacy = checker(false)
+            .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
+            .expect("legacy");
+        let fast = checker(true)
+            .check_pool(&bed.hv, &bed.vm_ids, "ndis.sys")
+            .expect("fast");
+        assert_eq!(
+            verdict_bytes(&legacy),
+            verdict_bytes(&fast),
+            "infect={infect}: fast path moved a report byte"
+        );
+        assert!(fast.vmi.translate_cache_hits > 0);
+        assert!(fast.vmi.page_walks < legacy.vmi.page_walks);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 6. Property: single-byte mutation flips exactly the containing leaf.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_byte_mutation_flips_exactly_the_containing_leaf(
+        len in 1usize..(3 * PAGE_SIZE + 129),
+        idx_seed in any::<u64>(),
+        fill_seed in any::<u64>(),
+        delta in 1u8..=255,
+    ) {
+        let idx = (idx_seed as usize) % len;
+        // Deterministic pseudo-random image (cheaper than a Vec strategy
+        // at these sizes, and shrinking the seed is as good as shrinking
+        // the bytes).
+        let bytes: Vec<u8> = (0..len)
+            .map(|i| {
+                let x = fill_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64);
+                (x >> 33) as u8
+            })
+            .collect();
+        let mut mutated = bytes.clone();
+        mutated[idx] ^= delta; // delta >= 1 ⟹ the byte really changes
+
+        let algo = CheckConfig::default().digest;
+        let before = TreeHash::build(algo, &bytes);
+        let after = TreeHash::build(algo, &mutated);
+        let leaf = idx / PAGE_SIZE;
+        prop_assert_eq!(before.leaf_count(), after.leaf_count());
+        for i in 0..before.leaf_count() {
+            prop_assert_eq!(
+                before.leaves()[i] == after.leaves()[i],
+                i != leaf,
+                "leaf {} changed iff it contains the mutated byte {}", i, idx
+            );
+        }
+        prop_assert_ne!(before.root().to_hex(), after.root().to_hex());
+        prop_assert_ne!(
+            digest(algo, &bytes).to_hex(),
+            digest(algo, &mutated).to_hex()
+        );
+    }
+}

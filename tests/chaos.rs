@@ -219,7 +219,10 @@ fn retry_jitter_shifts_schedules_per_vm_without_touching_verdicts() {
     // scan mode.
     let run = |mode: ScanMode, jitter: f64| {
         let mut bed = bed(6);
-        bed.hv.inject_fault_plan(FaultPlan::transient(0xBEEF, 0.05));
+        // Scatter-gather captures consult the fault layer once per batch
+        // (not per page), so the per-consult probability is raised to keep
+        // several VMs retrying — the comparison below needs them.
+        bed.hv.inject_fault_plan(FaultPlan::transient(0xBEEF, 0.2));
         ModChecker::with_config(CheckConfig {
             mode,
             retry: RetryPolicy::with_max_retries(6).with_jitter(jitter),

@@ -169,8 +169,10 @@ fn peer_lost_mid_scan_drops_out_of_the_vote() {
     // dom4 answers its first few reads, then the VM disappears: the
     // capture dies partway through and the peer must be excluded from the
     // vote — an unreachable VM says nothing about the reference module.
+    // (The threshold is in fault-layer consults, and scatter-gather
+    // captures consult once per batch — 3 is mid-scan on the fast path.)
     bed.hv
-        .set_fault_plan(bed.vm_ids[3], Some(FaultPlan::none(11).lose_after(5)))
+        .set_fault_plan(bed.vm_ids[3], Some(FaultPlan::none(11).lose_after(3)))
         .unwrap();
     let report = ModChecker::new()
         .check_one(&bed.hv, bed.vm_ids[0], &bed.peers_of(0), "hal.dll")
@@ -191,7 +193,7 @@ fn peer_lost_mid_scan_drops_out_of_the_vote() {
 fn reference_vm_lost_mid_scan_is_an_error() {
     let mut bed = bed(4);
     bed.hv
-        .set_fault_plan(bed.vm_ids[0], Some(FaultPlan::none(11).lose_after(5)))
+        .set_fault_plan(bed.vm_ids[0], Some(FaultPlan::none(11).lose_after(3)))
         .unwrap();
     let result = ModChecker::new().check_one(&bed.hv, bed.vm_ids[0], &bed.peers_of(0), "hal.dll");
     assert!(matches!(result, Err(CheckError::Vmi(_))));
