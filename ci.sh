@@ -22,8 +22,13 @@
 #                              which asserts the >= 4x steady-state capture
 #                              speedup and fast-path on/off verdict
 #                              byte-identity (writes BENCH_capture.json)
-#  13. exit-code gate        — fleet-check's typed exit status contract
-#  14. test-count floor      — the suite must never silently shrink
+#  13. events gate           — push-vs-pull equivalence suite + fig_events,
+#                              which asserts the >= 10x clean-round
+#                              read/walk cut, sub-round median detection
+#                              latency and push/poll verdict byte-identity
+#                              (writes BENCH_events.json)
+#  14. exit-code gate        — fleet-check's typed exit status contract
+#  15. test-count floor      — the suite must never silently shrink
 set -eu
 
 cd "$(dirname "$0")"
@@ -137,6 +142,28 @@ echo "==> capture gate (equivalence suite + fig_capture fast-path bench)"
 cargo test -q --release --test capture_fastpath
 cargo run --release -q -p mc-bench --bin fig_capture -- --smoke --out BENCH_capture.json
 
+# Events gate: the push pipeline's equivalence contract. The push-vs-pull
+# suite (verdict byte-identity across the attack corpus, zero-read quiet
+# rounds, targeted dirty rescans, event-mode chaos determinism, the
+# fleet-scale read/walk cut), then fig_events, which asserts the >= 10x
+# clean-round guest-read and page-walk reduction, sub-round median
+# detection latency and push/poll verdict byte-identity, writing
+# BENCH_events.json. Finally the CLI event path end to end: a push-mode
+# monitor run must export the event_* series and validate against the
+# schema.
+echo "==> events gate (equivalence suite + fig_events push bench)"
+cargo test -q --release --test event_mode
+cargo run --release -q -p mc-bench --bin fig_events -- --smoke --out BENCH_events.json
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    monitor --vms 5 --rounds 2 --events \
+    --metrics-out target/ci-events-metrics.json > /dev/null
+grep -q '"event_trusted_pairs_total"' target/ci-events-metrics.json \
+    || { echo "ci: push-mode export is missing the event_* series" >&2; exit 1; }
+grep -q '"trap_watched_frames"' target/ci-events-metrics.json \
+    || { echo "ci: push-mode export is missing the trap_* series" >&2; exit 1; }
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    validate-metrics --file target/ci-events-metrics.json --schema schemas/metrics-schema.json
+
 # Exit-code gate: fleet-check's typed exit status is API. A clean uniform
 # fleet must exit 0; the infected seed-11 case (exit 2) is asserted in the
 # static-analysis gate above.
@@ -147,7 +174,7 @@ cargo run --release -q -p modchecker-cli --bin modchecker -- \
 
 # Test-count floor: the workspace suite must never silently shrink. Bump
 # the floor when tests are added; lowering it is a reviewed decision.
-TEST_FLOOR=497
+TEST_FLOOR=523
 echo "==> test-count floor (>= $TEST_FLOOR)"
 TEST_COUNT=$(cargo test --workspace -q -- --list 2>/dev/null | grep -c ': test$')
 echo "    $TEST_COUNT tests listed"

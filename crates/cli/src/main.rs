@@ -100,14 +100,14 @@ USAGE:
                    [--mean-gap-us <US>] [--burst-prob <0..1>] [--unknown-rate <0..1>]
                    [--deadline-min-ms <MS>] [--deadline-max-ms <MS>]
                    [--queue-capacity <Q>] [--quota-rate <QPS>] [--quota-burst <B>]
-                   [--refresh-ms <MS>] [--freshness-ms <MS>]
+                   [--refresh-ms <MS>] [--freshness-ms <MS>] [--events]
                    [--shards <N>] [--max-inflight-per-vm <K>]
                    [--fault-seed <SEED>] [--fault-rate <0..1>]
                    [--json] [--metrics-out <PATH>] [--trace-out <PATH>]
                                          attestation daemon over a seeded query
                                          stream: admission quotas, bounded queue,
                                          degraded answers under faults
-  modchecker monitor [--vms <N>] [--rounds <R>] [--fault-seed <SEED>]
+  modchecker monitor [--vms <N>] [--rounds <R>] [--events] [--fault-seed <SEED>]
                      [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
                      [--compare pairwise|canonical] [--no-fast-capture]
                      [--metrics-out <PATH>]
@@ -147,6 +147,12 @@ per-tenant token-bucket quotas, a bounded admission queue with typed
 rejections, health-based routing around quarantined VMs, and degraded
 (stale/unscannable) answers when fresh state cannot be had within the
 deadline. Same seeds ⇒ byte-identical report, regardless of --shards.
+
+Push monitoring: --events (monitor, serve) arms EPT-style write traps over
+every scanned module's page span and switches rounds to push mode — quiet
+(vm, module) pairs are attested straight from the capture cache with zero
+guest reads; only pairs dirtied by trapped writes rescan. Verdicts are
+identical to polling; steady-state clean rounds cost near nothing.
 
 Static pre-pass: fleet-check --static-prepass (and check --static) runs the
 CFG analyzer (lints L1–L9) once per content bucket on top of the canonical
@@ -727,9 +733,17 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
             .map_or(serve_defaults.freshness_window, |ms| {
                 SimDuration::from_millis(ms as u64)
             }),
+        events: args.flag("events"),
         ..serve_defaults
     };
-    let report = modchecker::AttestServer::new(config).run(&bed.hv, &fleet, &queries);
+    let server = modchecker::AttestServer::new(config);
+    if config.events {
+        let frames = server
+            .arm_events(&mut bed.hv, &fleet)
+            .map_err(|e| e.to_string())?;
+        eprintln!("events: armed write traps over {frames} guest frame(s)");
+    }
+    let report = server.run(&bed.hv, &fleet, &queries);
 
     if args.raw_value("metrics-out").is_some() || args.raw_value("trace-out").is_some() {
         let obs = modchecker::observe_serve(&report);
@@ -807,7 +821,15 @@ fn cmd_monitor(args: &mut Args) -> Result<(), String> {
         ..MonitorConfig::default()
     });
     let (tx, rx) = crossbeam::channel::unbounded();
-    monitor.run(&bed.hv, &bed.vm_ids, rounds, &tx);
+    if args.flag("events") {
+        let frames = monitor
+            .arm_events(&mut bed.hv, &bed.vm_ids)
+            .map_err(|e| e.to_string())?;
+        eprintln!("events: armed write traps over {frames} guest frame(s)");
+        monitor.run_events(&bed.hv, &bed.vm_ids, rounds, &tx);
+    } else {
+        monitor.run(&bed.hv, &bed.vm_ids, rounds, &tx);
+    }
     drop(tx);
     for event in rx.iter() {
         match event {

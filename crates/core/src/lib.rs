@@ -68,6 +68,7 @@ pub mod arena;
 pub mod checker;
 pub mod digest;
 pub mod error;
+pub mod events;
 pub mod listdiff;
 pub mod monitor;
 pub mod obs;
@@ -87,8 +88,11 @@ pub use checker::{
 };
 pub use digest::{DigestAlgo, PartDigest};
 pub use error::CheckError;
+pub use events::{EventPlane, EventPlaneStats};
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
-pub use monitor::{remediate, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent};
+pub use monitor::{
+    remediate, remediate_vms, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent,
+};
 pub use obs::{
     fleet_span, observe_fleet, observe_scan, observe_serve, record_fleet_report,
     record_module_report, record_pool_report, record_serve_report, serve_span, ScanObservation,

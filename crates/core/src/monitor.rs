@@ -16,7 +16,7 @@
 //! immediately.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crossbeam::channel::Sender;
 
@@ -24,6 +24,7 @@ use mc_hypervisor::{Hypervisor, VmId};
 use mc_obs::MetricsRegistry;
 
 use crate::error::CheckError;
+use crate::events::{EventPlane, EventPlaneStats};
 use crate::obs::record_pool_report;
 use crate::pool::{CacheStats, CaptureCache, CheckConfig, ModChecker};
 use crate::report::{PoolCheckReport, QuorumStatus, VerdictStatus};
@@ -142,16 +143,40 @@ pub struct ContinuousMonitor {
     health: HashMap<VmId, VmHealth>,
     cache: Mutex<CaptureCache>,
     metrics: Mutex<MetricsRegistry>,
+    /// Write-trap subscription state; `Some` once [`ContinuousMonitor::arm_events`]
+    /// has armed the configured modules, switching rounds to push mode.
+    events: Mutex<Option<EventPlane>>,
 }
 
 impl Clone for ContinuousMonitor {
     fn clone(&self) -> Self {
+        // A poisoned lock means a sibling thread panicked mid-round — the
+        // data (cache entries, counters) is still internally consistent
+        // because rounds only mutate it between scans, so recover the guard
+        // instead of silently cloning an *empty* cache/registry (which
+        // would discard every capture and metric accumulated so far).
         ContinuousMonitor {
             checker: self.checker,
             config: self.config.clone(),
             health: self.health.clone(),
-            cache: Mutex::new(self.cache.lock().map(|c| c.clone()).unwrap_or_default()),
-            metrics: Mutex::new(self.metrics.lock().map(|m| m.clone()).unwrap_or_default()),
+            cache: Mutex::new(
+                self.cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+            metrics: Mutex::new(
+                self.metrics
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+            events: Mutex::new(
+                self.events
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
         }
     }
 }
@@ -165,12 +190,16 @@ impl ContinuousMonitor {
             health: HashMap::new(),
             cache: Mutex::new(CaptureCache::new()),
             metrics: Mutex::new(MetricsRegistry::new()),
+            events: Mutex::new(None),
         }
     }
 
     /// Cumulative capture-cache counters across all rounds so far.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().map(|c| c.stats()).unwrap_or_default()
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
     }
 
     /// A snapshot of the monitor's metrics registry: every pool scan's
@@ -179,7 +208,10 @@ impl ContinuousMonitor {
     /// `monitor_quarantines_total`, `monitor_restores_total`,
     /// `monitor_remediations_total`) and the capture-cache gauges.
     pub fn metrics(&self) -> MetricsRegistry {
-        self.metrics.lock().map(|m| m.clone()).unwrap_or_default()
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     fn bump(&self, name: &str, v: u64) {
@@ -240,6 +272,106 @@ impl ContinuousMonitor {
         results
     }
 
+    /// Arms write traps over every configured module on every VM in `vms`,
+    /// switching subsequent [`ContinuousMonitor::run_round_events`] /
+    /// [`ContinuousMonitor::run_events`] calls to push mode. Replaces any
+    /// previous plane (old watches are released by the replacement plane's
+    /// drop of its armed set only if re-armed — callers arm once per VM
+    /// set). Returns the number of guest frames now watched.
+    pub fn arm_events(&self, hv: &mut Hypervisor, vms: &[VmId]) -> Result<usize, CheckError> {
+        let mut plane = EventPlane::new();
+        let modules = self.config.modules.clone();
+        let frames = plane.arm_modules(hv, vms, &modules)?;
+        *self.events.lock().unwrap_or_else(PoisonError::into_inner) = Some(plane);
+        Ok(frames)
+    }
+
+    /// True once [`ContinuousMonitor::arm_events`] has installed a plane.
+    pub fn events_armed(&self) -> bool {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// The event plane's cumulative counters, if armed.
+    pub fn event_stats(&self) -> Option<EventPlaneStats> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(EventPlane::stats)
+    }
+
+    /// Runs one *push-mode* round: drains the host's write events, marks
+    /// the `(vm, module)` pairs they land on dirty, and scans with every
+    /// armed-and-quiet pair trusted — served straight from the capture
+    /// cache with zero guest reads. Dirty pairs (and pairs whose cache
+    /// entry is gone, e.g. evicted by a revert) rescan through the normal
+    /// probe path, so verdicts are identical to [`ContinuousMonitor::run_round`].
+    /// Falls back to `run_round` wholesale when no plane is armed.
+    pub fn run_round_events(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+    ) -> Vec<(String, Result<PoolCheckReport, CheckError>)> {
+        let mut guard = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(plane) = guard.as_mut() else {
+            drop(guard);
+            return self.run_round(hv, vms);
+        };
+
+        let drained = plane.drain(hv);
+        let dirty_now = plane.dirty_len() as u64;
+        let mut trusted_total = 0u64;
+        let results: Vec<(String, Result<PoolCheckReport, CheckError>)> = self
+            .config
+            .modules
+            .iter()
+            .map(|m| {
+                let trusted = plane.trusted_for(m, vms);
+                trusted_total += trusted.len() as u64;
+                let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+                let result = self
+                    .checker
+                    .check_pool_with_cache_trusted(hv, vms, m, &mut cache, &trusted);
+                (m.clone(), result)
+            })
+            .collect();
+        // Every dirty pair either rescanned just now or belongs to a VM
+        // outside `vms` (quarantined — it rescans cold on return anyway,
+        // because quarantine evicted its cache entries).
+        plane.clear_dirty();
+        let plane_stats = plane.stats();
+        drop(guard);
+
+        if let Ok(mut reg) = self.metrics.lock() {
+            reg.counter_add("monitor_rounds_total", 1);
+            reg.counter_add("event_writes_drained_total", drained.len() as u64);
+            reg.counter_add("event_dirty_pairs_total", dirty_now);
+            reg.counter_add("event_trusted_pairs_total", trusted_total);
+            let scanned = (vms.len() as u64) * (self.config.modules.len() as u64);
+            reg.counter_add("event_rescans_total", scanned.saturating_sub(trusted_total));
+            reg.gauge_set(
+                "event_unattributed_total",
+                plane_stats.unattributed_events as f64,
+            );
+            for e in &drained {
+                reg.observe("event_delivery_ns", e.latency.as_nanos() as f64);
+            }
+            for (_, result) in &results {
+                if let Ok(report) = result {
+                    record_pool_report(report, &mut reg);
+                }
+            }
+            hv.record_metrics(&mut reg);
+            if let Ok(cache) = self.cache.lock() {
+                cache.record_metrics(&mut reg);
+            }
+        }
+        results
+    }
+
     /// Runs one *fleet* round: one full sweep of every pool in `fleet` by
     /// the given scheduler. The scheduler owns the per-pool capture caches
     /// and suspect history (so hot modules dispatch first next round);
@@ -266,26 +398,31 @@ impl ContinuousMonitor {
         report
     }
 
-    /// Reverts the report's suspects to `snapshot` (the free [`remediate`]
-    /// function) and evicts the reverted VMs' capture-cache entries: a
-    /// reverted guest is a different memory image, and its cached captures
-    /// must not survive the revert even as invalidation candidates.
+    /// Reverts the report's suspects to `snapshot` (the free
+    /// [`remediate_vms`] function) and evicts the reverted VMs'
+    /// capture-cache entries: a reverted guest is a different memory image,
+    /// and its cached captures must not survive the revert even as
+    /// invalidation candidates.
+    ///
+    /// Eviction keys on the *id* each verdict was scanned under, never on a
+    /// name re-lookup: if a suspect was renamed (and its old name possibly
+    /// given to another VM) between the scan and the remediation, the
+    /// revert and the eviction still land on the same — correct — VM, so a
+    /// rename can never leave stale infected captures behind.
     pub fn remediate(
         &self,
         hv: &mut Hypervisor,
         report: &PoolCheckReport,
         snapshot: &str,
     ) -> Result<Vec<String>, mc_hypervisor::HvError> {
-        let reverted = remediate(hv, report, snapshot)?;
+        let reverted = remediate_vms(hv, report, snapshot)?;
         if let Ok(mut cache) = self.cache.lock() {
-            for name in &reverted {
-                if let Some(vm) = hv.vm_by_name(name) {
-                    cache.evict_vm(vm.id);
-                }
+            for (vm, _) in &reverted {
+                cache.evict_vm(*vm);
             }
         }
         self.bump("monitor_remediations_total", reverted.len() as u64);
-        Ok(reverted)
+        Ok(reverted.into_iter().map(|(_, name)| name).collect())
     }
 
     /// Runs `rounds` rounds, emitting an event per module per round into
@@ -298,6 +435,33 @@ impl ContinuousMonitor {
         vms: &[VmId],
         rounds: usize,
         events: &Sender<MonitorEvent>,
+    ) {
+        self.run_inner(hv, vms, rounds, events, false);
+    }
+
+    /// [`ContinuousMonitor::run`], but each round goes through
+    /// [`ContinuousMonitor::run_round_events`]: quiet armed pairs are
+    /// served from cache, only event-dirtied pairs rescan. Emits the same
+    /// [`MonitorEvent`] stream (identical verdicts) as pull mode. Call
+    /// [`ContinuousMonitor::arm_events`] first; without a plane this is
+    /// plain polling.
+    pub fn run_events(
+        &mut self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        rounds: usize,
+        events: &Sender<MonitorEvent>,
+    ) {
+        self.run_inner(hv, vms, rounds, events, true);
+    }
+
+    fn run_inner(
+        &mut self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        rounds: usize,
+        events: &Sender<MonitorEvent>,
+        push: bool,
     ) {
         let threshold = self.config.health.failure_threshold.max(1);
         let cooldown = self.config.health.cooldown_rounds.max(1);
@@ -329,7 +493,12 @@ impl ContinuousMonitor {
             }
 
             let mut unscannable_this_round: HashSet<String> = HashSet::new();
-            for (module, result) in self.run_round(hv, &active) {
+            let round_results = if push {
+                self.run_round_events(hv, &active)
+            } else {
+                self.run_round(hv, &active)
+            };
+            for (module, result) in round_results {
                 let event = match result {
                     Ok(report) => {
                         unscannable_this_round.extend(
@@ -408,21 +577,42 @@ impl ContinuousMonitor {
 
 /// Reverts every VM the report flags as suspect to the named snapshot —
 /// the paper's "machines can be reverted back to their clean state to flush
-/// infections". Returns the names of reverted VMs.
+/// infections". Returns the `(id, scan-time name)` of each VM actually
+/// reverted.
+///
+/// Suspects are addressed by the [`crate::report::VmVerdict::vm`] id
+/// recorded at scan time, not by re-resolving `vm_name`: names are mutable
+/// (and reusable) between scan and remediation, and reverting whichever VM
+/// *currently* holds the name would both miss the infected guest and wipe
+/// an innocent one. A suspect whose id no longer exists (destroyed since
+/// the scan) is skipped — there is nothing left to revert.
+pub fn remediate_vms(
+    hv: &mut Hypervisor,
+    report: &PoolCheckReport,
+    snapshot: &str,
+) -> Result<Vec<(VmId, String)>, mc_hypervisor::HvError> {
+    let mut reverted = Vec::new();
+    for v in report.suspects() {
+        let Ok(vm) = hv.vm_mut(v.vm) else {
+            continue; // destroyed since the scan
+        };
+        vm.revert(snapshot)?;
+        reverted.push((v.vm, v.vm_name.clone()));
+    }
+    Ok(reverted)
+}
+
+/// Name-returning convenience over [`remediate_vms`] (reverts by scan-time
+/// id; returns the scan-time names of the VMs actually reverted).
 pub fn remediate(
     hv: &mut Hypervisor,
     report: &PoolCheckReport,
     snapshot: &str,
 ) -> Result<Vec<String>, mc_hypervisor::HvError> {
-    let suspects: Vec<String> = report.suspects().map(|v| v.vm_name.clone()).collect();
-    let ids: Vec<VmId> = suspects
-        .iter()
-        .filter_map(|name| hv.vm_by_name(name).map(|vm| vm.id))
-        .collect();
-    for id in ids {
-        hv.vm_mut(id)?.revert(snapshot)?;
-    }
-    Ok(suspects)
+    Ok(remediate_vms(hv, report, snapshot)?
+        .into_iter()
+        .map(|(_, name)| name)
+        .collect())
 }
 
 #[cfg(test)]
@@ -841,6 +1031,187 @@ mod tests {
             "round 2 hit 3 VMs × 2 modules"
         );
         assert_eq!(reg.gauge("cache_entries"), Some(6.0));
+    }
+
+    #[test]
+    fn remediation_by_id_survives_a_rename_race() {
+        // Between the scan and the remediation, the infected VM is renamed
+        // and a fresh VM steals its old name. Name-keyed remediation would
+        // revert/evict the innocent name-thief and leave the infected
+        // guest's stale captures live; id-keyed remediation must hit the
+        // true suspect.
+        let (mut hv, guests, ids) = cloud(4);
+        for id in &ids {
+            hv.vm_mut(*id).unwrap().snapshot("clean");
+        }
+        let m = monitor();
+        m.run_round(&hv, &ids); // warm the cache
+
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+        let round = m.run_round(&hv, &ids);
+        let report = round[0].1.as_ref().unwrap().clone();
+        assert_eq!(
+            report
+                .suspects()
+                .map(|v| v.vm_name.clone())
+                .collect::<Vec<_>>(),
+            vec!["dom1"]
+        );
+
+        // The race: dom1 becomes dom1b, a brand-new VM takes "dom1".
+        hv.rename_vm(ids[0], "dom1b").unwrap();
+        hv.create_vm("dom1", AddressWidth::W32).unwrap();
+
+        let reverted = m.remediate(&mut hv, &report, "clean").unwrap();
+        assert_eq!(reverted, vec!["dom1"], "scan-time name of the true suspect");
+        assert_eq!(
+            m.cache_stats().evictions,
+            2,
+            "both of the *infected* VM's entries evicted"
+        );
+
+        // The infected guest (now dom1b) scans clean again: revert landed
+        // on it and no stale infected capture survived to resurrect.
+        let after = m.run_round(&hv, &ids);
+        assert!(after
+            .iter()
+            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+    }
+
+    #[test]
+    fn remediate_vms_skips_destroyed_suspects() {
+        let (mut hv, guests, ids) = cloud(4);
+        for id in &ids {
+            hv.vm_mut(*id).unwrap().snapshot("clean");
+        }
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+        let m = monitor();
+        let round = m.run_round(&hv, &ids);
+        let mut report = round[0].1.as_ref().unwrap().clone();
+        // The suspect vanishes between scan and remediation (the simulator
+        // has no destroy; point the verdict at an id that never existed).
+        for v in &mut report.verdicts {
+            v.vm = VmId(u32::MAX);
+        }
+        let reverted = remediate_vms(&mut hv, &report, "clean").unwrap();
+        assert!(reverted.is_empty(), "nothing left to revert");
+    }
+
+    #[test]
+    fn event_rounds_match_poll_verdicts_and_skip_guest_reads_when_quiet() {
+        let (mut hv, guests, ids) = cloud(4);
+        let m = monitor();
+        let frames = m.arm_events(&mut hv, &ids).unwrap();
+        assert!(frames > 0);
+        assert!(m.events_armed());
+
+        // Cold round: nothing cached yet, every pair probes normally.
+        let cold = m.run_round_events(&hv, &ids);
+        assert!(cold.iter().all(|(_, r)| r.as_ref().unwrap().all_clean()));
+
+        // Quiet steady state: every pair armed + clean cache entry → the
+        // whole round is served from cache, zero guest reads.
+        let reads_before = m.metrics().counter("vmi_reads_total");
+        let quiet = m.run_round_events(&hv, &ids);
+        assert!(quiet.iter().all(|(_, r)| r.as_ref().unwrap().all_clean()));
+        let reads_after = m.metrics().counter("vmi_reads_total");
+        assert_eq!(
+            reads_after, reads_before,
+            "quiet round reads no guest memory"
+        );
+        assert_eq!(m.cache_stats().trusted_hits, 8, "4 VMs × 2 modules");
+
+        // An infection fires events; only the dirtied pair rescans, and the
+        // verdict names the same suspect a poll round would.
+        guests[1]
+            .patch_module(&mut hv, "ndis.sys", 0x1002, &[0xCC])
+            .unwrap();
+        let dirty = m.run_round_events(&hv, &ids);
+        let ndis = dirty.iter().find(|(m, _)| m == "ndis.sys").unwrap();
+        let suspects: Vec<String> = ndis
+            .1
+            .as_ref()
+            .unwrap()
+            .suspects()
+            .map(|v| v.vm_name.clone())
+            .collect();
+        assert_eq!(suspects, vec!["dom2"]);
+        let stats = m.event_stats().unwrap();
+        assert!(stats.events_drained > 0);
+        assert_eq!(stats.dirty_marks, 1);
+        let reg = m.metrics();
+        assert!(reg.counter("event_writes_drained_total") > 0);
+        assert!(reg.counter("event_trusted_pairs_total") >= 8);
+    }
+
+    #[test]
+    fn event_mode_catches_revert_despite_no_trap_events() {
+        // A snapshot revert rewrites guest memory *without* firing write
+        // traps (hypervisor-side remap). Trust must not mask it: the
+        // monitor's remediation evicts the cache entries, which disables
+        // the trusted short-circuit for exactly those pairs.
+        let (mut hv, guests, ids) = cloud(4);
+        for id in &ids {
+            hv.vm_mut(*id).unwrap().snapshot("clean");
+        }
+        let m = monitor();
+        m.arm_events(&mut hv, &ids).unwrap();
+        guests[0]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+        let round = m.run_round_events(&hv, &ids);
+        let report = round[0].1.as_ref().unwrap().clone();
+        assert!(report.any_discrepancy());
+
+        m.remediate(&mut hv, &report, "clean").unwrap();
+        // No events fired for the revert, the pair reads armed-and-quiet —
+        // but its cache entry is gone, so the next round re-probes and sees
+        // the clean bytes.
+        let after = m.run_round_events(&hv, &ids);
+        assert!(after
+            .iter()
+            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+    }
+
+    #[test]
+    fn run_events_emits_the_same_stream_as_run() {
+        let (mut hv, guests, ids) = cloud(4);
+        guests[2]
+            .patch_module(&mut hv, "hal.dll", 0x1002, &[0xCC])
+            .unwrap();
+
+        let (tx_pull, rx_pull) = unbounded();
+        monitor().run(&hv, &ids, 3, &tx_pull);
+        drop(tx_pull);
+
+        let mut m = monitor();
+        m.arm_events(&mut hv, &ids).unwrap();
+        let (tx_push, rx_push) = unbounded();
+        m.run_events(&hv, &ids, 3, &tx_push);
+        drop(tx_push);
+
+        let label = |e: &MonitorEvent| match e {
+            MonitorEvent::Clean { round, module } => format!("clean {module} @{round}"),
+            MonitorEvent::Discrepancy {
+                round,
+                module,
+                report,
+            } => format!(
+                "discrepancy {module} @{round}: {:?}",
+                report
+                    .suspects()
+                    .map(|v| v.vm_name.clone())
+                    .collect::<Vec<_>>()
+            ),
+            other => format!("{other:?}"),
+        };
+        let pull: Vec<String> = rx_pull.iter().map(|e| label(&e)).collect();
+        let push: Vec<String> = rx_push.iter().map(|e| label(&e)).collect();
+        assert_eq!(pull, push, "push and pull must agree event for event");
     }
 
     #[test]

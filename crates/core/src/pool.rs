@@ -13,7 +13,7 @@
 //! matrix) so each VM gets a verdict in one pass — what a monitoring daemon
 //! wants.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use rayon::prelude::*;
@@ -262,6 +262,31 @@ impl ModChecker {
         module: &str,
         cache: &mut CaptureCache,
     ) -> Extraction {
+        self.extract_one_cached_trusted(hv, vm, module, cache, false)
+    }
+
+    /// [`Self::extract_one_cached`] with an event-plane trust bit.
+    ///
+    /// `trusted` means a write-event subscriber vouches that no guest write
+    /// has touched this module's watched frames since the cache entry was
+    /// stored (see [`crate::monitor::EventPlane`]). The session still
+    /// attaches — so fault plans fire, VM loss surfaces, and the breaker /
+    /// eviction semantics are identical to the poll path — but a cached
+    /// entry is then served as a full hit with *zero* guest reads and zero
+    /// page walks: no list re-walk, no per-page generation probes. With no
+    /// cache entry (cold, post-eviction, post-revert) the trust bit is
+    /// ignored and the normal probe/capture path runs, which is what makes
+    /// trust safe against event-free mutations like snapshot revert: revert
+    /// goes through cache eviction, and an evicted pair is rescanned no
+    /// matter what the event plane believes.
+    fn extract_one_cached_trusted(
+        &self,
+        hv: &Hypervisor,
+        vm: VmId,
+        module: &str,
+        cache: &mut CaptureCache,
+        trusted: bool,
+    ) -> Extraction {
         let mut times = ComponentTimes::default();
         let name = hv.vm(vm).map(|v| v.name.clone()).unwrap_or_default();
         let mut session = match VmiSession::attach(hv, vm) {
@@ -295,6 +320,23 @@ impl ModChecker {
         };
 
         let key = (vm, module.to_string());
+
+        // Event-plane short circuit: the subscriber proved the watched
+        // frames quiet, so the cached capture *is* the current content —
+        // serve it without touching the guest. The attach above already
+        // consulted the fault plan, so a lost VM never reaches this point.
+        if trusted {
+            if let Some(hit) = cache.entries.get(&key) {
+                if hit.algo == self.config.digest {
+                    cache.stats.hits += 1;
+                    cache.stats.trusted_hits += 1;
+                    times.searcher = session.take_elapsed();
+                    let module = Arc::clone(&hit.module);
+                    return finish(Ok(module), times, &session);
+                }
+            }
+        }
+
         let entry = match ModuleSearcher::find_ref(&mut session, module) {
             Ok(e) => e,
             Err(e) => {
@@ -651,6 +693,55 @@ impl ModChecker {
         self.pool_report(hv, vms, module, extractions, None)
     }
 
+    /// [`Self::check_pool_with_cache`] with per-VM event-plane trust: VMs
+    /// in `trusted` (armed watches, no write events since their entry was
+    /// cached) are served straight from the cache with zero guest reads
+    /// and zero page walks; everyone else takes the normal probe path.
+    /// Verdicts are identical to the poll scan — the same capture bytes
+    /// vote — only the steady-state cost changes.
+    pub fn check_pool_with_cache_trusted(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        module: &str,
+        cache: &mut CaptureCache,
+        trusted: &HashSet<VmId>,
+    ) -> Result<PoolCheckReport, CheckError> {
+        if vms.len() < 2 {
+            return Err(CheckError::PoolTooSmall(vms.len()));
+        }
+        let extractions: Vec<Extraction> = vms
+            .iter()
+            .map(|&vm| {
+                self.extract_one_cached_trusted(hv, vm, module, cache, trusted.contains(&vm))
+            })
+            .collect();
+        self.pool_report(hv, vms, module, extractions, None)
+    }
+
+    /// [`Self::check_pool_with_caches`] with per-VM event-plane trust (see
+    /// [`Self::check_pool_with_cache_trusted`]).
+    pub fn check_pool_with_caches_trusted(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+        module: &str,
+        cache: &mut CaptureCache,
+        analysis: &mut AnalysisCache,
+        trusted: &HashSet<VmId>,
+    ) -> Result<PoolCheckReport, CheckError> {
+        if vms.len() < 2 {
+            return Err(CheckError::PoolTooSmall(vms.len()));
+        }
+        let extractions: Vec<Extraction> = vms
+            .iter()
+            .map(|&vm| {
+                self.extract_one_cached_trusted(hv, vm, module, cache, trusted.contains(&vm))
+            })
+            .collect();
+        self.pool_report(hv, vms, module, extractions, Some(analysis))
+    }
+
     /// [`Self::check_pool_with_cache`] plus a shared [`AnalysisCache`] for
     /// the static pre-pass: in canonical mode the lint engine runs once per
     /// fingerprint bucket (subdivided by import-table content, the one
@@ -813,6 +904,7 @@ impl ModChecker {
                 }
             };
             verdicts.push(VmVerdict {
+                vm: vms[idx],
                 vm_name: vm_name.clone(),
                 status,
                 successes,
@@ -1221,6 +1313,10 @@ impl AnalysisCache {
 pub struct CacheStats {
     /// Rounds that reused a cached capture (generations unchanged).
     pub hits: u64,
+    /// The subset of `hits` served on event-plane trust alone — no list
+    /// walk, no generation probes, zero guest reads (push mode; the trap
+    /// subscriber proved the watched frames quiet).
+    pub trusted_hits: u64,
     /// Rounds that refreshed only the pages whose write-generation moved
     /// and reused every other leaf of the cached capture (leaf-level
     /// partial invalidation, DESIGN.md §14).
@@ -1337,6 +1433,7 @@ impl CaptureCache {
         {
             let s = self.stats;
             reg.gauge_set("cache_hits", s.hits as f64);
+            reg.gauge_set("cache_trusted_hits", s.trusted_hits as f64);
             reg.gauge_set("cache_partial_hits", s.partial_hits as f64);
             reg.gauge_set("cache_pages_refreshed", s.pages_refreshed as f64);
             reg.gauge_set("cache_pages_reused", s.pages_reused as f64);

@@ -220,6 +220,11 @@ pub struct VmScanStats {
 /// Verdict for one VM from a full pool check.
 #[derive(Clone, Debug)]
 pub struct VmVerdict {
+    /// Scan-time VM id. Remediation reverts and evicts by this id, not by
+    /// re-resolving `vm_name` — a rename (or a new VM taking the old name)
+    /// between scan and remediation must not redirect the revert or leave
+    /// a stale capture alive. Not serialized: ids are host-local.
+    pub vm: mc_hypervisor::VmId,
     /// VM name.
     pub vm_name: String,
     /// Tri-state verdict (drives [`PoolCheckReport::suspects`] /
@@ -884,6 +889,7 @@ mod tests {
     #[test]
     fn display_renders_verdicts() {
         let v = VmVerdict {
+            vm: mc_hypervisor::VmId(3),
             vm_name: "dom3".into(),
             status: VerdictStatus::Suspect,
             successes: 1,

@@ -39,6 +39,7 @@ use mc_hypervisor::{Hypervisor, SimDuration, VmId};
 use mc_vmi::VmiSession;
 
 use crate::error::CheckError;
+use crate::events::EventPlane;
 use crate::listdiff::{ListDiff, ListDiffReport};
 use crate::pool::{
     AnalysisCache, AnalysisCacheStats, CacheStats, CaptureCache, CheckConfig, ModChecker,
@@ -190,6 +191,13 @@ pub struct FleetScheduler {
     caches: Mutex<HashMap<String, Arc<Mutex<CaptureCache>>>>,
     analysis_caches: Mutex<HashMap<String, Arc<Mutex<AnalysisCache>>>>,
     history: Mutex<HashSet<(String, String)>>,
+    /// Last successful list scan per pool, reused by
+    /// [`FleetScheduler::sweep_with_trust`] when every member VM is armed
+    /// and event-quiet. Watches cover the armed module *images*, not the
+    /// LDR list nodes, so reuse trades list-walk cost for staleness of the
+    /// list itself; any dirty or unarmed VM forces a fresh list scan, and
+    /// plain [`FleetScheduler::sweep`] never consults this cache.
+    last_listings: Mutex<HashMap<String, ListDiffReport>>,
 }
 
 impl FleetScheduler {
@@ -201,6 +209,7 @@ impl FleetScheduler {
             caches: Mutex::new(HashMap::new()),
             analysis_caches: Mutex::new(HashMap::new()),
             history: Mutex::new(HashSet::new()),
+            last_listings: Mutex::new(HashMap::new()),
         }
     }
 
@@ -283,11 +292,45 @@ impl FleetScheduler {
     /// execution, canonical-order assembly. See the module docs for the
     /// determinism argument.
     pub fn sweep(&self, hv: &Hypervisor, fleet: &Fleet) -> FleetReport {
-        // Phase 1: list scans, one per pool, across the rayon pool.
+        self.sweep_with_trust(hv, fleet, None)
+    }
+
+    /// [`FleetScheduler::sweep`] with an optional event plane: pool VMs
+    /// that are armed and event-quiet are *trusted* — their units are
+    /// served from the pool capture cache with zero guest reads, and a
+    /// fully-quiet pool reuses its previous list scan instead of
+    /// re-walking every LDR list. Verdicts are identical to an untrusted
+    /// sweep (trust only short-circuits pairs whose cached capture is
+    /// still live; anything evicted — revert, quarantine — re-probes).
+    pub fn sweep_with_trust(
+        &self,
+        hv: &Hypervisor,
+        fleet: &Fleet,
+        trust: Option<&EventPlane>,
+    ) -> FleetReport {
+        // Phase 1: list scans, one per pool, across the rayon pool. A pool
+        // whose every member is armed-and-quiet serves its cached listing.
         let listings: Vec<Result<ListDiffReport, CheckError>> = fleet
             .pools
             .par_iter()
-            .map(|p| ListDiff::scan_with(hv, &p.vms, self.config.check.fast_capture))
+            .map(|p| {
+                if let Some(plane) = trust {
+                    if p.vms.iter().all(|&vm| plane.vm_quiet(vm)) {
+                        if let Ok(cached) = self.last_listings.lock() {
+                            if let Some(rep) = cached.get(&p.name) {
+                                return Ok(rep.clone());
+                            }
+                        }
+                    }
+                }
+                let rep = ListDiff::scan_with(hv, &p.vms, self.config.check.fast_capture);
+                if let Ok(r) = &rep {
+                    if let Ok(mut cached) = self.last_listings.lock() {
+                        cached.insert(p.name.clone(), r.clone());
+                    }
+                }
+                rep
+            })
             .collect();
 
         // Phase 2: expand consensus modules into prioritized units.
@@ -368,6 +411,7 @@ impl FleetScheduler {
                                     &cache_handles[pi],
                                     &analysis_handles[pi],
                                     &u.module,
+                                    trust,
                                 )
                             })
                             .collect();
@@ -453,18 +497,22 @@ impl FleetScheduler {
         cache: &Arc<Mutex<CaptureCache>>,
         analysis: &Arc<Mutex<AnalysisCache>>,
         module: &str,
+        trust: Option<&EventPlane>,
     ) -> Result<PoolCheckReport, CheckError> {
+        let trusted = trust
+            .map(|plane| plane.trusted_for(module, &pool.vms))
+            .unwrap_or_default();
         if self.config.check.static_prepass {
             if let (Ok(mut c), Ok(mut a)) = (cache.lock(), analysis.lock()) {
-                return self
-                    .checker
-                    .check_pool_with_caches(hv, &pool.vms, module, &mut c, &mut a);
+                return self.checker.check_pool_with_caches_trusted(
+                    hv, &pool.vms, module, &mut c, &mut a, &trusted,
+                );
             }
         }
         match cache.lock() {
             Ok(mut c) => self
                 .checker
-                .check_pool_with_cache(hv, &pool.vms, module, &mut c),
+                .check_pool_with_cache_trusted(hv, &pool.vms, module, &mut c, &trusted),
             Err(_) => self.checker.check_pool(hv, &pool.vms, module),
         }
     }
@@ -753,6 +801,53 @@ mod tests {
         assert_eq!(found.pools[0].vms, fleet.pools[0].vms);
         let names: Vec<&str> = found.unassigned.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["dead", "loner"]);
+    }
+
+    #[test]
+    fn trusted_sweep_serves_quiet_pools_without_guest_reads() {
+        // 4 VMs per pool so the one infected VM is outvoted by its three
+        // clean peers (strict majority flags everyone at 3 VMs).
+        let (mut hv, guests, fleet) = fleet_bed(2, 4, 2);
+        let all_vms: Vec<VmId> = fleet.pools.iter().flat_map(|p| p.vms.clone()).collect();
+        let mut plane = EventPlane::new();
+        for pool in &fleet.pools {
+            let listing = ListDiff::scan_with(&hv, &pool.vms, true).unwrap();
+            plane
+                .arm_modules(&mut hv, &pool.vms, &listing.consensus_modules)
+                .unwrap();
+        }
+        let _ = all_vms;
+
+        let sched = FleetScheduler::new(FleetConfig::default());
+        // Cold sweep fills the caches; quiet sweep reads nothing.
+        let cold = sched.sweep_with_trust(&hv, &fleet, Some(&plane));
+        assert!(cold.all_clean());
+        plane.drain(&hv);
+        let quiet = sched.sweep_with_trust(&hv, &fleet, Some(&plane));
+        assert!(quiet.all_clean());
+        let reads: u64 = quiet
+            .pools
+            .iter()
+            .flat_map(|p| &p.units)
+            .filter_map(|u| u.result.as_ref().ok())
+            .map(|r| r.vmi.reads)
+            .sum();
+        assert_eq!(reads, 0, "every unit trusted: zero guest reads");
+
+        // An event-dirtied pair re-probes and is caught.
+        guests[1][0]
+            .patch_module(&mut hv, "p1m1.sys", 0x1008, &[0xDE, 0xAD])
+            .unwrap();
+        plane.drain(&hv);
+        let dirty = sched.sweep_with_trust(&hv, &fleet, Some(&plane));
+        assert_eq!(
+            dirty.suspects(),
+            vec![(
+                "pool1".to_string(),
+                "p1m1.sys".to_string(),
+                "p1dom0".to_string()
+            )]
+        );
     }
 
     #[test]

@@ -65,9 +65,13 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::{Mutex, PoisonError};
 
 use mc_hypervisor::{Hypervisor, SimDuration, VmId};
 
+use crate::error::CheckError;
+use crate::events::{EventPlane, EventPlaneStats};
+use crate::listdiff::ListDiff;
 use crate::monitor::HealthPolicy;
 use crate::pool::{CaptureCache, ModChecker};
 use crate::report::{FleetReport, PoolCheckReport, QuorumStatus};
@@ -134,6 +138,11 @@ pub struct ServeConfig {
     /// (threshold of consecutive all-unscannable sweeps; cooldown counted
     /// in committed sweeps).
     pub health: HealthPolicy,
+    /// Push mode: refresh sweeps consult the write-trap event plane
+    /// (armed via [`AttestServer::arm_events`]) and serve quiet units from
+    /// cache instead of re-reading guests. A model knob — verdicts are
+    /// unchanged, only refresh cost and therefore timing shifts.
+    pub events: bool,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +156,7 @@ impl Default for ServeConfig {
             refresh_lanes: 2,
             freshness_window: SimDuration::from_millis(30),
             health: HealthPolicy::default(),
+            events: false,
         }
     }
 }
@@ -660,6 +670,9 @@ struct RunState {
 pub struct AttestServer {
     config: ServeConfig,
     sched: FleetScheduler,
+    /// Write-trap subscription state for push-mode refreshes; `Some` once
+    /// [`AttestServer::arm_events`] ran and [`ServeConfig::events`] is set.
+    events: Mutex<Option<EventPlane>>,
 }
 
 impl AttestServer {
@@ -668,12 +681,36 @@ impl AttestServer {
         AttestServer {
             sched: FleetScheduler::new(config.fleet),
             config,
+            events: Mutex::new(None),
         }
     }
 
     /// The configuration this daemon runs.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Arms write traps over every pool's consensus module set, enabling
+    /// push-mode refreshes (with [`ServeConfig::events`] set). Returns the
+    /// total guest frames watched.
+    pub fn arm_events(&self, hv: &mut Hypervisor, fleet: &Fleet) -> Result<usize, CheckError> {
+        let mut plane = EventPlane::new();
+        let mut frames = 0usize;
+        for pool in &fleet.pools {
+            let listing = ListDiff::scan_with(hv, &pool.vms, self.config.fleet.check.fast_capture)?;
+            frames += plane.arm_modules(hv, &pool.vms, &listing.consensus_modules)?;
+        }
+        *self.events.lock().unwrap_or_else(PoisonError::into_inner) = Some(plane);
+        Ok(frames)
+    }
+
+    /// The event plane's cumulative counters, if armed.
+    pub fn event_stats(&self) -> Option<EventPlaneStats> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(EventPlane::stats)
     }
 
     /// Runs the event loop over `queries` (any order; processed by
@@ -752,7 +789,7 @@ impl AttestServer {
         let step = self.config.refresh_interval.max(SimDuration::from_nanos(1));
         while st.refresh_cursor <= t {
             let started = st.refresh_cursor;
-            let report = self.sched.sweep(hv, fleet);
+            let report = self.refresh_sweep(hv, fleet);
             let wall = simulated_fleet_wall(&report, self.config.refresh_lanes.max(1))
                 .max(SimDuration::from_nanos(1));
             let done = started + wall;
@@ -761,6 +798,23 @@ impl AttestServer {
             st.pending_sweeps.push_back((done, report));
             st.refresh_cursor = (started + step).max(done);
         }
+    }
+
+    /// One refresh sweep: push mode drains the event plane first and
+    /// sweeps with quiet units trusted (the first sweep is cold — nothing
+    /// cached — so push and pull start identically); pull mode is a plain
+    /// [`FleetScheduler::sweep`].
+    fn refresh_sweep(&self, hv: &Hypervisor, fleet: &Fleet) -> FleetReport {
+        if self.config.events {
+            let mut guard = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(plane) = guard.as_mut() {
+                plane.drain(hv);
+                let report = self.sched.sweep_with_trust(hv, fleet, Some(plane));
+                plane.clear_dirty();
+                return report;
+            }
+        }
+        self.sched.sweep(hv, fleet)
     }
 
     /// Folds every sweep completed at or before `t` into the served
@@ -1318,6 +1372,59 @@ mod tests {
         }
         assert_eq!(renders[0], renders[1], "shards must not change a byte");
         assert_eq!(renders[0], renders[2], "inflight must not change a byte");
+    }
+
+    #[test]
+    fn push_mode_answers_match_pull_and_cut_refresh_cost() {
+        let (mut hv, fleet) = bed(4);
+        let queries: Vec<AttestQuery> = (0..12)
+            .map(|i| {
+                q(
+                    SimDuration::from_millis(30 + i * 10),
+                    "t",
+                    "hal.dll",
+                    SimDuration::from_millis(8),
+                )
+            })
+            .collect();
+
+        let pull_cfg = ServeConfig {
+            refresh_interval: SimDuration::from_millis(5),
+            ..ServeConfig::default()
+        };
+        let pull = AttestServer::new(pull_cfg).run(&hv, &fleet, &queries);
+
+        let push_cfg = ServeConfig {
+            events: true,
+            ..pull_cfg
+        };
+        let server = AttestServer::new(push_cfg);
+        let frames = server.arm_events(&mut hv, &fleet).unwrap();
+        assert!(frames > 0);
+        let push = server.run(&hv, &fleet, &queries);
+
+        // Same verdict content on every answer (timing may differ — push
+        // refreshes are cheaper, so staleness/latency can only improve).
+        let verdicts = |r: &ServeReport| -> Vec<Option<(bool, Vec<String>)>> {
+            r.queries
+                .iter()
+                .map(|sq| match &sq.disposition {
+                    Disposition::Answered { verdict, .. } => {
+                        verdict.as_ref().map(|v| (v.clean, v.suspects.clone()))
+                    }
+                    Disposition::Rejected(_) => None,
+                })
+                .collect()
+        };
+        assert_eq!(verdicts(&pull), verdicts(&push));
+        assert_eq!(pull.answered(), push.answered());
+        assert!(
+            push.refresh_busy < pull.refresh_busy,
+            "quiet sweeps must be cheaper: push {} vs pull {}",
+            push.refresh_busy,
+            pull.refresh_busy
+        );
+        assert!(server.event_stats().is_some());
     }
 
     #[test]

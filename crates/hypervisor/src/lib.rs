@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod events;
 pub mod fault;
 pub mod mem;
 pub mod paging;
@@ -41,8 +42,9 @@ pub mod simtime;
 pub mod vm;
 
 pub use error::HvError;
+pub use events::{EventCursor, TrapModel, WatchPlan, WriteEvent};
 pub use fault::{FaultDecision, FaultPlan, FaultState};
-pub use mem::{GuestPhysMemory, PageGeneration, PAGE_SHIFT, PAGE_SIZE};
+pub use mem::{GuestPhysMemory, PageGeneration, TrappedWrite, PAGE_SHIFT, PAGE_SIZE};
 pub use paging::AddressSpace;
 pub use simtime::{ContentionModel, CostModel, SimDuration};
 pub use vm::{Vm, VmId};
@@ -83,6 +85,9 @@ pub struct Hypervisor {
     pub cost: CostModel,
     /// Host configuration (virtual cores feed the contention model).
     pub host: HostConfig,
+    /// Seeded trap-delivery model for write-protection events (see
+    /// [`events`]).
+    pub trap: TrapModel,
 }
 
 impl Default for Hypervisor {
@@ -99,6 +104,7 @@ impl Hypervisor {
             names: HashMap::new(),
             cost: CostModel::default(),
             host: HostConfig::default(),
+            trap: TrapModel::default(),
         }
     }
 
@@ -109,6 +115,7 @@ impl Hypervisor {
             names: HashMap::new(),
             cost,
             host,
+            trap: TrapModel::default(),
         }
     }
 
@@ -134,9 +141,34 @@ impl Hypervisor {
         let mut vm = self.vm(src)?.clone();
         vm.id = id;
         vm.name = name.to_string();
+        // Watches and the trap log are *subscriptions against the source
+        // VM* — a clone is a fresh guest nobody has armed yet.
+        vm.mem.clear_watch_state();
         self.vms.push(vm);
         self.names.insert(name.to_string(), id);
         Ok(id)
+    }
+
+    /// Renames a VM (cloud operators rename domains freely — e.g. into a
+    /// quarantine namespace). The id is stable; only the name moves.
+    pub fn rename_vm(&mut self, id: VmId, new_name: &str) -> Result<(), HvError> {
+        if self.names.contains_key(new_name) {
+            return Err(HvError::DuplicateVmName(new_name.to_string()));
+        }
+        let vm = self
+            .vms
+            .get_mut(id.0 as usize)
+            .ok_or(HvError::UnknownVm(id))?;
+        self.names.remove(&vm.name);
+        vm.name = new_name.to_string();
+        self.names.insert(new_name.to_string(), id);
+        Ok(())
+    }
+
+    /// Applies a [`WatchPlan`] built by an introspection session to the VM
+    /// it targets; returns the number of frames armed.
+    pub fn apply_watch_plan(&mut self, plan: &WatchPlan) -> Result<usize, HvError> {
+        self.vm_mut(plan.vm)?.apply_watch_plan(plan)
     }
 
     /// Immutable access to a VM.
@@ -214,6 +246,14 @@ impl Hypervisor {
         reg.gauge_set("hv_guest_frames", frames as f64);
         reg.gauge_set("hv_guest_allocated_bytes", bytes as f64);
         reg.gauge_set("hv_frame_generations", generations as f64);
+        let (watched, trapped) = self.vms.iter().fold((0u64, 0u64), |(w, t), vm| {
+            (
+                w + vm.mem.watched_frames(),
+                t + vm.mem.trap_log().len() as u64,
+            )
+        });
+        reg.gauge_set("trap_watched_frames", watched as f64);
+        reg.gauge_set("trap_writes_total", trapped as f64);
     }
 }
 

@@ -29,6 +29,31 @@ pub struct PageGeneration {
     pub stamp: u64,
 }
 
+/// One guest write caught by a frame watch (EPT-style write protection).
+///
+/// The trap records *which* frame changed and the write-generation stamp
+/// the write left behind — exactly the key an incremental rescanner needs
+/// to refresh one page. Traps are appended to a per-VM log as the guest
+/// writes; subscribers drain the log through
+/// [`crate::Hypervisor::drain_write_events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TrappedWrite {
+    /// Frame number the write landed in.
+    pub frame: u64,
+    /// Write-generation stamp the write left on the frame.
+    pub stamp: u64,
+}
+
+/// Watch + trap-log state, split out so [`crate::Vm::revert`] can carry it
+/// across a snapshot restore: watches and the trap log belong to the
+/// *introspection* plane, not to guest content, so reverting memory must
+/// not silently disarm a monitor's traps.
+#[derive(Clone, Debug, Default)]
+pub struct WatchState {
+    watch_counts: Vec<u32>,
+    trap_log: Vec<TrappedWrite>,
+}
+
 /// A pool of guest-physical frames.
 ///
 /// Every frame carries a *write-generation stamp*: a monotonically
@@ -36,11 +61,23 @@ pub struct PageGeneration {
 /// call and stamped onto each frame the write touches. Introspectors use
 /// the stamps to skip re-reading pages that provably did not change
 /// (incremental rescanning); the stamps cost one `u64` per 4 KiB frame.
+///
+/// Frames can additionally be *watched* (write-protected, EPT-style): a
+/// write landing in a watched frame appends a [`TrappedWrite`] to an
+/// append-only trap log. The log is produced under `&mut self` (only guest
+/// writes grow it) and read non-destructively through `&self`, preserving
+/// the crate's no-interior-mutability rule.
 #[derive(Clone, Debug, Default)]
 pub struct GuestPhysMemory {
     frames: Vec<Box<[u8; PAGE_SIZE]>>,
     stamps: Vec<u64>,
     write_counter: u64,
+    /// Per-frame watch reference counts (0 = unwatched). Kept in lockstep
+    /// with `frames`; counts rather than booleans so overlapping module
+    /// spans can arm and disarm independently.
+    watch_counts: Vec<u32>,
+    /// Append-only log of writes that hit watched frames.
+    trap_log: Vec<TrappedWrite>,
 }
 
 impl GuestPhysMemory {
@@ -54,6 +91,7 @@ impl GuestPhysMemory {
         let pa = (self.frames.len() as u64) << PAGE_SHIFT;
         self.frames.push(Box::new([0u8; PAGE_SIZE]));
         self.stamps.push(0);
+        self.watch_counts.push(0);
         pa
     }
 
@@ -109,6 +147,12 @@ impl GuestPhysMemory {
             let take = (PAGE_SIZE - off).min(data.len() - done);
             frame_buf[off..off + take].copy_from_slice(&data[done..done + take]);
             self.stamps[frame] = gen;
+            if self.watch_counts[frame] > 0 {
+                self.trap_log.push(TrappedWrite {
+                    frame: frame as u64,
+                    stamp: gen,
+                });
+            }
             done += take;
             at += take as u64;
         }
@@ -140,6 +184,77 @@ impl GuestPhysMemory {
     /// could collide with a newer write.
     pub fn keep_counter_at_least(&mut self, floor: u64) {
         self.write_counter = self.write_counter.max(floor);
+    }
+
+    /// Arms a write-protection watch on one frame (reference-counted, so
+    /// overlapping watched ranges compose). Subsequent writes to the frame
+    /// append to the trap log.
+    pub fn watch_frame(&mut self, frame: u64) -> Result<(), HvError> {
+        let slot = self
+            .watch_counts
+            .get_mut(frame as usize)
+            .ok_or(HvError::PhysOutOfRange {
+                pa: frame << PAGE_SHIFT,
+                frames: self.frames.len(),
+            })?;
+        *slot += 1;
+        Ok(())
+    }
+
+    /// Releases one watch reference on a frame (no-op at zero).
+    pub fn unwatch_frame(&mut self, frame: u64) -> Result<(), HvError> {
+        let frames = self.frames.len();
+        let slot = self
+            .watch_counts
+            .get_mut(frame as usize)
+            .ok_or(HvError::PhysOutOfRange {
+                pa: frame << PAGE_SHIFT,
+                frames,
+            })?;
+        *slot = slot.saturating_sub(1);
+        Ok(())
+    }
+
+    /// True when at least one watch is armed on the frame.
+    pub fn frame_watched(&self, frame: u64) -> bool {
+        self.watch_counts
+            .get(frame as usize)
+            .is_some_and(|&c| c > 0)
+    }
+
+    /// Number of frames with at least one watch armed.
+    pub fn watched_frames(&self) -> u64 {
+        self.watch_counts.iter().filter(|&&c| c > 0).count() as u64
+    }
+
+    /// The full trap log (append-only; index into it with a drain cursor).
+    pub fn trap_log(&self) -> &[TrappedWrite] {
+        &self.trap_log
+    }
+
+    /// Detaches the watch + trap-log state (used by snapshot revert to
+    /// carry the introspection plane across a memory restore).
+    pub fn take_watch_state(&mut self) -> WatchState {
+        WatchState {
+            watch_counts: std::mem::take(&mut self.watch_counts),
+            trap_log: std::mem::take(&mut self.trap_log),
+        }
+    }
+
+    /// Re-attaches watch + trap-log state, resizing the per-frame counts to
+    /// the current frame population (restored memories may differ in size;
+    /// new frames start unwatched, watches beyond the end are dropped).
+    pub fn restore_watch_state(&mut self, mut state: WatchState) {
+        state.watch_counts.resize(self.frames.len(), 0);
+        self.watch_counts = state.watch_counts;
+        self.trap_log = state.trap_log;
+    }
+
+    /// Drops every watch and the whole trap log (a cloned VM must not
+    /// inherit its parent's subscriptions).
+    pub fn clear_watch_state(&mut self) {
+        self.watch_counts.iter_mut().for_each(|c| *c = 0);
+        self.trap_log.clear();
     }
 
     /// Reads a little-endian `u32` at `pa`.

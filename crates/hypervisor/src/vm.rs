@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::error::HvError;
+use crate::events::WatchPlan;
 use crate::mem::{GuestPhysMemory, PageGeneration, PAGE_SHIFT, PAGE_SIZE};
 use crate::paging::AddressSpace;
 use mc_pe::AddressWidth;
@@ -106,16 +107,25 @@ impl Vm {
 
     /// Writes guest-virtual memory (guest-internal operations and in-memory
     /// attacks).
+    ///
+    /// The write is all-or-nothing: every page's translation is validated
+    /// *before* the first byte lands, so a range that crosses an unmapped
+    /// page fails without mutating memory, bumping generation stamps, or
+    /// firing write-protection traps for the pages before the hole.
     pub fn write_virt(&mut self, va: u64, data: &[u8]) -> Result<(), HvError> {
+        let mut segments: Vec<(u64, usize, usize)> = Vec::new();
         let mut at = va;
         let mut done = 0usize;
         while done < data.len() {
             let pa = self.aspace.translate(&self.mem, at)?;
             let in_page = PAGE_SIZE - (at as usize & (PAGE_SIZE - 1));
             let take = in_page.min(data.len() - done);
-            self.mem.write_phys(pa, &data[done..done + take])?;
+            segments.push((pa, done, take));
             done += take;
             at += take as u64;
+        }
+        for (pa, start, take) in segments {
+            self.mem.write_phys(pa, &data[start..start + take])?;
         }
         Ok(())
     }
@@ -145,14 +155,67 @@ impl Vm {
     }
 
     /// Number of pages a read of `len` bytes at `va` crosses (for cost
-    /// accounting).
+    /// accounting and watch-range registration).
+    ///
+    /// `va + len - 1` is computed with saturating arithmetic: a range whose
+    /// end would wrap past `u64::MAX` is clamped to the last addressable
+    /// page instead of overflowing (which used to wrap `last` below `first`
+    /// and underflow the subtraction in release builds).
     pub fn pages_crossed(va: u64, len: u64) -> u64 {
         if len == 0 {
             return 0;
         }
         let first = va >> PAGE_SHIFT;
-        let last = (va + len - 1) >> PAGE_SHIFT;
+        let last = va.saturating_add(len - 1) >> PAGE_SHIFT;
         last - first + 1
+    }
+
+    /// Frame numbers a `len`-byte range at `va` resolves to, in address
+    /// order. Every page's translation is validated before any frame is
+    /// returned, so callers can treat the result as all-or-nothing.
+    pub fn resolve_frames(&self, va: u64, len: u64) -> Result<Vec<u64>, HvError> {
+        let pages = Self::pages_crossed(va, len);
+        let first_page_va = va & !(PAGE_SIZE as u64 - 1);
+        let mut frames = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let pva = first_page_va.saturating_add(i << PAGE_SHIFT);
+            frames.push(self.aspace.translate(&self.mem, pva)? >> PAGE_SHIFT);
+        }
+        Ok(frames)
+    }
+
+    /// Arms write-protection watches on every frame a `len`-byte range at
+    /// `va` crosses; returns the number of frames armed. All translations
+    /// are validated first, so a range crossing an unmapped page arms
+    /// nothing. Watches are reference-counted per frame.
+    pub fn watch_range(&mut self, va: u64, len: u64) -> Result<usize, HvError> {
+        let frames = self.resolve_frames(va, len)?;
+        for &f in &frames {
+            self.mem.watch_frame(f)?;
+        }
+        Ok(frames.len())
+    }
+
+    /// Releases one watch reference on every frame the range crosses.
+    pub fn unwatch_range(&mut self, va: u64, len: u64) -> Result<usize, HvError> {
+        let frames = self.resolve_frames(va, len)?;
+        for &f in &frames {
+            self.mem.unwatch_frame(f)?;
+        }
+        Ok(frames.len())
+    }
+
+    /// Applies a [`WatchPlan`] built by an introspection session (which
+    /// borrows the VM immutably and so can only *plan* watches, not arm
+    /// them). Fails if the plan targets a different VM.
+    pub fn apply_watch_plan(&mut self, plan: &WatchPlan) -> Result<usize, HvError> {
+        if plan.vm != self.id {
+            return Err(HvError::UnknownVm(plan.vm));
+        }
+        for &f in &plan.frames {
+            self.mem.watch_frame(f)?;
+        }
+        Ok(plan.frames.len())
     }
 
     /// Takes (or replaces) a named snapshot of memory + mappings + symbols.
@@ -172,15 +235,22 @@ impl Vm {
     /// The per-frame write-generation stamps revert with the memory (they
     /// describe its content), but the global write counter stays monotonic
     /// — post-revert writes must never re-issue a counter value a cached
-    /// [`PageGeneration`] may still hold.
+    /// [`PageGeneration`] may still hold. Watches and the trap log belong
+    /// to the introspection plane, not to guest content, so they survive
+    /// the restore unchanged: a revert must not silently disarm a
+    /// monitor's traps. The restore itself fires no trap events — it is a
+    /// hypervisor-side frame remap, not a guest write; subscribers learn
+    /// of it through cache eviction at the remediation layer.
     pub fn revert(&mut self, name: &str) -> Result<(), HvError> {
         let snap = self
             .snapshots
             .get(name)
             .ok_or_else(|| HvError::SnapshotMissing(name.to_string()))?;
         let counter_floor = self.mem.write_counter();
+        let watches = self.mem.take_watch_state();
         self.mem = snap.mem.clone();
         self.mem.keep_counter_at_least(counter_floor);
+        self.mem.restore_watch_state(watches);
         self.aspace = snap.aspace;
         self.symbols = snap.symbols.clone();
         Ok(())
@@ -266,6 +336,48 @@ mod tests {
         assert_eq!(Vm::pages_crossed(0, PAGE_SIZE as u64), 1);
         assert_eq!(Vm::pages_crossed(0, PAGE_SIZE as u64 + 1), 2);
         assert_eq!(Vm::pages_crossed(PAGE_SIZE as u64 - 1, 2), 2);
+    }
+
+    #[test]
+    fn pages_crossed_does_not_wrap_near_u64_max() {
+        let last_page = u64::MAX >> PAGE_SHIFT;
+        // End exactly at u64::MAX: one page.
+        assert_eq!(Vm::pages_crossed(u64::MAX, 1), 1);
+        // Range whose end would overflow u64: clamped to the last page
+        // instead of wrapping `last` below `first` (which underflowed).
+        assert_eq!(Vm::pages_crossed(u64::MAX - 1, 100), 1);
+        assert_eq!(
+            Vm::pages_crossed((last_page - 1) << PAGE_SHIFT, u64::MAX),
+            2
+        );
+        // A huge range from 0 still counts normally.
+        assert_eq!(Vm::pages_crossed(0, u64::MAX), last_page + 1);
+    }
+
+    #[test]
+    fn failed_write_virt_mutates_nothing() {
+        let mut vm = vm32();
+        let va = 0x8000_0000u64;
+        // Two mapped pages, then a hole.
+        vm.map_range(va, 2 * PAGE_SIZE as u64).unwrap();
+        vm.write_virt(va, b"original").unwrap();
+        let counter = vm.mem.write_counter();
+        let gen = vm.page_generation(va).unwrap();
+
+        // A write spanning into the unmapped third page must fail without
+        // touching the first two pages, bumping stamps, or firing traps.
+        vm.watch_range(va, 2 * PAGE_SIZE as u64).unwrap();
+        let data = vec![0xCC; 3 * PAGE_SIZE];
+        assert!(matches!(
+            vm.write_virt(va, &data),
+            Err(HvError::UnmappedVa(_))
+        ));
+        let mut buf = [0u8; 8];
+        vm.read_virt(va, &mut buf).unwrap();
+        assert_eq!(&buf, b"original", "no torn partial write");
+        assert_eq!(vm.mem.write_counter(), counter, "no stamp bump");
+        assert_eq!(vm.page_generation(va).unwrap(), gen);
+        assert!(vm.mem.trap_log().is_empty(), "no spurious write events");
     }
 
     #[test]

@@ -926,6 +926,58 @@ impl<'hv> VmiSession<'hv> {
         Ok(out)
     }
 
+    /// Plans write-protection watches over a `len`-byte range at `va`
+    /// (typically a captured module's page span): translates every page —
+    /// riding the fast-capture translate cache when armed, so a watch over
+    /// a just-captured module costs no extra page walks — and returns a
+    /// [`mc_hypervisor::WatchPlan`] naming the backing frames.
+    ///
+    /// The session borrows the VM immutably, so it can only *plan*; the
+    /// caller arms the plan with
+    /// [`mc_hypervisor::Hypervisor::apply_watch_plan`] (which takes `&mut`,
+    /// like every other guest-state mutation). Cost: one
+    /// [`mc_hypervisor::CostModel::translate_ns`] per translate-cache miss.
+    /// The fault layer does not apply — like
+    /// [`VmiSession::page_generation`], nothing guest-controlled is
+    /// dereferenced; the session deadline does.
+    pub fn arm_watches(&mut self, va: u64, len: u64) -> Result<mc_hypervisor::WatchPlan, VmiError> {
+        let pages = Vm::pages_crossed(va, len);
+        let first_page_va = va & !((1u64 << PAGE_SHIFT) - 1);
+        let mut frames = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            self.check_deadline()?;
+            let pva = first_page_va + (i << PAGE_SHIFT);
+            let pa = if self.fast.is_some() {
+                let vm = self.vm;
+                let fast = self.fast.as_mut().expect("fast path enabled");
+                match fast.translate.get(&pva).copied() {
+                    Some(pa) => {
+                        self.stats.translate_cache_hits += 1;
+                        pa
+                    }
+                    None => {
+                        let pa = vm.translate(pva)?;
+                        fast.translate.insert(pva, pa);
+                        self.stats.page_walks += 1;
+                        self.charge(SimDuration::from_nanos(self.cost.translate_ns));
+                        pa
+                    }
+                }
+            } else {
+                self.stats.page_walks += 1;
+                self.charge(SimDuration::from_nanos(self.cost.translate_ns));
+                self.vm.translate(pva)?
+            };
+            frames.push(pa >> PAGE_SHIFT);
+        }
+        Ok(mc_hypervisor::WatchPlan {
+            vm: self.vm.id,
+            va,
+            len,
+            frames,
+        })
+    }
+
     /// Charges non-introspection processing time (parser/hasher/differ) to
     /// this session's ledger, scaled by host contention.
     pub fn charge_process(&mut self, per_byte_ns: f64, bytes: u64) {
@@ -1700,5 +1752,45 @@ mod tests {
         s.page_generation(0x8000_0000).unwrap();
         assert_eq!(s.elapsed(), before, "cached probe charges nothing");
         assert_eq!(s.stats().translate_cache_hits, 2);
+    }
+
+    #[test]
+    fn arm_watches_plans_frames_and_rides_the_translate_cache() {
+        let (mut hv, id) = host_with_vm();
+        let plan = {
+            let mut s = VmiSession::attach(&hv, id).unwrap().with_fast_capture();
+            // A capture warms the cache; the watch plan that follows it
+            // costs zero extra page walks.
+            let mut buf = vec![0u8; 2 * PAGE_SIZE];
+            s.read_va(0x8000_0000, &mut buf).unwrap();
+            let walks = s.stats().page_walks;
+            let plan = s.arm_watches(0x8000_0000, 2 * PAGE_SIZE as u64).unwrap();
+            assert_eq!(s.stats().page_walks, walks, "rode the cache");
+            assert_eq!(s.stats().translate_cache_hits, 2);
+            assert_eq!(plan.frames.len(), 2);
+            plan
+        };
+        assert_eq!(hv.apply_watch_plan(&plan).unwrap(), 2);
+
+        // The armed watch traps the next guest write in the span.
+        hv.vm_mut(id)
+            .unwrap()
+            .write_virt(0x8000_0000, b"!")
+            .unwrap();
+        let mut cur = mc_hypervisor::EventCursor::new();
+        let evs = hv.drain_write_events(&mut cur);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].frame, plan.frames[0]);
+    }
+
+    #[test]
+    fn arm_watches_without_fast_capture_charges_one_walk_per_page() {
+        let (hv, id) = host_with_vm();
+        let mut s = VmiSession::attach(&hv, id).unwrap();
+        s.take_elapsed();
+        let plan = s.arm_watches(0x8000_0000, 3 * PAGE_SIZE as u64).unwrap();
+        assert_eq!(plan.frames.len(), 3);
+        assert_eq!(s.stats().page_walks, 3);
+        assert!(s.arm_watches(0xDEAD_0000, 16).is_err(), "unmapped span");
     }
 }
