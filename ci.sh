@@ -27,8 +27,14 @@
 #                              read/walk cut, sub-round median detection
 #                              latency and push/poll verdict byte-identity
 #                              (writes BENCH_events.json)
-#  14. exit-code gate        — fleet-check's typed exit status contract
-#  15. test-count floor      — the suite must never silently shrink
+#  14. adversary gate        — active-adversary matrix suite (DKOM unlink,
+#                              scrub race, checker blinding vs cross-view,
+#                              scan-phase jitter, tamper evidence) + the
+#                              crossview_*/adversary_* metric exports
+#                              validated against the schema; the 200-seed
+#                              detection-rate sweep rides in the fleet gate
+#  15. exit-code gate        — fleet-check's typed exit status contract
+#  16. test-count floor      — the suite must never silently shrink
 set -eu
 
 cd "$(dirname "$0")"
@@ -78,7 +84,9 @@ cargo clippy -q -p mc-obs --all-targets -- -D warnings
 
 # Fleet gate: the randomized cloud-simulation suite (its default 200
 # seeded topologies, oracle-checked in all four compare × sharding mode
-# combinations), the byte-pinned golden snapshots, and the fig_fleet
+# combinations, plus the 200-seed active-adversary detection-rate sweep —
+# every ground-truth-detectable instance caught via its intended channel,
+# clean pools flag nothing), the byte-pinned golden snapshots, and the fig_fleet
 # scaling bench, which itself asserts that sharded makespan shrinks
 # monotonically and sub-linearly and that the report bytes never depend
 # on the shard count.
@@ -164,6 +172,34 @@ grep -q '"trap_watched_frames"' target/ci-events-metrics.json \
 cargo run --release -q -p modchecker-cli --bin modchecker -- \
     validate-metrics --file target/ci-events-metrics.json --schema schemas/metrics-schema.json
 
+# Adversary gate: the active-adversary corpus (DKOM unlinking, scrub-race
+# restorers, checker blinding) against its counter-defenses. The matrix
+# suite asserts each adversary evades exactly the channels it should and
+# is caught by its intended one (cross-view for unlinking and blinding,
+# scan-phase jitter / tamper evidence for the scrub race) and that
+# jittered verdicts are mode- and shard-invariant. Then the CLI surface:
+# a cross-view fleet pass and a jittered monitor run must export the
+# crossview_* / adversary_* / monitor_* series and validate against the
+# schema.
+echo "==> adversary gate (matrix suite + cross-view/jitter exports)"
+cargo test -q --release --test active_adversaries
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    fleet-check --pools 2 --cross-view \
+    --metrics-out target/ci-crossview-metrics.json > /dev/null
+grep -q '"crossview_scans_total"' target/ci-crossview-metrics.json \
+    || { echo "ci: cross-view export is missing the crossview_* series" >&2; exit 1; }
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    validate-metrics --file target/ci-crossview-metrics.json --schema schemas/metrics-schema.json
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    monitor --vms 4 --rounds 2 --scan-jitter 1000000 \
+    --metrics-out target/ci-jitter-metrics.json > /dev/null 2>&1
+grep -q '"monitor_jittered_rounds_total"' target/ci-jitter-metrics.json \
+    || { echo "ci: jittered monitor export is missing the monitor_* series" >&2; exit 1; }
+grep -q '"adversary_silent_restores"' target/ci-jitter-metrics.json \
+    || { echo "ci: monitor export is missing the adversary_* series" >&2; exit 1; }
+cargo run --release -q -p modchecker-cli --bin modchecker -- \
+    validate-metrics --file target/ci-jitter-metrics.json --schema schemas/metrics-schema.json
+
 # Exit-code gate: fleet-check's typed exit status is API. A clean uniform
 # fleet must exit 0; the infected seed-11 case (exit 2) is asserted in the
 # static-analysis gate above.
@@ -174,7 +210,7 @@ cargo run --release -q -p modchecker-cli --bin modchecker -- \
 
 # Test-count floor: the workspace suite must never silently shrink. Bump
 # the floor when tests are added; lowering it is a reviewed decision.
-TEST_FLOOR=523
+TEST_FLOOR=541
 echo "==> test-count floor (>= $TEST_FLOOR)"
 TEST_COUNT=$(cargo test --workspace -q -- --list 2>/dev/null | grep -c ': test$')
 echo "    $TEST_COUNT tests listed"

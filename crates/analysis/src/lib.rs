@@ -44,6 +44,23 @@ pub mod decoder;
 mod lints;
 mod list;
 
+pub use list::{ListEntry, ListSurvey};
+
+/// Walks one guest's `PsLoadedModuleList` and scans its pool neighborhood,
+/// returning the structured [`ListSurvey`]: linked entries, orphaned
+/// (DKOM-unlinked) entries, and the L5 diagnostics. This is the raw
+/// product behind [`Analyzer::analyze_module_list`], exported for the
+/// cross-view scanner, which votes surveys across a pool of clones.
+///
+/// # Errors
+///
+/// [`AnalysisError::Vmi`] when the list head cannot even be located or the
+/// first link is unreadable; anomalies *within* a reachable list are
+/// survey findings, not errors.
+pub fn survey_module_list(session: &mut VmiSession<'_>) -> Result<ListSurvey, AnalysisError> {
+    list::survey(session)
+}
+
 /// The nine lint families.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Lint {

@@ -9,6 +9,15 @@
 //! scans the pool neighborhood of the visible entries for exactly such
 //! orphaned nodes.
 //!
+//! Beyond the diagnostics, the walk's raw product is exported as a
+//! [`ListSurvey`]: every linked entry and every orphaned entry with its
+//! recovered identity (name, `DllBase`, `SizeOfImage`). The cross-view
+//! scanner in `mc-core` votes surveys across a pool of clones to catch
+//! adversaries that unlink on *every* VM — a single-VM list diff has no
+//! majority left to compare against, but the orphaned-entry residue and
+//! the still-mapped image are physical facts a vote across surveys can
+//! agree on.
+//!
 //! Everything is read-only VMI; like the Module-Searcher the walk is
 //! bounded and cycle-checked so hostile list data degrades into findings
 //! rather than hangs.
@@ -32,11 +41,49 @@ const MARGIN_PAGES: u64 = 128;
 /// Cap on a `BaseDllName` read during orphan identification.
 const MAX_NAME_BYTES: u16 = 512;
 
+/// One `LDR_DATA_TABLE_ENTRY` observed by the survey, linked or orphaned,
+/// with whatever identity could be recovered from guest memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ListEntry {
+    /// Virtual address of the entry itself.
+    pub entry_va: u64,
+    /// Decoded `BaseDllName`, if readable.
+    pub name: Option<String>,
+    /// `DllBase`, if readable. For a checker-blinding adversary this is
+    /// the *claimed* base — the cross-view sweep is what notices that no
+    /// entry claims the truly mapped image.
+    pub base: Option<u64>,
+    /// `SizeOfImage`, if readable.
+    pub size: Option<u64>,
+}
+
+/// Structured product of the L5 walk plus orphan scan over one VM.
+#[derive(Clone, Debug, Default)]
+pub struct ListSurvey {
+    /// Entries reachable by the forward walk, walk order.
+    pub linked: Vec<ListEntry>,
+    /// Node-shaped pool residue whose links point into the live list but
+    /// which the list no longer reaches — DKOM unlink leftovers.
+    pub orphans: Vec<ListEntry>,
+    /// The L5 diagnostics (identical to what `analyze_module_list` emits).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Pool bytes scanned by the orphan pass.
+    pub bytes_scanned: usize,
+}
+
 /// Runs L5. Returns findings plus the number of pool bytes scanned.
 pub(crate) fn run(
     session: &mut VmiSession<'_>,
     _cfg: &AnalyzerConfig,
 ) -> Result<(Vec<Diagnostic>, usize), AnalysisError> {
+    let s = survey(session)?;
+    Ok((s.diagnostics, s.bytes_scanned))
+}
+
+/// Walks the list and scans the pool neighborhood, returning the full
+/// structured survey (see [`ListSurvey`]).
+#[allow(clippy::too_many_lines)]
+pub(crate) fn survey(session: &mut VmiSession<'_>) -> Result<ListSurvey, AnalysisError> {
     let offs = LdrOffsets::for_width(session.width());
     let head = session.symbol(PS_LOADED_MODULE_LIST)?;
     let mut out = Vec::new();
@@ -114,14 +161,15 @@ pub(crate) fn run(
         }
     }
 
-    // Visible modules must occupy disjoint address ranges.
-    let mut ranges: Vec<(u64, u64, u64)> = nodes
+    // Identify every walked entry (name, base, size). Visible modules must
+    // occupy disjoint address ranges.
+    let linked: Vec<ListEntry> = nodes
         .iter()
-        .filter_map(|&n| {
-            let base = session.read_ptr(n + offs.dll_base).ok()?;
-            let size = u64::from(session.read_u32(n + offs.size_of_image).ok()?);
-            Some((base, size, n))
-        })
+        .map(|&n| identify_entry(session, &offs, n))
+        .collect();
+    let mut ranges: Vec<(u64, u64, u64)> = linked
+        .iter()
+        .filter_map(|e| Some((e.base?, e.size?, e.entry_va)))
         .collect();
     ranges.sort_unstable();
     for w in ranges.windows(2) {
@@ -142,6 +190,7 @@ pub(crate) fn run(
     // Orphan scan: page-aligned pool allocations in the neighborhood of the
     // visible entries whose links point INTO the list but whose neighbors
     // no longer point back — the post-unlink residue of DKOM hiding.
+    let mut orphans = Vec::new();
     let mut bytes_scanned = 0usize;
     if let (Some(&lo), Some(&hi)) = (nodes.iter().min(), nodes.iter().max()) {
         let page = PAGE_SIZE as u64;
@@ -170,7 +219,13 @@ pub(crate) fn run(
             if session.read_ptr(f + offs.blink) == Ok(c) {
                 continue;
             }
-            let identity = describe_entry(session, &offs, c);
+            let entry = identify_entry(session, &offs, c);
+            let identity = match (&entry.name, entry.base) {
+                (Some(n), Some(b)) => format!(" for '{n}' (DllBase {b:#x})"),
+                (Some(n), None) => format!(" for '{n}'"),
+                (None, Some(b)) => format!(" (DllBase {b:#x})"),
+                (None, None) => String::new(),
+            };
             out.push(Diagnostic {
                 lint: Lint::ModuleList,
                 severity: Severity::Critical,
@@ -181,14 +236,25 @@ pub(crate) fn run(
                      with links into the live list — DKOM module hiding"
                 ),
             });
+            orphans.push(entry);
         }
     }
 
-    Ok((out, bytes_scanned))
+    Ok(ListSurvey {
+        linked,
+        orphans,
+        diagnostics: out,
+        bytes_scanned,
+    })
 }
 
-/// Best-effort identification of an orphaned entry (name + base).
-fn describe_entry(session: &mut VmiSession<'_>, offs: &LdrOffsets, entry: u64) -> String {
+/// Best-effort identification of an entry: name, base, size.
+fn identify_entry(session: &mut VmiSession<'_>, offs: &LdrOffsets, entry: u64) -> ListEntry {
+    let base = session.read_ptr(entry + offs.dll_base).ok();
+    let size = session
+        .read_u32(entry + offs.size_of_image)
+        .ok()
+        .map(u64::from);
     let ustr = entry + offs.base_dll_name;
     let name = (|| {
         let len = session.read_u16(ustr).ok()?.min(MAX_NAME_BYTES) & !1;
@@ -197,11 +263,10 @@ fn describe_entry(session: &mut VmiSession<'_>, offs: &LdrOffsets, entry: u64) -
         session.read_va(buffer, &mut raw).ok()?;
         Some(decode_utf16(&raw))
     })();
-    let base = session.read_ptr(entry + offs.dll_base).ok();
-    match (name, base) {
-        (Some(n), Some(b)) => format!(" for '{n}' (DllBase {b:#x})"),
-        (Some(n), None) => format!(" for '{n}'"),
-        (None, Some(b)) => format!(" (DllBase {b:#x})"),
-        (None, None) => String::new(),
+    ListEntry {
+        entry_va: entry,
+        name,
+        base,
+        size,
     }
 }

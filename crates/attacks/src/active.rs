@@ -1,0 +1,413 @@
+//! Active adversaries: seeded scripts with simulated-time *behavior*.
+//!
+//! The file-level techniques in this crate are one-shot byte patches — the
+//! paper's on-disk infections, applied once and then scanned. The scripts
+//! here model rootkits that *keep acting* while the monitor runs: each
+//! implements [`AdversaryScript`] and is stepped by the testbed's replay
+//! driver before every scan round, with a [`RoundCtx`] describing the
+//! round's (possibly jittered) scan phase.
+//!
+//! | Adversary | Evades | Caught by |
+//! |---|---|---|
+//! | [`DkomUnlink`] — unlink on **every** VM | list diff (no majority left) | cross-view orphan vote |
+//! | [`ScrubRace`] — restore clean before each scheduled scan | fixed-phase polling | scan-phase jitter; tamper-evidence generations |
+//! | [`BlindChecker`] — `DllBase` redirected at a clean decoy | the content vote itself | cross-view unlisted-image vote |
+//!
+//! All three are deterministic: their effect depends only on construction
+//! parameters and the `RoundCtx` sequence, so fleet goldens and the
+//! ground-truth oracle can recompute exactly what each round observes.
+
+use mc_guest::ldr::LdrOffsets;
+use mc_guest::GuestOs;
+use mc_hypervisor::{AddressWidth, AdversaryScript, HvError, Hypervisor, RoundCtx, VmId};
+
+/// Guest VA where [`BlindChecker`] maps its decoy image, per width: 8 MiB
+/// into the module region, above the base allocator's reach (≤ 4 MiB skew
+/// plus a few hundred KiB of modules and gaps) yet inside the span the
+/// cross-view sweep brackets.
+fn decoy_base(width: AddressWidth) -> u64 {
+    match width {
+        AddressWidth::W32 => 0xF780_0000,
+        AddressWidth::W64 => 0xFFFF_F880_0080_0000,
+    }
+}
+
+/// Per-VM victim coordinates captured at construction (ground truth is
+/// read once, before the adversary starts acting; scripts then work with
+/// nothing but the hypervisor, like a real in-guest implant).
+#[derive(Clone, Copy, Debug)]
+struct Victim {
+    vm: VmId,
+    entry_va: u64,
+    base: u64,
+    size: u32,
+    width: AddressWidth,
+}
+
+fn victims_of(guests: &[GuestOs], module: &str) -> Vec<Victim> {
+    guests
+        .iter()
+        .filter_map(|g| {
+            let m = g.find_module(module)?;
+            Some(Victim {
+                vm: g.vm,
+                entry_va: m.ldr_entry_va,
+                base: m.base,
+                size: m.size,
+                width: g.width,
+            })
+        })
+        .collect()
+}
+
+/// DKOM unlinking on **all** of a module's VMs.
+///
+/// A single-VM unlink is exactly what the EXT-2 list diff catches: the
+/// module stays in the pool consensus and the hider shows up as
+/// `MissingOn`. Unlinking *everywhere* removes the module from the
+/// consensus itself — no list walk, no vote, no scan. The module keeps
+/// executing: its `LDR_DATA_TABLE_ENTRY` stays resident in the pool and
+/// its image stays mapped, which is precisely the physical residue the
+/// cross-view scan votes on.
+#[derive(Debug)]
+pub struct DkomUnlink {
+    victims: Vec<Victim>,
+    done: bool,
+}
+
+impl DkomUnlink {
+    /// Targets `module` on every guest that loaded it.
+    pub fn new(guests: &[GuestOs], module: &str) -> Self {
+        DkomUnlink {
+            victims: victims_of(guests, module),
+            done: false,
+        }
+    }
+}
+
+impl AdversaryScript for DkomUnlink {
+    fn name(&self) -> &'static str {
+        "dkom-unlink"
+    }
+
+    fn step(&mut self, hv: &mut Hypervisor, _ctx: &RoundCtx) -> Result<(), HvError> {
+        if self.done {
+            return Ok(());
+        }
+        for v in &self.victims {
+            let offs = LdrOffsets::for_width(v.width);
+            mc_guest::ldr::unlink(hv.vm_mut(v.vm)?, &offs, v.entry_va)?;
+        }
+        self.done = true;
+        Ok(())
+    }
+}
+
+/// Scrub-race restorer: infected between scans, clean *at* them.
+///
+/// The adversary has watched the monitor long enough to learn its cadence:
+/// every round it re-applies its payload (the dirty window) and restores
+/// the clean bytes just before the scheduled scan instant, betting the
+/// scan lands within `window_ns` of the nominal phase. Against a
+/// fixed-phase poller that bet always wins — every capture reads clean
+/// bytes. Two defenses break it:
+///
+/// * **Scan-phase jitter** moves the actual scan `scan_offset_ns` past the
+///   nominal instant; any round whose offset exceeds the adversary's
+///   restore window scans mid-infection ([`ScrubRace::visible_at`]).
+/// * **Tamper evidence**: even a round that reads clean bytes sees the
+///   pages' write-generations moved with identical content — the
+///   scrubbed-then-restored signature (`CheckConfig::tamper_evidence`).
+#[derive(Debug)]
+pub struct ScrubRace {
+    sites: Vec<(VmId, u64)>,
+    clean: Vec<u8>,
+    payload: Vec<u8>,
+    window_ns: u64,
+}
+
+impl ScrubRace {
+    /// Targets `module` at `offset` on every guest that loaded it,
+    /// snapshotting the clean bytes the restore pass will replay.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the clean bytes cannot be read from a victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + payload.len()` overruns the module image.
+    pub fn new(
+        hv: &Hypervisor,
+        guests: &[GuestOs],
+        module: &str,
+        offset: u64,
+        payload: Vec<u8>,
+        window_ns: u64,
+    ) -> Result<Self, HvError> {
+        let victims = victims_of(guests, module);
+        let mut sites = Vec::new();
+        let mut clean = Vec::new();
+        for v in &victims {
+            assert!(
+                offset + payload.len() as u64 <= u64::from(v.size),
+                "scrub-race payload overruns {module}"
+            );
+            let site = v.base + offset;
+            if clean.is_empty() {
+                clean = vec![0u8; payload.len()];
+                hv.vm(v.vm)?.read_virt(site, &mut clean)?;
+            }
+            sites.push((v.vm, site));
+        }
+        Ok(ScrubRace {
+            sites,
+            clean,
+            payload,
+            window_ns,
+        })
+    }
+
+    /// Learns a restore window from observed scan offsets: the adversary
+    /// assumes future scans land no later than it has ever seen, plus
+    /// `slack_ns`. Against an unjittered monitor every observation is 0 —
+    /// the learned window is tight and the first jittered round beyond it
+    /// scans mid-infection.
+    pub fn learn_window(observed_offsets_ns: &[u64], slack_ns: u64) -> u64 {
+        observed_offsets_ns
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .saturating_add(slack_ns)
+    }
+
+    /// Whether a scan at `scan_offset_ns` past the nominal phase observes
+    /// the payload (ground truth for the oracle: the restore only covers
+    /// the learned window).
+    pub fn visible_at(&self, scan_offset_ns: u64) -> bool {
+        scan_offset_ns > self.window_ns
+    }
+}
+
+impl AdversaryScript for ScrubRace {
+    fn name(&self) -> &'static str {
+        "scrub-race"
+    }
+
+    fn step(&mut self, hv: &mut Hypervisor, ctx: &RoundCtx) -> Result<(), HvError> {
+        for &(vm, site) in &self.sites {
+            // The dirty window: the payload goes in after the previous
+            // scan...
+            hv.vm_mut(vm)?.write_virt(site, &self.payload)?;
+            // ...and the restore lands before the *scheduled* instant. A
+            // scan jittered past the window catches the payload in place.
+            if ctx.scan_offset_ns <= self.window_ns {
+                hv.vm_mut(vm)?.write_virt(site, &self.clean)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checker blinding: the list stays intact, the captures read a decoy.
+///
+/// On every VM the script manually maps a decoy copy of the victim's
+/// clean image in an unused region — processing the image's relocation
+/// slots for the new base, exactly like a manually-mapping rootkit —
+/// redirects the `LDR_DATA_TABLE_ENTRY.DllBase` at the copy, and only
+/// then infects the real image. Every walk finds the module, every
+/// capture reads the pristine (coherently relocated) decoy, every vote
+/// agrees — the content check is structurally blind. The truly mapped
+/// image, though, is now claimed by *no* list entry: the cross-view
+/// sweep finds its PE header, fails to match its base against any claim,
+/// and attributes it by `SizeOfImage` to the victim entry.
+#[derive(Debug)]
+pub struct BlindChecker {
+    victims: Vec<(Victim, Vec<u32>)>,
+    offset: u64,
+    payload: Vec<u8>,
+    done: bool,
+}
+
+impl BlindChecker {
+    /// Targets `module` on every guest that loaded it; `offset`/`payload`
+    /// is the real-image infection applied once the decoy is in place.
+    /// The guests' reloc ground truth stands in for the PE relocation
+    /// table an in-guest adversary would parse itself.
+    pub fn new(guests: &[GuestOs], module: &str, offset: u64, payload: Vec<u8>) -> Self {
+        let victims = guests
+            .iter()
+            .filter_map(|g| {
+                let m = g.find_module(module)?;
+                Some((
+                    Victim {
+                        vm: g.vm,
+                        entry_va: m.ldr_entry_va,
+                        base: m.base,
+                        size: m.size,
+                        width: g.width,
+                    },
+                    m.reloc_rvas.clone(),
+                ))
+            })
+            .collect();
+        BlindChecker {
+            victims,
+            offset,
+            payload,
+            done: false,
+        }
+    }
+}
+
+impl AdversaryScript for BlindChecker {
+    fn name(&self) -> &'static str {
+        "blind-checker"
+    }
+
+    fn step(&mut self, hv: &mut Hypervisor, _ctx: &RoundCtx) -> Result<(), HvError> {
+        if self.done {
+            return Ok(());
+        }
+        for (v, reloc_rvas) in &self.victims {
+            assert!(
+                self.offset + self.payload.len() as u64 <= u64::from(v.size),
+                "blind-checker payload overruns the victim image"
+            );
+            let decoy = decoy_base(v.width);
+            let delta = decoy.wrapping_sub(v.base);
+            let vm = hv.vm_mut(v.vm)?;
+            let mut image = vec![0u8; v.size as usize];
+            vm.read_virt(v.base, &mut image)?;
+            // Process relocations for the decoy base so the copy is
+            // exactly what a loader would have produced there — a decoy
+            // that still carries the original base's absolute addresses
+            // would canonicalize to garbage and flag the vote.
+            for &rva in reloc_rvas {
+                let at = rva as usize;
+                match v.width {
+                    AddressWidth::W32 => {
+                        let old = u32::from_le_bytes(image[at..at + 4].try_into().unwrap());
+                        let new = old.wrapping_add(delta as u32);
+                        image[at..at + 4].copy_from_slice(&new.to_le_bytes());
+                    }
+                    AddressWidth::W64 => {
+                        let old = u64::from_le_bytes(image[at..at + 8].try_into().unwrap());
+                        let new = old.wrapping_add(delta);
+                        image[at..at + 8].copy_from_slice(&new.to_le_bytes());
+                    }
+                }
+            }
+            vm.map_range(decoy, u64::from(v.size))?;
+            vm.write_virt(decoy, &image)?;
+            let offs = LdrOffsets::for_width(v.width);
+            vm.write_ptr(v.entry_va + offs.dll_base, decoy)?;
+            vm.write_virt(v.base + self.offset, &self.payload)?;
+        }
+        self.done = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_guest::build_cloud_with_modules;
+    use mc_pe::corpus::ModuleBlueprint;
+
+    fn cloud(n: usize) -> (Hypervisor, Vec<GuestOs>) {
+        let mut hv = Hypervisor::new();
+        let bps = vec![
+            ModuleBlueprint::new("hal.dll", AddressWidth::W32, 8 * 1024),
+            ModuleBlueprint::new("ndis.sys", AddressWidth::W32, 12 * 1024),
+        ];
+        let guests = build_cloud_with_modules(&mut hv, n, AddressWidth::W32, &bps).unwrap();
+        (hv, guests)
+    }
+
+    #[test]
+    fn dkom_unlink_is_idempotent_and_pool_wide() {
+        let (mut hv, guests) = cloud(3);
+        let mut adv = DkomUnlink::new(&guests, "ndis.sys");
+        adv.step(&mut hv, &RoundCtx::unjittered(0, 1_000)).unwrap();
+        // Stepping again must not re-stitch dangling links.
+        adv.step(&mut hv, &RoundCtx::unjittered(1, 1_000)).unwrap();
+        for g in &guests {
+            let head = g.list_head_va;
+            let vm = hv.vm(g.vm).unwrap();
+            let mut walked = Vec::new();
+            let mut cur = vm.read_ptr(head).unwrap();
+            while cur != head {
+                walked.push(cur);
+                cur = vm.read_ptr(cur).unwrap();
+            }
+            let hidden = g.find_module("ndis.sys").unwrap().ldr_entry_va;
+            assert!(!walked.contains(&hidden), "entry still linked");
+            assert_eq!(walked.len(), 1, "hal.dll must stay linked");
+        }
+    }
+
+    #[test]
+    fn scrub_race_is_clean_inside_the_window_and_dirty_past_it() {
+        let (mut hv, guests) = cloud(3);
+        let payload = vec![0xCC, 0xCC];
+        let mut adv =
+            ScrubRace::new(&hv, &guests, "hal.dll", 0x1003, payload.clone(), 5_000).unwrap();
+        let site = guests[0].find_module("hal.dll").unwrap().base + 0x1003;
+        let mut buf = [0u8; 2];
+
+        // Scheduled phase (offset 0 <= window): restored to clean.
+        let clean = {
+            hv.vm(guests[0].vm)
+                .unwrap()
+                .read_virt(site, &mut buf)
+                .unwrap();
+            buf
+        };
+        adv.step(&mut hv, &RoundCtx::unjittered(0, 1_000_000))
+            .unwrap();
+        hv.vm(guests[0].vm)
+            .unwrap()
+            .read_virt(site, &mut buf)
+            .unwrap();
+        assert_eq!(buf, clean, "inside the window the site must read clean");
+        assert!(!adv.visible_at(0));
+
+        // Jittered past the window: payload caught in place.
+        let ctx = RoundCtx {
+            round: 1,
+            period_ns: 1_000_000,
+            scan_offset_ns: 9_000,
+        };
+        adv.step(&mut hv, &ctx).unwrap();
+        hv.vm(guests[0].vm)
+            .unwrap()
+            .read_virt(site, &mut buf)
+            .unwrap();
+        assert_eq!(&buf[..], &payload[..], "past the window the payload shows");
+        assert!(adv.visible_at(9_000));
+    }
+
+    #[test]
+    fn blind_checker_redirects_every_entry_at_a_clean_decoy() {
+        let (mut hv, guests) = cloud(3);
+        let mut adv = BlindChecker::new(&guests, "ndis.sys", 0x1003, vec![0xCC]);
+        adv.step(&mut hv, &RoundCtx::unjittered(0, 1_000)).unwrap();
+        adv.step(&mut hv, &RoundCtx::unjittered(1, 1_000)).unwrap(); // idempotent
+        let offs = LdrOffsets::for_width(AddressWidth::W32);
+        for g in &guests {
+            let m = g.find_module("ndis.sys").unwrap();
+            let vm = hv.vm(g.vm).unwrap();
+            let claimed = vm.read_ptr(m.ldr_entry_va + offs.dll_base).unwrap();
+            assert_eq!(claimed, decoy_base(AddressWidth::W32));
+            // Decoy reads clean, real image carries the payload.
+            let mut real = [0u8; 1];
+            vm.read_virt(m.base + 0x1003, &mut real).unwrap();
+            assert_eq!(real[0], 0xCC);
+            let mut decoy = [0u8; 1];
+            vm.read_virt(claimed + 0x1003, &mut decoy).unwrap();
+            assert_ne!(decoy[0], 0xCC);
+        }
+    }
+}

@@ -31,9 +31,17 @@
 //! | [`jump_over_junk`] hidden `rel32` behind a junk byte | hal.dll | `.text` | silent | L8 |
 //! | [`iat_pivot`] IAT slot diverted into `.text` | dummy.sys | **nothing** | silent | L6 |
 //! | [`overlapping_decode`] aliased stub via poisoned pointer slot | ntoskrnl.exe | `.text` | silent | L9 |
+//!
+//! The *active* tier ([`active`]) goes one step further: instead of a
+//! one-shot byte patch, each adversary is an
+//! [`mc_hypervisor::AdversaryScript`] the testbed replays between scan
+//! rounds — unlinking the module list on every VM, racing the scan window
+//! with scrub/restore writes, or blinding the checker's captures with a
+//! decoy image. Their detection matrix lives in the [`active`] module docs.
 
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod dll_hook;
 mod evasion;
 pub mod iat_hook;

@@ -20,7 +20,7 @@ use mc_loadgen::{HeavyLoad, LoadProfile};
 use mc_vmi::VmiSession;
 use modchecker::{
     ContinuousMonitor, ModChecker, ModuleSearcher, MonitorConfig, MonitorEvent, RetryPolicy,
-    ScanMode,
+    ScanJitter, ScanMode,
 };
 use modchecker_repro::testbed::Testbed;
 
@@ -91,7 +91,7 @@ USAGE:
                          [--no-fast-capture]
                          [--retries <R>] [--min-quorum <Q>] [--fault-seed <SEED>]
                          [--fault-rate <0..1>] [--json] [--metrics-out <PATH>]
-                         [--trace-out <PATH>] [--static-prepass]
+                         [--trace-out <PATH>] [--static-prepass] [--cross-view]
                                          sharded multi-pool, multi-module sweep;
                                          --seed builds a randomized infected fleet,
                                          otherwise a clean uniform one
@@ -110,6 +110,7 @@ USAGE:
   modchecker monitor [--vms <N>] [--rounds <R>] [--events] [--fault-seed <SEED>]
                      [--fault-rate <0..1>] [--retries <R>] [--min-quorum <Q>]
                      [--compare pairwise|canonical] [--no-fast-capture]
+                     [--scan-jitter <MAX_NS>] [--jitter-seed <SEED>]
                      [--metrics-out <PATH>]
   modchecker validate-metrics --file <PATH> --schema <PATH>
                                          validate a metrics JSON export
@@ -153,6 +154,15 @@ every scanned module's page span and switches rounds to push mode — quiet
 (vm, module) pairs are attested straight from the capture cache with zero
 guest reads; only pairs dirtied by trapped writes rescan. Verdicts are
 identical to polling; steady-state clean rounds cost near nothing.
+
+Active adversaries: fleet-check --cross-view reconciles each pool's in-guest
+module lists against a pool-wide physical PE-header sweep and majority-votes
+the differences — catching DKOM unlinking (hidden modules) and checker
+blinding (unlisted images the redirected list no longer claims); findings
+count as integrity findings for the exit code. monitor --scan-jitter MAX_NS
+draws a per-round scan-phase offset in [0, MAX_NS) from --jitter-seed
+(default 42), denying scrub-race rootkits a learnable cadence; offsets only
+move the simulated schedule, so verdicts stay byte-identical.
 
 Static pre-pass: fleet-check --static-prepass (and check --static) runs the
 CFG analyzer (lints L1–L9) once per content bucket on top of the canonical
@@ -584,12 +594,35 @@ fn cmd_fleet_check(args: &mut Args) -> Result<ExitCode, String> {
     }
     let report = last.expect("rounds >= 1");
 
+    // Cross-view reconciliation: the list walk an adversary can rewrite vs
+    // the physical header sweep it cannot — one voted pass per pool.
+    let crossview = if args.flag("cross-view") {
+        let mut passes = Vec::new();
+        for pool in &fleet.pools {
+            if pool.vms.len() < 2 {
+                continue;
+            }
+            let cv = monitor
+                .run_crossview(&bed.hv, &pool.vms)
+                .map_err(|e| format!("cross-view {}: {e}", pool.name))?;
+            passes.push((pool.name.clone(), cv));
+        }
+        Some(passes)
+    } else {
+        None
+    };
+
     if args.raw_value("metrics-out").is_some() || args.raw_value("trace-out").is_some() {
         let mut obs = modchecker::observe_fleet(&report);
         if args.flag("static-prepass") {
             let stats = sched.analysis_stats();
             obs.registry.gauge_set("analysis_runs", stats.runs as f64);
             obs.registry.gauge_set("analysis_hits", stats.hits as f64);
+        }
+        if let Some(passes) = &crossview {
+            for (_, cv) in passes {
+                cv.record_metrics(&mut obs.registry);
+            }
         }
         if let Some(path) = args.raw_value("metrics-out").map(str::to_string) {
             let text = serde_json::to_string_pretty(&obs.registry.to_json()).expect("serializable");
@@ -614,6 +647,18 @@ fn cmd_fleet_check(args: &mut Args) -> Result<ExitCode, String> {
             modchecker::simulated_fleet_wall(&report, shards)
         );
     }
+    if let Some(passes) = &crossview {
+        for (pool, cv) in passes {
+            if cv.is_clean() {
+                eprintln!(
+                    "cross-view {pool}: clean ({} VM(s) scanned)",
+                    cv.vms_scanned
+                );
+            } else {
+                eprint!("cross-view {pool}: {cv}");
+            }
+        }
+    }
 
     // Typed exit status so automation reads the verdict without parsing
     // output: 2 = integrity findings (vote suspects or statically flagged
@@ -621,7 +666,10 @@ fn cmd_fleet_check(args: &mut Args) -> Result<ExitCode, String> {
     // failed outright or lost its scan quorum), 0 = clean.
     let flagged = report
         .units()
-        .any(|u| matches!(&u.result, Ok(r) if !r.static_findings.is_empty()));
+        .any(|u| matches!(&u.result, Ok(r) if !r.static_findings.is_empty()))
+        || crossview
+            .as_ref()
+            .is_some_and(|passes| passes.iter().any(|(_, cv)| !cv.is_clean()));
     let unvouched = report.units().any(|u| match &u.result {
         Ok(r) => r.quorum == modchecker::QuorumStatus::Lost,
         Err(_) => true,
@@ -815,11 +863,31 @@ fn cmd_monitor(args: &mut Args) -> Result<(), String> {
             ..modchecker::CheckConfig::default()
         },
     )?;
+    let scan_jitter = match args.value("scan-jitter")? {
+        Some(max_ns) => Some(ScanJitter {
+            seed: args.value("jitter-seed")?.unwrap_or(42) as u64,
+            max_ns: max_ns as u64,
+        }),
+        None => None,
+    };
     let mut monitor = ContinuousMonitor::new(MonitorConfig {
         modules: vec!["hal.dll".into(), "http.sys".into(), "tcpip.sys".into()],
         check,
+        scan_jitter,
         ..MonitorConfig::default()
     });
+    if scan_jitter.is_some() {
+        // Draw every round's phase up front: the offsets only move the
+        // simulated schedule (verdicts are phase-independent), so showing
+        // the schedule and recording the jitter metrics is the whole job.
+        for r in 0..rounds {
+            let ctx = monitor.round_ctx(r, 1_000_000_000);
+            eprintln!(
+                "jitter: round {r} scans at +{} ns into its period",
+                ctx.scan_offset_ns
+            );
+        }
+    }
     let (tx, rx) = crossbeam::channel::unbounded();
     if args.flag("events") {
         let frames = monitor

@@ -66,6 +66,7 @@
 
 pub mod arena;
 pub mod checker;
+pub mod crossview;
 pub mod digest;
 pub mod error;
 pub mod events;
@@ -86,12 +87,14 @@ pub use checker::{
     canonical_form, compare_pair, compare_pair_with, CanonicalForm, ExtractedModule, PairOutcome,
     PairScratch,
 };
+pub use crossview::{CrossView, CrossViewConfig, CrossViewFinding, CrossViewKind, CrossViewReport};
 pub use digest::{DigestAlgo, PartDigest};
 pub use error::CheckError;
 pub use events::{EventPlane, EventPlaneStats};
 pub use listdiff::{ListAnomaly, ListDiff, ListDiffReport};
 pub use monitor::{
     remediate, remediate_vms, ContinuousMonitor, HealthPolicy, MonitorConfig, MonitorEvent,
+    ScanJitter,
 };
 pub use obs::{
     fleet_span, observe_fleet, observe_scan, observe_serve, record_fleet_report,

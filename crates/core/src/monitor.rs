@@ -20,9 +20,10 @@ use std::sync::{Mutex, PoisonError};
 
 use crossbeam::channel::Sender;
 
-use mc_hypervisor::{Hypervisor, VmId};
+use mc_hypervisor::{Hypervisor, RoundCtx, VmId};
 use mc_obs::MetricsRegistry;
 
+use crate::crossview::{CrossView, CrossViewConfig, CrossViewReport};
 use crate::error::CheckError;
 use crate::events::{EventPlane, EventPlaneStats};
 use crate::obs::record_pool_report;
@@ -59,6 +60,43 @@ pub struct MonitorConfig {
     pub check: CheckConfig,
     /// Circuit-breaker policy.
     pub health: HealthPolicy,
+    /// Seeded per-round scan-phase jitter; `None` scans at a fixed phase.
+    pub scan_jitter: Option<ScanJitter>,
+}
+
+/// Seeded per-round scan-phase jitter.
+///
+/// A scrub-race adversary that has learned the monitor's cadence re-infects
+/// right after each scan and restores clean bytes just before the next one.
+/// Against a fixed phase the restore window always wins; a seeded random
+/// offset moves each round's scan inside the period, so a
+/// (seed-determined, reproducible) subset of rounds lands inside the dirty
+/// window. The offset is a pure function of `(seed, round)` — verdicts stay
+/// deterministic and shard/mode invariant, and a ground-truth oracle can
+/// recompute exactly which rounds catch the adversary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanJitter {
+    /// Jitter seed.
+    pub seed: u64,
+    /// Exclusive upper bound on the phase offset, simulated nanoseconds.
+    /// Zero disables jitter.
+    pub max_ns: u64,
+}
+
+impl ScanJitter {
+    /// The phase offset for `round`: a splitmix64 hash of `(seed, round)`
+    /// reduced modulo [`ScanJitter::max_ns`]. Pure — no RNG state to thread
+    /// through shards or scan modes.
+    pub fn offset_ns(&self, round: usize) -> u64 {
+        if self.max_ns == 0 {
+            return 0;
+        }
+        let mut z = (self.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % self.max_ns
+    }
 }
 
 /// Per-VM circuit-breaker state.
@@ -202,6 +240,16 @@ impl ContinuousMonitor {
             .stats()
     }
 
+    /// `(vm, module)` pairs the tamper-evidence channel flagged as
+    /// scrubbed-then-restored across all rounds so far (empty unless
+    /// [`CheckConfig::tamper_evidence`] is enabled).
+    pub fn silent_restores(&self) -> Vec<(VmId, String)> {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .silent_restores()
+    }
+
     /// A snapshot of the monitor's metrics registry: every pool scan's
     /// counters and timing gauges accumulated across rounds, plus monitor
     /// lifecycle counters (`monitor_rounds_total`,
@@ -218,6 +266,59 @@ impl ContinuousMonitor {
         if let Ok(mut m) = self.metrics.lock() {
             m.counter_add(name, v);
         }
+    }
+
+    /// The scan-phase offset for `round` under the configured jitter
+    /// (zero when jitter is off). Pure function of the config and round.
+    pub fn scan_phase_ns(&self, round: usize) -> u64 {
+        self.config.scan_jitter.map_or(0, |j| j.offset_ns(round))
+    }
+
+    /// Builds the [`RoundCtx`] an adversary-replay driver steps scripts
+    /// with before this round's scan: round number, nominal period, and
+    /// this monitor's jittered phase offset. Also records the offset into
+    /// the metrics registry (`monitor_jittered_rounds_total`,
+    /// `monitor_scan_jitter_ns`).
+    pub fn round_ctx(&self, round: usize, period_ns: u64) -> RoundCtx {
+        let offset = self.scan_phase_ns(round);
+        if self.config.scan_jitter.is_some() {
+            if let Ok(mut m) = self.metrics.lock() {
+                m.counter_add("monitor_jittered_rounds_total", 1);
+                #[allow(clippy::cast_precision_loss)]
+                m.gauge_set("monitor_scan_jitter_ns", offset as f64);
+            }
+        }
+        RoundCtx {
+            round,
+            period_ns,
+            scan_offset_ns: offset,
+        }
+    }
+
+    /// Runs a cross-view scan (guest list consensus vs physical header
+    /// sweep, see [`CrossView`]) over the pool, recording `crossview_*`
+    /// metrics into this monitor's registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckError::PoolTooSmall`] from the scanner.
+    pub fn run_crossview(
+        &self,
+        hv: &Hypervisor,
+        vms: &[VmId],
+    ) -> Result<CrossViewReport, CheckError> {
+        let scanner = CrossView {
+            config: CrossViewConfig {
+                fast_capture: self.config.check.fast_capture,
+                retry: self.config.check.retry,
+                ..CrossViewConfig::default()
+            },
+        };
+        let report = scanner.scan(hv, vms)?;
+        if let Ok(mut m) = self.metrics.lock() {
+            report.record_metrics(&mut m);
+        }
+        Ok(report)
     }
 
     /// VM names currently quarantined by the circuit breaker.
@@ -706,7 +807,7 @@ mod tests {
         let round2 = m.run_round(&hv, &ids);
         assert!(round2
             .iter()
-            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+            .all(|(_, r)| r.as_ref().is_ok_and(PoolCheckReport::all_clean)));
     }
 
     #[test]
@@ -808,7 +909,7 @@ mod tests {
         let second = m.run_round(&hv, &ids);
         assert!(second
             .iter()
-            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+            .all(|(_, r)| r.as_ref().is_ok_and(PoolCheckReport::all_clean)));
         assert_eq!(m.cache_stats().hits, 4);
         let second_cost = cost(&second);
         // The capture fast path compressed the cold round itself (one
@@ -844,7 +945,7 @@ mod tests {
         let after = m.run_round(&hv, &ids);
         assert!(after
             .iter()
-            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+            .all(|(_, r)| r.as_ref().is_ok_and(PoolCheckReport::all_clean)));
         assert!(m.cache_stats().partial_hits >= 2, "patch + revert");
         assert_eq!(m.cache_stats().invalidations, 0, "shape never changed");
     }
@@ -892,7 +993,7 @@ mod tests {
         let round = m.run_round(&hv, &ids);
         assert!(round
             .iter()
-            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+            .all(|(_, r)| r.as_ref().is_ok_and(PoolCheckReport::all_clean)));
     }
 
     #[test]
@@ -1005,7 +1106,7 @@ mod tests {
         let after = m.run_round(&hv, &ids);
         assert!(after
             .iter()
-            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+            .all(|(_, r)| r.as_ref().is_ok_and(PoolCheckReport::all_clean)));
     }
 
     #[test]
@@ -1077,7 +1178,7 @@ mod tests {
         let after = m.run_round(&hv, &ids);
         assert!(after
             .iter()
-            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+            .all(|(_, r)| r.as_ref().is_ok_and(PoolCheckReport::all_clean)));
     }
 
     #[test]
@@ -1174,7 +1275,7 @@ mod tests {
         let after = m.run_round_events(&hv, &ids);
         assert!(after
             .iter()
-            .all(|(_, r)| r.as_ref().map(|rep| rep.all_clean()).unwrap_or(false)));
+            .all(|(_, r)| r.as_ref().is_ok_and(PoolCheckReport::all_clean)));
     }
 
     #[test]

@@ -455,7 +455,7 @@ mod tests {
         let mut hv = Hypervisor::new();
         let mut pools = Vec::new();
         for p in 0..2 {
-            let bps = vec![
+            let bps = [
                 ModuleBlueprint::new(&format!("fp{p}a.sys"), AddressWidth::W32, 8 * 1024),
                 ModuleBlueprint::new(&format!("fp{p}b.sys"), AddressWidth::W32, 4 * 1024),
             ];

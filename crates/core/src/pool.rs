@@ -98,6 +98,16 @@ pub struct CheckConfig {
     /// (the equivalence suite pins this); `false` restores the paper's
     /// page-by-page capture loop for ablation.
     pub fast_capture: bool,
+    /// Tamper-evidence channel (DESIGN.md §16): when a cached capture's
+    /// page write-generations moved but the refreshed bytes are identical
+    /// to the cached ones, someone wrote to the module and then wrote the
+    /// same bytes back — the scrub-race signature (infect after the scan,
+    /// restore clean just before the next one). The scan records the
+    /// `(vm, module)` pair on the cache ([`CaptureCache::silent_restores`])
+    /// and bumps [`CacheStats::silent_restores`]; verdict bytes are
+    /// untouched. Off by default — a legitimate guest rewriting identical
+    /// bytes (e.g. an idempotent patcher) would trip it.
+    pub tamper_evidence: bool,
 }
 
 impl Default for CheckConfig {
@@ -113,6 +123,7 @@ impl Default for CheckConfig {
             // Pairwise voting needs at least two captures to compare.
             min_quorum: 2,
             fast_capture: true,
+            tamper_evidence: false,
         }
     }
 }
@@ -410,6 +421,23 @@ impl ModChecker {
                     return finish(Err(e), times, &session);
                 }
                 times.searcher = session.take_elapsed();
+
+                // Tamper evidence: generations moved yet every refreshed
+                // page reads back byte-identical to the cached capture —
+                // the module was written and then restored. A polling scan
+                // would call this round clean; the write-generation trail
+                // says an adversary raced the scan window (DESIGN.md §16).
+                if self.config.tamper_evidence
+                    && !dirty.is_empty()
+                    && dirty.iter().all(|&i| {
+                        let span = (bytes.len() - i * PAGE_SIZE).min(PAGE_SIZE);
+                        bytes[i * PAGE_SIZE..i * PAGE_SIZE + span]
+                            == hit.module.image.bytes[i * PAGE_SIZE..i * PAGE_SIZE + span]
+                    })
+                {
+                    cache.stats.silent_restores += 1;
+                    cache.silent_restores.insert((vm, module.to_string()));
+                }
 
                 let page_span = |idx: usize| (bytes.len() - idx * PAGE_SIZE).min(PAGE_SIZE);
                 let dirty_bytes: u64 = dirty.iter().map(|&i| page_span(i) as u64).sum();
@@ -1338,6 +1366,10 @@ pub struct CacheStats {
     /// monitor's circuit breaker, or reverted to a snapshot. Counted per
     /// entry removed (a VM caching three modules evicts three).
     pub evictions: u64,
+    /// Partial hits whose refreshed pages read back byte-identical to the
+    /// cached capture while their write-generations moved — the
+    /// scrubbed-then-restored signature ([`CheckConfig::tamper_evidence`]).
+    pub silent_restores: u64,
 }
 
 /// Per-(VM, module) capture cache keyed by page write-generations.
@@ -1358,6 +1390,10 @@ pub struct CaptureCache {
     /// steady-state sweep stops allocating once every module size has
     /// passed through once.
     arena: crate::arena::CaptureArena,
+    /// `(vm, module)` pairs flagged by the tamper-evidence channel:
+    /// write-generations moved, bytes did not. Accumulates across rounds
+    /// (evidence log, not per-round state).
+    silent_restores: std::collections::BTreeSet<(VmId, String)>,
 }
 
 #[derive(Clone, Debug)]
@@ -1386,6 +1422,13 @@ impl CaptureCache {
     /// Allocation/reuse counters of the cache's capture arena.
     pub fn arena_stats(&self) -> crate::arena::ArenaStats {
         self.arena.stats()
+    }
+
+    /// `(vm, module)` pairs the tamper-evidence channel has flagged as
+    /// scrubbed-then-restored, sorted (BTreeSet order). Empty unless
+    /// [`CheckConfig::tamper_evidence`] is on.
+    pub fn silent_restores(&self) -> Vec<(VmId, String)> {
+        self.silent_restores.iter().cloned().collect()
     }
 
     /// The incremental tree root of one cached capture — `None` when no
@@ -1441,6 +1484,7 @@ impl CaptureCache {
             reg.gauge_set("cache_invalidations", s.invalidations as f64);
             reg.gauge_set("cache_evictions", s.evictions as f64);
             reg.gauge_set("cache_entries", self.entries.len() as f64);
+            reg.gauge_set("adversary_silent_restores", s.silent_restores as f64);
             let a = self.arena.stats();
             reg.gauge_set("capture_arena_allocs", a.allocs as f64);
             reg.gauge_set("capture_arena_reuses", a.reuses as f64);

@@ -879,7 +879,12 @@ mod tests {
             prev = wall;
         }
         // With 4 pools on 8 shards the makespan is the heaviest pool.
-        let heaviest = report.pools.iter().map(|p| p.duration()).max().unwrap();
+        let heaviest = report
+            .pools
+            .iter()
+            .map(FleetPoolReport::duration)
+            .max()
+            .unwrap();
         assert_eq!(simulated_fleet_wall(&report, 8), heaviest);
     }
 }

@@ -38,6 +38,7 @@ pub mod events;
 pub mod fault;
 pub mod mem;
 pub mod paging;
+pub mod replay;
 pub mod simtime;
 pub mod vm;
 
@@ -46,6 +47,7 @@ pub use events::{EventCursor, TrapModel, WatchPlan, WriteEvent};
 pub use fault::{FaultDecision, FaultPlan, FaultState};
 pub use mem::{GuestPhysMemory, PageGeneration, TrappedWrite, PAGE_SHIFT, PAGE_SIZE};
 pub use paging::AddressSpace;
+pub use replay::{AdversaryScript, Replay, RoundCtx};
 pub use simtime::{ContentionModel, CostModel, SimDuration};
 pub use vm::{Vm, VmId};
 

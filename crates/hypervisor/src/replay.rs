@@ -1,0 +1,174 @@
+//! Adversary replay hook: deterministic guest-side *behavior* between
+//! scan rounds.
+//!
+//! The attack corpus used to be one-shot byte edits applied at build time.
+//! Active adversaries (DKOM unlinkers, scrub-race restorers, checker
+//! blinders) instead *act over time*: they mutate guest state between
+//! monitoring rounds, reacting to the checker's observable cadence. This
+//! module defines the minimal replay contract those adversaries implement:
+//!
+//! * [`RoundCtx`] — what the adversary can observe about the upcoming
+//!   round: its index, the nominal scan period, and the scan's phase
+//!   offset inside that period (zero when the monitor runs unjittered —
+//!   the timing a scrub-race rootkit learns and exploits).
+//! * [`AdversaryScript`] — a seeded, deterministic `step` the testbed
+//!   replays against `&mut Hypervisor` immediately *before* each scan.
+//!
+//! The hypervisor deliberately knows nothing about specific adversaries:
+//! implementations live in the attack crate, and the driver (testbed,
+//! fleet generator, CLI) owns the loop. Scanning still takes
+//! `&Hypervisor`, so a replayed step can never race a scan — steps and
+//! scans interleave by construction, exactly like guest execution
+//! interleaves with stop-the-world introspection.
+
+use crate::error::HvError;
+use crate::Hypervisor;
+
+/// What an adversary can observe about the round it is acting before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundCtx {
+    /// Round index, 0-based; round `r`'s step runs before scan `r`.
+    pub round: usize,
+    /// Nominal scan period in simulated nanoseconds (the cadence an
+    /// adversary can learn by watching the checker's page-map traffic).
+    pub period_ns: u64,
+    /// Phase offset of the upcoming scan inside the nominal period, in
+    /// nanoseconds. Zero for an unjittered monitor; a jittered monitor
+    /// draws it per round from its seed.
+    pub scan_offset_ns: u64,
+}
+
+impl RoundCtx {
+    /// A context for round `round` of an unjittered cadence.
+    pub fn unjittered(round: usize, period_ns: u64) -> Self {
+        RoundCtx {
+            round,
+            period_ns,
+            scan_offset_ns: 0,
+        }
+    }
+}
+
+/// A deterministic adversary behavior replayed between scan rounds.
+///
+/// `step` is called once per round, before that round's scan, with
+/// mutable host access (adversaries run *inside* guests — the simulated
+/// equivalent is direct guest-memory mutation). Implementations must be
+/// deterministic in `(construction inputs, ctx)`: the fleet simulator
+/// replays fleets by seed and asserts byte-identical verdicts.
+pub trait AdversaryScript {
+    /// Short technique name (for reports and ground-truth labels).
+    fn name(&self) -> &'static str;
+
+    /// Mutates guest state for the upcoming round.
+    fn step(&mut self, hv: &mut Hypervisor, ctx: &RoundCtx) -> Result<(), HvError>;
+}
+
+/// Replays a set of adversary scripts in a fixed order — the driver-side
+/// convenience wrapper used by the testbed and the fleet simulator.
+#[derive(Default)]
+pub struct Replay {
+    scripts: Vec<Box<dyn AdversaryScript>>,
+}
+
+impl std::fmt::Debug for Replay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replay")
+            .field(
+                "scripts",
+                &self.scripts.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Replay {
+    /// An empty replay set.
+    pub fn new() -> Self {
+        Replay::default()
+    }
+
+    /// Adds a script; scripts step in insertion order.
+    pub fn add(&mut self, script: impl AdversaryScript + 'static) {
+        self.scripts.push(Box::new(script));
+    }
+
+    /// Number of registered scripts.
+    pub fn len(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// True when no scripts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.scripts.is_empty()
+    }
+
+    /// Steps every script for the given round context, in order.
+    pub fn step(&mut self, hv: &mut Hypervisor, ctx: &RoundCtx) -> Result<(), HvError> {
+        for s in &mut self.scripts {
+            s.step(hv, ctx)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AddressWidth;
+
+    struct CountingScript {
+        rounds: Vec<usize>,
+    }
+
+    impl AdversaryScript for CountingScript {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn step(&mut self, _hv: &mut Hypervisor, ctx: &RoundCtx) -> Result<(), HvError> {
+            self.rounds.push(ctx.round);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn replay_steps_scripts_per_round_in_order() {
+        let mut hv = Hypervisor::new();
+        hv.create_vm("dom1", AddressWidth::W32).unwrap();
+        let mut replay = Replay::new();
+        replay.add(CountingScript { rounds: Vec::new() });
+        assert_eq!(replay.len(), 1);
+        for r in 0..3 {
+            replay
+                .step(&mut hv, &RoundCtx::unjittered(r, 1_000_000))
+                .unwrap();
+        }
+        // Scripts are driver-owned boxes; assert via a second script that
+        // observes the same sequence.
+        let mut seen = Vec::new();
+        struct Probe<'a>(&'a mut Vec<usize>);
+        impl AdversaryScript for Probe<'_> {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn step(&mut self, _hv: &mut Hypervisor, ctx: &RoundCtx) -> Result<(), HvError> {
+                self.0.push(ctx.round);
+                Ok(())
+            }
+        }
+        let mut probe = Probe(&mut seen);
+        for r in 0..3 {
+            let ctx = RoundCtx::unjittered(r, 1_000_000);
+            probe.step(&mut hv, &ctx).unwrap();
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unjittered_ctx_has_zero_offset() {
+        let ctx = RoundCtx::unjittered(5, 7);
+        assert_eq!(ctx.scan_offset_ns, 0);
+        assert_eq!(ctx.period_ns, 7);
+        assert_eq!(ctx.round, 5);
+    }
+}

@@ -297,6 +297,17 @@ pub struct VectoredRead<'a> {
     pub buf: &'a mut [u8],
 }
 
+/// A memory-resident PE image located by
+/// [`VmiSession::sweep_image_headers`]: a page-aligned base whose DOS/PE
+/// header chain is coherent, with the `SizeOfImage` the header advertises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageHit {
+    /// Page-aligned guest-virtual base of the image.
+    pub base: u64,
+    /// `SizeOfImage` from the optional header.
+    pub size_of_image: u64,
+}
+
 /// Per-session fast-path state (see [`VmiSession::with_fast_capture`]).
 ///
 /// Caching VA→PA translations for the lifetime of a session is sound
@@ -865,6 +876,64 @@ impl<'hv> VmiSession<'hv> {
         let mut b = [0u8; 4];
         self.read_va(va, &mut b)?;
         Ok(u32::from_le_bytes(b))
+    }
+
+    /// Sweeps `[lo, hi)` for memory-resident PE images: every page-aligned
+    /// candidate whose first bytes form a coherent `MZ` → `e_lfanew` →
+    /// `PE\0\0` chain is reported with its advertised `SizeOfImage`.
+    ///
+    /// This is the *physical* half of a cross-view scan: the loaded-module
+    /// list says what the guest claims is mapped, the header sweep says
+    /// what actually is. A module unlinked from the list (DKOM) or a list
+    /// entry whose `DllBase` was redirected at a decoy (checker blinding)
+    /// leaves an image here that no list entry accounts for.
+    ///
+    /// Unmapped or unreadable candidates are skipped, not errors — pool
+    /// and module regions are sparse by construction. Bounds are clamped
+    /// to page alignment; a `SizeOfImage` outside `[1 page, 512 MiB)` is
+    /// rejected as header garbage.
+    pub fn sweep_image_headers(&mut self, lo: u64, hi: u64) -> Vec<ImageHit> {
+        const DOS_MAGIC: [u8; 2] = *b"MZ";
+        const PE_MAGIC: [u8; 4] = *b"PE\0\0";
+        const E_LFANEW: u64 = 0x3C;
+        // SizeOfImage lives at OptionalHeader+0x38; the OptionalHeader
+        // starts 0x18 past the PE signature for PE32 and PE32+ alike.
+        const SIZE_OF_IMAGE: u64 = 0x18 + 0x38;
+        let page = 1u64 << PAGE_SHIFT;
+        let mut out = Vec::new();
+        let mut candidate = lo & !(page - 1);
+        let end = hi & !(page - 1);
+        while candidate < end {
+            let base = candidate;
+            candidate += page;
+            let mut magic = [0u8; 2];
+            if self.read_va(base, &mut magic).is_err() || magic != DOS_MAGIC {
+                continue;
+            }
+            let Ok(e_lfanew) = self.read_u32(base + E_LFANEW) else {
+                continue;
+            };
+            // The PE header of a loadable image sits inside the first page.
+            if u64::from(e_lfanew) < 0x40 || u64::from(e_lfanew) >= page {
+                continue;
+            }
+            let mut sig = [0u8; 4];
+            if self.read_va(base + u64::from(e_lfanew), &mut sig).is_err() || sig != PE_MAGIC {
+                continue;
+            }
+            let Ok(size) = self.read_u32(base + u64::from(e_lfanew) + SIZE_OF_IMAGE) else {
+                continue;
+            };
+            let size = u64::from(size);
+            if size < page || size >= 512 * 1024 * 1024 {
+                continue;
+            }
+            out.push(ImageHit {
+                base,
+                size_of_image: size,
+            });
+        }
+        out
     }
 
     /// The write-generation of the page backing `va`: the frame it resolves

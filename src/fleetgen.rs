@@ -29,9 +29,10 @@
 //! * quorum is `Full` iff `l = 0` and `d = 0`, else `Degraded` (the
 //!   constraints keep `scanned ≥ 2`, so `Lost` never occurs).
 
+use mc_attacks::active::{BlindChecker, DkomUnlink, ScrubRace};
 use mc_attacks::Technique;
 use mc_guest::GuestOs;
-use mc_hypervisor::{AddressWidth, FaultPlan, Hypervisor};
+use mc_hypervisor::{AddressWidth, FaultPlan, Hypervisor, Replay};
 use mc_pe::corpus::ModuleBlueprint;
 use mc_pe::PeFile;
 use modchecker::sched::{Fleet, PoolSpec};
@@ -58,6 +59,43 @@ pub struct FleetTruth {
     pub degraded: Vec<(String, String)>,
     /// Expected consensus module names per pool, sorted.
     pub consensus: Vec<(String, Vec<String>)>,
+    /// Active adversaries planted by [`adversarial_fleet`], with the
+    /// metadata a detection oracle needs: which unit is attacked, by what,
+    /// and (for the scrub-race) the learned restore window that decides
+    /// which jittered rounds scan mid-infection. Sorted by (pool, module).
+    pub evasive: Vec<EvasiveTruth>,
+}
+
+/// Which active adversary ([`mc_attacks::active`]) a fleet unit carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// [`DkomUnlink`] on every VM of the pool. Invisible to the list-walk
+    /// consensus; expected channel: cross-view hidden-module vote.
+    Dkom,
+    /// [`ScrubRace`] on one VM. Invisible to fixed-phase polling; expected
+    /// channels: jittered rounds past the window (content vote) and the
+    /// tamper-evidence generation trail on restored rounds.
+    Scrub,
+    /// [`BlindChecker`] on every VM. Invisible to the content vote itself;
+    /// expected channel: cross-view unlisted-image vote.
+    Blind,
+}
+
+/// Ground truth for one planted active adversary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvasiveTruth {
+    /// Pool name.
+    pub pool: String,
+    /// Victim module.
+    pub module: String,
+    /// Victim VM name for the single-VM scrub-race; `None` for the
+    /// pool-wide adversaries.
+    pub vm: Option<String>,
+    /// Adversary class.
+    pub kind: AdversaryKind,
+    /// The scrub-race's learned restore window (ns); 0 for other kinds. A
+    /// round whose scan-phase offset exceeds this observes the payload.
+    pub window_ns: u64,
 }
 
 /// A generated fleet: hypervisor, pool topology, per-pool guests, truth.
@@ -344,6 +382,124 @@ pub fn random_fleet(seed: u64) -> FleetBed {
         guests: all_guests,
         truth,
     }
+}
+
+/// A seeded fleet mixing *active* adversaries, plus the [`Replay`] that
+/// drives them between scan rounds.
+///
+/// Each pool draws at most one adversary (or none — clean pools pin the
+/// false-positive rate). The draw stream is independent of
+/// [`random_fleet`]'s, so the existing fleet goldens are untouched.
+/// Constraints, per the detection math:
+///
+/// * every pool has `n ∈ [4, 6]` VMs, all readable — the scrub-race's one
+///   visible infection needs `scanned ≥ 2·1 + 2 = 4` for a sound vote,
+///   and the pool-wide cross-view findings carry `n` of `n` votes;
+/// * every pool has ≥ 2 modules with pairwise-distinct sizes: an honest
+///   module anchors the cross-view sweep span after a DKOM unlink, and a
+///   unique `SizeOfImage` lets the sweep attribute a blinded module's
+///   real image to its (decoy-claiming) entry;
+/// * truth `consensus` reflects the *post-adversary* fleet: a module
+///   unlinked everywhere is gone from the consensus — which is exactly
+///   the evasion the cross-view channel exists to close.
+pub fn adversarial_fleet(seed: u64) -> (FleetBed, Replay) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(29));
+    let mut hv = Hypervisor::new();
+    let mut truth = FleetTruth::default();
+    let mut replay = Replay::new();
+    let mut specs = Vec::new();
+    let mut all_guests = Vec::new();
+
+    let pool_count = rng.random_range(1..=2usize);
+    for p in 0..pool_count {
+        let n = rng.random_range(4..=6usize);
+        let module_count = rng.random_range(2..=3usize);
+        let modules: Vec<(String, usize)> = (0..module_count)
+            .map(|m| (format!("p{p}m{m}.sys"), (4 + 4 * m) * 1024))
+            .collect();
+        let files = blueprint_files(&modules);
+        let (spec, guests) = build_pool(&mut hv, p, n, &files, &[], seed);
+        let pool_name = spec.name.clone();
+
+        // 0 = clean pool, 1 = DKOM unlink, 2 = scrub-race, 3 = blinding.
+        let kind = rng.random_range(0..4u32);
+        let (victim_mod, victim_text) = {
+            let (m, t) = &modules[rng.random_range(0..module_count)];
+            (m.clone(), *t)
+        };
+        let offset = 0x1000 + 2 * rng.random_range(0..((victim_text - 8) / 2) as u64);
+        #[allow(clippy::cast_possible_truncation)]
+        match kind {
+            1 => {
+                replay.add(DkomUnlink::new(&guests, &victim_mod));
+                truth.evasive.push(EvasiveTruth {
+                    pool: pool_name.clone(),
+                    module: victim_mod.clone(),
+                    vm: None,
+                    kind: AdversaryKind::Dkom,
+                    window_ns: 0,
+                });
+            }
+            2 => {
+                let v = rng.random_range(0..n);
+                // The adversary has only ever observed fixed-phase scans
+                // (offset 0), so its learned window is pure slack.
+                let window_ns =
+                    ScrubRace::learn_window(&[0], 20_000 * (1 + rng.random_range(0..5u64)));
+                let payload = vec![0xD1, p as u8, v as u8, 0x5F];
+                replay.add(
+                    ScrubRace::new(&hv, &guests[v..=v], &victim_mod, offset, payload, window_ns)
+                        .expect("scrub-race snapshots clean bytes"),
+                );
+                truth.evasive.push(EvasiveTruth {
+                    pool: pool_name.clone(),
+                    module: victim_mod.clone(),
+                    vm: Some(format!("p{p}dom{v}")),
+                    kind: AdversaryKind::Scrub,
+                    window_ns,
+                });
+            }
+            3 => {
+                replay.add(BlindChecker::new(
+                    &guests,
+                    &victim_mod,
+                    offset,
+                    vec![0xCC, p as u8, 0xCC],
+                ));
+                truth.evasive.push(EvasiveTruth {
+                    pool: pool_name.clone(),
+                    module: victim_mod.clone(),
+                    vm: None,
+                    kind: AdversaryKind::Blind,
+                    window_ns: 0,
+                });
+            }
+            _ => {}
+        }
+
+        let mut names: Vec<String> = modules
+            .iter()
+            .map(|(m, _)| m.clone())
+            .filter(|m| !(kind == 1 && *m == victim_mod))
+            .collect();
+        names.sort();
+        truth.consensus.push((pool_name, names));
+        specs.push(spec);
+        all_guests.push(guests);
+    }
+
+    truth
+        .evasive
+        .sort_by(|a, b| (&a.pool, &a.module).cmp(&(&b.pool, &b.module)));
+    (
+        FleetBed {
+            hv,
+            fleet: Fleet::from_pools(specs),
+            guests: all_guests,
+            truth,
+        },
+        replay,
+    )
 }
 
 #[cfg(test)]

@@ -322,3 +322,88 @@ fn fleet_events_sweeps_cost_a_tenth_of_polling_on_clean_rounds() {
     assert_eq!(push_report.suspects(), expected);
     assert_eq!(poll_report.suspects(), expected);
 }
+
+// ---------------------------------------------------------------------
+// 6. Snapshot revert racing an armed round: trust dies with the eviction.
+// ---------------------------------------------------------------------
+
+/// A snapshot revert is the one guest-state mutation the trap plane cannot
+/// see — the restore is a hypervisor-side frame remap, not a guest write,
+/// so it fires no events (see `Vm::revert`). A scrub built on revert would
+/// therefore ride stale trust straight through an armed round *unless*
+/// every revert path goes through cache eviction. This pins that contract
+/// end to end: the in-flight armed round flags the infection, remediation
+/// reverts + evicts, and the very next round rescans the reverted pair
+/// (positive read cost) even though the event plane still believes its
+/// frames quiet — then trust re-establishes, and a post-revert
+/// re-infection still traps, because a revert must never disarm watches.
+#[test]
+fn a_snapshot_revert_scrub_cannot_ride_stale_trust_through_an_armed_round() {
+    let mut bed = Testbed::small_cloud(6);
+    for &id in &bed.vm_ids {
+        bed.hv.vm_mut(id).expect("vm exists").snapshot("clean");
+    }
+    let monitor = ContinuousMonitor::new(MonitorConfig {
+        modules: vec!["hal.dll".to_string()],
+        ..MonitorConfig::default()
+    });
+    monitor
+        .arm_events(&mut bed.hv, &bed.vm_ids)
+        .expect("arming succeeds");
+    monitor.run_round_events(&bed.hv, &bed.vm_ids); // cold fill
+    let quiet = monitor.run_round_events(&bed.hv, &bed.vm_ids);
+    assert_eq!(round_cost(&quiet), (0, 0), "steady state is fully trusted");
+
+    // The infection write traps; the in-flight armed round catches it.
+    bed.guests[2]
+        .patch_module(&mut bed.hv, "hal.dll", 0x1234, &[0xCC, 0xCC])
+        .expect("patch lands");
+    let round = monitor.run_round_events(&bed.hv, &bed.vm_ids);
+    let report = round[0].1.as_ref().expect("scan succeeds");
+    let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(
+        suspects,
+        vec!["dom3"],
+        "the armed round must flag the write"
+    );
+
+    // Scrub via revert, mid-armed-sequence. No event fires.
+    let drained_before = monitor.event_stats().expect("plane armed").events_drained;
+    let reverted = monitor
+        .remediate(&mut bed.hv, report, "clean")
+        .expect("revert lands");
+    assert_eq!(reverted, vec!["dom3"]);
+
+    // The next armed round must NOT serve dom3 from stale trust: the
+    // eviction forces a rescan (positive read cost) even though the event
+    // plane saw nothing, and the rescan comes back clean.
+    let post = monitor.run_round_events(&bed.hv, &bed.vm_ids);
+    let report = post[0].1.as_ref().expect("scan succeeds");
+    assert!(
+        report.suspects().next().is_none(),
+        "the reverted guest is clean again"
+    );
+    assert!(
+        report.vmi.reads > 0,
+        "trust must not survive the eviction: the reverted pair rescans"
+    );
+    assert_eq!(
+        monitor.event_stats().expect("plane armed").events_drained,
+        drained_before,
+        "the revert itself must fire no trap events — that is the threat"
+    );
+
+    // Trust re-establishes once the rescan restocks the cache...
+    let quiet = monitor.run_round_events(&bed.hv, &bed.vm_ids);
+    assert_eq!(round_cost(&quiet), (0, 0), "trust re-establishes");
+
+    // ...and the revert did not disarm the watches: a post-revert
+    // re-infection still traps and is caught by the next round.
+    bed.guests[2]
+        .patch_module(&mut bed.hv, "hal.dll", 0x2000, &[0xEB, 0xFE])
+        .expect("patch lands");
+    let again = monitor.run_round_events(&bed.hv, &bed.vm_ids);
+    let report = again[0].1.as_ref().expect("scan succeeds");
+    let suspects: Vec<&str> = report.suspects().map(|v| v.vm_name.as_str()).collect();
+    assert_eq!(suspects, vec!["dom3"], "watches must survive the revert");
+}

@@ -242,3 +242,248 @@ fn randomized_fleets_match_the_oracle_in_all_four_modes() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Adversarial mode: active adversaries vs. the full defense stack.
+// ---------------------------------------------------------------------
+
+use modchecker::{ContinuousMonitor, MonitorConfig, ScanJitter};
+use modchecker_repro::fleetgen::{adversarial_fleet, AdversaryKind};
+use modchecker_repro::hypervisor::RoundCtx;
+
+const PERIOD_NS: u64 = 1_000_000_000;
+const ROUNDS: usize = 3;
+
+/// The detection-rate regression gate: over `case_count()` seeded fleets
+/// mixing active adversaries (DKOM unlinking, scrub-race restorers,
+/// checker blinding — plus clean pools), every ground-truth-detectable
+/// instance is detected through its intended channel and *nothing else*
+/// is ever flagged:
+///
+/// * `dkom-unlink`: invisible to the jittered polling rounds (the module
+///   is not even in the consensus), caught by the cross-view
+///   hidden-module vote with all `n` VMs voting;
+/// * `scrub-race`: each round's verdict matches the jitter oracle exactly
+///   (suspect iff the scan-phase offset exceeds the learned restore
+///   window); rounds the restore does cover leave the tamper-evidence
+///   generation trail instead — the union always detects;
+/// * `blind-checker`: every polling round votes clean (the decoy is
+///   coherent), caught by the cross-view unlisted-image vote attributed
+///   to the victim entry by its unique `SizeOfImage`;
+/// * clean pools: zero suspects, zero cross-view findings, zero
+///   tamper-evidence flags across every round — the false-positive pin.
+///
+/// Every assertion message carries the reproducing seed.
+#[test]
+fn adversarial_fleets_are_detected_via_their_intended_channels() {
+    let cases = case_count();
+    for seed in 0..cases {
+        let (mut bed, mut replay) = adversarial_fleet(seed);
+        let jitter = ScanJitter {
+            seed: seed ^ 0x5EED_1A57,
+            max_ns: 1_000_000,
+        };
+        let monitors: Vec<ContinuousMonitor> = bed
+            .truth
+            .consensus
+            .iter()
+            .map(|(_, modules)| {
+                ContinuousMonitor::new(MonitorConfig {
+                    modules: modules.clone(),
+                    check: CheckConfig {
+                        tamper_evidence: true,
+                        ..CheckConfig::default()
+                    },
+                    scan_jitter: Some(jitter),
+                    ..MonitorConfig::default()
+                })
+            })
+            .collect();
+
+        // Suspect VM names per (pool index, module, round).
+        // Per pool: rounds, each a list of (module, sorted suspect names).
+        type RoundSuspects = Vec<(String, Vec<String>)>;
+        let mut suspects: Vec<Vec<RoundSuspects>> = vec![Vec::new(); bed.fleet.pools.len()];
+        for round in 0..ROUNDS {
+            let ctx = RoundCtx {
+                round,
+                period_ns: PERIOD_NS,
+                scan_offset_ns: jitter.offset_ns(round),
+            };
+            replay
+                .step(&mut bed.hv, &ctx)
+                .unwrap_or_else(|e| panic!("seed {seed} round {round}: replay failed: {e}"));
+            for (p, monitor) in monitors.iter().enumerate() {
+                let vms = &bed.fleet.pools[p].vms;
+                let mut this_round = Vec::new();
+                for (module, result) in monitor.run_round(&bed.hv, vms) {
+                    let report = result.unwrap_or_else(|e| {
+                        panic!("seed {seed} round {round} pool{p} {module}: {e}")
+                    });
+                    let mut names: Vec<String> =
+                        report.suspects().map(|v| v.vm_name.clone()).collect();
+                    names.sort();
+                    this_round.push((module, names));
+                }
+                suspects[p].push(this_round);
+            }
+        }
+
+        for (p, monitor) in monitors.iter().enumerate() {
+            let pool_name = &bed.fleet.pools[p].name;
+            let n = bed.fleet.pools[p].vms.len();
+            let adversary = bed.truth.evasive.iter().find(|e| &e.pool == pool_name);
+            let cv = monitor
+                .run_crossview(&bed.hv, &bed.fleet.pools[p].vms)
+                .unwrap_or_else(|e| panic!("seed {seed} {pool_name}: cross-view failed: {e}"));
+            let flagged = monitor.silent_restores();
+
+            match adversary.map(|e| e.kind) {
+                None => {
+                    for (round, mods) in suspects[p].iter().enumerate() {
+                        for (module, names) in mods {
+                            assert!(
+                                names.is_empty(),
+                                "seed {seed} {pool_name} round {round} {module}: \
+                                 clean pool flagged {names:?}"
+                            );
+                        }
+                    }
+                    assert!(
+                        cv.is_clean(),
+                        "seed {seed} {pool_name}: clean pool cross-view findings: {cv}"
+                    );
+                    assert!(
+                        flagged.is_empty(),
+                        "seed {seed} {pool_name}: clean pool tamper flags: {flagged:?}"
+                    );
+                }
+                Some(AdversaryKind::Dkom) => {
+                    let truth = adversary.unwrap();
+                    for (round, mods) in suspects[p].iter().enumerate() {
+                        for (module, names) in mods {
+                            assert!(
+                                names.is_empty(),
+                                "seed {seed} {pool_name} round {round} {module}: \
+                                 polling must not see the unlinked module's pool"
+                            );
+                        }
+                    }
+                    let hidden: Vec<_> = cv.hidden_modules().collect();
+                    assert_eq!(
+                        hidden.len(),
+                        1,
+                        "seed {seed} {pool_name}: expected one hidden-module finding: {cv}"
+                    );
+                    assert_eq!(
+                        hidden[0].module.as_deref(),
+                        Some(truth.module.as_str()),
+                        "seed {seed} {pool_name}"
+                    );
+                    assert_eq!(
+                        hidden[0].votes, n,
+                        "seed {seed} {pool_name}: unlinked on all VMs, all must vote"
+                    );
+                    assert_eq!(
+                        cv.unlisted_images().count(),
+                        0,
+                        "seed {seed} {pool_name}: {cv}"
+                    );
+                    assert!(flagged.is_empty(), "seed {seed} {pool_name}: {flagged:?}");
+                }
+                Some(AdversaryKind::Scrub) => {
+                    let truth = adversary.unwrap();
+                    let victim = truth.vm.clone().expect("scrub truth names its victim");
+                    // Jitter channel: suspect exactly on rounds whose
+                    // scan-phase offset exceeds the learned window.
+                    let mut jitter_hits = 0usize;
+                    for (round, mods) in suspects[p].iter().enumerate() {
+                        for (module, names) in mods {
+                            if *module == truth.module && jitter.offset_ns(round) > truth.window_ns
+                            {
+                                assert_eq!(
+                                    names,
+                                    &vec![victim.clone()],
+                                    "seed {seed} {pool_name} round {round}: jittered scan \
+                                     (offset {} > window {}) must catch the victim",
+                                    jitter.offset_ns(round),
+                                    truth.window_ns
+                                );
+                                jitter_hits += 1;
+                            } else {
+                                assert!(
+                                    names.is_empty(),
+                                    "seed {seed} {pool_name} round {round} {module}: \
+                                     unexpected suspects {names:?}"
+                                );
+                            }
+                        }
+                    }
+                    // Tamper-evidence channel: a round r ≥ 1 whose
+                    // at-scan bytes equal round r−1's leaves the moved-
+                    // generations/identical-bytes trail.
+                    let visible = |r: usize| jitter.offset_ns(r) > truth.window_ns;
+                    let tamper_expected = (1..ROUNDS).any(|r| visible(r) == visible(r - 1));
+                    let expected_flag = (
+                        bed.guests[p]
+                            .iter()
+                            .find(|g| bed.hv.vm(g.vm).unwrap().name == victim)
+                            .unwrap()
+                            .vm,
+                        truth.module.clone(),
+                    );
+                    if tamper_expected {
+                        assert_eq!(
+                            flagged,
+                            vec![expected_flag],
+                            "seed {seed} {pool_name}: tamper evidence must flag the victim"
+                        );
+                    } else {
+                        assert!(
+                            flagged.is_empty() || flagged == vec![expected_flag],
+                            "seed {seed} {pool_name}: stray tamper flags {flagged:?}"
+                        );
+                    }
+                    assert!(
+                        jitter_hits > 0 || tamper_expected,
+                        "seed {seed} {pool_name}: scrub-race escaped both channels"
+                    );
+                    assert!(cv.is_clean(), "seed {seed} {pool_name}: {cv}");
+                }
+                Some(AdversaryKind::Blind) => {
+                    let truth = adversary.unwrap();
+                    for (round, mods) in suspects[p].iter().enumerate() {
+                        for (module, names) in mods {
+                            assert!(
+                                names.is_empty(),
+                                "seed {seed} {pool_name} round {round} {module}: \
+                                 the coherent decoy must vote clean, got {names:?}"
+                            );
+                        }
+                    }
+                    let unlisted: Vec<_> = cv.unlisted_images().collect();
+                    assert_eq!(
+                        unlisted.len(),
+                        1,
+                        "seed {seed} {pool_name}: expected one unlisted-image finding: {cv}"
+                    );
+                    assert_eq!(
+                        unlisted[0].module.as_deref(),
+                        Some(truth.module.as_str()),
+                        "seed {seed} {pool_name}: attribution by unique SizeOfImage"
+                    );
+                    assert_eq!(
+                        unlisted[0].votes, n,
+                        "seed {seed} {pool_name}: blinded on all VMs, all must vote"
+                    );
+                    assert_eq!(
+                        cv.hidden_modules().count(),
+                        0,
+                        "seed {seed} {pool_name}: {cv}"
+                    );
+                    assert!(flagged.is_empty(), "seed {seed} {pool_name}: {flagged:?}");
+                }
+            }
+        }
+    }
+}
